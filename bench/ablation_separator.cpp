@@ -1,0 +1,67 @@
+// Ablation benches for the design choices DESIGN.md calls out:
+//   1. minimum-vertex-cover separators (ref [31]) vs naive boundary
+//      separators inside MLND — the paper: "the minimum vertex cover has
+//      been found to produce very small vertex separators";
+//   2. MMD's multiple elimination and supervariable merging — speed tricks
+//      that must not change the quality class.
+#include <cstdio>
+
+#include "common.hpp"
+#include "metrics/ordering_metrics.hpp"
+#include "order/mmd.hpp"
+#include "order/nested_dissection.hpp"
+#include "support/timer.hpp"
+
+using namespace mgp;
+using namespace mgp::bench;
+
+int main() {
+  print_banner("Ablation: separator extraction and MMD engineering choices",
+               "min-cover <= boundary separator ops; MMD variants same "
+               "quality class, multiple+supervariables fastest");
+
+  auto suite = load_suite(SuiteKind::kOrdering, 0.08);
+
+  std::printf("\n-- MLND separator ablation --\n");
+  std::printf("%s | %11s %11s | %7s\n", pad("graph", 6).c_str(), "mincover ops",
+              "boundary ops", "ratio");
+  for (const auto& ng : suite) {
+    MultilevelConfig cfg;
+    NdOptions mincover;
+    NdOptions boundary;
+    boundary.boundary_separator = true;
+    Rng r1(seed_from_env()), r2(seed_from_env());
+    std::int64_t f_mc =
+        evaluate_ordering(ng.graph, mlnd_order(ng.graph, cfg, mincover, r1)).flops;
+    std::int64_t f_bd =
+        evaluate_ordering(ng.graph, mlnd_order(ng.graph, cfg, boundary, r2)).flops;
+    std::printf("%s | %11s %11s | %7.3f\n", pad(ng.name, 6).c_str(),
+                format_flops(f_mc).c_str(), format_flops(f_bd).c_str(),
+                static_cast<double>(f_bd) / static_cast<double>(f_mc));
+    std::fflush(stdout);
+  }
+
+  std::printf("\n-- MMD variant ablation --\n");
+  std::printf("%s | %11s %8s | %11s %8s | %11s %8s\n", pad("graph", 6).c_str(),
+              "full ops", "time", "no-multi ops", "time", "no-superv ops", "time");
+  for (const auto& ng : suite) {
+    auto run = [&](bool multiple, bool superv) {
+      MmdOptions opts;
+      opts.multiple = multiple;
+      opts.supervariables = superv;
+      Timer t;
+      std::vector<vid_t> perm = mmd_order(ng.graph, opts);
+      double secs = t.seconds();
+      return std::pair<std::int64_t, double>(evaluate_ordering(ng.graph, perm).flops,
+                                             secs);
+    };
+    auto [f_full, t_full] = run(true, true);
+    auto [f_nm, t_nm] = run(false, true);
+    auto [f_ns, t_ns] = run(true, false);
+    std::printf("%s | %11s %8.3f | %11s %8.3f | %11s %8.3f\n", pad(ng.name, 6).c_str(),
+                format_flops(f_full).c_str(), t_full, format_flops(f_nm).c_str(), t_nm,
+                format_flops(f_ns).c_str(), t_ns);
+    std::fflush(stdout);
+  }
+  return 0;
+}

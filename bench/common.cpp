@@ -1,0 +1,62 @@
+#include "common.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace mgp::bench {
+
+double scale_from_env(double def) {
+  const char* s = std::getenv("MGP_BENCH_SCALE");
+  if (!s) return def;
+  char* end = nullptr;
+  double v = std::strtod(s, &end);
+  return (end != s && v > 0) ? v : def;
+}
+
+std::uint64_t seed_from_env() {
+  const char* s = std::getenv("MGP_BENCH_SEED");
+  if (!s) return 1995;
+  return static_cast<std::uint64_t>(std::strtoull(s, nullptr, 10));
+}
+
+std::vector<NamedGraph> load_suite(SuiteKind kind, double default_scale) {
+  const double scale = scale_from_env(default_scale);
+  const std::uint64_t seed = seed_from_env();
+  std::printf("suite scale=%.3g seed=%llu (override with MGP_BENCH_SCALE / MGP_BENCH_SEED)\n",
+              scale, static_cast<unsigned long long>(seed));
+  return paper_suite(kind, scale, seed);
+}
+
+void print_banner(const std::string& artifact, const std::string& expectation) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", artifact.c_str());
+  std::printf("expected shape: %s\n", expectation.c_str());
+  std::printf("================================================================\n");
+}
+
+std::string pad(const std::string& s, int width) {
+  std::string out = s;
+  while (static_cast<int>(out.size()) < width) out.push_back(' ');
+  return out;
+}
+
+std::string fmt_int(long long v, int width) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%*lld", width, v);
+  return buf;
+}
+
+std::string fmt_time(double seconds, int width) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%*.3f", width, seconds);
+  return buf;
+}
+
+std::string fmt_ratio(double r, int width) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%*.3f", width, r);
+  return buf;
+}
+
+}  // namespace mgp::bench

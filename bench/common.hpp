@@ -1,0 +1,40 @@
+// Shared infrastructure for the table/figure reproduction binaries.
+//
+// Every bench binary regenerates one table or figure of the paper on the
+// synthetic stand-in suite (DESIGN.md §1.4).  Scale and seed can be
+// overridden via environment variables so the same binaries serve quick
+// smoke runs and full-size reproductions:
+//
+//   MGP_BENCH_SCALE  vertex-count factor relative to the paper's sizes
+//                    (default per binary, typically 0.05)
+//   MGP_BENCH_SEED   RNG seed (default 1995, the paper's year)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/generators.hpp"
+
+namespace mgp::bench {
+
+/// Reads MGP_BENCH_SCALE (falls back to `def`).
+double scale_from_env(double def);
+
+/// Reads MGP_BENCH_SEED (falls back to 1995).
+std::uint64_t seed_from_env();
+
+/// Loads a suite at the env-controlled scale, printing a one-line banner.
+std::vector<NamedGraph> load_suite(SuiteKind kind, double default_scale);
+
+/// Prints the standard bench header: what paper artifact this reproduces
+/// and what the expected shape of the result is.
+void print_banner(const std::string& artifact, const std::string& expectation);
+
+/// Fixed-width helpers for table rows.
+std::string pad(const std::string& s, int width);
+std::string fmt_int(long long v, int width);
+std::string fmt_time(double seconds, int width);
+std::string fmt_ratio(double r, int width);
+
+}  // namespace mgp::bench

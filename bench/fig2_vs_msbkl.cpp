@@ -1,0 +1,23 @@
+// Reproduces Figure 2: quality of our multilevel algorithm vs MSB followed
+// by Kernighan-Lin refinement (MSB-KL).
+//
+// Expected shape (paper): KL does improve MSB (ratios closer to 1 than in
+// Figure 1), but our algorithm still produces better partitions for most
+// problems.
+#include "fig_common.hpp"
+#include "spectral/msb.hpp"
+
+using namespace mgp;
+using namespace mgp::bench;
+
+int main() {
+  MsbOptions msbkl;
+  msbkl.kl_refine = true;
+  return run_cut_ratio_figure(
+      "Figure 2: our multilevel vs MSB with Kernighan-Lin (MSB-KL)",
+      "ratios closer to 1 than Fig. 1, but mean still <= ~1.0",
+      "MSB-KL",
+      [&msbkl](const Graph& g, part_t k, Rng& rng) {
+        return msb_partition(g, k, msbkl, rng);
+      });
+}

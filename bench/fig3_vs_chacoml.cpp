@@ -1,0 +1,21 @@
+// Reproduces Figure 3: quality of our multilevel algorithm vs the Chaco
+// multilevel algorithm (Chaco-ML: RM coarsening, spectral bisection of the
+// coarsest graph, KL every other level).
+//
+// Expected shape (paper): ours usually better (10-50% on some problems);
+// where Chaco-ML wins, only marginally (< 2%).
+#include "core/chaco_ml.hpp"
+#include "fig_common.hpp"
+
+using namespace mgp;
+using namespace mgp::bench;
+
+int main() {
+  return run_cut_ratio_figure(
+      "Figure 3: our multilevel vs Chaco-ML",
+      "mean ratio < 1.0; losses marginal",
+      "Chaco-ML",
+      [](const Graph& g, part_t k, Rng& rng) {
+        return chaco_ml_partition(g, k, rng);
+      });
+}

@@ -1,0 +1,58 @@
+// Reproduces Figure 4: run time of Chaco-ML, MSB and MSB-KL *relative to
+// our multilevel algorithm* for a 256-way partition.
+//
+// Expected shape (paper): ours fastest everywhere; MSB 10-35x slower
+// (growing with problem size), MSB-KL slower still, Chaco-ML 2-6x slower.
+#include <cstdio>
+
+#include "common.hpp"
+#include "core/chaco_ml.hpp"
+#include "core/kway.hpp"
+#include "spectral/msb.hpp"
+#include "support/timer.hpp"
+
+using namespace mgp;
+using namespace mgp::bench;
+
+int main() {
+  print_banner("Figure 4: run time relative to our multilevel, 256-way partition",
+               "ours = 1.0; Chaco-ML ~2-6x; MSB ~10-35x; MSB-KL >= MSB");
+
+  const part_t k = 256;
+  auto suite = load_suite(SuiteKind::kFigures, 0.05);
+
+  std::printf("\n%s %9s | %9s | %9s %9s %9s   (multiples of our time)\n",
+              pad("graph", 6).c_str(), "|V|", "ours (s)", "Chaco-ML", "MSB",
+              "MSB-KL");
+  for (const auto& ng : suite) {
+    Timer t;
+    Rng r1(seed_from_env());
+    MultilevelConfig ours;
+    kway_partition(ng.graph, k, ours, r1);
+    const double t_ours = t.seconds();
+
+    t.reset();
+    Rng r2(seed_from_env());
+    chaco_ml_partition(ng.graph, k, r2);
+    const double t_chaco = t.seconds();
+
+    t.reset();
+    Rng r3(seed_from_env());
+    MsbOptions msb;
+    msb_partition(ng.graph, k, msb, r3);
+    const double t_msb = t.seconds();
+
+    t.reset();
+    Rng r4(seed_from_env());
+    MsbOptions msbkl;
+    msbkl.kl_refine = true;
+    msb_partition(ng.graph, k, msbkl, r4);
+    const double t_msbkl = t.seconds();
+
+    std::printf("%s %9lld | %9.3f | %9.2f %9.2f %9.2f\n", pad(ng.name, 6).c_str(),
+                static_cast<long long>(ng.graph.num_vertices()), t_ours,
+                t_chaco / t_ours, t_msb / t_ours, t_msbkl / t_ours);
+    std::fflush(stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Reproduces Figure 5: quality of multilevel nested dissection (MLND)
+// relative to multiple minimum degree (MMD) and spectral nested dissection
+// (SND), measured as Cholesky factorisation operation counts, plus the
+// §4.3 concurrency comparison.
+//
+// Expected shape (paper): bars above 1.0 mean MLND wins.  MLND beats SND on
+// 17/18 matrices (SND total ~30% more ops); MLND beats MMD on the larger /
+// less structured problems (2-3x on big 3D meshes) while MMD wins some
+// small ones; the power grid is bad for every nested-dissection scheme.
+// MLND elimination trees are shorter and wider than MMD's.
+#include <cstdio>
+
+#include "common.hpp"
+#include "metrics/ordering_metrics.hpp"
+#include "order/mmd.hpp"
+#include "order/nested_dissection.hpp"
+
+using namespace mgp;
+using namespace mgp::bench;
+
+int main() {
+  print_banner(
+      "Figure 5: MLND vs MMD and SND fill-reducing orderings (op counts)",
+      "MMD/MLND > 1 on large 3D meshes; SND/MLND > 1 almost everywhere; "
+      "power grid poor for all ND schemes; MLND etrees shorter+wider than MMD");
+
+  auto suite = load_suite(SuiteKind::kOrdering, 0.15);
+
+  std::printf("\n%s %9s | %11s %11s %11s | %7s %7s | %6s %6s | %8s %8s\n",
+              pad("graph", 6).c_str(), "|V|", "MLND ops", "MMD ops", "SND ops",
+              "MMD/ML", "SND/ML", "h(ML)", "h(MMD)", "wid(ML)", "wid(MMD)");
+
+  std::int64_t total_mlnd = 0, total_mmd = 0, total_snd = 0;
+  for (const auto& ng : suite) {
+    Rng r1(seed_from_env());
+    MultilevelConfig cfg;
+    NdOptions nd;
+    OrderingQuality mlnd = evaluate_ordering(ng.graph, mlnd_order(ng.graph, cfg, nd, r1));
+
+    OrderingQuality mmd = evaluate_ordering(ng.graph, mmd_order(ng.graph));
+
+    Rng r2(seed_from_env());
+    MsbOptions msb;
+    OrderingQuality snd = evaluate_ordering(ng.graph, snd_order(ng.graph, msb, nd, r2));
+
+    total_mlnd += mlnd.flops;
+    total_mmd += mmd.flops;
+    total_snd += snd.flops;
+
+    std::printf("%s %9lld | %11s %11s %11s | %7.2f %7.2f | %6d %6d | %8.1f %8.1f\n",
+                pad(ng.name, 6).c_str(),
+                static_cast<long long>(ng.graph.num_vertices()),
+                format_flops(mlnd.flops).c_str(), format_flops(mmd.flops).c_str(),
+                format_flops(snd.flops).c_str(),
+                static_cast<double>(mmd.flops) / static_cast<double>(mlnd.flops),
+                static_cast<double>(snd.flops) / static_cast<double>(mlnd.flops),
+                mlnd.etree_height, mmd.etree_height, mlnd.average_width,
+                mmd.average_width);
+    std::fflush(stdout);
+  }
+
+  std::printf("\ntotals: MLND %s ops, MMD %s ops (x%.2f), SND %s ops (x%.2f)\n",
+              format_flops(total_mlnd).c_str(), format_flops(total_mmd).c_str(),
+              static_cast<double>(total_mmd) / static_cast<double>(total_mlnd),
+              format_flops(total_snd).c_str(),
+              static_cast<double>(total_snd) / static_cast<double>(total_mlnd));
+  std::printf("(paper: ensemble factorable ~2.4x faster with MLND than MMD; SND ~1.3x MLND)\n");
+  return 0;
+}

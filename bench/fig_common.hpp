@@ -1,0 +1,65 @@
+// Shared driver for Figures 1-3: edge-cut of our multilevel algorithm
+// relative to a baseline partitioner, for k = 64, 128, 256 on the
+// figure suite.  Ratios < 1 mean our algorithm wins (bars under the
+// baseline in the paper's plots).
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <string>
+
+#include "common.hpp"
+#include "core/kway.hpp"
+
+namespace mgp::bench {
+
+using KwayRunner = std::function<KwayResult(const Graph&, part_t, Rng&)>;
+
+inline int run_cut_ratio_figure(const std::string& artifact,
+                                const std::string& expectation,
+                                const std::string& baseline_name,
+                                const KwayRunner& baseline,
+                                double default_scale = 0.05) {
+  print_banner(artifact, expectation);
+  auto suite = load_suite(SuiteKind::kFigures, default_scale);
+
+  const part_t ks[] = {64, 128, 256};
+  std::printf("\nratio = ours(HEM+GGGP+BKLGR) / %s;  < 1.0 means ours is better\n",
+              baseline_name.c_str());
+  std::printf("%s %9s | %10s %10s %10s | %10s %10s %10s\n", pad("graph", 6).c_str(),
+              "|V|", "ours k=64", "k=128", "k=256", "ratio 64", "ratio 128",
+              "ratio 256");
+
+  double geo_sum = 0;
+  int geo_n = 0;
+  for (const auto& ng : suite) {
+    ewt_t ours_cut[3], base_cut[3];
+    for (int i = 0; i < 3; ++i) {
+      MultilevelConfig cfg;
+      Rng r1(seed_from_env());
+      ours_cut[i] = kway_partition(ng.graph, ks[i], cfg, r1).edge_cut;
+      Rng r2(seed_from_env());
+      base_cut[i] = baseline(ng.graph, ks[i], r2).edge_cut;
+    }
+    std::printf("%s %9lld | %10lld %10lld %10lld |", pad(ng.name, 6).c_str(),
+                static_cast<long long>(ng.graph.num_vertices()),
+                static_cast<long long>(ours_cut[0]),
+                static_cast<long long>(ours_cut[1]),
+                static_cast<long long>(ours_cut[2]));
+    for (int i = 0; i < 3; ++i) {
+      double ratio = base_cut[i] > 0 ? static_cast<double>(ours_cut[i]) /
+                                           static_cast<double>(base_cut[i])
+                                     : 1.0;
+      std::printf(" %10.3f", ratio);
+      geo_sum += ratio;
+      ++geo_n;
+    }
+    std::printf("\n");
+    std::fflush(stdout);
+  }
+  std::printf("\nmean ratio over all graphs/k: %.3f (< 1.0 reproduces the figure)\n",
+              geo_sum / geo_n);
+  return 0;
+}
+
+}  // namespace mgp::bench

@@ -1,0 +1,93 @@
+// Domain decomposition for a parallel iterative solver — the paper's §1
+// motivating application.
+//
+// A sparse system Ax = b solved by a Krylov method on p processors needs
+// the matrix's graph split into p balanced pieces with minimal coupling:
+// every cut edge is a value exchanged per mat-vec, every boundary vertex a
+// halo entry.  This example partitions a 3D stiffness-pattern mesh for
+// several processor counts and reports the communication plan a solver
+// would derive, comparing the paper's scheme against random matching
+// without refinement to show what the machinery buys.
+//
+//   $ ./fem_decomposition [p]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "core/kway.hpp"
+#include "graph/generators.hpp"
+#include "metrics/partition_metrics.hpp"
+
+using namespace mgp;
+
+namespace {
+
+struct CommPlan {
+  std::vector<std::int64_t> halo;      // per part: foreign values received
+  std::vector<std::int64_t> interior;  // per part: rows with no communication
+};
+
+CommPlan build_comm_plan(const Graph& g, std::span<const part_t> part, part_t k) {
+  CommPlan plan;
+  plan.halo.assign(static_cast<std::size_t>(k), 0);
+  plan.interior.assign(static_cast<std::size_t>(k), 0);
+  // halo of part p = number of (foreign vertex, p) pairs with an edge into p.
+  std::vector<std::vector<char>> seen(static_cast<std::size_t>(k));
+  for (auto& s : seen) s.assign(static_cast<std::size_t>(g.num_vertices()), 0);
+  for (vid_t u = 0; u < g.num_vertices(); ++u) {
+    const part_t pu = part[static_cast<std::size_t>(u)];
+    bool boundary = false;
+    for (vid_t v : g.neighbors(u)) {
+      const part_t pv = part[static_cast<std::size_t>(v)];
+      if (pv == pu) continue;
+      boundary = true;
+      if (!seen[static_cast<std::size_t>(pv)][static_cast<std::size_t>(u)]) {
+        seen[static_cast<std::size_t>(pv)][static_cast<std::size_t>(u)] = 1;
+        ++plan.halo[static_cast<std::size_t>(pv)];
+      }
+    }
+    if (!boundary) ++plan.interior[static_cast<std::size_t>(pu)];
+  }
+  return plan;
+}
+
+void report(const char* label, const Graph& g, const KwayResult& r, part_t k) {
+  PartitionQuality q = evaluate_partition(g, r.part, k);
+  CommPlan plan = build_comm_plan(g, r.part, k);
+  std::int64_t max_halo = *std::max_element(plan.halo.begin(), plan.halo.end());
+  std::int64_t total_halo = 0;
+  for (auto h : plan.halo) total_halo += h;
+  std::printf(
+      "  %-22s cut %7lld  imbal %.3f  total halo %7lld  max halo %6lld\n",
+      label, static_cast<long long>(q.edge_cut), q.imbalance,
+      static_cast<long long>(total_halo), static_cast<long long>(max_halo));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const part_t p_max = argc > 1 ? static_cast<part_t>(std::atoi(argv[1])) : 16;
+  Graph mesh = grid3d_27(20, 20, 18);  // hexahedral stiffness pattern
+  std::printf("3D stiffness mesh: %d vertices, %lld edges\n", mesh.num_vertices(),
+              static_cast<long long>(mesh.num_edges()));
+
+  for (part_t k = 2; k <= p_max; k *= 2) {
+    std::printf("\np = %d processors:\n", k);
+    Rng r1(1995), r2(1995);
+
+    MultilevelConfig paper;  // HEM + GGGP + BKLGR
+    report("paper scheme", mesh, kway_partition(mesh, k, paper, r1), k);
+
+    MultilevelConfig naive;
+    naive.matching = MatchingScheme::kRandom;
+    naive.refine = RefinePolicy::kNone;
+    report("RM, no refinement", mesh, kway_partition(mesh, k, naive, r2), k);
+  }
+
+  std::printf(
+      "\nEvery halo entry is one value exchanged per mat-vec; the paper "
+      "scheme's smaller cut\ntranslates directly into less communication per "
+      "solver iteration.\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// The paper's opening scenario, end to end: solve Ax = b with an iterative
+// method (preconditioned CG) whose per-iteration communication on p
+// processors is determined by a graph partition.
+//
+// Total solver communication = (partition communication volume) x
+// (CG iterations).  The example solves one system and prices that product
+// under the paper's partitioning scheme vs an unrefined random-matching
+// partition — the difference *is* the paper's contribution, in words an
+// application engineer would use.
+//
+//   $ ./iterative_solver [p]
+#include <cstdio>
+#include <cstdlib>
+
+#include "cholesky/conjugate_gradient.hpp"
+#include "core/kway.hpp"
+#include "graph/generators.hpp"
+#include "metrics/partition_metrics.hpp"
+#include "support/timer.hpp"
+
+using namespace mgp;
+
+int main(int argc, char** argv) {
+  const part_t p = argc > 1 ? static_cast<part_t>(std::atoi(argv[1])) : 16;
+  Graph mesh = fem3d_tet(16, 16, 16, 77);
+  const std::size_t n = static_cast<std::size_t>(mesh.num_vertices());
+  std::printf("mesh: %d vertices, %lld edges; solving (L + I) x = b on %d "
+              "simulated processors\n",
+              mesh.num_vertices(), static_cast<long long>(mesh.num_edges()), p);
+
+  // Solve the system once (the numerics are partition-independent).
+  SymmetricMatrix a = laplacian_matrix(mesh, 1.0);
+  Rng rng(1995);
+  std::vector<double> b(n);
+  for (double& v : b) v = rng.next_double();
+  std::vector<double> x(n, 0.0);
+  Timer t;
+  CgResult cg = conjugate_gradient(a, b, std::span<double>(x));
+  std::printf("CG: %d iterations to relative residual %.1e (%.3f s)\n",
+              cg.iterations, cg.relative_residual, t.seconds());
+
+  // Price the communication under two partitions.
+  auto report = [&](const char* label, const KwayResult& part) {
+    PartitionQuality q = evaluate_partition(mesh, part.part, p);
+    const long long per_iter = q.comm_volume;
+    std::printf("  %-22s cut %7lld  comm/iter %7lld  total comm %10lld values\n",
+                label, static_cast<long long>(q.edge_cut), per_iter,
+                per_iter * cg.iterations);
+  };
+
+  Rng r1(1), r2(1);
+  MultilevelConfig paper;
+  report("paper scheme", kway_partition(mesh, p, paper, r1));
+  MultilevelConfig naive;
+  naive.matching = MatchingScheme::kRandom;
+  naive.refine = RefinePolicy::kNone;
+  report("RM, no refinement", kway_partition(mesh, p, naive, r2));
+
+  std::printf("\nEvery CG iteration ships each boundary value to every "
+              "neighbouring part;\nthe paper scheme's smaller communication "
+              "volume multiplies across all %d iterations.\n",
+              cg.iterations);
+  return 0;
+}

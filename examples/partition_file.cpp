@@ -1,0 +1,170 @@
+// Command-line partitioner: the `pmetis`-shaped tool a downstream user
+// would actually run, with every phase of the paper exposed as a flag.
+//
+//   $ ./partition_file <graph(.graph|.mtx)|--demo> <k> [options] [-o out.part]
+//
+// Options (defaults = the paper's recommended configuration):
+//   --matching=rm|hem|lem|hcm     coarsening scheme          (hem)
+//   --init=ggp|gggp|sbp           coarsest-graph partitioner (gggp)
+//   --refine=none|gr|klr|bgr|bklr|bklgr   refinement policy  (bklgr)
+//   --direct                      direct k-way instead of recursive bisection
+//   --trials=N                    best-of-N partitions       (1)
+//   --seed=S                      RNG seed                   (1995)
+//   -o FILE                       write the part vector (one id per line)
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/kway.hpp"
+#include "core/kway_direct.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "graph/partition_io.hpp"
+#include "metrics/partition_metrics.hpp"
+#include "support/timer.hpp"
+
+using namespace mgp;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <graph-file(.graph|.mtx)|--demo> <k> [options] [-o out]\n"
+               "  --matching=rm|hem|lem|hcm  --init=ggp|gggp|sbp\n"
+               "  --refine=none|gr|klr|bgr|bklr|bklgr  --direct\n"
+               "  --trials=N  --seed=S\n",
+               argv0);
+  return 2;
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool parse_matching(const std::string& v, MatchingScheme& out) {
+  if (v == "rm") out = MatchingScheme::kRandom;
+  else if (v == "hem") out = MatchingScheme::kHeavyEdge;
+  else if (v == "lem") out = MatchingScheme::kLightEdge;
+  else if (v == "hcm") out = MatchingScheme::kHeavyClique;
+  else return false;
+  return true;
+}
+
+bool parse_init(const std::string& v, InitPartScheme& out) {
+  if (v == "ggp") out = InitPartScheme::kGGP;
+  else if (v == "gggp") out = InitPartScheme::kGGGP;
+  else if (v == "sbp") out = InitPartScheme::kSpectral;
+  else return false;
+  return true;
+}
+
+bool parse_refine(const std::string& v, RefinePolicy& out) {
+  if (v == "none") out = RefinePolicy::kNone;
+  else if (v == "gr") out = RefinePolicy::kGR;
+  else if (v == "klr") out = RefinePolicy::kKLR;
+  else if (v == "bgr") out = RefinePolicy::kBGR;
+  else if (v == "bklr") out = RefinePolicy::kBKLR;
+  else if (v == "bklgr") out = RefinePolicy::kBKLGR;
+  else return false;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage(argv[0]);
+
+  MultilevelConfig cfg;
+  bool direct = false;
+  int trials = 1;
+  std::uint64_t seed = 1995;
+  std::string out_path;
+
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--matching=", 0) == 0) {
+      if (!parse_matching(arg.substr(11), cfg.matching)) return usage(argv[0]);
+    } else if (arg.rfind("--init=", 0) == 0) {
+      if (!parse_init(arg.substr(7), cfg.initpart)) return usage(argv[0]);
+    } else if (arg.rfind("--refine=", 0) == 0) {
+      if (!parse_refine(arg.substr(9), cfg.refine)) return usage(argv[0]);
+    } else if (arg == "--direct") {
+      direct = true;
+    } else if (arg.rfind("--trials=", 0) == 0) {
+      trials = std::atoi(arg.c_str() + 9);
+      if (trials < 1) return usage(argv[0]);
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else if (arg == "-o" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      return usage(argv[0]);
+    }
+  }
+
+  Graph g;
+  std::string source;
+  try {
+    if (std::strcmp(argv[1], "--demo") == 0) {
+      g = fem3d_tet(16, 16, 16, 1234);
+      source = "demo fem3d_tet(16,16,16)";
+    } else if (ends_with(argv[1], ".mtx")) {
+      g = read_matrix_market_file(argv[1]);
+      source = argv[1];
+    } else {
+      g = read_metis_graph_file(argv[1]);
+      source = argv[1];
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error loading graph: %s\n", e.what());
+    return 1;
+  }
+
+  const part_t k = static_cast<part_t>(std::atoi(argv[2]));
+  if (k < 1) {
+    std::fprintf(stderr, "error: k must be >= 1 (got '%s')\n", argv[2]);
+    return 2;
+  }
+
+  std::printf("%s: %d vertices, %lld edges\n", source.c_str(), g.num_vertices(),
+              static_cast<long long>(g.num_edges()));
+  std::printf("scheme: %s%s, %d trial(s), seed %llu\n", describe(cfg).c_str(),
+              direct ? " (direct k-way)" : "", trials,
+              static_cast<unsigned long long>(seed));
+
+  Rng rng(seed);
+  Timer t;
+  KwayResult r;
+  if (direct) {
+    KwayDirectConfig dcfg;
+    dcfg.matching = cfg.matching;
+    dcfg.initial = cfg;
+    r = kway_partition_direct(g, k, dcfg, rng);
+    for (int extra = 1; extra < trials; ++extra) {
+      KwayResult r2 = kway_partition_direct(g, k, dcfg, rng);
+      if (r2.edge_cut < r.edge_cut) r = std::move(r2);
+    }
+  } else {
+    r = kway_partition_best_of(g, k, cfg, trials, rng);
+  }
+  const double secs = t.seconds();
+
+  PartitionQuality q = evaluate_partition(g, r.part, k);
+  std::printf("%d-way: edge-cut %lld, imbalance %.3f, comm volume %lld (%.3f s)\n",
+              k, static_cast<long long>(q.edge_cut), q.imbalance,
+              static_cast<long long>(q.comm_volume), secs);
+
+  if (!out_path.empty()) {
+    try {
+      write_partition_file(out_path, r.part);
+      std::printf("partition vector written to %s\n", out_path.c_str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+  }
+  return 0;
+}

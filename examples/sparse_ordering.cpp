@@ -1,0 +1,56 @@
+// Fill-reducing ordering for sparse Cholesky factorisation — the paper's
+// §4.3 application.
+//
+// Orders the pattern of a 3D stiffness matrix three ways (natural, MMD,
+// MLND), runs the symbolic factorisation, and prints fill, operation count,
+// and the elimination-tree concurrency profile that decides parallel
+// factorisation performance.
+//
+//   $ ./sparse_ordering
+#include <cstdio>
+#include <numeric>
+
+#include "graph/generators.hpp"
+#include "metrics/ordering_metrics.hpp"
+#include "order/mmd.hpp"
+#include "order/nested_dissection.hpp"
+
+using namespace mgp;
+
+namespace {
+
+void report(const char* label, const Graph& g, std::span<const vid_t> perm) {
+  OrderingQuality q = evaluate_ordering(g, perm);
+  std::printf("  %-10s nnz(L) %10lld   ops %11s   etree height %5d   avg width %7.1f\n",
+              label, static_cast<long long>(q.nnz_factor),
+              format_flops(q.flops).c_str(), q.etree_height, q.average_width);
+}
+
+}  // namespace
+
+int main() {
+  Graph stiffness = grid3d_27(14, 14, 13);
+  std::printf("matrix pattern: n = %d, nnz(offdiag) = %lld\n",
+              stiffness.num_vertices(),
+              static_cast<long long>(2 * stiffness.num_edges()));
+
+  // Natural (identity) ordering: the baseline a naive solver would use.
+  std::vector<vid_t> natural(static_cast<std::size_t>(stiffness.num_vertices()));
+  std::iota(natural.begin(), natural.end(), vid_t{0});
+  report("natural", stiffness, natural);
+
+  // Multiple minimum degree — the serial workhorse (Liu [27]).
+  report("MMD", stiffness, mmd_order(stiffness));
+
+  // Multilevel nested dissection — the paper's ordering.
+  Rng rng(1995);
+  MultilevelConfig cfg;
+  NdOptions nd;
+  report("MLND", stiffness, mlnd_order(stiffness, cfg, nd, rng));
+
+  std::printf(
+      "\nMLND trades a slightly different fill profile for a short, balanced\n"
+      "elimination tree: 'avg width' bounds the speedup a parallel\n"
+      "factorisation can extract (§4.3).\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+#include "cholesky/conjugate_gradient.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+#include "spectral/laplacian.hpp"
+
+namespace mgp {
+
+CgResult conjugate_gradient(const SymmetricMatrix& a, std::span<const double> b,
+                            std::span<double> x, const CgOptions& opts) {
+  const std::size_t n = static_cast<std::size_t>(a.n);
+  assert(b.size() == n && x.size() == n);
+  CgResult out;
+  if (n == 0) {
+    out.converged = true;
+    return out;
+  }
+
+  // Inverse diagonal for the Jacobi preconditioner (identity when disabled).
+  std::vector<double> dinv(n, 1.0);
+  if (opts.jacobi_preconditioner) {
+    for (vid_t j = 0; j < a.n; ++j) {
+      const double d = a.values[static_cast<std::size_t>(a.colptr[static_cast<std::size_t>(j)])];
+      dinv[static_cast<std::size_t>(j)] = d != 0.0 ? 1.0 / d : 1.0;
+    }
+  }
+
+  // r = b - A x
+  std::vector<double> r(b.begin(), b.end());
+  {
+    std::vector<double> ax(n, 0.0);
+    a.multiply_add(x, ax);
+    for (std::size_t i = 0; i < n; ++i) r[i] -= ax[i];
+  }
+  std::vector<double> z(n);
+  for (std::size_t i = 0; i < n; ++i) z[i] = dinv[i] * r[i];
+  std::vector<double> p(z);
+  std::vector<double> ap(n);
+
+  const double bnorm = std::max(norm2(b), 1e-300);
+  double rz = dot(r, z);
+
+  for (int it = 0; it < opts.max_iterations; ++it) {
+    out.relative_residual = norm2(r) / bnorm;
+    if (out.relative_residual <= opts.tolerance) {
+      out.converged = true;
+      out.iterations = it;
+      return out;
+    }
+    std::fill(ap.begin(), ap.end(), 0.0);
+    a.multiply_add(p, std::span<double>(ap));
+    const double pap = dot(p, ap);
+    if (pap <= 0.0) break;  // not SPD (or numerical breakdown)
+    const double alpha = rz / pap;
+    axpy(alpha, p, x);
+    axpy(-alpha, ap, std::span<double>(r));
+    for (std::size_t i = 0; i < n; ++i) z[i] = dinv[i] * r[i];
+    const double rz_next = dot(r, z);
+    const double beta = rz_next / rz;
+    rz = rz_next;
+    for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+    out.iterations = it + 1;
+  }
+  out.relative_residual = norm2(r) / bnorm;
+  out.converged = out.relative_residual <= opts.tolerance;
+  return out;
+}
+
+}  // namespace mgp

@@ -1,0 +1,37 @@
+// Conjugate gradient solver — the paper's §1 motivating application.
+//
+// "The solution of a sparse system of linear equations Ax = b via iterative
+// methods on a parallel computer gives rise to a graph partitioning
+// problem.  A key step in each iteration of these methods is the
+// multiplication of a sparse matrix and a (dense) vector."  This is that
+// iterative method: every CG iteration performs exactly one SpMV, so a
+// k-way partition's communication volume times the iteration count is the
+// solver's total communication — what examples/iterative_solver.cpp
+// reports per partitioning scheme.
+//
+// Optional Jacobi (diagonal) preconditioning.
+#pragma once
+
+#include <span>
+
+#include "cholesky/sparse_cholesky.hpp"
+
+namespace mgp {
+
+struct CgOptions {
+  double tolerance = 1e-10;  ///< relative residual ||r|| / ||b||
+  int max_iterations = 5000;
+  bool jacobi_preconditioner = true;
+};
+
+struct CgResult {
+  bool converged = false;
+  int iterations = 0;
+  double relative_residual = 0.0;
+};
+
+/// Solves A x = b for SPD A.  `x` is both the initial guess and the result.
+CgResult conjugate_gradient(const SymmetricMatrix& a, std::span<const double> b,
+                            std::span<double> x, const CgOptions& opts = {});
+
+}  // namespace mgp

@@ -1,0 +1,248 @@
+#include "cholesky/sparse_cholesky.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "graph/builder.hpp"
+#include "graph/permute.hpp"
+#include "order/etree.hpp"
+#include "order/symbolic.hpp"
+
+namespace mgp {
+
+void SymmetricMatrix::multiply_add(std::span<const double> x,
+                                   std::span<double> y) const {
+  assert(x.size() == static_cast<std::size_t>(n));
+  assert(y.size() == static_cast<std::size_t>(n));
+  for (vid_t j = 0; j < n; ++j) {
+    for (eid_t p = colptr[static_cast<std::size_t>(j)];
+         p < colptr[static_cast<std::size_t>(j) + 1]; ++p) {
+      const vid_t i = rowind[static_cast<std::size_t>(p)];
+      const double v = values[static_cast<std::size_t>(p)];
+      y[static_cast<std::size_t>(i)] += v * x[static_cast<std::size_t>(j)];
+      if (i != j) y[static_cast<std::size_t>(j)] += v * x[static_cast<std::size_t>(i)];
+    }
+  }
+}
+
+SymmetricMatrix laplacian_matrix(const Graph& g, double shift) {
+  const vid_t n = g.num_vertices();
+  SymmetricMatrix a;
+  a.n = n;
+  a.colptr.assign(static_cast<std::size_t>(n) + 1, 0);
+  // Column j holds the diagonal plus off-diagonals with row > j.
+  for (vid_t j = 0; j < n; ++j) {
+    eid_t cnt = 1;
+    for (vid_t i : g.neighbors(j)) {
+      if (i > j) ++cnt;
+    }
+    a.colptr[static_cast<std::size_t>(j) + 1] = a.colptr[static_cast<std::size_t>(j)] + cnt;
+  }
+  a.rowind.resize(static_cast<std::size_t>(a.colptr[static_cast<std::size_t>(n)]));
+  a.values.resize(a.rowind.size());
+  for (vid_t j = 0; j < n; ++j) {
+    eid_t p = a.colptr[static_cast<std::size_t>(j)];
+    double deg = 0.0;
+    for (ewt_t w : g.edge_weights(j)) deg += static_cast<double>(w);
+    a.rowind[static_cast<std::size_t>(p)] = j;
+    a.values[static_cast<std::size_t>(p)] = deg + shift;
+    ++p;
+    auto nbrs = g.neighbors(j);
+    auto wgts = g.edge_weights(j);
+    // Graph adjacency is sorted, so rows within the column stay ascending.
+    for (std::size_t t = 0; t < nbrs.size(); ++t) {
+      if (nbrs[t] > j) {
+        a.rowind[static_cast<std::size_t>(p)] = nbrs[t];
+        a.values[static_cast<std::size_t>(p)] = -static_cast<double>(wgts[t]);
+        ++p;
+      }
+    }
+  }
+  return a;
+}
+
+SymmetricMatrix permute_matrix(const SymmetricMatrix& a,
+                               std::span<const vid_t> new_to_old) {
+  const vid_t n = a.n;
+  std::vector<vid_t> old_to_new = invert_permutation(new_to_old);
+  // Collect the lower-triangle entries of P A P^T per new column.
+  std::vector<std::vector<std::pair<vid_t, double>>> cols(static_cast<std::size_t>(n));
+  for (vid_t j = 0; j < n; ++j) {
+    for (eid_t p = a.colptr[static_cast<std::size_t>(j)];
+         p < a.colptr[static_cast<std::size_t>(j) + 1]; ++p) {
+      vid_t ni = old_to_new[static_cast<std::size_t>(a.rowind[static_cast<std::size_t>(p)])];
+      vid_t nj = old_to_new[static_cast<std::size_t>(j)];
+      if (ni < nj) std::swap(ni, nj);
+      cols[static_cast<std::size_t>(nj)].emplace_back(ni, a.values[static_cast<std::size_t>(p)]);
+    }
+  }
+  SymmetricMatrix out;
+  out.n = n;
+  out.colptr.assign(static_cast<std::size_t>(n) + 1, 0);
+  out.rowind.reserve(a.rowind.size());
+  out.values.reserve(a.values.size());
+  for (vid_t j = 0; j < n; ++j) {
+    auto& col = cols[static_cast<std::size_t>(j)];
+    std::sort(col.begin(), col.end());
+    for (auto& [i, v] : col) {
+      out.rowind.push_back(i);
+      out.values.push_back(v);
+    }
+    out.colptr[static_cast<std::size_t>(j) + 1] = static_cast<eid_t>(out.rowind.size());
+  }
+  return out;
+}
+
+namespace {
+
+/// Adjacency graph of the off-diagonal pattern, for etree / column counts.
+Graph pattern_graph(const SymmetricMatrix& a) {
+  GraphBuilder b(a.n);
+  for (vid_t j = 0; j < a.n; ++j) {
+    for (eid_t p = a.colptr[static_cast<std::size_t>(j)];
+         p < a.colptr[static_cast<std::size_t>(j) + 1]; ++p) {
+      vid_t i = a.rowind[static_cast<std::size_t>(p)];
+      if (i != j) b.add_edge(i, j);
+    }
+  }
+  return std::move(b).build();
+}
+
+}  // namespace
+
+CholeskyResult cholesky_factorize(const SymmetricMatrix& a) {
+  const vid_t n = a.n;
+  CholeskyResult out;
+  CholeskyFactor& f = out.factor;
+  f.n = n;
+
+  // Symbolic phase: etree + column counts size the factor exactly.
+  Graph pattern = pattern_graph(a);
+  std::vector<vid_t> identity(static_cast<std::size_t>(n));
+  for (vid_t v = 0; v < n; ++v) identity[static_cast<std::size_t>(v)] = v;
+  SymbolicFactor sf = symbolic_cholesky(pattern, identity);
+  f.parent = sf.parent;
+  f.colptr.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (vid_t j = 0; j < n; ++j) {
+    f.colptr[static_cast<std::size_t>(j) + 1] =
+        f.colptr[static_cast<std::size_t>(j)] + sf.col_count[static_cast<std::size_t>(j)];
+  }
+  f.rowind.resize(static_cast<std::size_t>(sf.nnz_factor));
+  f.values.resize(f.rowind.size());
+
+  // Strict upper triangle by row (transpose of the strict lower part), so
+  // row k's entries A(k, j), j < k are directly iterable.
+  std::vector<eid_t> rowstart(static_cast<std::size_t>(n) + 1, 0);
+  for (vid_t j = 0; j < n; ++j) {
+    for (eid_t p = a.colptr[static_cast<std::size_t>(j)] + 1;
+         p < a.colptr[static_cast<std::size_t>(j) + 1]; ++p) {
+      ++rowstart[static_cast<std::size_t>(a.rowind[static_cast<std::size_t>(p)]) + 1];
+    }
+  }
+  for (vid_t i = 0; i < n; ++i) {
+    rowstart[static_cast<std::size_t>(i) + 1] += rowstart[static_cast<std::size_t>(i)];
+  }
+  std::vector<vid_t> rowcols(static_cast<std::size_t>(rowstart[static_cast<std::size_t>(n)]));
+  std::vector<double> rowvals(rowcols.size());
+  {
+    std::vector<eid_t> cursor(rowstart.begin(), rowstart.end() - 1);
+    for (vid_t j = 0; j < n; ++j) {
+      for (eid_t p = a.colptr[static_cast<std::size_t>(j)] + 1;
+           p < a.colptr[static_cast<std::size_t>(j) + 1]; ++p) {
+        vid_t i = a.rowind[static_cast<std::size_t>(p)];
+        eid_t q = cursor[static_cast<std::size_t>(i)]++;
+        rowcols[static_cast<std::size_t>(q)] = j;
+        rowvals[static_cast<std::size_t>(q)] = a.values[static_cast<std::size_t>(p)];
+      }
+    }
+  }
+
+  // Numeric phase: up-looking, one row of L per step, driven by
+  // elimination-tree reachability (ereach).
+  std::vector<eid_t> cursor(static_cast<std::size_t>(n));  // next free slot per column
+  for (vid_t j = 0; j < n; ++j) cursor[static_cast<std::size_t>(j)] = f.colptr[static_cast<std::size_t>(j)];
+  std::vector<double> x(static_cast<std::size_t>(n), 0.0);  // sparse row accumulator
+  std::vector<vid_t> mark(static_cast<std::size_t>(n), kInvalidVid);
+  std::vector<vid_t> stack(static_cast<std::size_t>(n));
+  std::vector<vid_t> path(static_cast<std::size_t>(n));
+
+  for (vid_t k = 0; k < n; ++k) {
+    // ereach: collect the pattern of L's row k in topological order.
+    std::size_t top = static_cast<std::size_t>(n);
+    mark[static_cast<std::size_t>(k)] = k;
+    double d = a.values[static_cast<std::size_t>(a.colptr[static_cast<std::size_t>(k)])];  // A(k,k)
+    for (eid_t q = rowstart[static_cast<std::size_t>(k)];
+         q < rowstart[static_cast<std::size_t>(k) + 1]; ++q) {
+      vid_t j = rowcols[static_cast<std::size_t>(q)];
+      x[static_cast<std::size_t>(j)] = rowvals[static_cast<std::size_t>(q)];
+      std::size_t len = 0;
+      while (mark[static_cast<std::size_t>(j)] != k) {
+        path[len++] = j;
+        mark[static_cast<std::size_t>(j)] = k;
+        j = f.parent[static_cast<std::size_t>(j)];
+        assert(j != kInvalidVid);
+      }
+      while (len > 0) stack[--top] = path[--len];
+    }
+
+    // Sparse triangular solve over the pattern + rank-1 pivot updates.
+    for (std::size_t t = top; t < static_cast<std::size_t>(n); ++t) {
+      const vid_t j = stack[t];
+      const std::size_t sj = static_cast<std::size_t>(j);
+      const double ljj = f.values[static_cast<std::size_t>(f.colptr[sj])];
+      const double lkj = x[sj] / ljj;
+      x[sj] = 0.0;
+      for (eid_t p = f.colptr[sj] + 1; p < cursor[sj]; ++p) {
+        x[static_cast<std::size_t>(f.rowind[static_cast<std::size_t>(p)])] -=
+            f.values[static_cast<std::size_t>(p)] * lkj;
+      }
+      d -= lkj * lkj;
+      const eid_t p = cursor[sj]++;
+      f.rowind[static_cast<std::size_t>(p)] = k;
+      f.values[static_cast<std::size_t>(p)] = lkj;
+    }
+
+    if (d <= 0.0) {
+      out.ok = false;
+      out.failed_column = k;
+      return out;
+    }
+    const eid_t p = cursor[static_cast<std::size_t>(k)]++;
+    f.rowind[static_cast<std::size_t>(p)] = k;
+    f.values[static_cast<std::size_t>(p)] = std::sqrt(d);
+  }
+
+  out.ok = true;
+  return out;
+}
+
+void CholeskyFactor::solve_lower(std::span<double> b) const {
+  for (vid_t j = 0; j < n; ++j) {
+    const std::size_t sj = static_cast<std::size_t>(j);
+    b[sj] /= values[static_cast<std::size_t>(colptr[sj])];
+    for (eid_t p = colptr[sj] + 1; p < colptr[sj + 1]; ++p) {
+      b[static_cast<std::size_t>(rowind[static_cast<std::size_t>(p)])] -=
+          values[static_cast<std::size_t>(p)] * b[sj];
+    }
+  }
+}
+
+void CholeskyFactor::solve_upper(std::span<double> b) const {
+  for (vid_t j = n; j-- > 0;) {
+    const std::size_t sj = static_cast<std::size_t>(j);
+    double s = b[sj];
+    for (eid_t p = colptr[sj] + 1; p < colptr[sj + 1]; ++p) {
+      s -= values[static_cast<std::size_t>(p)] *
+           b[static_cast<std::size_t>(rowind[static_cast<std::size_t>(p)])];
+    }
+    b[sj] = s / values[static_cast<std::size_t>(colptr[sj])];
+  }
+}
+
+void CholeskyFactor::solve(std::span<double> b) const {
+  solve_lower(b);
+  solve_upper(b);
+}
+
+}  // namespace mgp

@@ -1,0 +1,76 @@
+// Numeric simplicial sparse Cholesky factorisation.
+//
+// Figure 5 scores orderings by *symbolic* operation counts; this module
+// closes the loop by actually factorising: an up-looking column Cholesky
+// (CSparse-style, driven by elimination-tree reachability), plus the
+// triangular solves a direct solver needs.  It serves three purposes:
+//   * end-to-end validation — the numeric factor's nonzero structure must
+//     match symbolic_cholesky() exactly (asserted in tests),
+//   * the direct-solver example (examples/direct_solver.cpp),
+//   * measured factorisation time per ordering (bench/figH_factor_time),
+//     turning Figure 5's op counts into wall-clock evidence.
+//
+// The matrix is held in symmetric CSC form (lower triangle including the
+// diagonal).  Only SPD matrices factorise; factorize() reports failure on
+// a non-positive pivot.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "support/types.hpp"
+
+namespace mgp {
+
+/// Symmetric positive-definite matrix, lower triangle in compressed sparse
+/// column form.  Row indices within each column are strictly increasing and
+/// start with the diagonal entry.
+struct SymmetricMatrix {
+  vid_t n = 0;
+  std::vector<eid_t> colptr;   ///< size n+1
+  std::vector<vid_t> rowind;   ///< row indices, diagonal first per column
+  std::vector<double> values;
+
+  /// y += A x using symmetry (both triangles applied).  For residual checks.
+  void multiply_add(std::span<const double> x, std::span<double> y) const;
+};
+
+/// Builds the (shifted) graph Laplacian L + shift*I as a SymmetricMatrix —
+/// the standard SPD model problem on a mesh (shift > 0 makes it definite).
+SymmetricMatrix laplacian_matrix(const Graph& g, double shift = 1.0);
+
+/// Applies a fill-reducing ordering: returns P A P^T where new vertex i is
+/// old vertex new_to_old[i].
+SymmetricMatrix permute_matrix(const SymmetricMatrix& a,
+                               std::span<const vid_t> new_to_old);
+
+/// Cholesky factor L (A = L L^T), same CSC layout (diagonal first).
+struct CholeskyFactor {
+  vid_t n = 0;
+  std::vector<eid_t> colptr;
+  std::vector<vid_t> rowind;
+  std::vector<double> values;
+  std::vector<vid_t> parent;  ///< elimination tree used for the factorisation
+
+  std::int64_t nnz() const { return static_cast<std::int64_t>(rowind.size()); }
+
+  /// Solves L y = b in place.
+  void solve_lower(std::span<double> b) const;
+  /// Solves L^T x = y in place.
+  void solve_upper(std::span<double> b) const;
+  /// Full solve A x = b (b overwritten with x).
+  void solve(std::span<double> b) const;
+};
+
+struct CholeskyResult {
+  bool ok = false;            ///< false: matrix not positive definite
+  vid_t failed_column = kInvalidVid;
+  CholeskyFactor factor;
+};
+
+/// Up-looking numeric factorisation.  O(flops(L)) time, O(nnz(L)) memory.
+CholeskyResult cholesky_factorize(const SymmetricMatrix& a);
+
+}  // namespace mgp

@@ -1,0 +1,92 @@
+#include "coarsen/contract.hpp"
+
+#include <cassert>
+
+namespace mgp {
+
+Contraction contract(const Graph& fine, const Matching& match,
+                     std::span<const ewt_t> fine_cewgt) {
+  const vid_t n = fine.num_vertices();
+  assert(match.match.size() == static_cast<std::size_t>(n));
+
+  Contraction out;
+  out.cmap.assign(static_cast<std::size_t>(n), kInvalidVid);
+
+  // Number coarse vertices: the smaller endpoint of each pair (and every
+  // unmatched vertex) claims the next id, in fine-vertex order.
+  vid_t cn = 0;
+  for (vid_t v = 0; v < n; ++v) {
+    vid_t p = match.match[static_cast<std::size_t>(v)];
+    if (v <= p) out.cmap[static_cast<std::size_t>(v)] = cn++;
+  }
+  for (vid_t v = 0; v < n; ++v) {
+    vid_t p = match.match[static_cast<std::size_t>(v)];
+    if (v > p) out.cmap[static_cast<std::size_t>(v)] = out.cmap[static_cast<std::size_t>(p)];
+  }
+
+  std::vector<vwt_t> cvwgt(static_cast<std::size_t>(cn), 0);
+  out.cewgt.assign(static_cast<std::size_t>(cn), 0);
+  std::vector<eid_t> cxadj(static_cast<std::size_t>(cn) + 1, 0);
+
+  auto fine_interior = [&](vid_t v) {
+    return fine_cewgt.empty() ? ewt_t{0} : fine_cewgt[static_cast<std::size_t>(v)];
+  };
+
+  // A dense scatter table: for the coarse vertex currently being assembled,
+  // pos[c] is the slot of coarse neighbour c in the output row, or -1.
+  std::vector<eid_t> pos(static_cast<std::size_t>(cn), -1);
+  std::vector<vid_t> cadjncy;
+  std::vector<ewt_t> cadjwgt;
+  cadjncy.reserve(static_cast<std::size_t>(fine.num_arcs()));
+  cadjwgt.reserve(static_cast<std::size_t>(fine.num_arcs()));
+
+  for (vid_t v = 0; v < n; ++v) {
+    vid_t p = match.match[static_cast<std::size_t>(v)];
+    if (v > p) continue;  // processed with its partner
+    vid_t c = out.cmap[static_cast<std::size_t>(v)];
+
+    cvwgt[static_cast<std::size_t>(c)] = fine.vertex_weight(v);
+    out.cewgt[static_cast<std::size_t>(c)] = fine_interior(v);
+    if (p != v) {
+      cvwgt[static_cast<std::size_t>(c)] += fine.vertex_weight(p);
+      out.cewgt[static_cast<std::size_t>(c)] += fine_interior(p);
+    }
+
+    const eid_t row_begin = static_cast<eid_t>(cadjncy.size());
+    auto scatter = [&](vid_t u) {
+      auto nbrs = fine.neighbors(u);
+      auto wgts = fine.edge_weights(u);
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        vid_t cv = out.cmap[static_cast<std::size_t>(nbrs[i])];
+        if (cv == c) {
+          // Edge interior to the multinode (the collapsed matching edge):
+          // count its weight once, on the smaller fine endpoint's scan.
+          if (u < nbrs[i]) out.cewgt[static_cast<std::size_t>(c)] += wgts[i];
+          continue;
+        }
+        eid_t slot = pos[static_cast<std::size_t>(cv)];
+        if (slot < 0) {
+          pos[static_cast<std::size_t>(cv)] = static_cast<eid_t>(cadjncy.size());
+          cadjncy.push_back(cv);
+          cadjwgt.push_back(wgts[i]);
+        } else {
+          cadjwgt[static_cast<std::size_t>(slot)] += wgts[i];
+        }
+      }
+    };
+    scatter(v);
+    if (p != v) scatter(p);
+
+    // Reset the scatter table for the next coarse row.
+    for (std::size_t i = static_cast<std::size_t>(row_begin); i < cadjncy.size(); ++i) {
+      pos[static_cast<std::size_t>(cadjncy[i])] = -1;
+    }
+    cxadj[static_cast<std::size_t>(c) + 1] = static_cast<eid_t>(cadjncy.size());
+  }
+
+  out.coarse = Graph(std::move(cxadj), std::move(cadjncy), std::move(cvwgt),
+                     std::move(cadjwgt));
+  return out;
+}
+
+}  // namespace mgp

@@ -1,0 +1,32 @@
+// Graph contraction: builds G_{i+1} from G_i and a matching (§3.1).
+//
+// Matched pairs collapse into multinodes whose vertex weight is the sum of
+// the pair's weights; parallel edges to a common neighbour merge by summing
+// weights, so a partition's edge-cut is identical at every level for the
+// same vertex assignment.  Unmatched vertices are copied over.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "coarsen/matching.hpp"
+#include "graph/csr.hpp"
+
+namespace mgp {
+
+struct Contraction {
+  Graph coarse;
+  /// cmap[fine vertex] = coarse vertex it collapsed into.
+  std::vector<vid_t> cmap;
+  /// Per coarse vertex: total weight of fine edges interior to the multinode
+  /// (accumulated across all levels).  Feeds HCM's edge-density computation.
+  std::vector<ewt_t> cewgt;
+};
+
+/// Contracts `fine` along `match`.  `fine_cewgt` may be empty (level 0).
+/// O(|V| + |E|): two passes over the fine adjacency with a dense
+/// coarse-neighbour position table.
+Contraction contract(const Graph& fine, const Matching& match,
+                     std::span<const ewt_t> fine_cewgt);
+
+}  // namespace mgp

@@ -1,0 +1,54 @@
+// Maximal-matching computation: the four coarsening heuristics of §3.1.
+//
+//   RM  — random matching: visit vertices in random order, match each
+//         unmatched vertex with a random unmatched neighbour.
+//   HEM — heavy-edge matching (the paper's new heuristic): match with the
+//         unmatched neighbour whose connecting edge is heaviest, maximising
+//         W(M_i) and hence minimising W(E_{i+1}) = W(E_i) - W(M_i).
+//   LEM — light-edge matching: the adversarial dual (minimise W(M_i)); kept
+//         because the paper uses it to demonstrate why HEM works.
+//   HCM — heavy-clique matching: match the neighbour maximising the edge
+//         density of the resulting multinode, approximating the
+//         highly-connected-component coarseners of [5, 15, 7].
+//
+// All four are randomized O(|E|) algorithms, per the paper.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "support/rng.hpp"
+
+namespace mgp {
+
+enum class MatchingScheme { kRandom, kHeavyEdge, kLightEdge, kHeavyClique };
+
+/// Short mnemonic ("RM", "HEM", ...), as used in the paper's tables.
+std::string to_string(MatchingScheme s);
+
+struct Matching {
+  /// match[v] = v's partner, or v itself when v is unmatched.
+  /// Always an involution: match[match[v]] == v.
+  std::vector<vid_t> match;
+  /// Number of matched pairs (= |M_i|).
+  vid_t pairs = 0;
+  /// Total weight W(M_i) of the matching.
+  ewt_t weight = 0;
+};
+
+/// Computes a maximal matching of g with the given scheme.
+///
+/// `cewgt` is the per-vertex contracted edge weight (total weight of fine
+/// edges already collapsed *inside* each multinode); HCM needs it to compute
+/// edge densities.  Pass an empty span for level-0 graphs (all zeros).
+Matching compute_matching(const Graph& g, MatchingScheme scheme,
+                          std::span<const ewt_t> cewgt, Rng& rng);
+
+/// True iff `m` is a valid maximal matching of g: an involution, every
+/// matched pair is an edge, and no unmatched vertex has an unmatched
+/// neighbour.  Used by tests and debug checks.
+bool is_maximal_matching(const Graph& g, const Matching& m);
+
+}  // namespace mgp

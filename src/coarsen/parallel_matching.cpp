@@ -1,0 +1,111 @@
+#include "coarsen/parallel_matching.hpp"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace mgp {
+namespace {
+
+/// Runs fn(begin, end) over [0, n) split into `num_threads` contiguous
+/// blocks.  The worker owning a block is the only writer of its slots.
+template <typename Fn>
+void parallel_blocks(vid_t n, int num_threads, Fn&& fn) {
+  if (num_threads <= 1 || n < 2 * num_threads) {
+    fn(vid_t{0}, n);
+    return;
+  }
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(num_threads));
+  const vid_t chunk = (n + num_threads - 1) / num_threads;
+  for (int t = 0; t < num_threads; ++t) {
+    const vid_t begin = std::min<vid_t>(n, t * chunk);
+    const vid_t end = std::min<vid_t>(n, begin + chunk);
+    if (begin >= end) break;
+    workers.emplace_back([&fn, begin, end]() { fn(begin, end); });
+  }
+  for (auto& w : workers) w.join();
+}
+
+}  // namespace
+
+Matching compute_matching_parallel_hem(const Graph& g, int num_threads) {
+  const vid_t n = g.num_vertices();
+  Matching result;
+  result.match.assign(static_cast<std::size_t>(n), kInvalidVid);
+  std::vector<vid_t> propose(static_cast<std::size_t>(n), kInvalidVid);
+
+  auto matched = [&](vid_t v) {
+    return result.match[static_cast<std::size_t>(v)] != kInvalidVid;
+  };
+
+  // Each round matches at least one pair while any unmatched edge remains,
+  // so n/2 rounds suffice; typical convergence is O(log n) rounds.
+  for (vid_t round = 0; round <= n / 2 + 1; ++round) {
+    // --- Phase 1: propose (reads matches, writes only propose[own block]).
+    parallel_blocks(n, num_threads, [&](vid_t begin, vid_t end) {
+      for (vid_t v = begin; v < end; ++v) {
+        propose[static_cast<std::size_t>(v)] = kInvalidVid;
+        if (matched(v)) continue;
+        auto nbrs = g.neighbors(v);
+        auto wgts = g.edge_weights(v);
+        ewt_t best_w = -1;
+        vid_t best = kInvalidVid;
+        for (std::size_t i = 0; i < nbrs.size(); ++i) {
+          const vid_t u = nbrs[i];
+          if (matched(u)) continue;
+          // Total order (weight desc, id asc) makes proposals deterministic
+          // and guarantees a mutual pair exists.
+          if (wgts[i] > best_w || (wgts[i] == best_w && u < best)) {
+            best_w = wgts[i];
+            best = u;
+          }
+        }
+        propose[static_cast<std::size_t>(v)] = best;
+      }
+    });
+
+    // --- Phase 2: commit mutual proposals (each pair written by the worker
+    //     owning its smaller endpoint; cells are disjoint across pairs).
+    std::atomic<vid_t> new_pairs{0};
+    parallel_blocks(n, num_threads, [&](vid_t begin, vid_t end) {
+      vid_t local = 0;
+      for (vid_t v = begin; v < end; ++v) {
+        const vid_t u = propose[static_cast<std::size_t>(v)];
+        if (u == kInvalidVid || u < v) continue;  // smaller endpoint commits
+        if (propose[static_cast<std::size_t>(u)] == v) {
+          result.match[static_cast<std::size_t>(v)] = u;
+          result.match[static_cast<std::size_t>(u)] = v;
+          ++local;
+        }
+      }
+      new_pairs.fetch_add(local, std::memory_order_relaxed);
+    });
+
+    const vid_t committed = new_pairs.load();
+    if (committed == 0) break;  // no mutual pair left => matching is maximal
+    result.pairs += committed;
+  }
+
+  // Bookkeeping: self-match the unmatched and accumulate W(M).
+  for (vid_t v = 0; v < n; ++v) {
+    if (result.match[static_cast<std::size_t>(v)] == kInvalidVid) {
+      result.match[static_cast<std::size_t>(v)] = v;
+    }
+  }
+  for (vid_t v = 0; v < n; ++v) {
+    const vid_t p = result.match[static_cast<std::size_t>(v)];
+    if (p <= v) continue;
+    auto nbrs = g.neighbors(v);
+    auto wgts = g.edge_weights(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (nbrs[i] == p) {
+        result.weight += wgts[i];
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace mgp

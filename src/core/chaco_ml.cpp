@@ -1,0 +1,15 @@
+#include "core/chaco_ml.hpp"
+
+namespace mgp {
+
+BisectResult chaco_ml_bisect(const Graph& g, vwt_t target0, Rng& rng,
+                             PhaseTimers* timers) {
+  return multilevel_bisect(g, target0, MultilevelConfig::chaco_ml(), rng, timers);
+}
+
+KwayResult chaco_ml_partition(const Graph& g, part_t k, Rng& rng,
+                              PhaseTimers* timers) {
+  return kway_partition(g, k, MultilevelConfig::chaco_ml(), rng, timers);
+}
+
+}  // namespace mgp

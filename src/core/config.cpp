@@ -1,0 +1,36 @@
+#include "core/config.hpp"
+
+#include <sstream>
+
+namespace mgp {
+
+std::string to_string(InitPartScheme s) {
+  switch (s) {
+    case InitPartScheme::kGGP: return "GGP";
+    case InitPartScheme::kGGGP: return "GGGP";
+    case InitPartScheme::kSpectral: return "SBP";
+  }
+  return "?";
+}
+
+MultilevelConfig MultilevelConfig::chaco_ml() {
+  MultilevelConfig cfg;
+  cfg.matching = MatchingScheme::kRandom;
+  cfg.initpart = InitPartScheme::kSpectral;
+  cfg.refine = RefinePolicy::kKLR;
+  cfg.refine_period = 2;
+  // Chaco computes the coarse Fiedler vector iteratively (Lanczos/RQI), not
+  // with a dense eigensolver.
+  cfg.fiedler.dense_threshold = 32;
+  return cfg;
+}
+
+std::string describe(const MultilevelConfig& cfg) {
+  std::ostringstream os;
+  os << to_string(cfg.matching) << '+' << to_string(cfg.initpart) << '+'
+     << to_string(cfg.refine);
+  if (cfg.refine_period != 1) os << "(every " << cfg.refine_period << ")";
+  return os.str();
+}
+
+}  // namespace mgp

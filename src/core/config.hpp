@@ -1,0 +1,53 @@
+// Configuration of the multilevel algorithm: one knob per phase, exactly
+// the axes the paper's experiments sweep.
+#pragma once
+
+#include <string>
+
+#include "coarsen/matching.hpp"
+#include "refine/refine.hpp"
+#include "spectral/fiedler.hpp"
+
+namespace mgp {
+
+/// Coarsest-graph partitioning algorithms of §3.2.
+enum class InitPartScheme { kGGP, kGGGP, kSpectral };
+
+std::string to_string(InitPartScheme s);
+
+struct MultilevelConfig {
+  // Phase 1: coarsening.
+  MatchingScheme matching = MatchingScheme::kHeavyEdge;
+  /// Coarsen until the graph has at most this many vertices ("a few
+  /// hundred" / "|V_m| < 100" in the paper).
+  vid_t coarsen_to = 100;
+  /// Stop coarsening early if a level shrinks by less than this factor
+  /// (matching stagnation guard; contraction must make progress).
+  double min_shrink_factor = 0.95;
+
+  // Phase 2: initial partitioning.
+  InitPartScheme initpart = InitPartScheme::kGGGP;
+  int ggp_trials = 10;   ///< paper: "we selected 10 vertices for GGP"
+  int gggp_trials = 5;   ///< paper: "... and 5 for GGGP"
+  FiedlerOptions fiedler;  ///< for InitPartScheme::kSpectral
+
+  // Phase 3: refinement during uncoarsening.
+  RefinePolicy refine = RefinePolicy::kBKLGR;
+  KlOptions kl;
+  /// Refine every `refine_period`-th level during uncoarsening (Chaco-ML
+  /// applies KL "every other coarsening level"; our scheme uses 1).  The
+  /// finest level is always refined when refine != kNone.
+  int refine_period = 1;
+
+  /// The paper's default configuration: HEM + GGGP + BKLGR.
+  static MultilevelConfig paper_default() { return MultilevelConfig{}; }
+
+  /// Chaco-ML baseline [19, 20]: RM coarsening, spectral bisection of the
+  /// coarsest graph, KL refinement every other level.
+  static MultilevelConfig chaco_ml();
+};
+
+/// Human-readable "HEM+GGGP+BKLGR"-style tag for table headers.
+std::string describe(const MultilevelConfig& cfg);
+
+}  // namespace mgp

@@ -1,0 +1,101 @@
+#include "core/kway.hpp"
+
+#include <cassert>
+
+#include "graph/permute.hpp"
+
+namespace mgp {
+namespace {
+
+/// Recursive worker: labels g's vertices with parts [part_base, part_base+k)
+/// into out_part via the local→global map.
+void recurse(const Graph& g, std::span<const vid_t> to_global, part_t k,
+             part_t part_base, const Bisector& bisect, Rng& rng,
+             std::vector<part_t>& out_part) {
+  if (k <= 1 || g.num_vertices() == 0) {
+    for (vid_t v = 0; v < g.num_vertices(); ++v) {
+      out_part[static_cast<std::size_t>(to_global[static_cast<std::size_t>(v)])] =
+          part_base;
+    }
+    return;
+  }
+  if (g.num_vertices() <= k) {
+    // Degenerate: fewer vertices than requested parts; spread them out.
+    for (vid_t v = 0; v < g.num_vertices(); ++v) {
+      out_part[static_cast<std::size_t>(to_global[static_cast<std::size_t>(v)])] =
+          part_base + (v % k);
+    }
+    return;
+  }
+
+  const part_t k0 = (k + 1) / 2;  // side 0 gets the larger half for odd k
+  const part_t k1 = k - k0;
+  const vwt_t total = g.total_vertex_weight();
+  const vwt_t target0 =
+      static_cast<vwt_t>((static_cast<long double>(total) * k0) / k + 0.5L);
+
+  Bisection b = bisect(g, target0, rng);
+  assert(b.side.size() == static_cast<std::size_t>(g.num_vertices()));
+
+  for (part_t s = 0; s < 2; ++s) {
+    Subgraph sub = extract_where(g, b.side, s);
+    // Rewire local→global through this level's map.
+    std::vector<vid_t> global_ids(sub.local_to_global.size());
+    for (std::size_t i = 0; i < global_ids.size(); ++i) {
+      global_ids[i] =
+          to_global[static_cast<std::size_t>(sub.local_to_global[i])];
+    }
+    recurse(sub.graph, global_ids, s == 0 ? k0 : k1,
+            s == 0 ? part_base : part_base + k0, bisect, rng, out_part);
+  }
+}
+
+}  // namespace
+
+KwayResult recursive_bisection(const Graph& g, part_t k, const Bisector& bisect,
+                               Rng& rng) {
+  assert(k >= 1);
+  KwayResult out;
+  out.k = k;
+  out.part.assign(static_cast<std::size_t>(g.num_vertices()), 0);
+  std::vector<vid_t> identity(static_cast<std::size_t>(g.num_vertices()));
+  for (vid_t v = 0; v < g.num_vertices(); ++v) identity[static_cast<std::size_t>(v)] = v;
+  recurse(g, identity, k, 0, bisect, rng, out.part);
+  out.edge_cut = compute_kway_cut(g, out.part);
+  return out;
+}
+
+KwayResult kway_partition(const Graph& g, part_t k, const MultilevelConfig& cfg,
+                          Rng& rng, PhaseTimers* timers) {
+  Bisector bisect = [&cfg, timers](const Graph& sub, vwt_t target0, Rng& r) {
+    return multilevel_bisect(sub, target0, cfg, r, timers).bisection;
+  };
+  return recursive_bisection(g, k, bisect, rng);
+}
+
+KwayResult kway_partition_best_of(const Graph& g, part_t k,
+                                  const MultilevelConfig& cfg, int trials,
+                                  Rng& rng, PhaseTimers* timers) {
+  KwayResult best;
+  for (int t = 0; t < trials; ++t) {
+    KwayResult r = kway_partition(g, k, cfg, rng, timers);
+    if (t == 0 || r.edge_cut < best.edge_cut) best = std::move(r);
+  }
+  return best;
+}
+
+ewt_t compute_kway_cut(const Graph& g, std::span<const part_t> part) {
+  ewt_t cut2 = 0;
+  for (vid_t u = 0; u < g.num_vertices(); ++u) {
+    auto nbrs = g.neighbors(u);
+    auto wgts = g.edge_weights(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (part[static_cast<std::size_t>(u)] != part[static_cast<std::size_t>(nbrs[i])]) {
+        cut2 += wgts[i];
+      }
+    }
+  }
+  return cut2 / 2;
+}
+
+}  // namespace mgp

@@ -1,0 +1,54 @@
+// k-way partitioning by recursive bisection (§2).
+//
+// "The k-way partition problem is most frequently solved by recursive
+// bisection... After log k phases, graph G is partitioned into k parts."
+// The driver is generic over the bisection routine so the same recursion
+// produces k-way partitions for our multilevel scheme, MSB, MSB-KL, and
+// Chaco-ML — the four contenders of Figures 1-4.
+//
+// Non-power-of-two k is supported by splitting with proportional target
+// weights (ceil(k/2) : floor(k/2)) at every level.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/multilevel.hpp"
+#include "graph/csr.hpp"
+#include "support/rng.hpp"
+#include "support/timer.hpp"
+
+namespace mgp {
+
+/// A 2-way partitioner: bisect `g` so side 0 holds ~`target0` vertex weight.
+using Bisector = std::function<Bisection(const Graph& g, vwt_t target0, Rng& rng)>;
+
+struct KwayResult {
+  std::vector<part_t> part;  ///< part[v] in [0, k)
+  part_t k = 0;
+  ewt_t edge_cut = 0;        ///< total weight of edges crossing parts
+};
+
+/// Recursively applies `bisect` until k blocks exist.  Deterministic given
+/// rng.  Handles k = 1 (trivial) and graphs with fewer vertices than k
+/// (round-robin assignment of the remainder).
+KwayResult recursive_bisection(const Graph& g, part_t k, const Bisector& bisect,
+                               Rng& rng);
+
+/// k-way partition with the paper's multilevel bisection.  Phase times
+/// accumulate into `timers` (summed over all k-1 bisections) when non-null.
+KwayResult kway_partition(const Graph& g, part_t k, const MultilevelConfig& cfg,
+                          Rng& rng, PhaseTimers* timers = nullptr);
+
+/// Edge-cut of an arbitrary k-way labelling.
+ewt_t compute_kway_cut(const Graph& g, std::span<const part_t> part);
+
+/// Best of `trials` independent k-way partitions (smallest edge-cut).  The
+/// paper notes multiple trials are how randomized partitioners (geometric
+/// ones especially) buy quality with time; the same lever applies here.
+KwayResult kway_partition_best_of(const Graph& g, part_t k,
+                                  const MultilevelConfig& cfg, int trials,
+                                  Rng& rng, PhaseTimers* timers = nullptr);
+
+}  // namespace mgp

@@ -1,0 +1,164 @@
+#include "core/kway_direct.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+#include "coarsen/contract.hpp"
+
+namespace mgp {
+
+KwayRefineStats kway_greedy_refine(const Graph& g, std::span<part_t> part, part_t k,
+                                   vwt_t max_part_weight, vwt_t min_part_weight,
+                                   int max_passes, Rng& rng) {
+  const vid_t n = g.num_vertices();
+  KwayRefineStats stats;
+
+  std::vector<vwt_t> pwgts(static_cast<std::size_t>(k), 0);
+  for (vid_t v = 0; v < n; ++v) {
+    pwgts[static_cast<std::size_t>(part[static_cast<std::size_t>(v)])] += g.vertex_weight(v);
+  }
+
+  // Scratch: connection weight to each part touched by the current vertex.
+  std::vector<ewt_t> conn(static_cast<std::size_t>(k), 0);
+  std::vector<part_t> touched;
+  touched.reserve(static_cast<std::size_t>(k));
+
+  for (int pass = 0; pass < max_passes; ++pass) {
+    ++stats.passes;
+    ewt_t pass_gain = 0;
+    std::vector<vid_t> order = rng.permutation(n);
+
+    for (vid_t v : order) {
+      const part_t from = part[static_cast<std::size_t>(v)];
+      auto nbrs = g.neighbors(v);
+      auto wgts = g.edge_weights(v);
+      touched.clear();
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        const part_t p = part[static_cast<std::size_t>(nbrs[i])];
+        if (conn[static_cast<std::size_t>(p)] == 0) touched.push_back(p);
+        conn[static_cast<std::size_t>(p)] += wgts[i];
+      }
+      // Interior vertex: nothing to gain.
+      if (touched.size() == 1 && touched[0] == from) {
+        conn[static_cast<std::size_t>(from)] = 0;
+        continue;
+      }
+      const ewt_t internal = conn[static_cast<std::size_t>(from)];
+      const vwt_t wv = g.vertex_weight(v);
+      // Never shrink a part below the floor (keeps every part non-empty).
+      if (pwgts[static_cast<std::size_t>(from)] - wv < min_part_weight) {
+        for (part_t p : touched) conn[static_cast<std::size_t>(p)] = 0;
+        continue;
+      }
+
+      part_t best = from;
+      ewt_t best_gain = 0;
+      vwt_t best_to_weight = 0;
+      for (part_t p : touched) {
+        if (p == from) continue;
+        if (pwgts[static_cast<std::size_t>(p)] + wv > max_part_weight) continue;
+        const ewt_t gain = conn[static_cast<std::size_t>(p)] - internal;
+        if (gain < 0) continue;
+        const vwt_t to_weight = pwgts[static_cast<std::size_t>(p)];
+        bool take;
+        if (best == from) {
+          // First candidate: positive gain always; zero gain only when the
+          // move improves balance (target strictly lighter than source).
+          take = gain > 0 || to_weight + wv < pwgts[static_cast<std::size_t>(from)];
+        } else {
+          take = gain > best_gain || (gain == best_gain && to_weight < best_to_weight);
+        }
+        if (take) {
+          best = p;
+          best_gain = gain;
+          best_to_weight = to_weight;
+        }
+      }
+
+      if (best != from) {
+        part[static_cast<std::size_t>(v)] = best;
+        pwgts[static_cast<std::size_t>(from)] -= wv;
+        pwgts[static_cast<std::size_t>(best)] += wv;
+        pass_gain += best_gain;
+        ++stats.moves;
+      }
+      for (part_t p : touched) conn[static_cast<std::size_t>(p)] = 0;
+    }
+
+    stats.cut_reduction += pass_gain;
+    if (pass_gain == 0) break;
+  }
+  return stats;
+}
+
+KwayResult kway_partition_direct(const Graph& g, part_t k,
+                                 const KwayDirectConfig& cfg, Rng& rng,
+                                 PhaseTimers* timers) {
+  PhaseTimers local;
+  PhaseTimers& pt = timers ? *timers : local;
+  assert(k >= 1);
+
+  // ---- Coarsening (once, not per bisection). ----
+  const vid_t coarsen_to =
+      std::max<vid_t>(cfg.coarsen_to_floor, cfg.coarse_vertices_per_part * k);
+  std::vector<Contraction> levels;
+  {
+    ScopedPhase phase(pt, PhaseTimers::kCoarsen);
+    const Graph* cur = &g;
+    std::span<const ewt_t> cewgt;
+    while (cur->num_vertices() > coarsen_to) {
+      Matching m = compute_matching(*cur, cfg.matching, cewgt, rng);
+      Contraction c = contract(*cur, m, cewgt);
+      if (static_cast<double>(c.coarse.num_vertices()) >
+          cfg.min_shrink_factor * static_cast<double>(cur->num_vertices())) {
+        break;
+      }
+      levels.push_back(std::move(c));
+      cur = &levels.back().coarse;
+      cewgt = levels.back().cewgt;
+    }
+  }
+  const Graph& coarsest = levels.empty() ? g : levels.back().coarse;
+
+  // ---- Initial k-way partition of the coarsest graph (recursive
+  //      bisection — the paper's own algorithm, on a tiny input). ----
+  KwayResult result;
+  {
+    ScopedPhase phase(pt, PhaseTimers::kInitPart);
+    result = kway_partition(coarsest, k, cfg.initial, rng);
+  }
+
+  const vwt_t total = g.total_vertex_weight();
+  vwt_t max_vwgt = 0;
+  for (vid_t v = 0; v < coarsest.num_vertices(); ++v) {
+    max_vwgt = std::max(max_vwgt, coarsest.vertex_weight(v));
+  }
+  const vwt_t max_part_weight = static_cast<vwt_t>(
+      (static_cast<double>(total) / k) * (1.0 + cfg.imbalance)) + max_vwgt;
+  const vwt_t min_part_weight = std::max<vwt_t>(1, (total / k) / 2);
+
+  // ---- Uncoarsening with greedy k-way refinement. ----
+  for (std::size_t li = levels.size() + 1; li-- > 0;) {
+    const Graph& level_graph = (li == 0) ? g : levels[li - 1].coarse;
+    {
+      ScopedPhase phase(pt, PhaseTimers::kRefine);
+      kway_greedy_refine(level_graph, result.part, k, max_part_weight,
+                         min_part_weight, cfg.max_refine_passes, rng);
+    }
+    if (li == 0) break;
+    ScopedPhase phase(pt, PhaseTimers::kProject);
+    const std::vector<vid_t>& cmap = levels[li - 1].cmap;
+    std::vector<part_t> fine(cmap.size());
+    for (std::size_t v = 0; v < cmap.size(); ++v) {
+      fine[v] = result.part[static_cast<std::size_t>(cmap[v])];
+    }
+    result.part = std::move(fine);
+  }
+
+  result.k = k;
+  result.edge_cut = compute_kway_cut(g, result.part);
+  return result;
+}
+
+}  // namespace mgp

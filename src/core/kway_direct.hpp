@@ -1,0 +1,61 @@
+// Direct multilevel k-way partitioning (extension).
+//
+// The paper partitions k ways by recursive bisection (log k multilevel
+// V-cycles).  Its successor line of work (Karypis & Kumar's k-way METIS)
+// coarsens *once*, partitions the coarsest graph into k parts, and refines
+// the k-way partition directly during a single uncoarsening sweep — the
+// obvious "future work" of this paper, implemented here:
+//
+//   * coarsening: HEM (or any scheme), stopping at max(coarsen_to, c*k)
+//     vertices so the coarsest graph can hold k parts;
+//   * initial partitioning: recursive bisection (the paper's algorithm) on
+//     the tiny coarsest graph;
+//   * refinement: greedy k-way refinement — random-order passes over
+//     boundary vertices, moving each to the neighbouring part with the
+//     largest positive gain subject to a balance ceiling.
+//
+// bench/figK_kway_direct measures the payoff: one coarsening instead of
+// k-1 of them, so run time grows far more slowly with k at comparable cut.
+#pragma once
+
+#include "core/config.hpp"
+#include "core/kway.hpp"
+#include "support/rng.hpp"
+#include "support/timer.hpp"
+
+namespace mgp {
+
+struct KwayDirectConfig {
+  MatchingScheme matching = MatchingScheme::kHeavyEdge;
+  /// The coarsest graph keeps at least this many vertices per part.
+  vid_t coarse_vertices_per_part = 8;
+  vid_t coarsen_to_floor = 100;
+  double min_shrink_factor = 0.95;
+  /// Config for the recursive-bisection initial partition of the coarsest.
+  MultilevelConfig initial;
+  /// Greedy k-way refinement passes per level (stops early on no gain).
+  int max_refine_passes = 8;
+  /// Allowed part weight: ceil(total/k) * (1 + imbalance) + max vertex wt.
+  double imbalance = 0.03;
+};
+
+/// One-shot multilevel k-way partitioning.
+KwayResult kway_partition_direct(const Graph& g, part_t k,
+                                 const KwayDirectConfig& cfg, Rng& rng,
+                                 PhaseTimers* timers = nullptr);
+
+struct KwayRefineStats {
+  int passes = 0;
+  vid_t moves = 0;
+  ewt_t cut_reduction = 0;
+};
+
+/// Greedy k-way refinement of an existing labelling, in place.  Exposed for
+/// tests and for refining partitions from any source.
+/// `min_part_weight` stops moves that would shrink a part below the floor
+/// (so refinement can never empty a part); pass 0 to disable.
+KwayRefineStats kway_greedy_refine(const Graph& g, std::span<part_t> part, part_t k,
+                                   vwt_t max_part_weight, vwt_t min_part_weight,
+                                   int max_passes, Rng& rng);
+
+}  // namespace mgp

@@ -1,0 +1,110 @@
+#include "core/multilevel.hpp"
+
+#include <utility>
+#include <vector>
+
+#include "coarsen/contract.hpp"
+#include "initpart/graph_grow.hpp"
+#include "initpart/spectral_init.hpp"
+
+namespace mgp {
+namespace {
+
+Bisection initial_partition(const Graph& g, vwt_t target0, const MultilevelConfig& cfg,
+                            Rng& rng) {
+  switch (cfg.initpart) {
+    case InitPartScheme::kGGP:
+      return ggp_bisect(g, target0, cfg.ggp_trials, rng);
+    case InitPartScheme::kGGGP:
+      return gggp_bisect(g, target0, cfg.gggp_trials, rng);
+    case InitPartScheme::kSpectral:
+      return spectral_bisect(g, target0, /*warm_start=*/{}, cfg.fiedler, rng);
+  }
+  return {};
+}
+
+}  // namespace
+
+BisectResult multilevel_bisect(const Graph& g, vwt_t target0,
+                               const MultilevelConfig& cfg, Rng& rng,
+                               PhaseTimers* timers) {
+  PhaseTimers local;
+  PhaseTimers& pt = timers ? *timers : local;
+  BisectResult out;
+
+  // ---- Coarsening phase. -------------------------------------------------
+  // levels[i] holds G_{i+1} and the map from G_i's vertices into it.
+  std::vector<Contraction> levels;
+  {
+    ScopedPhase phase(pt, PhaseTimers::kCoarsen);
+    const Graph* cur = &g;
+    std::span<const ewt_t> cewgt;  // empty at level 0
+    while (cur->num_vertices() > cfg.coarsen_to) {
+      Matching m = compute_matching(*cur, cfg.matching, cewgt, rng);
+      Contraction c = contract(*cur, m, cewgt);
+      const vid_t fine_n = cur->num_vertices();
+      const vid_t coarse_n = c.coarse.num_vertices();
+      if (static_cast<double>(coarse_n) >
+          cfg.min_shrink_factor * static_cast<double>(fine_n)) {
+        break;  // matching stagnated; further levels would not help
+      }
+      levels.push_back(std::move(c));
+      cur = &levels.back().coarse;
+      cewgt = levels.back().cewgt;
+    }
+  }
+  const Graph& coarsest = levels.empty() ? g : levels.back().coarse;
+  out.levels = static_cast<int>(levels.size());
+  out.coarsest_n = coarsest.num_vertices();
+
+  // ---- Initial partitioning phase. ----------------------------------------
+  Bisection b;
+  {
+    ScopedPhase phase(pt, PhaseTimers::kInitPart);
+    b = initial_partition(coarsest, target0, cfg, rng);
+  }
+
+  // ---- Uncoarsening phase: refine, project, repeat. ------------------------
+  const vid_t original_n = g.num_vertices();
+  // Level index of `b`'s graph counts down: levels.size() .. 0, where 0 is g.
+  for (std::size_t li = levels.size() + 1; li-- > 0;) {
+    const Graph& level_graph = (li == 0) ? g : levels[li - 1].coarse;
+
+    const bool refine_here =
+        cfg.refine != RefinePolicy::kNone &&
+        (li == 0 ||
+         static_cast<int>((levels.size() - li)) % cfg.refine_period == 0);
+    if (refine_here) {
+      ScopedPhase phase(pt, PhaseTimers::kRefine);
+      KlStats s = refine_bisection(level_graph, b, target0, cfg.refine, original_n,
+                                   rng, cfg.kl);
+      out.refine_stats.passes += s.passes;
+      out.refine_stats.swapped += s.swapped;
+      out.refine_stats.moves_attempted += s.moves_attempted;
+      out.refine_stats.insertions += s.insertions;
+      out.refine_stats.cut_reduction += s.cut_reduction;
+    }
+
+    if (li == 0) break;
+
+    // Project P_{i+1} to P_i: each fine vertex inherits its multinode's side.
+    ScopedPhase phase(pt, PhaseTimers::kProject);
+    const std::vector<vid_t>& cmap = levels[li - 1].cmap;
+    std::vector<part_t> fine_side(cmap.size());
+    for (std::size_t v = 0; v < cmap.size(); ++v) {
+      fine_side[v] = b.side[static_cast<std::size_t>(cmap[v])];
+    }
+    // Part weights and cut are invariant under projection (§3.1).
+    Bisection fine;
+    fine.side = std::move(fine_side);
+    fine.part_weight[0] = b.part_weight[0];
+    fine.part_weight[1] = b.part_weight[1];
+    fine.cut = b.cut;
+    b = std::move(fine);
+  }
+
+  out.bisection = std::move(b);
+  return out;
+}
+
+}  // namespace mgp

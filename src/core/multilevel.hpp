@@ -1,0 +1,29 @@
+// The multilevel graph bisection algorithm (§3): coarsen, partition the
+// coarsest graph, uncoarsen with refinement.  This is the paper's primary
+// contribution, assembled from the coarsen/, initpart/, and refine/ phases.
+#pragma once
+
+#include "core/config.hpp"
+#include "initpart/bisection_state.hpp"
+#include "support/rng.hpp"
+#include "support/timer.hpp"
+
+namespace mgp {
+
+struct BisectResult {
+  Bisection bisection;    ///< labels on the *original* graph
+  int levels = 0;         ///< number of coarsening steps performed
+  vid_t coarsest_n = 0;   ///< vertex count of the coarsest graph
+  KlStats refine_stats;   ///< summed over all levels
+};
+
+/// Bisects g so that side 0's vertex weight approaches `target0`.
+///
+/// If `timers` is non-null, phase times accumulate into it using the
+/// paper's breakdown (CTime / ITime / RTime / PTime) — recursive callers
+/// pass one accumulator through every sub-bisection.
+BisectResult multilevel_bisect(const Graph& g, vwt_t target0,
+                               const MultilevelConfig& cfg, Rng& rng,
+                               PhaseTimers* timers = nullptr);
+
+}  // namespace mgp

@@ -1,0 +1,281 @@
+#include "geom/delaunay.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "graph/builder.hpp"
+#include "support/rng.hpp"
+
+namespace mgp {
+namespace {
+
+/// Twice the signed area of (a, b, c); > 0 when ccw.
+inline double orient2d(double ax, double ay, double bx, double by, double cx,
+                       double cy) {
+  return (bx - ax) * (cy - ay) - (by - ay) * (cx - ax);
+}
+
+/// > 0 when d lies inside the circumcircle of ccw triangle (a, b, c).
+inline double incircle(double ax, double ay, double bx, double by, double cx,
+                       double cy, double dx, double dy) {
+  const double adx = ax - dx, ady = ay - dy;
+  const double bdx = bx - dx, bdy = by - dy;
+  const double cdx = cx - dx, cdy = cy - dy;
+  const double ad = adx * adx + ady * ady;
+  const double bd = bdx * bdx + bdy * bdy;
+  const double cd = cdx * cdx + cdy * cdy;
+  return adx * (bdy * cd - bd * cdy) - ady * (bdx * cd - bd * cdx) +
+         ad * (bdx * cdy - bdy * cdx);
+}
+
+struct Tri {
+  vid_t v[3];    // ccw vertex ids
+  int nbr[3];    // nbr[i] = triangle across the edge opposite v[i]; -1 = hull
+  bool alive = true;
+};
+
+class BowyerWatson {
+ public:
+  BowyerWatson(std::span<const double> xs, std::span<const double> ys)
+      : n_(static_cast<vid_t>(xs.size())) {
+    px_.assign(xs.begin(), xs.end());
+    py_.assign(ys.begin(), ys.end());
+
+    // Super-triangle big enough to contain everything.
+    double mnx = px_[0], mxx = px_[0], mny = py_[0], mxy = py_[0];
+    for (vid_t i = 1; i < n_; ++i) {
+      mnx = std::min(mnx, px_[static_cast<std::size_t>(i)]);
+      mxx = std::max(mxx, px_[static_cast<std::size_t>(i)]);
+      mny = std::min(mny, py_[static_cast<std::size_t>(i)]);
+      mxy = std::max(mxy, py_[static_cast<std::size_t>(i)]);
+    }
+    const double span = std::max(mxx - mnx, mxy - mny) + 1.0;
+    const double cx = 0.5 * (mnx + mxx), cy = 0.5 * (mny + mxy);
+    px_.push_back(cx - 20.0 * span);
+    py_.push_back(cy - 10.0 * span);
+    px_.push_back(cx + 20.0 * span);
+    py_.push_back(cy - 10.0 * span);
+    px_.push_back(cx);
+    py_.push_back(cy + 20.0 * span);
+    super_[0] = n_;
+    super_[1] = n_ + 1;
+    super_[2] = n_ + 2;
+    tris_.push_back(Tri{{super_[0], super_[1], super_[2]}, {-1, -1, -1}, true});
+  }
+
+  void run() {
+    // Insert in a shuffled order for expected O(n log n)-ish behaviour.
+    Rng rng(0x5eedULL);
+    std::vector<vid_t> order = rng.permutation(n_);
+    for (vid_t p : order) insert(p);
+  }
+
+  Triangulation extract() const {
+    Triangulation t;
+    for (const Tri& tr : tris_) {
+      if (!tr.alive) continue;
+      if (tr.v[0] >= n_ || tr.v[1] >= n_ || tr.v[2] >= n_) continue;  // super
+      t.tri_vertices.push_back(tr.v[0]);
+      t.tri_vertices.push_back(tr.v[1]);
+      t.tri_vertices.push_back(tr.v[2]);
+    }
+    return t;
+  }
+
+ private:
+  double x(vid_t v) const { return px_[static_cast<std::size_t>(v)]; }
+  double y(vid_t v) const { return py_[static_cast<std::size_t>(v)]; }
+
+  bool in_circumcircle(const Tri& t, vid_t p) const {
+    return incircle(x(t.v[0]), y(t.v[0]), x(t.v[1]), y(t.v[1]), x(t.v[2]),
+                    y(t.v[2]), x(p), y(p)) > 0.0;
+  }
+
+  /// Walks from `start` towards the triangle containing p.
+  int locate(vid_t p, int start) const {
+    int cur = start;
+    // Bounded walk; falls back to a scan if numerics ever cycle.
+    for (int step = 0; step < 4 * static_cast<int>(tris_.size()) + 16; ++step) {
+      const Tri& t = tris_[static_cast<std::size_t>(cur)];
+      assert(t.alive);
+      int move = -1;
+      for (int e = 0; e < 3; ++e) {
+        // Edge opposite v[e] runs v[(e+1)%3] -> v[(e+2)%3].
+        const vid_t a = t.v[(e + 1) % 3], b = t.v[(e + 2) % 3];
+        if (orient2d(x(a), y(a), x(b), y(b), x(p), y(p)) < 0.0) {
+          move = t.nbr[e];
+          break;
+        }
+      }
+      if (move < 0) return cur;  // inside (or on) this triangle
+      cur = move;
+    }
+    // Fallback: exhaustive search (defensive; should not trigger on random
+    // inputs).
+    for (std::size_t i = 0; i < tris_.size(); ++i) {
+      const Tri& t = tris_[i];
+      if (!t.alive) continue;
+      bool inside = true;
+      for (int e = 0; e < 3 && inside; ++e) {
+        const vid_t a = t.v[(e + 1) % 3], b = t.v[(e + 2) % 3];
+        inside = orient2d(x(a), y(a), x(b), y(b), x(p), y(p)) >= 0.0;
+      }
+      if (inside) return static_cast<int>(i);
+    }
+    throw std::runtime_error("delaunay: point location failed");
+  }
+
+  void insert(vid_t p) {
+    const int seed_tri = locate(p, last_alive_);
+
+    // Cavity: BFS over triangles whose circumcircle contains p.
+    std::vector<int> cavity;
+    std::vector<int> stack = {seed_tri};
+    std::vector<char> in_cavity(tris_.size(), 0);
+    in_cavity[static_cast<std::size_t>(seed_tri)] = 1;
+    while (!stack.empty()) {
+      int ti = stack.back();
+      stack.pop_back();
+      cavity.push_back(ti);
+      const Tri t = tris_[static_cast<std::size_t>(ti)];
+      for (int e = 0; e < 3; ++e) {
+        int nb = t.nbr[e];
+        if (nb < 0 || in_cavity[static_cast<std::size_t>(nb)]) continue;
+        if (in_circumcircle(tris_[static_cast<std::size_t>(nb)], p)) {
+          in_cavity[static_cast<std::size_t>(nb)] = 1;
+          stack.push_back(nb);
+        }
+      }
+    }
+
+    // Boundary edges of the cavity: (a, b, outside-neighbor).
+    struct BEdge {
+      vid_t a, b;
+      int outside;
+    };
+    std::vector<BEdge> boundary;
+    for (int ti : cavity) {
+      const Tri& t = tris_[static_cast<std::size_t>(ti)];
+      for (int e = 0; e < 3; ++e) {
+        int nb = t.nbr[e];
+        if (nb >= 0 && in_cavity[static_cast<std::size_t>(nb)]) continue;
+        boundary.push_back(BEdge{t.v[(e + 1) % 3], t.v[(e + 2) % 3], nb});
+      }
+    }
+    for (int ti : cavity) tris_[static_cast<std::size_t>(ti)].alive = false;
+
+    // Retriangulate: one new triangle (p, a, b) per boundary edge.
+    std::unordered_map<std::uint64_t, int> edge_owner;  // directed (p,a)->tri
+    edge_owner.reserve(boundary.size() * 2);
+    auto key = [this](vid_t u, vid_t v) {
+      return static_cast<std::uint64_t>(u) * static_cast<std::uint64_t>(n_ + 3) +
+             static_cast<std::uint64_t>(v);
+    };
+    std::vector<int> new_ids;
+    new_ids.reserve(boundary.size());
+    for (const BEdge& be : boundary) {
+      const int id = static_cast<int>(tris_.size());
+      tris_.push_back(Tri{{p, be.a, be.b}, {be.outside, -1, -1}, true});
+      if (be.outside >= 0) {
+        // Hook the outside triangle back to us across (a, b).
+        Tri& out = tris_[static_cast<std::size_t>(be.outside)];
+        for (int e = 0; e < 3; ++e) {
+          const vid_t oa = out.v[(e + 1) % 3], ob = out.v[(e + 2) % 3];
+          if ((oa == be.b && ob == be.a) || (oa == be.a && ob == be.b)) {
+            out.nbr[e] = id;
+            break;
+          }
+        }
+      }
+      edge_owner[key(p, be.a)] = id;  // edge p->a is opposite vertex b slot 2
+      edge_owner[key(be.b, p)] = id;  // edge b->p is opposite vertex a slot 1
+      new_ids.push_back(id);
+    }
+    // Link the fan internally: triangle (p, a, b) meets the neighbour that
+    // owns edge (p, a) reversed = (a, p), and (b, p) reversed = (p, b).
+    for (int id : new_ids) {
+      Tri& t = tris_[static_cast<std::size_t>(id)];
+      // nbr[1] is across edge (b, p): shared with the fan triangle whose
+      // boundary edge *starts* at our b — it registered key(p, its_a = b).
+      auto share_pb = edge_owner.find(key(p, t.v[2]));
+      if (share_pb != edge_owner.end() && share_pb->second != id) {
+        t.nbr[1] = share_pb->second;
+      }
+      // nbr[2] is across edge (p, a): shared with the fan triangle whose
+      // boundary edge *ends* at our a — it registered key(its_b = a, p).
+      auto share_ap = edge_owner.find(key(t.v[1], p));
+      if (share_ap != edge_owner.end() && share_ap->second != id) {
+        t.nbr[2] = share_ap->second;
+      }
+    }
+    last_alive_ = new_ids.empty() ? last_alive_ : new_ids.back();
+
+    // The grown tris_ array invalidates in_cavity sizing next round; that is
+    // fine because it is rebuilt per insert.
+  }
+
+  vid_t n_;
+  std::vector<double> px_, py_;
+  vid_t super_[3];
+  std::vector<Tri> tris_;
+  int last_alive_ = 0;
+};
+
+}  // namespace
+
+Triangulation delaunay_triangulate(std::span<const double> xs,
+                                   std::span<const double> ys) {
+  if (xs.size() != ys.size()) {
+    throw std::invalid_argument("delaunay: coordinate arrays differ in size");
+  }
+  if (xs.size() < 3) throw std::invalid_argument("delaunay: need at least 3 points");
+  BowyerWatson bw(xs, ys);
+  bw.run();
+  return bw.extract();
+}
+
+EmbeddedGraph delaunay_mesh_graph(std::span<const double> xs,
+                                  std::span<const double> ys) {
+  Triangulation t = delaunay_triangulate(xs, ys);
+  GraphBuilder b(static_cast<vid_t>(xs.size()));
+  for (std::size_t i = 0; i < t.num_triangles(); ++i) {
+    const vid_t a = t.tri_vertices[3 * i];
+    const vid_t v = t.tri_vertices[3 * i + 1];
+    const vid_t c = t.tri_vertices[3 * i + 2];
+    // GraphBuilder accumulates duplicate weights; add each triangle edge
+    // with its (min,max) orientation exactly once per *triangle*, then
+    // normalise: interior edges appear in two triangles -> weight 2.  We
+    // want unit weights, so rebuild below.
+    b.add_edge(a, v);
+    b.add_edge(v, c);
+    b.add_edge(c, a);
+  }
+  Graph g0 = std::move(b).build();
+  // Normalise accumulated weights back to 1.
+  std::vector<eid_t> xadj(g0.xadj().begin(), g0.xadj().end());
+  std::vector<vid_t> adjncy(g0.adjncy().begin(), g0.adjncy().end());
+  std::vector<vwt_t> vwgt(g0.vwgt().begin(), g0.vwgt().end());
+  std::vector<ewt_t> adjwgt(adjncy.size(), 1);
+  EmbeddedGraph out;
+  out.graph = Graph(std::move(xadj), std::move(adjncy), std::move(vwgt),
+                    std::move(adjwgt));
+  out.coords.dims = 2;
+  out.coords.x.assign(xs.begin(), xs.end());
+  out.coords.y.assign(ys.begin(), ys.end());
+  return out;
+}
+
+EmbeddedGraph delaunay_mesh(vid_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> xs(static_cast<std::size_t>(n)), ys(static_cast<std::size_t>(n));
+  for (vid_t i = 0; i < n; ++i) {
+    xs[static_cast<std::size_t>(i)] = rng.next_double();
+    ys[static_cast<std::size_t>(i)] = rng.next_double();
+  }
+  return delaunay_mesh_graph(xs, ys);
+}
+
+}  // namespace mgp

@@ -1,0 +1,44 @@
+// Delaunay triangulation (Bowyer–Watson with walking point location).
+//
+// The paper's 2D test matrices (4ELT, the L-shape) are unstructured
+// triangular FE meshes; our grid-based stand-ins approximate them, and this
+// module generates the real thing: the Delaunay triangulation of a random
+// point set is exactly the class of graph an unstructured 2D mesher
+// produces (planar, average degree < 6, O(sqrt n) separators).  Used by the
+// generators (delaunay_mesh) and exercised directly by the geometry tests.
+//
+// Robustness note: predicates are evaluated in double precision — adequate
+// for randomly generated points (the generators jitter any structured
+// inputs), not for adversarial/cocircular data.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "geom/geometry.hpp"
+#include "graph/csr.hpp"
+
+namespace mgp {
+
+struct Triangulation {
+  /// Triangle vertex ids (ccw), 3 per triangle.
+  std::vector<vid_t> tri_vertices;
+  std::size_t num_triangles() const { return tri_vertices.size() / 3; }
+};
+
+/// Delaunay triangulation of 2D points (xs/ys parallel arrays, size n >= 3).
+/// Points should be in general position (random/jittered data qualifies).
+Triangulation delaunay_triangulate(std::span<const double> xs,
+                                   std::span<const double> ys);
+
+/// The edge graph of the triangulation (each triangle edge once, unit
+/// weights) together with the point coordinates.
+EmbeddedGraph delaunay_mesh_graph(std::span<const double> xs,
+                                  std::span<const double> ys);
+
+/// Convenience generator: Delaunay mesh of n uniform random points in the
+/// unit square.  The paper-suite stand-in for unstructured 2D FE meshes.
+EmbeddedGraph delaunay_mesh(vid_t n, std::uint64_t seed);
+
+}  // namespace mgp

@@ -1,0 +1,55 @@
+// Vertex coordinates for geometry-aware partitioning.
+//
+// §1 of the paper contrasts a third class of partitioners — geometric
+// algorithms [17, 28, 29] — that "tend to be fast but often yield
+// partitions that are worse than those obtained by spectral methods", and
+// that need coordinate information which "often ... is not available"
+// (e.g. linear programming).  This module supplies the coordinate carrier
+// and mesh generators that expose their natural embeddings, so the claim
+// can be measured (bench/figG_geometric).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace mgp {
+
+/// Per-vertex coordinates, dims in {1, 2, 3}.  Stored structure-of-arrays;
+/// axis(d) is the d-th coordinate array.
+struct Coordinates {
+  int dims = 0;
+  std::vector<double> x;
+  std::vector<double> y;
+  std::vector<double> z;
+
+  std::size_t size() const { return x.size(); }
+  std::span<const double> axis(int d) const {
+    return d == 0 ? std::span<const double>(x)
+                  : d == 1 ? std::span<const double>(y) : std::span<const double>(z);
+  }
+  double coord(int d, std::size_t i) const {
+    return d == 0 ? x[i] : d == 1 ? y[i] : z[i];
+  }
+};
+
+/// A graph together with its embedding.
+struct EmbeddedGraph {
+  Graph graph;
+  Coordinates coords;
+};
+
+/// Geometry-exposing counterparts of the graph/generators.hpp meshes.
+EmbeddedGraph embedded_grid2d(vid_t nx, vid_t ny);
+EmbeddedGraph embedded_fem2d_tri(vid_t nx, vid_t ny, std::uint64_t seed);
+EmbeddedGraph embedded_grid3d(vid_t nx, vid_t ny, vid_t nz);
+EmbeddedGraph embedded_grid3d_27(vid_t nx, vid_t ny, vid_t nz);
+EmbeddedGraph embedded_fem3d_tet(vid_t nx, vid_t ny, vid_t nz, std::uint64_t seed);
+EmbeddedGraph embedded_random_geometric(vid_t n, double avg_degree, std::uint64_t seed);
+
+/// Restriction of coordinates to a vertex subset (same order as the subset).
+Coordinates subset_coordinates(const Coordinates& c, std::span<const vid_t> vertices);
+
+}  // namespace mgp

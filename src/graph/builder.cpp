@@ -1,0 +1,79 @@
+#include "graph/builder.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace mgp {
+
+GraphBuilder::GraphBuilder(vid_t n) : n_(n), vwgt_(static_cast<std::size_t>(n), 1) {}
+
+void GraphBuilder::set_vertex_weight(vid_t u, vwt_t w) {
+  assert(u >= 0 && u < n_);
+  vwgt_[static_cast<std::size_t>(u)] = w;
+}
+
+void GraphBuilder::add_edge(vid_t u, vid_t v, ewt_t w) {
+  if (u == v) return;
+  if (u < 0 || u >= n_ || v < 0 || v >= n_) {
+    throw std::out_of_range("GraphBuilder::add_edge: vertex id out of range");
+  }
+  if (w <= 0) throw std::invalid_argument("GraphBuilder::add_edge: weight must be positive");
+  src_.push_back(u);
+  dst_.push_back(v);
+  wgt_.push_back(w);
+  src_.push_back(v);
+  dst_.push_back(u);
+  wgt_.push_back(w);
+}
+
+Graph GraphBuilder::build() && {
+  const std::size_t n = static_cast<std::size_t>(n_);
+  const std::size_t arcs = src_.size();
+
+  // Counting sort by source vertex: O(n + arcs), no comparison sort needed.
+  std::vector<eid_t> xadj(n + 1, 0);
+  for (std::size_t i = 0; i < arcs; ++i) ++xadj[static_cast<std::size_t>(src_[i]) + 1];
+  for (std::size_t u = 0; u < n; ++u) xadj[u + 1] += xadj[u];
+
+  std::vector<vid_t> adjncy(arcs);
+  std::vector<ewt_t> adjwgt(arcs);
+  {
+    std::vector<eid_t> cursor(xadj.begin(), xadj.end() - 1);
+    for (std::size_t i = 0; i < arcs; ++i) {
+      eid_t pos = cursor[static_cast<std::size_t>(src_[i])]++;
+      adjncy[static_cast<std::size_t>(pos)] = dst_[i];
+      adjwgt[static_cast<std::size_t>(pos)] = wgt_[i];
+    }
+  }
+
+  // Deduplicate parallel edges per vertex (sort each adjacency row, merge
+  // equal neighbours by summing weights), then rebuild compacted arrays.
+  std::vector<eid_t> new_xadj(n + 1, 0);
+  std::vector<vid_t> new_adjncy;
+  std::vector<ewt_t> new_adjwgt;
+  new_adjncy.reserve(arcs);
+  new_adjwgt.reserve(arcs);
+  std::vector<std::pair<vid_t, ewt_t>> row;
+  for (std::size_t u = 0; u < n; ++u) {
+    row.clear();
+    for (eid_t e = xadj[u]; e < xadj[u + 1]; ++e) {
+      row.emplace_back(adjncy[static_cast<std::size_t>(e)],
+                       adjwgt[static_cast<std::size_t>(e)]);
+    }
+    std::sort(row.begin(), row.end());
+    for (std::size_t i = 0; i < row.size();) {
+      vid_t v = row[i].first;
+      ewt_t w = 0;
+      while (i < row.size() && row[i].first == v) w += row[i++].second;
+      new_adjncy.push_back(v);
+      new_adjwgt.push_back(w);
+    }
+    new_xadj[u + 1] = static_cast<eid_t>(new_adjncy.size());
+  }
+
+  return Graph(std::move(new_xadj), std::move(new_adjncy), std::move(vwgt_),
+               std::move(new_adjwgt));
+}
+
+}  // namespace mgp

@@ -1,0 +1,41 @@
+// Incremental construction of CSR graphs from edge lists.
+//
+// Generators, file readers, and tests all build graphs through this class:
+// it deduplicates parallel edges (summing weights), drops self-loops, and
+// symmetrises, so the resulting Graph always satisfies Graph::validate().
+#pragma once
+
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "support/types.hpp"
+
+namespace mgp {
+
+class GraphBuilder {
+ public:
+  /// Begins a graph with n vertices of unit weight.
+  explicit GraphBuilder(vid_t n);
+
+  vid_t num_vertices() const { return n_; }
+
+  /// Sets the weight of vertex u (default 1).
+  void set_vertex_weight(vid_t u, vwt_t w);
+
+  /// Adds undirected edge {u, v} with weight w.  Self-loops are ignored.
+  /// Adding the same pair twice accumulates the weight.
+  void add_edge(vid_t u, vid_t v, ewt_t w = 1);
+
+  /// Finalises into a validated CSR graph.  The builder is consumed.
+  Graph build() &&;
+
+ private:
+  vid_t n_;
+  std::vector<vwt_t> vwgt_;
+  // One (neighbor, weight) record per direction; deduplicated in build().
+  std::vector<vid_t> src_;
+  std::vector<vid_t> dst_;
+  std::vector<ewt_t> wgt_;
+};
+
+}  // namespace mgp

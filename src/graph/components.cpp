@@ -1,0 +1,35 @@
+#include "graph/components.hpp"
+
+namespace mgp {
+
+Components connected_components(const Graph& g) {
+  const vid_t n = g.num_vertices();
+  Components result;
+  result.comp.assign(static_cast<std::size_t>(n), kInvalidVid);
+  std::vector<vid_t> queue;
+  queue.reserve(static_cast<std::size_t>(n));
+  for (vid_t s = 0; s < n; ++s) {
+    if (result.comp[static_cast<std::size_t>(s)] != kInvalidVid) continue;
+    vid_t label = result.count++;
+    result.comp[static_cast<std::size_t>(s)] = label;
+    queue.clear();
+    queue.push_back(s);
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      vid_t u = queue[head];
+      for (vid_t v : g.neighbors(u)) {
+        if (result.comp[static_cast<std::size_t>(v)] == kInvalidVid) {
+          result.comp[static_cast<std::size_t>(v)] = label;
+          queue.push_back(v);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+bool is_connected(const Graph& g) {
+  if (g.num_vertices() == 0) return true;
+  return connected_components(g).count == 1;
+}
+
+}  // namespace mgp

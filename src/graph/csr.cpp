@@ -1,0 +1,104 @@
+#include "graph/csr.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <sstream>
+#include <utility>
+
+namespace mgp {
+
+Graph::Graph(std::vector<eid_t> xadj, std::vector<vid_t> adjncy,
+             std::vector<vwt_t> vwgt, std::vector<ewt_t> adjwgt)
+    : n_(static_cast<vid_t>(vwgt.size())),
+      xadj_(std::move(xadj)),
+      adjncy_(std::move(adjncy)),
+      adjwgt_(std::move(adjwgt)),
+      vwgt_(std::move(vwgt)) {
+  assert(xadj_.size() == static_cast<std::size_t>(n_) + 1);
+  assert(adjncy_.size() == adjwgt_.size());
+  assert(xadj_.empty() || static_cast<std::size_t>(xadj_.back()) == adjncy_.size());
+  total_vwgt_ = std::accumulate(vwgt_.begin(), vwgt_.end(), vwt_t{0});
+  ewt_t twice = std::accumulate(adjwgt_.begin(), adjwgt_.end(), ewt_t{0});
+  total_ewgt_ = twice / 2;
+}
+
+ewt_t Graph::max_weighted_degree() const {
+  ewt_t best = 0;
+  for (vid_t u = 0; u < n_; ++u) {
+    ewt_t sum = 0;
+    for (ewt_t w : edge_weights(u)) sum += w;
+    best = std::max(best, sum);
+  }
+  return best;
+}
+
+std::string Graph::validate() const {
+  std::ostringstream err;
+  if (xadj_.size() != static_cast<std::size_t>(n_) + 1) {
+    err << "xadj has size " << xadj_.size() << ", expected " << n_ + 1;
+    return err.str();
+  }
+  if (!xadj_.empty() && xadj_.front() != 0) return "xadj[0] != 0";
+  for (vid_t u = 0; u < n_; ++u) {
+    if (xadj_[static_cast<std::size_t>(u) + 1] < xadj_[static_cast<std::size_t>(u)]) {
+      err << "xadj decreasing at vertex " << u;
+      return err.str();
+    }
+  }
+  if (static_cast<std::size_t>(xadj_.back()) != adjncy_.size()) {
+    return "xadj[n] does not match adjncy size";
+  }
+  if (adjncy_.size() != adjwgt_.size()) return "adjncy/adjwgt size mismatch";
+  for (vid_t u = 0; u < n_; ++u) {
+    if (vertex_weight(u) < 0) {
+      err << "negative vertex weight at " << u;
+      return err.str();
+    }
+    auto nbrs = neighbors(u);
+    auto wgts = edge_weights(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      vid_t v = nbrs[i];
+      if (v < 0 || v >= n_) {
+        err << "edge (" << u << ", " << v << ") out of range";
+        return err.str();
+      }
+      if (v == u) {
+        err << "self-loop at vertex " << u;
+        return err.str();
+      }
+      if (wgts[i] <= 0) {
+        err << "non-positive edge weight on (" << u << ", " << v << ")";
+        return err.str();
+      }
+      // Duplicate neighbour check within u's list.
+      for (std::size_t j = i + 1; j < nbrs.size(); ++j) {
+        if (nbrs[j] == v) {
+          err << "duplicate edge (" << u << ", " << v << ")";
+          return err.str();
+        }
+      }
+      // Symmetry: (v, u) must exist with the same weight.
+      auto vn = neighbors(v);
+      auto vw = edge_weights(v);
+      bool found = false;
+      for (std::size_t j = 0; j < vn.size(); ++j) {
+        if (vn[j] == u) {
+          if (vw[j] != wgts[i]) {
+            err << "asymmetric weight on edge (" << u << ", " << v << ")";
+            return err.str();
+          }
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        err << "missing reverse edge for (" << u << ", " << v << ")";
+        return err.str();
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace mgp

@@ -1,0 +1,122 @@
+// Synthetic graph generators: the reproduction's stand-in for Table 1.
+//
+// The paper evaluates on Boeing–Harwell / NASA matrices (BCSSTK*, BRACK2,
+// CANT, ...) that are not redistributable and are unavailable offline.  Each
+// generator below produces a graph family with the same structural profile
+// as one class of paper matrices (degree distribution, separator growth,
+// presence/absence of geometry, clique content) so every algorithmic code
+// path the paper exercises is exercised here too.  DESIGN.md §1.4 documents
+// the mapping in full.
+//
+// All generators are deterministic given their seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "support/rng.hpp"
+
+namespace mgp {
+
+// ---------------------------------------------------------------------------
+// Elementary graphs (used heavily by unit tests).
+// ---------------------------------------------------------------------------
+
+/// Path 0-1-...-(n-1).
+Graph path_graph(vid_t n);
+/// Cycle on n >= 3 vertices.
+Graph cycle_graph(vid_t n);
+/// Star: vertex 0 adjacent to 1..n-1.
+Graph star_graph(vid_t n);
+/// Complete graph K_n.
+Graph complete_graph(vid_t n);
+/// n isolated vertices.
+Graph empty_graph(vid_t n);
+/// Complete bipartite K_{a,b}: vertices 0..a-1 vs a..a+b-1.
+Graph complete_bipartite(vid_t a, vid_t b);
+
+// ---------------------------------------------------------------------------
+// Mesh / matrix-pattern families (Table 1 stand-ins).
+// ---------------------------------------------------------------------------
+
+/// nx-by-ny grid, 5-point stencil.  2D Laplacian pattern.
+Graph grid2d(vid_t nx, vid_t ny);
+
+/// nx-by-ny grid, 9-point stencil (adds diagonals).  Structured-CFD pattern;
+/// stands in for SHYY161 / banded Navier–Stokes matrices.
+Graph stencil9(vid_t nx, vid_t ny);
+
+/// Triangulated nx-by-ny grid: each cell gets one diagonal with a random
+/// orientation.  Average degree ~6, planar — 2D finite-element mesh profile
+/// (stands in for 4ELT).
+Graph fem2d_tri(vid_t nx, vid_t ny, std::uint64_t seed);
+
+/// Graded L-shaped triangulated mesh: an n-by-n triangulated grid with one
+/// quadrant removed and cells geometrically refined towards the re-entrant
+/// corner (stands in for LSHP3466, "graded L-shape pattern").
+Graph lshape2d(vid_t n, std::uint64_t seed);
+
+/// nx-by-ny-by-nz grid, 7-point stencil.  3D Laplacian pattern.
+Graph grid3d(vid_t nx, vid_t ny, vid_t nz);
+
+/// nx-by-ny-by-nz grid, 27-point vertex connectivity (all Chebyshev-distance-1
+/// neighbours).  This is the vertex-adjacency pattern of trilinear hexahedral
+/// stiffness matrices; stands in for BCSSTK30-33, CANT, INPRO1, CYLINDER93,
+/// SHELL93, TROLL.
+Graph grid3d_27(vid_t nx, vid_t ny, vid_t nz);
+
+/// Tetrahedralised nx-by-ny-by-nz brick: each cube split into 6 tetrahedra
+/// around a randomly chosen main diagonal; graph connects vertices sharing a
+/// tet edge.  Average degree ~14-18, mildly unstructured — 3D FE-mesh profile
+/// (stands in for BRACK2, COPTER2, ROTOR, WAVE, LHR71).
+Graph fem3d_tet(vid_t nx, vid_t ny, vid_t nz, std::uint64_t seed);
+
+/// Power-network stand-in (BCSPWR10, MAP): n points in the unit square,
+/// spatial spanning tree (each point links to the nearest earlier point via a
+/// grid-bucket search) plus a small fraction of short-range shortcut edges.
+/// Average degree ~2.5-3.5, huge diameter, tiny separators everywhere — the
+/// family where nested dissection orderings do poorly in Fig. 5.
+Graph power_grid(vid_t n, std::uint64_t seed);
+
+/// Linear-programming / financial stand-in (FINAN512): `blocks` cliques of
+/// `block_size` vertices arranged in a ring, consecutive cliques joined by
+/// bridge edges, plus a binary-tree overlay over block representatives.  No
+/// geometry, clique-rich — exercises HCM's edge-density machinery.
+Graph finan(vid_t blocks, vid_t block_size, std::uint64_t seed);
+
+/// VLSI-circuit stand-in (MEMPLUS, S38584.1): preferential-attachment core
+/// (a few very-high-degree nets) with long degree-2 chains spliced in, like
+/// buffered nets in a flattened netlist.
+Graph circuit(vid_t n, std::uint64_t seed);
+
+/// Random geometric graph: n points in the unit square, edges within the
+/// radius that yields the requested expected average degree.  The largest
+/// connected component is returned, so the result is always connected.
+Graph random_geometric(vid_t n, double avg_degree, std::uint64_t seed);
+
+// ---------------------------------------------------------------------------
+// The reproduction's Table 1: a named suite mirroring the paper's test set.
+// ---------------------------------------------------------------------------
+
+struct NamedGraph {
+  std::string name;           ///< paper's mnemonic (BC30, 4ELT, ...)
+  std::string description;    ///< paper's description column
+  std::string stands_in_for;  ///< which generator + parameters we used
+  Graph graph;
+};
+
+/// Which experiments a suite instantiation feeds.
+enum class SuiteKind {
+  kTables,    ///< the 12-matrix set of Tables 2-4
+  kFigures,   ///< the 16-matrix set of Figures 1-4
+  kOrdering,  ///< the 18-matrix set of Figure 5
+};
+
+/// Builds the suite at a size factor (1.0 ≈ paper-magnitude vertex counts;
+/// benches default to a smaller factor so the full harness runs in minutes).
+/// Deterministic given the seed.
+std::vector<NamedGraph> paper_suite(SuiteKind kind, double scale, std::uint64_t seed);
+
+}  // namespace mgp

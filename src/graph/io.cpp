@@ -1,0 +1,186 @@
+#include "graph/io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "graph/builder.hpp"
+
+namespace mgp {
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& what) {
+  std::ostringstream os;
+  os << "graph parse error at line " << line << ": " << what;
+  throw std::runtime_error(os.str());
+}
+
+/// Reads the next non-comment line ('%' or '#' prefixed lines are skipped).
+bool next_data_line(std::istream& in, std::string& out, std::size_t& line_no) {
+  while (std::getline(in, out)) {
+    ++line_no;
+    std::size_t i = out.find_first_not_of(" \t\r");
+    if (i == std::string::npos) continue;
+    if (out[i] == '%' || out[i] == '#') continue;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Graph read_metis_graph(std::istream& in) {
+  std::size_t line_no = 0;
+  std::string line;
+  if (!next_data_line(in, line, line_no)) fail(line_no, "empty file");
+  std::istringstream header(line);
+  long long n = 0, m = 0;
+  std::string fmt = "0";
+  header >> n >> m;
+  if (!header) fail(line_no, "expected '<n> <m> [fmt]' header");
+  if (!(header >> fmt)) fmt = "000";
+  if (n < 0 || m < 0) fail(line_no, "negative size in header");
+  while (fmt.size() < 3) fmt.insert(fmt.begin(), '0');
+  const bool has_vsize = fmt[fmt.size() - 3] == '1';
+  const bool has_vwgt = fmt[fmt.size() - 2] == '1';
+  const bool has_ewgt = fmt[fmt.size() - 1] == '1';
+  if (has_vsize) fail(line_no, "vertex sizes (fmt=1xx) are not supported");
+
+  GraphBuilder b(static_cast<vid_t>(n));
+  for (long long u = 0; u < n; ++u) {
+    if (!next_data_line(in, line, line_no)) {
+      // Trailing isolated vertices may legitimately have no line in some
+      // writers; treat missing lines as isolated only at EOF.
+      break;
+    }
+    std::istringstream row(line);
+    if (has_vwgt) {
+      long long w;
+      if (!(row >> w)) fail(line_no, "missing vertex weight");
+      if (w < 0) fail(line_no, "negative vertex weight");
+      b.set_vertex_weight(static_cast<vid_t>(u), static_cast<vwt_t>(w));
+    }
+    long long v;
+    while (row >> v) {
+      if (v < 1 || v > n) fail(line_no, "neighbour id out of range");
+      long long w = 1;
+      if (has_ewgt) {
+        if (!(row >> w)) fail(line_no, "missing edge weight");
+        if (w <= 0) fail(line_no, "non-positive edge weight");
+      }
+      // Add each undirected edge once (from its smaller endpoint) to avoid
+      // double-accumulating weights; format repeats each edge in both rows.
+      if (u < v - 1) b.add_edge(static_cast<vid_t>(u), static_cast<vid_t>(v - 1),
+                                static_cast<ewt_t>(w));
+    }
+  }
+  Graph g = std::move(b).build();
+  if (g.num_edges() != static_cast<eid_t>(m)) {
+    std::ostringstream os;
+    os << "header declared " << m << " edges but file contains " << g.num_edges();
+    throw std::runtime_error(os.str());
+  }
+  return g;
+}
+
+Graph read_metis_graph_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open graph file: " + path);
+  return read_metis_graph(in);
+}
+
+void write_metis_graph(std::ostream& out, const Graph& g) {
+  bool any_vwgt = false;
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    if (g.vertex_weight(v) != 1) { any_vwgt = true; break; }
+  }
+  bool any_ewgt = false;
+  for (ewt_t w : g.adjwgt()) {
+    if (w != 1) { any_ewgt = true; break; }
+  }
+  out << g.num_vertices() << ' ' << g.num_edges();
+  if (any_vwgt || any_ewgt) {
+    out << " 0" << (any_vwgt ? '1' : '0') << (any_ewgt ? '1' : '0');
+  }
+  out << '\n';
+  for (vid_t u = 0; u < g.num_vertices(); ++u) {
+    if (any_vwgt) out << g.vertex_weight(u) << ' ';
+    auto nbrs = g.neighbors(u);
+    auto wgts = g.edge_weights(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (i || any_vwgt) out << ' ';
+      out << nbrs[i] + 1;
+      if (any_ewgt) out << ' ' << wgts[i];
+    }
+    out << '\n';
+  }
+}
+
+void write_metis_graph_file(const std::string& path, const Graph& g) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open file for write: " + path);
+  write_metis_graph(out, g);
+}
+
+Graph read_matrix_market(std::istream& in) {
+  std::size_t line_no = 0;
+  std::string line;
+  // Banner is optional for our purposes but validated when present.
+  if (!std::getline(in, line)) fail(1, "empty file");
+  ++line_no;
+  bool pattern = line.find("pattern") != std::string::npos;
+  if (line.rfind("%%MatrixMarket", 0) == 0) {
+    if (line.find("coordinate") == std::string::npos) {
+      fail(line_no, "only coordinate MatrixMarket files are supported");
+    }
+  } else {
+    // No banner: treat the first line as data by rewinding via re-parse.
+    in.seekg(0);
+    line_no = 0;
+  }
+  if (!next_data_line(in, line, line_no)) fail(line_no, "missing size line");
+  std::istringstream szl(line);
+  long long rows = 0, cols = 0, nnz = 0;
+  szl >> rows >> cols >> nnz;
+  if (!szl || rows <= 0 || cols <= 0 || nnz < 0) fail(line_no, "bad size line");
+  if (rows != cols) fail(line_no, "matrix must be square to define a graph");
+
+  GraphBuilder b(static_cast<vid_t>(rows));
+  for (long long k = 0; k < nnz; ++k) {
+    if (!next_data_line(in, line, line_no)) fail(line_no, "unexpected EOF in entries");
+    std::istringstream ent(line);
+    long long i = 0, j = 0;
+    double val = 1.0;
+    ent >> i >> j;
+    if (!ent) fail(line_no, "bad entry line");
+    if (!pattern) ent >> val;  // value ignored; pattern defines the graph
+    if (i < 1 || i > rows || j < 1 || j > cols) fail(line_no, "index out of range");
+    if (i != j) {
+      vid_t u = static_cast<vid_t>(i - 1), v = static_cast<vid_t>(j - 1);
+      // Symmetric files store one triangle; general files may store both.
+      // GraphBuilder accumulates duplicates, so normalise to (min,max) and
+      // let build() merge — but merging would *sum* weights of (u,v) and
+      // (v,u) duplicates.  Since all weights are 1 here, clamp via a final
+      // unit-weight rebuild instead: record only u>j direction... simplest
+      // correct approach: add every off-diagonal once; duplicates merge to
+      // weight >= 1 and we reset weights to 1 afterwards.
+      b.add_edge(u, v, 1);
+    }
+  }
+  Graph g = std::move(b).build();
+  // Normalise accumulated duplicate weights back to unit weights.
+  std::vector<eid_t> xadj(g.xadj().begin(), g.xadj().end());
+  std::vector<vid_t> adjncy(g.adjncy().begin(), g.adjncy().end());
+  std::vector<vwt_t> vwgt(g.vwgt().begin(), g.vwgt().end());
+  std::vector<ewt_t> adjwgt(adjncy.size(), 1);
+  return Graph(std::move(xadj), std::move(adjncy), std::move(vwgt), std::move(adjwgt));
+}
+
+Graph read_matrix_market_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open MatrixMarket file: " + path);
+  return read_matrix_market(in);
+}
+
+}  // namespace mgp

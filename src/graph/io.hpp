@@ -1,0 +1,35 @@
+// Graph file I/O.
+//
+// Two interchange formats are supported so mgp interoperates with the tools
+// the paper compares against:
+//   * the Chaco/METIS ".graph" format (1-based adjacency lists, optional
+//     vertex/edge weights via the fmt flags),
+//   * MatrixMarket coordinate format for symmetric sparse matrices (the
+//     format in which the Boeing-Harwell test matrices circulate today);
+//     the pattern is symmetrised and diagonal entries dropped, exactly the
+//     graph the paper derives from each matrix.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/csr.hpp"
+
+namespace mgp {
+
+/// Parses a Chaco/METIS graph file.  Throws std::runtime_error with a
+/// line-numbered message on malformed input.
+Graph read_metis_graph(std::istream& in);
+Graph read_metis_graph_file(const std::string& path);
+
+/// Writes in Chaco/METIS format.  Weights are emitted only when any differ
+/// from 1 (fmt code 011/001/010 accordingly).
+void write_metis_graph(std::ostream& out, const Graph& g);
+void write_metis_graph_file(const std::string& path, const Graph& g);
+
+/// Parses a MatrixMarket coordinate file into the adjacency graph of the
+/// symmetrised pattern (self-loops dropped, values ignored, unit weights).
+Graph read_matrix_market(std::istream& in);
+Graph read_matrix_market_file(const std::string& path);
+
+}  // namespace mgp

@@ -1,0 +1,103 @@
+#include "graph/partition_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "graph/permute.hpp"
+
+namespace mgp {
+namespace {
+
+std::vector<long long> read_ints(std::istream& in, std::size_t n,
+                                 const char* what) {
+  std::vector<long long> vals;
+  vals.reserve(n);
+  long long v;
+  while (vals.size() < n && in >> v) vals.push_back(v);
+  if (vals.size() != n) {
+    std::ostringstream os;
+    os << what << ": expected " << n << " entries, found " << vals.size();
+    throw std::runtime_error(os.str());
+  }
+  // Trailing garbage is an error too (catches off-by-one files).
+  if (in >> v) {
+    std::ostringstream os;
+    os << what << ": more than " << n << " entries";
+    throw std::runtime_error(os.str());
+  }
+  return vals;
+}
+
+std::ofstream open_out(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for write: " + path);
+  return out;
+}
+
+std::ifstream open_in(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open: " + path);
+  return in;
+}
+
+}  // namespace
+
+void write_partition(std::ostream& out, std::span<const part_t> part) {
+  for (part_t p : part) out << p << '\n';
+}
+
+void write_partition_file(const std::string& path, std::span<const part_t> part) {
+  auto out = open_out(path);
+  write_partition(out, part);
+}
+
+std::vector<part_t> read_partition(std::istream& in, vid_t n, part_t k) {
+  auto vals = read_ints(in, static_cast<std::size_t>(n), "partition");
+  std::vector<part_t> part(vals.size());
+  for (std::size_t i = 0; i < vals.size(); ++i) {
+    if (vals[i] < 0 || (k > 0 && vals[i] >= k)) {
+      std::ostringstream os;
+      os << "partition: entry " << i << " = " << vals[i] << " out of range";
+      throw std::runtime_error(os.str());
+    }
+    part[i] = static_cast<part_t>(vals[i]);
+  }
+  return part;
+}
+
+std::vector<part_t> read_partition_file(const std::string& path, vid_t n, part_t k) {
+  auto in = open_in(path);
+  return read_partition(in, n, k);
+}
+
+void write_permutation(std::ostream& out, std::span<const vid_t> perm) {
+  for (vid_t v : perm) out << v << '\n';
+}
+
+void write_permutation_file(const std::string& path, std::span<const vid_t> perm) {
+  auto out = open_out(path);
+  write_permutation(out, perm);
+}
+
+std::vector<vid_t> read_permutation(std::istream& in, vid_t n) {
+  auto vals = read_ints(in, static_cast<std::size_t>(n), "permutation");
+  std::vector<vid_t> perm(vals.size());
+  for (std::size_t i = 0; i < vals.size(); ++i) {
+    if (vals[i] < 0 || vals[i] >= n) {
+      throw std::runtime_error("permutation: entry out of range");
+    }
+    perm[i] = static_cast<vid_t>(vals[i]);
+  }
+  if (!is_permutation(perm)) {
+    throw std::runtime_error("permutation: not a permutation of 0..n-1");
+  }
+  return perm;
+}
+
+std::vector<vid_t> read_permutation_file(const std::string& path, vid_t n) {
+  auto in = open_in(path);
+  return read_permutation(in, n);
+}
+
+}  // namespace mgp

@@ -1,0 +1,36 @@
+// Partition-vector and permutation I/O (METIS-compatible).
+//
+// METIS tools exchange results as plain text, one integer per line in
+// vertex order: part ids for partitions (`graph.part.k` files), new labels
+// for orderings (`graph.iperm`).  These readers/writers make mgp's outputs
+// interchangeable with that ecosystem and give the CLI examples a stable
+// format.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "support/types.hpp"
+
+namespace mgp {
+
+/// Writes one part id per line.
+void write_partition(std::ostream& out, std::span<const part_t> part);
+void write_partition_file(const std::string& path, std::span<const part_t> part);
+
+/// Reads a partition of exactly n vertices; throws std::runtime_error on
+/// malformed input, wrong count, or ids outside [0, k) when k > 0.
+std::vector<part_t> read_partition(std::istream& in, vid_t n, part_t k = 0);
+std::vector<part_t> read_partition_file(const std::string& path, vid_t n, part_t k = 0);
+
+/// Writes a permutation (new_to_old), one original vertex id per line.
+void write_permutation(std::ostream& out, std::span<const vid_t> perm);
+void write_permutation_file(const std::string& path, std::span<const vid_t> perm);
+
+/// Reads and validates a permutation of 0..n-1.
+std::vector<vid_t> read_permutation(std::istream& in, vid_t n);
+std::vector<vid_t> read_permutation_file(const std::string& path, vid_t n);
+
+}  // namespace mgp

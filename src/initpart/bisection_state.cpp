@@ -1,0 +1,71 @@
+#include "initpart/bisection_state.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace mgp {
+
+ewt_t compute_cut(const Graph& g, std::span<const part_t> side) {
+  ewt_t cut2 = 0;  // each cut edge counted from both endpoints
+  for (vid_t u = 0; u < g.num_vertices(); ++u) {
+    auto nbrs = g.neighbors(u);
+    auto wgts = g.edge_weights(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (side[static_cast<std::size_t>(u)] != side[static_cast<std::size_t>(nbrs[i])]) {
+        cut2 += wgts[i];
+      }
+    }
+  }
+  return cut2 / 2;
+}
+
+Bisection make_bisection(const Graph& g, std::vector<part_t> side) {
+  Bisection b;
+  b.side = std::move(side);
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    b.part_weight[b.side[static_cast<std::size_t>(v)]] += g.vertex_weight(v);
+  }
+  b.cut = compute_cut(g, b.side);
+  return b;
+}
+
+double bisection_balance(const Graph& g, const Bisection& b, vwt_t target0) {
+  const vwt_t total = g.total_vertex_weight();
+  if (total == 0) return 1.0;
+  const vwt_t target1 = total - target0;
+  double r0 = target0 > 0 ? static_cast<double>(b.part_weight[0]) / static_cast<double>(target0)
+                          : (b.part_weight[0] > 0 ? 1e9 : 1.0);
+  double r1 = target1 > 0 ? static_cast<double>(b.part_weight[1]) / static_cast<double>(target1)
+                          : (b.part_weight[1] > 0 ? 1e9 : 1.0);
+  return std::max(r0, r1);
+}
+
+std::string check_bisection(const Graph& g, const Bisection& b) {
+  std::ostringstream err;
+  if (b.side.size() != static_cast<std::size_t>(g.num_vertices())) {
+    err << "side size " << b.side.size() << " != n " << g.num_vertices();
+    return err.str();
+  }
+  vwt_t w[2] = {0, 0};
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    part_t s = b.side[static_cast<std::size_t>(v)];
+    if (s != 0 && s != 1) {
+      err << "vertex " << v << " has label " << s;
+      return err.str();
+    }
+    w[s] += g.vertex_weight(v);
+  }
+  if (w[0] != b.part_weight[0] || w[1] != b.part_weight[1]) {
+    err << "cached part weights (" << b.part_weight[0] << ", " << b.part_weight[1]
+        << ") != recomputed (" << w[0] << ", " << w[1] << ")";
+    return err.str();
+  }
+  ewt_t cut = compute_cut(g, b.side);
+  if (cut != b.cut) {
+    err << "cached cut " << b.cut << " != recomputed " << cut;
+    return err.str();
+  }
+  return {};
+}
+
+}  // namespace mgp

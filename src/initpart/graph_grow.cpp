@@ -1,0 +1,124 @@
+#include "initpart/graph_grow.hpp"
+
+#include <cassert>
+
+#include "support/bucket_queue.hpp"
+
+namespace mgp {
+namespace {
+
+/// Picks a random vertex still labelled 1 (for re-seeding growth after a
+/// component is exhausted).  Linear probe from a random start.
+vid_t random_unreached(const Graph& g, std::span<const part_t> side, Rng& rng) {
+  const vid_t n = g.num_vertices();
+  vid_t start = rng.next_vid(n);
+  for (vid_t k = 0; k < n; ++k) {
+    vid_t v = (start + k) % n;
+    if (side[static_cast<std::size_t>(v)] == 1) return v;
+  }
+  return kInvalidVid;
+}
+
+}  // namespace
+
+Bisection ggp_grow_once(const Graph& g, vwt_t target0, Rng& rng) {
+  const vid_t n = g.num_vertices();
+  std::vector<part_t> side(static_cast<std::size_t>(n), 1);
+  if (n == 0) return make_bisection(g, std::move(side));
+
+  std::vector<vid_t> queue;
+  queue.reserve(static_cast<std::size_t>(n));
+  vwt_t grown = 0;
+  std::size_t head = 0;
+
+  vid_t seed = rng.next_vid(n);
+  side[static_cast<std::size_t>(seed)] = 0;
+  grown += g.vertex_weight(seed);
+  queue.push_back(seed);
+
+  while (grown < target0) {
+    if (head == queue.size()) {
+      vid_t reseed = random_unreached(g, side, rng);
+      if (reseed == kInvalidVid) break;  // everything absorbed
+      side[static_cast<std::size_t>(reseed)] = 0;
+      grown += g.vertex_weight(reseed);
+      queue.push_back(reseed);
+      continue;
+    }
+    vid_t u = queue[head++];
+    for (vid_t v : g.neighbors(u)) {
+      if (side[static_cast<std::size_t>(v)] == 1) {
+        side[static_cast<std::size_t>(v)] = 0;
+        grown += g.vertex_weight(v);
+        queue.push_back(v);
+        if (grown >= target0) break;
+      }
+    }
+  }
+  return make_bisection(g, std::move(side));
+}
+
+Bisection ggp_bisect(const Graph& g, vwt_t target0, int trials, Rng& rng) {
+  Bisection best;
+  for (int t = 0; t < trials; ++t) {
+    Bisection b = ggp_grow_once(g, target0, rng);
+    if (best.empty() || b.cut < best.cut) best = std::move(b);
+  }
+  return best;
+}
+
+Bisection gggp_grow_once(const Graph& g, vwt_t target0, Rng& rng) {
+  const vid_t n = g.num_vertices();
+  std::vector<part_t> side(static_cast<std::size_t>(n), 1);
+  if (n == 0) return make_bisection(g, std::move(side));
+
+  // Gain of absorbing v into side 0: (weight of edges to side 0) - (weight
+  // of edges to side 1).  Only frontier vertices live in the queue.
+  BucketQueue pq;
+  pq.reset(n, std::max<ewt_t>(1, g.max_weighted_degree()));
+
+  vwt_t grown = 0;
+  auto absorb = [&](vid_t u) {
+    side[static_cast<std::size_t>(u)] = 0;
+    grown += g.vertex_weight(u);
+    auto nbrs = g.neighbors(u);
+    auto wgts = g.edge_weights(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      vid_t v = nbrs[i];
+      if (side[static_cast<std::size_t>(v)] == 0) continue;
+      // v gains 2*w(u,v): the edge (u,v) moves from "to side 1" to "to side 0".
+      if (pq.contains(v)) {
+        pq.update(v, pq.gain_of(v) + 2 * wgts[i]);
+      } else {
+        // First contact with the growing region: gain = w(to 0) - w(to 1)
+        // = 2*w(u,v) - weighted_degree(v).
+        ewt_t deg = 0;
+        for (ewt_t w : g.edge_weights(v)) deg += w;
+        pq.insert(v, 2 * wgts[i] - deg);
+      }
+    }
+  };
+
+  absorb(rng.next_vid(n));
+  while (grown < target0) {
+    if (pq.empty()) {
+      vid_t reseed = random_unreached(g, side, rng);
+      if (reseed == kInvalidVid) break;
+      absorb(reseed);
+      continue;
+    }
+    absorb(pq.pop_max());
+  }
+  return make_bisection(g, std::move(side));
+}
+
+Bisection gggp_bisect(const Graph& g, vwt_t target0, int trials, Rng& rng) {
+  Bisection best;
+  for (int t = 0; t < trials; ++t) {
+    Bisection b = gggp_grow_once(g, target0, rng);
+    if (best.empty() || b.cut < best.cut) best = std::move(b);
+  }
+  return best;
+}
+
+}  // namespace mgp

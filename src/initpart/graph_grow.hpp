@@ -1,0 +1,32 @@
+// Graph-growing initial bisection of the coarsest graph (§3.2).
+//
+//   GGP  — "randomly selects a vertex v and grows a region around it in a
+//          breadth-first fashion until half of the vertex weight has been
+//          included."
+//   GGGP — greedy variant: also grows from a random seed, but always absorbs
+//          the frontier vertex that leads to the smallest increase in the
+//          edge-cut (largest gain), tracked with the FM bucket queue.
+//
+// Both run several trials from different random seeds and keep the best cut
+// (the paper used 10 trials for GGP and 5 for GGGP).
+#pragma once
+
+#include "initpart/bisection_state.hpp"
+#include "support/rng.hpp"
+
+namespace mgp {
+
+/// One GGP bisection: grows side 0 until its weight reaches `target0`.
+/// Disconnected graphs are handled by re-seeding in an untouched component.
+Bisection ggp_grow_once(const Graph& g, vwt_t target0, Rng& rng);
+
+/// Best of `trials` GGP bisections (smallest cut).
+Bisection ggp_bisect(const Graph& g, vwt_t target0, int trials, Rng& rng);
+
+/// One GGGP bisection (greedy growth).
+Bisection gggp_grow_once(const Graph& g, vwt_t target0, Rng& rng);
+
+/// Best of `trials` GGGP bisections (smallest cut).
+Bisection gggp_bisect(const Graph& g, vwt_t target0, int trials, Rng& rng);
+
+}  // namespace mgp

@@ -1,0 +1,37 @@
+#include "initpart/spectral_init.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace mgp {
+
+Bisection split_at_weighted_median(const Graph& g, std::span<const double> values,
+                                   vwt_t target0) {
+  const vid_t n = g.num_vertices();
+  std::vector<vid_t> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), vid_t{0});
+  std::sort(order.begin(), order.end(), [&](vid_t a, vid_t b) {
+    double va = values[static_cast<std::size_t>(a)];
+    double vb = values[static_cast<std::size_t>(b)];
+    if (va != vb) return va < vb;
+    return a < b;  // deterministic tie-break
+  });
+
+  std::vector<part_t> side(static_cast<std::size_t>(n), 1);
+  vwt_t grown = 0;
+  for (vid_t v : order) {
+    if (grown >= target0) break;
+    side[static_cast<std::size_t>(v)] = 0;
+    grown += g.vertex_weight(v);
+  }
+  return make_bisection(g, std::move(side));
+}
+
+Bisection spectral_bisect(const Graph& g, vwt_t target0,
+                          std::span<const double> warm_start,
+                          const FiedlerOptions& opts, Rng& rng) {
+  FiedlerResult f = fiedler_vector(g, warm_start, opts, rng);
+  return split_at_weighted_median(g, f.vector, target0);
+}
+
+}  // namespace mgp

@@ -1,0 +1,30 @@
+// Spectral bisection (SBP) of a graph (§3.2 option (a)).
+//
+// Computes the Fiedler vector and splits at the weighted median: vertices
+// are sorted by their Fiedler coordinate and side 0 takes the prefix whose
+// vertex weight first reaches the target.  Used both as an initial
+// partitioner for the coarsest graph (the paper's SBP / Chaco-ML) and as
+// the per-level bisection of the MSB and SND baselines.
+#pragma once
+
+#include <span>
+
+#include "initpart/bisection_state.hpp"
+#include "spectral/fiedler.hpp"
+#include "support/rng.hpp"
+
+namespace mgp {
+
+/// Bisects g by its Fiedler vector.  `warm_start` optionally seeds the
+/// eigensolver (size n) — this is how MSB propagates spectral information
+/// up the multilevel hierarchy.
+Bisection spectral_bisect(const Graph& g, vwt_t target0,
+                          std::span<const double> warm_start,
+                          const FiedlerOptions& opts, Rng& rng);
+
+/// Splits an arbitrary embedding at its weighted median.  Exposed for tests
+/// and for MSB (which carries the Fiedler vector itself).
+Bisection split_at_weighted_median(const Graph& g, std::span<const double> values,
+                                   vwt_t target0);
+
+}  // namespace mgp

@@ -1,0 +1,25 @@
+#include "metrics/ordering_metrics.hpp"
+
+#include <cstdio>
+
+namespace mgp {
+
+OrderingQuality evaluate_ordering(const Graph& g, std::span<const vid_t> new_to_old) {
+  SymbolicFactor sf = symbolic_cholesky(g, new_to_old);
+  ConcurrencyProfile cp = concurrency_profile(sf);
+  OrderingQuality q;
+  q.nnz_factor = sf.nnz_factor;
+  q.flops = sf.flops;
+  q.etree_height = cp.etree_height;
+  q.critical_path_flops = cp.critical_path_flops;
+  q.average_width = cp.average_width;
+  return q;
+}
+
+std::string format_flops(std::int64_t flops) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3g", static_cast<double>(flops));
+  return buf;
+}
+
+}  // namespace mgp

@@ -1,0 +1,28 @@
+// Ordering quality metrics: the numbers behind Figure 5 and the
+// concurrency discussion of §4.3.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "graph/csr.hpp"
+#include "order/symbolic.hpp"
+
+namespace mgp {
+
+struct OrderingQuality {
+  std::int64_t nnz_factor = 0;       ///< fill: nonzeros of L
+  std::int64_t flops = 0;            ///< Σ colcount², the paper's op count
+  vid_t etree_height = 0;            ///< serial dependency chain
+  std::int64_t critical_path_flops = 0;
+  double average_width = 0.0;        ///< flops / critical path
+};
+
+/// Evaluates an ordering (new_to_old) of g's pattern.
+OrderingQuality evaluate_ordering(const Graph& g, std::span<const vid_t> new_to_old);
+
+/// Formats flops human-readably ("1.23e9") for table rows.
+std::string format_flops(std::int64_t flops);
+
+}  // namespace mgp

@@ -1,0 +1,61 @@
+#include "metrics/partition_metrics.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace mgp {
+
+PartitionQuality evaluate_partition(const Graph& g, std::span<const part_t> part,
+                                    part_t k) {
+  PartitionQuality q;
+  q.k = k;
+  std::vector<vwt_t> weights(static_cast<std::size_t>(k), 0);
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    weights[static_cast<std::size_t>(part[static_cast<std::size_t>(v)])] +=
+        g.vertex_weight(v);
+  }
+  q.max_part_weight = weights.empty() ? 0 : *std::max_element(weights.begin(), weights.end());
+  q.min_part_weight = weights.empty() ? 0 : *std::min_element(weights.begin(), weights.end());
+  const double ideal =
+      static_cast<double>(g.total_vertex_weight()) / static_cast<double>(k);
+  q.imbalance = ideal > 0 ? static_cast<double>(q.max_part_weight) / ideal : 1.0;
+
+  // Edge-cut, boundary vertices and communication volume in one sweep.
+  std::vector<part_t> seen;  // distinct foreign parts of the current vertex
+  for (vid_t u = 0; u < g.num_vertices(); ++u) {
+    const part_t pu = part[static_cast<std::size_t>(u)];
+    auto nbrs = g.neighbors(u);
+    auto wgts = g.edge_weights(u);
+    seen.clear();
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const part_t pv = part[static_cast<std::size_t>(nbrs[i])];
+      if (pv == pu) continue;
+      q.edge_cut += wgts[i];
+      if (std::find(seen.begin(), seen.end(), pv) == seen.end()) seen.push_back(pv);
+    }
+    if (!seen.empty()) {
+      ++q.boundary_vertices;
+      q.comm_volume += static_cast<std::int64_t>(seen.size());
+    }
+  }
+  q.edge_cut /= 2;
+  return q;
+}
+
+std::string check_partition(const Graph& g, std::span<const part_t> part, part_t k) {
+  std::ostringstream err;
+  if (part.size() != static_cast<std::size_t>(g.num_vertices())) {
+    err << "part size " << part.size() << " != n " << g.num_vertices();
+    return err.str();
+  }
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    part_t p = part[static_cast<std::size_t>(v)];
+    if (p < 0 || p >= k) {
+      err << "vertex " << v << " has part " << p << " outside [0, " << k << ")";
+      return err.str();
+    }
+  }
+  return {};
+}
+
+}  // namespace mgp

@@ -1,0 +1,35 @@
+// Partition quality metrics reported by the tables/figures.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "support/types.hpp"
+
+namespace mgp {
+
+struct PartitionQuality {
+  part_t k = 0;
+  ewt_t edge_cut = 0;
+  vwt_t max_part_weight = 0;
+  vwt_t min_part_weight = 0;
+  /// max part weight / (total/k); 1.0 = perfectly balanced.
+  double imbalance = 0.0;
+  /// Vertices with at least one neighbour in another part.
+  vid_t boundary_vertices = 0;
+  /// Total communication volume: for each vertex, the number of *distinct*
+  /// other parts its neighbours occupy (the SpMV ghost-exchange volume).
+  std::int64_t comm_volume = 0;
+};
+
+/// Evaluates a k-way labelling.  O(|E|).
+PartitionQuality evaluate_partition(const Graph& g, std::span<const part_t> part,
+                                    part_t k);
+
+/// Empty string if `part` is a valid k-way labelling (every label in [0,k)),
+/// else a description of the violation.
+std::string check_partition(const Graph& g, std::span<const part_t> part, part_t k);
+
+}  // namespace mgp

@@ -1,0 +1,60 @@
+// Umbrella header: the full public API of the mgp library.
+//
+// Most applications only need three calls:
+//
+//   mgp::Graph g = mgp::read_metis_graph_file("mesh.graph");
+//   mgp::Rng rng(1995);
+//   auto part = mgp::kway_partition(g, 8, mgp::MultilevelConfig{}, rng);
+//
+// Include the individual headers instead when compile time matters.
+#pragma once
+
+// Substrates.
+#include "support/types.hpp"       // vid_t / eid_t / weights
+#include "support/rng.hpp"         // deterministic randomness
+#include "support/timer.hpp"       // phase timing (CTime/ITime/RTime/PTime)
+#include "support/bucket_queue.hpp"
+
+// Graphs.
+#include "graph/csr.hpp"           // the CSR Graph
+#include "graph/builder.hpp"       // edge-list construction
+#include "graph/generators.hpp"    // meshes, circuits, the paper suite
+#include "graph/io.hpp"            // METIS / MatrixMarket files
+#include "graph/partition_io.hpp"  // partition & permutation files
+#include "graph/components.hpp"
+#include "graph/permute.hpp"
+
+// The multilevel algorithm (the paper's contribution).
+#include "coarsen/matching.hpp"    // RM / HEM / LEM / HCM
+#include "coarsen/parallel_matching.hpp"
+#include "coarsen/contract.hpp"
+#include "initpart/graph_grow.hpp" // GGP / GGGP
+#include "initpart/spectral_init.hpp"
+#include "refine/refine.hpp"       // GR / KLR / BGR / BKLR / BKLGR
+#include "core/config.hpp"
+#include "core/multilevel.hpp"     // one bisection
+#include "core/kway.hpp"           // recursive k-way
+#include "core/kway_direct.hpp"    // direct multilevel k-way (extension)
+#include "core/chaco_ml.hpp"       // the Chaco-ML baseline
+
+// Spectral methods (baselines).
+#include "spectral/fiedler.hpp"
+#include "spectral/msb.hpp"        // MSB / MSB-KL
+
+// Fill-reducing orderings.
+#include "order/nested_dissection.hpp"  // MLND / SND
+#include "order/mmd.hpp"                // multiple minimum degree
+#include "order/symbolic.hpp"           // symbolic Cholesky / etree metrics
+
+// Numeric solvers (extensions).
+#include "cholesky/sparse_cholesky.hpp"
+#include "cholesky/conjugate_gradient.hpp"
+
+// Geometry (extensions).
+#include "geom/geometry.hpp"
+#include "geom/geometric_bisect.hpp"
+#include "geom/delaunay.hpp"
+
+// Quality metrics.
+#include "metrics/partition_metrics.hpp"
+#include "metrics/ordering_metrics.hpp"

@@ -1,0 +1,78 @@
+#include "order/etree.hpp"
+
+#include <algorithm>
+
+#include "graph/permute.hpp"
+
+namespace mgp {
+
+std::vector<vid_t> elimination_tree(const Graph& g, std::span<const vid_t> new_to_old) {
+  const vid_t n = g.num_vertices();
+  std::vector<vid_t> old_to_new = invert_permutation(new_to_old);
+  std::vector<vid_t> parent(static_cast<std::size_t>(n), kInvalidVid);
+  std::vector<vid_t> ancestor(static_cast<std::size_t>(n), kInvalidVid);
+
+  for (vid_t i = 0; i < n; ++i) {
+    const vid_t old_i = new_to_old[static_cast<std::size_t>(i)];
+    for (vid_t old_j : g.neighbors(old_i)) {
+      vid_t j = old_to_new[static_cast<std::size_t>(old_j)];
+      // Walk j's ancestor chain up towards i, compressing as we go.
+      while (j != kInvalidVid && j < i) {
+        vid_t next = ancestor[static_cast<std::size_t>(j)];
+        ancestor[static_cast<std::size_t>(j)] = i;
+        if (next == kInvalidVid) {
+          parent[static_cast<std::size_t>(j)] = i;
+          break;
+        }
+        j = next;
+      }
+    }
+  }
+  return parent;
+}
+
+vid_t etree_height(std::span<const vid_t> parent) {
+  const std::size_t n = parent.size();
+  std::vector<vid_t> depth(n, -1);
+  vid_t height = 0;
+  for (std::size_t j = 0; j < n; ++j) {
+    // Follow to the first node with known depth, then unwind.
+    std::vector<vid_t> stack;
+    vid_t v = static_cast<vid_t>(j);
+    while (v != kInvalidVid && depth[static_cast<std::size_t>(v)] < 0) {
+      stack.push_back(v);
+      v = parent[static_cast<std::size_t>(v)];
+    }
+    vid_t d = v == kInvalidVid ? 0 : depth[static_cast<std::size_t>(v)] + 1;
+    for (std::size_t i = stack.size(); i-- > 0;) {
+      depth[static_cast<std::size_t>(stack[i])] = d++;
+    }
+    height = std::max(height, d);
+  }
+  return height;
+}
+
+EtreeChildren etree_children(std::span<const vid_t> parent) {
+  const std::size_t n = parent.size();
+  EtreeChildren out;
+  out.xadj.assign(n + 1, 0);
+  for (std::size_t j = 0; j < n; ++j) {
+    if (parent[j] != kInvalidVid) {
+      ++out.xadj[static_cast<std::size_t>(parent[j]) + 1];
+    } else {
+      out.roots.push_back(static_cast<vid_t>(j));
+    }
+  }
+  for (std::size_t j = 0; j < n; ++j) out.xadj[j + 1] += out.xadj[j];
+  out.child.resize(n - out.roots.size());
+  std::vector<eid_t> cursor(out.xadj.begin(), out.xadj.end() - 1);
+  for (std::size_t j = 0; j < n; ++j) {
+    if (parent[j] != kInvalidVid) {
+      out.child[static_cast<std::size_t>(cursor[static_cast<std::size_t>(parent[j])]++)] =
+          static_cast<vid_t>(j);
+    }
+  }
+  return out;
+}
+
+}  // namespace mgp

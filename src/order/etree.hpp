@@ -1,0 +1,34 @@
+// Elimination tree of a symmetric matrix under a given ordering (Liu's
+// algorithm with path compression).
+//
+// The elimination tree drives both the symbolic factorisation (column
+// counts → fill and operation counts, Figure 5) and the concurrency
+// analysis of §4.3 ("orderings based on nested dissection produce
+// orderings that have both more concurrency and better balance").
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "support/types.hpp"
+
+namespace mgp {
+
+/// parent[j] = etree parent of column j (in the *ordered* numbering), or
+/// kInvalidVid for roots.  `new_to_old` is the ordering: position i is
+/// occupied by original vertex new_to_old[i].
+std::vector<vid_t> elimination_tree(const Graph& g, std::span<const vid_t> new_to_old);
+
+/// Height of the elimination (forest) — the serial chain length.
+vid_t etree_height(std::span<const vid_t> parent);
+
+/// Children lists (CSR-ish) for traversals.
+struct EtreeChildren {
+  std::vector<eid_t> xadj;
+  std::vector<vid_t> child;
+  std::vector<vid_t> roots;
+};
+EtreeChildren etree_children(std::span<const vid_t> parent);
+
+}  // namespace mgp

@@ -1,0 +1,343 @@
+#include "order/mmd.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "support/bucket_queue.hpp"
+
+namespace mgp {
+namespace {
+
+/// Quotient-graph minimum-degree engine.
+///
+/// Two marker arrays are used: `marker_` for transient deduplication scans
+/// (each scan takes a fresh stamp), and `round_marker_` to tag the
+/// variables affected by the current round's eliminations (independence
+/// test of multiple elimination + touched-set dedup).
+class QuotientGraph {
+ public:
+  explicit QuotientGraph(const Graph& g, const MmdOptions& opts)
+      : n_(g.num_vertices()), opts_(opts) {
+    const std::size_t n = static_cast<std::size_t>(n_);
+    vlist_.resize(n);
+    elist_.resize(n);
+    svsize_.assign(n, 1);
+    degree_.assign(n, 0);
+    state_.assign(n, kVariable);
+    merge_parent_.assign(n, kInvalidVid);
+    member_next_.assign(n, kInvalidVid);
+    member_tail_.resize(n);
+    marker_.assign(n, 0);
+    round_marker_.assign(n, 0);
+    for (vid_t v = 0; v < n_; ++v) {
+      auto nbrs = g.neighbors(v);
+      vlist_[static_cast<std::size_t>(v)].assign(nbrs.begin(), nbrs.end());
+      member_tail_[static_cast<std::size_t>(v)] = v;
+      degree_[static_cast<std::size_t>(v)] = static_cast<vwt_t>(nbrs.size());
+    }
+    queue_.reset(n_, static_cast<BucketQueue::gain_t>(n_));
+    for (vid_t v = 0; v < n_; ++v) {
+      queue_.insert(v, -static_cast<BucketQueue::gain_t>(
+                           degree_[static_cast<std::size_t>(v)]));
+    }
+  }
+
+  std::vector<vid_t> run() {
+    std::vector<vid_t> order;
+    order.reserve(static_cast<std::size_t>(n_));
+    std::vector<vid_t> deferred;
+    std::vector<vid_t> touched;
+
+    while (!queue_.empty()) {
+      const BucketQueue::gain_t min_key = queue_.max_gain();
+      deferred.clear();
+      touched.clear();
+      ++round_stamp_;
+
+      // Eliminate a maximal independent set of minimum-degree variables.
+      while (!queue_.empty() && queue_.max_gain() == min_key) {
+        vid_t p = queue_.pop_max();
+        if (round_marker_[static_cast<std::size_t>(p)] == round_stamp_) {
+          deferred.push_back(p);  // adjacent to this round's eliminations
+          continue;
+        }
+        eliminate(p, order, touched);
+        if (!opts_.multiple) break;
+      }
+      for (vid_t p : deferred) {
+        queue_.insert(p, -static_cast<BucketQueue::gain_t>(
+                             degree_[static_cast<std::size_t>(p)]));
+      }
+
+      update_degrees(touched);
+      if (opts_.supervariables) merge_indistinguishable(touched);
+    }
+    assert(order.size() == static_cast<std::size_t>(n_));
+    return order;
+  }
+
+ private:
+  enum State : char { kVariable, kElement, kAbsorbedVar, kDeadElement };
+
+  bool is_live_var(vid_t v) const { return state_[static_cast<std::size_t>(v)] == kVariable; }
+  bool is_elem(vid_t v) const { return state_[static_cast<std::size_t>(v)] == kElement; }
+
+  /// Union-find over absorbed supervariables (path-halving).
+  vid_t find(vid_t v) {
+    while (merge_parent_[static_cast<std::size_t>(v)] != kInvalidVid) {
+      vid_t p = merge_parent_[static_cast<std::size_t>(v)];
+      vid_t gp = merge_parent_[static_cast<std::size_t>(p)];
+      if (gp != kInvalidVid) merge_parent_[static_cast<std::size_t>(v)] = gp;
+      v = p;
+    }
+    return v;
+  }
+
+  /// Resolves, deduplicates and prunes a variable list in place; drops
+  /// `self` and anything that is no longer a live variable.
+  void compact_variable_list(std::vector<vid_t>& list, vid_t self) {
+    ++stamp_;
+    std::size_t out = 0;
+    for (vid_t raw : list) {
+      // A raw id that was eliminated is stale (the edge is now covered by
+      // an element in the elist); absorbed ids resolve to representatives.
+      if (state_[static_cast<std::size_t>(raw)] == kElement ||
+          state_[static_cast<std::size_t>(raw)] == kDeadElement) {
+        continue;
+      }
+      vid_t v = find(raw);
+      if (v == self || !is_live_var(v)) continue;
+      if (marker_[static_cast<std::size_t>(v)] == stamp_) continue;
+      marker_[static_cast<std::size_t>(v)] = stamp_;
+      list[out++] = v;
+    }
+    list.resize(out);
+  }
+
+  void eliminate(vid_t p, std::vector<vid_t>& order, std::vector<vid_t>& touched) {
+    const std::size_t sp = static_cast<std::size_t>(p);
+
+    // Mass elimination: the supervariable's member chain is emitted in one go.
+    for (vid_t m = p; m != kInvalidVid; m = member_next_[static_cast<std::size_t>(m)]) {
+      order.push_back(m);
+    }
+
+    // L_p = adjacent variables ∪ variables of adjacent elements.
+    std::vector<vid_t> lp;
+    ++stamp_;
+    const std::uint32_t dedup = stamp_;
+    auto add_var = [&](vid_t raw) {
+      if (state_[static_cast<std::size_t>(raw)] == kElement ||
+          state_[static_cast<std::size_t>(raw)] == kDeadElement) {
+        return;
+      }
+      vid_t v = find(raw);
+      if (v == p || !is_live_var(v)) return;
+      if (marker_[static_cast<std::size_t>(v)] == dedup) return;
+      marker_[static_cast<std::size_t>(v)] = dedup;
+      lp.push_back(v);
+    };
+    for (vid_t v : vlist_[sp]) add_var(v);
+    for (vid_t e : elist_[sp]) {
+      if (!is_elem(e)) continue;
+      for (vid_t v : vlist_[static_cast<std::size_t>(e)]) add_var(v);
+      // Element absorption: e's variables are now covered by p.
+      state_[static_cast<std::size_t>(e)] = kDeadElement;
+      vlist_[static_cast<std::size_t>(e)].clear();
+      vlist_[static_cast<std::size_t>(e)].shrink_to_fit();
+    }
+
+    state_[sp] = kElement;
+    vlist_[sp] = lp;
+    elist_[sp].clear();
+    elist_[sp].shrink_to_fit();
+
+    // Update each v in L_p.
+    for (vid_t v : lp) {
+      const std::size_t sv = static_cast<std::size_t>(v);
+      // elist: keep live elements, append p.
+      std::size_t out = 0;
+      for (vid_t e : elist_[sv]) {
+        if (is_elem(e)) elist_[sv][out++] = e;
+      }
+      elist_[sv].resize(out);
+      elist_[sv].push_back(p);
+
+      if (queue_.contains(v)) queue_.remove(v);
+      if (round_marker_[sv] != round_stamp_) {
+        round_marker_[sv] = round_stamp_;
+        touched.push_back(v);
+      }
+    }
+    // Quotient-graph compression: entries of v's vlist that are in L_p are
+    // now reachable through element p — drop them.  The `dedup` stamp still
+    // tags exactly the members of L_p (no scan has bumped marker_ since).
+    for (vid_t v : lp) {
+      auto& lst = vlist_[static_cast<std::size_t>(v)];
+      std::size_t out = 0;
+      for (vid_t u : lst) {
+        if (state_[static_cast<std::size_t>(u)] == kElement ||
+            state_[static_cast<std::size_t>(u)] == kDeadElement) {
+          continue;  // stale eliminated entry, covered by an element
+        }
+        vid_t r = find(u);
+        if (!is_live_var(r)) continue;
+        if (marker_[static_cast<std::size_t>(r)] == dedup) continue;  // in L_p
+        lst[out++] = u;
+      }
+      lst.resize(out);
+    }
+  }
+
+  /// Exact external degree (in original-vertex units) of each touched
+  /// variable; refreshed in the bucket queue.
+  void update_degrees(const std::vector<vid_t>& touched) {
+    for (vid_t v : touched) {
+      const std::size_t sv = static_cast<std::size_t>(v);
+      if (!is_live_var(v)) continue;  // merged into a supervariable
+      ++stamp_;
+      const std::uint32_t seen = stamp_;
+      marker_[sv] = seen;  // exclude self
+      vwt_t d = 0;
+      auto count = [&](vid_t raw) {
+        if (state_[static_cast<std::size_t>(raw)] == kElement ||
+            state_[static_cast<std::size_t>(raw)] == kDeadElement) {
+          return;
+        }
+        vid_t r = find(raw);
+        if (!is_live_var(r)) return;
+        if (marker_[static_cast<std::size_t>(r)] == seen) return;
+        marker_[static_cast<std::size_t>(r)] = seen;
+        d += svsize_[static_cast<std::size_t>(r)];
+      };
+      for (vid_t u : vlist_[sv]) count(u);
+      std::size_t out = 0;
+      for (vid_t e : elist_[sv]) {
+        if (!is_elem(e)) continue;
+        elist_[sv][out++] = e;
+        for (vid_t u : vlist_[static_cast<std::size_t>(e)]) count(u);
+      }
+      elist_[sv].resize(out);
+      degree_[sv] = d;
+      if (queue_.contains(v)) {
+        queue_.update(v, -static_cast<BucketQueue::gain_t>(d));
+      } else {
+        queue_.insert(v, -static_cast<BucketQueue::gain_t>(d));
+      }
+    }
+  }
+
+  /// Indistinguishable-variable detection among this round's touched set.
+  void merge_indistinguishable(const std::vector<vid_t>& touched) {
+    struct Cand {
+      std::uint64_t hash;
+      vid_t v;
+    };
+    std::vector<Cand> cands;
+    cands.reserve(touched.size());
+    for (vid_t v : touched) {
+      const std::size_t sv = static_cast<std::size_t>(v);
+      if (!is_live_var(v)) continue;
+      compact_variable_list(vlist_[sv], v);
+      std::uint64_t h = 1469598103934665603ULL;
+      for (vid_t u : vlist_[sv]) {
+        h += 0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(u) + 1);
+      }
+      for (vid_t e : elist_[sv]) {
+        if (is_elem(e)) h += 0xc2b2ae3d27d4eb4fULL * (static_cast<std::uint64_t>(e) + 1);
+      }
+      cands.push_back({h, v});
+    }
+    std::sort(cands.begin(), cands.end(), [](const Cand& a, const Cand& b) {
+      if (a.hash != b.hash) return a.hash < b.hash;
+      return a.v < b.v;
+    });
+
+    for (std::size_t i = 0; i < cands.size(); ++i) {
+      vid_t u = cands[i].v;
+      if (!is_live_var(u)) continue;
+      for (std::size_t j = i + 1;
+           j < cands.size() && cands[j].hash == cands[i].hash; ++j) {
+        vid_t v = cands[j].v;
+        if (!is_live_var(v)) continue;
+        if (indistinguishable(u, v)) absorb_supervariable(u, v);
+      }
+    }
+  }
+
+  bool indistinguishable(vid_t u, vid_t v) {
+    const std::size_t su = static_cast<std::size_t>(u);
+    const std::size_t sv = static_cast<std::size_t>(v);
+    compact_variable_list(vlist_[su], u);
+    compact_variable_list(vlist_[sv], v);
+
+    auto live_elems = [&](std::size_t s) {
+      std::vector<vid_t> es;
+      for (vid_t e : elist_[s]) {
+        if (is_elem(e)) es.push_back(e);
+      }
+      std::sort(es.begin(), es.end());
+      es.erase(std::unique(es.begin(), es.end()), es.end());
+      return es;
+    };
+    if (live_elems(su) != live_elems(sv)) return false;
+
+    // vlist(u) \ {v} must equal vlist(v) \ {u}.
+    auto vars_minus = [&](std::size_t s, vid_t excl) {
+      std::vector<vid_t> vs;
+      for (vid_t x : vlist_[s]) {
+        if (x != excl) vs.push_back(x);
+      }
+      std::sort(vs.begin(), vs.end());
+      return vs;
+    };
+    return vars_minus(su, v) == vars_minus(sv, u);
+  }
+
+  void absorb_supervariable(vid_t u, vid_t v) {
+    const std::size_t su = static_cast<std::size_t>(u);
+    const std::size_t sv = static_cast<std::size_t>(v);
+    const vwt_t size_v = svsize_[sv];
+    svsize_[su] += size_v;
+    state_[sv] = kAbsorbedVar;
+    merge_parent_[sv] = u;
+    member_next_[static_cast<std::size_t>(member_tail_[su])] = v;
+    member_tail_[su] = member_tail_[sv];
+    if (queue_.contains(v)) queue_.remove(v);
+    vlist_[sv].clear();
+    vlist_[sv].shrink_to_fit();
+    elist_[sv].clear();
+    elist_[sv].shrink_to_fit();
+    // v was an external neighbour of u; now interior to the supervariable.
+    degree_[su] = std::max<vwt_t>(0, degree_[su] - size_v);
+    if (queue_.contains(u)) {
+      queue_.update(u, -static_cast<BucketQueue::gain_t>(degree_[su]));
+    }
+  }
+
+  vid_t n_;
+  MmdOptions opts_;
+  std::vector<std::vector<vid_t>> vlist_;
+  std::vector<std::vector<vid_t>> elist_;
+  std::vector<vwt_t> svsize_;
+  std::vector<vwt_t> degree_;
+  std::vector<char> state_;
+  std::vector<vid_t> merge_parent_;
+  std::vector<vid_t> member_next_;
+  std::vector<vid_t> member_tail_;
+  std::vector<std::uint32_t> marker_;
+  std::vector<std::uint32_t> round_marker_;
+  std::uint32_t stamp_ = 0;
+  std::uint32_t round_stamp_ = 0;
+  BucketQueue queue_;
+};
+
+}  // namespace
+
+std::vector<vid_t> mmd_order(const Graph& g, const MmdOptions& opts) {
+  if (g.num_vertices() == 0) return {};
+  QuotientGraph qg(g, opts);
+  return qg.run();
+}
+
+}  // namespace mgp

@@ -1,0 +1,40 @@
+// Multiple Minimum Degree ordering (Liu [27]) — Figure 5's baseline.
+//
+// "The multiple minimum degree algorithm is the most widely used variant of
+// minimum degree due to its very fast runtime."  We implement the classic
+// quotient-graph formulation:
+//
+//   * eliminated vertices become *elements*; a variable's fill neighbourhood
+//     is its adjacent variables plus the variables of its adjacent elements,
+//     so the structure never stores fill edges explicitly;
+//   * elements adjacent to a newly formed element are absorbed by it;
+//   * indistinguishable variables (identical quotient adjacency) merge into
+//     supervariables and are eliminated together (mass elimination);
+//   * *multiple* elimination: every round eliminates a maximal independent
+//     set of minimum-degree variables before any degree is recomputed —
+//     Liu's speed trick and the "multiple" in the name.
+//
+// Degrees are exact external degrees (in original-vertex units), so the
+// ordering quality matches the classical algorithm.
+#pragma once
+
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "support/types.hpp"
+
+namespace mgp {
+
+struct MmdOptions {
+  /// Enable multiple elimination (false = classic single-elimination MD;
+  /// same quality class, slower — kept for the ablation bench).
+  bool multiple = true;
+  /// Enable supervariable (indistinguishable node) merging.
+  bool supervariables = true;
+};
+
+/// Returns the elimination order as new_to_old: position i holds the i-th
+/// eliminated original vertex.  Deterministic.
+std::vector<vid_t> mmd_order(const Graph& g, const MmdOptions& opts = {});
+
+}  // namespace mgp

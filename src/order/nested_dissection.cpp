@@ -1,0 +1,106 @@
+#include "order/nested_dissection.hpp"
+
+#include <cassert>
+
+#include "graph/permute.hpp"
+#include "order/mmd.hpp"
+#include "order/separator.hpp"
+
+namespace mgp {
+namespace {
+
+/// Orders `g` (with identities `to_global`), appending original-vertex ids
+/// to `order` such that recursion level by recursion level the separator
+/// comes last.  `order` is filled back to front: callers reserve the tail
+/// slice [lo, hi) of the final permutation for this subgraph.
+void nd_recurse(const Graph& g, std::span<const vid_t> to_global,
+                const Bisector& bisect, const NdOptions& opts, Rng& rng,
+                std::vector<vid_t>& order, std::size_t lo, std::size_t hi) {
+  const vid_t n = g.num_vertices();
+  assert(hi - lo == static_cast<std::size_t>(n));
+
+  if (n <= opts.leaf_size) {
+    std::vector<vid_t> local = mmd_order(g);
+    for (std::size_t i = 0; i < local.size(); ++i) {
+      order[lo + i] = to_global[static_cast<std::size_t>(local[i])];
+    }
+    return;
+  }
+
+  const vwt_t target0 = g.total_vertex_weight() / 2;
+  Bisection b = bisect(g, target0, rng);
+  Separator sep = opts.boundary_separator
+                      ? boundary_separator_from_bisection(g, b)
+                      : vertex_separator_from_bisection(g, b);
+  if (opts.refine_separator) refine_separator(g, sep, opts.sep_refine, rng);
+
+  // Degenerate bisection (everything on one side, empty separator) would
+  // recurse forever; fall back to MMD for this block.
+  const vid_t n_a = [&] {
+    vid_t c = 0;
+    for (part_t l : sep.label) c += (l == kSepA) ? 1 : 0;
+    return c;
+  }();
+  const vid_t n_s = sep.sep_size;
+  const vid_t n_b = n - n_a - n_s;
+  if ((n_a == 0 || n_b == 0) && n_s == 0) {
+    std::vector<vid_t> local = mmd_order(g);
+    for (std::size_t i = 0; i < local.size(); ++i) {
+      order[lo + i] = to_global[static_cast<std::size_t>(local[i])];
+    }
+    return;
+  }
+
+  // Separator vertices are numbered last within this block.
+  std::size_t pos = hi;
+  for (vid_t v = n; v-- > 0;) {
+    if (sep.label[static_cast<std::size_t>(v)] == kSepS) {
+      order[--pos] = to_global[static_cast<std::size_t>(v)];
+    }
+  }
+  assert(pos == hi - static_cast<std::size_t>(n_s));
+
+  // Recurse on A then B, occupying [lo, lo+n_a) and [lo+n_a, pos).
+  for (part_t side : {kSepA, kSepB}) {
+    Subgraph sub = extract_where(g, sep.label, side);
+    std::vector<vid_t> global_ids(sub.local_to_global.size());
+    for (std::size_t i = 0; i < global_ids.size(); ++i) {
+      global_ids[i] = to_global[static_cast<std::size_t>(sub.local_to_global[i])];
+    }
+    const std::size_t lo2 = side == kSepA ? lo : lo + static_cast<std::size_t>(n_a);
+    const std::size_t hi2 = lo2 + global_ids.size();
+    nd_recurse(sub.graph, global_ids, bisect, opts, rng, order, lo2, hi2);
+  }
+}
+
+}  // namespace
+
+std::vector<vid_t> nested_dissection(const Graph& g, const Bisector& bisect,
+                                     const NdOptions& opts, Rng& rng) {
+  const vid_t n = g.num_vertices();
+  std::vector<vid_t> order(static_cast<std::size_t>(n), kInvalidVid);
+  std::vector<vid_t> identity(static_cast<std::size_t>(n));
+  for (vid_t v = 0; v < n; ++v) identity[static_cast<std::size_t>(v)] = v;
+  nd_recurse(g, identity, bisect, opts, rng, order, 0,
+             static_cast<std::size_t>(n));
+  assert(is_permutation(order));
+  return order;
+}
+
+std::vector<vid_t> mlnd_order(const Graph& g, const MultilevelConfig& cfg,
+                              const NdOptions& opts, Rng& rng) {
+  Bisector bisect = [&cfg](const Graph& sub, vwt_t target0, Rng& r) {
+    return multilevel_bisect(sub, target0, cfg, r).bisection;
+  };
+  return nested_dissection(g, bisect, opts, rng);
+}
+
+std::vector<vid_t> snd_order(const Graph& g, const MsbOptions& msb,
+                             const NdOptions& opts, Rng& rng) {
+  Bisector bisect = [&msb](const Graph& sub, vwt_t target0, Rng& r) {
+    return msb_bisect(sub, target0, msb, r);
+  };
+  return nested_dissection(g, bisect, opts, rng);
+}
+
+}  // namespace mgp

@@ -1,0 +1,38 @@
+// Vertex separators from edge separators (§4.3, ref [31]).
+//
+// Given a bisection (A, B), the cut edges induce a bipartite graph between
+// A's boundary and B's boundary; its minimum vertex cover is the smallest
+// vertex set S whose removal disconnects A\S from B\S.  Nested dissection
+// numbers S last at every recursion level.
+#pragma once
+
+#include <vector>
+
+#include "initpart/bisection_state.hpp"
+#include "graph/csr.hpp"
+
+namespace mgp {
+
+/// Tri-partition labels produced by separator extraction.
+enum : part_t { kSepA = 0, kSepB = 1, kSepS = 2 };
+
+struct Separator {
+  /// label[v] in {kSepA, kSepB, kSepS}.
+  std::vector<part_t> label;
+  vid_t sep_size = 0;
+  vwt_t sep_weight = 0;
+};
+
+/// Minimum-vertex-cover separator from a bisection.  Guarantees no edge
+/// joins an A-labelled to a B-labelled vertex.
+Separator vertex_separator_from_bisection(const Graph& g, const Bisection& b);
+
+/// Naive alternative (ablation baseline): take the entire boundary of the
+/// smaller side as the separator.
+Separator boundary_separator_from_bisection(const Graph& g, const Bisection& b);
+
+/// Empty string when `s` is a valid separator of g (labels in range, no
+/// A-B edge), else a description of the first violation.
+std::string check_separator(const Graph& g, const Separator& s);
+
+}  // namespace mgp

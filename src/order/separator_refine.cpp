@@ -1,0 +1,85 @@
+#include "order/separator_refine.hpp"
+
+#include <algorithm>
+
+namespace mgp {
+
+SepRefineStats refine_separator(const Graph& g, Separator& sep,
+                                const SepRefineOptions& opts, Rng& rng) {
+  const vid_t n = g.num_vertices();
+  SepRefineStats stats;
+  if (n == 0 || sep.sep_size == 0) return stats;
+
+  vwt_t side_weight[2] = {0, 0};
+  for (vid_t v = 0; v < n; ++v) {
+    const part_t l = sep.label[static_cast<std::size_t>(v)];
+    if (l == kSepA) side_weight[0] += g.vertex_weight(v);
+    if (l == kSepB) side_weight[1] += g.vertex_weight(v);
+  }
+
+  for (int pass = 0; pass < opts.max_passes; ++pass) {
+    ++stats.passes;
+    vwt_t pass_reduction = 0;
+    // Alternate the preferred side per pass so neither side systematically
+    // absorbs the separator.
+    const part_t first_side = static_cast<part_t>(pass % 2);
+
+    std::vector<vid_t> order = rng.permutation(n);
+    for (vid_t s : order) {
+      if (sep.label[static_cast<std::size_t>(s)] != kSepS) continue;
+
+      for (int attempt = 0; attempt < 2; ++attempt) {
+        const part_t to = static_cast<part_t>((first_side + attempt) % 2);
+        const part_t to_label = to == 0 ? kSepA : kSepB;
+        const part_t other_label = to == 0 ? kSepB : kSepA;
+
+        // Cost: the other side's neighbours must enter the separator.
+        vwt_t pulled = 0;
+        for (vid_t u : g.neighbors(s)) {
+          if (sep.label[static_cast<std::size_t>(u)] == other_label) {
+            pulled += g.vertex_weight(u);
+          }
+        }
+        const vwt_t gain = g.vertex_weight(s) - pulled;
+        if (gain <= 0) continue;
+
+        // Balance ceiling on the growing side.
+        const vwt_t non_sep = side_weight[0] + side_weight[1] + gain;
+        const vwt_t new_side = side_weight[to] + g.vertex_weight(s);
+        if (static_cast<double>(new_side) >
+            opts.max_side_fraction * static_cast<double>(non_sep)) {
+          continue;
+        }
+
+        // Execute: s joins `to`; its other-side neighbours join S.
+        sep.label[static_cast<std::size_t>(s)] = to_label;
+        side_weight[to] += g.vertex_weight(s);
+        for (vid_t u : g.neighbors(s)) {
+          if (sep.label[static_cast<std::size_t>(u)] == other_label) {
+            sep.label[static_cast<std::size_t>(u)] = kSepS;
+            side_weight[1 - to] -= g.vertex_weight(u);
+          }
+        }
+        pass_reduction += gain;
+        ++stats.moves;
+        break;  // s moved; stop trying sides
+      }
+    }
+
+    stats.weight_reduction += pass_reduction;
+    if (pass_reduction == 0) break;
+  }
+
+  // Recompute the cached separator size/weight.
+  sep.sep_size = 0;
+  sep.sep_weight = 0;
+  for (vid_t v = 0; v < n; ++v) {
+    if (sep.label[static_cast<std::size_t>(v)] == kSepS) {
+      ++sep.sep_size;
+      sep.sep_weight += g.vertex_weight(v);
+    }
+  }
+  return stats;
+}
+
+}  // namespace mgp

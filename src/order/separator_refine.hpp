@@ -1,0 +1,35 @@
+// Greedy vertex-separator refinement (extension).
+//
+// The paper extracts separators with one shot of minimum vertex cover.  Its
+// successor (the METIS node-ordering line) refines separators directly: a
+// separator vertex s can move into side A if we pull its B-side neighbours
+// into the separator instead; the move pays off when
+//     gain = w(s) - w(N(s) ∩ B) > 0,
+// i.e. the separator gets lighter.  Alternating greedy sweeps towards each
+// side run until no improving move remains.  The separator stays valid (no
+// A-B edge) by construction, and side balance is kept within a ceiling.
+#pragma once
+
+#include "order/separator.hpp"
+#include "support/rng.hpp"
+
+namespace mgp {
+
+struct SepRefineOptions {
+  int max_passes = 8;
+  /// Neither side may exceed this fraction of the non-separator weight.
+  double max_side_fraction = 0.55;
+};
+
+struct SepRefineStats {
+  int passes = 0;
+  vid_t moves = 0;
+  vwt_t weight_reduction = 0;
+};
+
+/// Refines `sep` in place.  Separator weight never increases; labels remain
+/// a valid separator (checked by tests against check_separator()).
+SepRefineStats refine_separator(const Graph& g, Separator& sep,
+                                const SepRefineOptions& opts, Rng& rng);
+
+}  // namespace mgp

@@ -1,0 +1,69 @@
+#include "order/symbolic.hpp"
+
+#include <algorithm>
+
+#include "graph/permute.hpp"
+#include "order/etree.hpp"
+
+namespace mgp {
+
+SymbolicFactor symbolic_cholesky(const Graph& g, std::span<const vid_t> new_to_old) {
+  const vid_t n = g.num_vertices();
+  SymbolicFactor sf;
+  sf.parent = elimination_tree(g, new_to_old);
+  sf.col_count.assign(static_cast<std::size_t>(n), 1);  // diagonal
+
+  std::vector<vid_t> old_to_new = invert_permutation(new_to_old);
+  // Row-subtree traversal: the nonzeros of L's row i are exactly the nodes
+  // visited walking each a_{ij} (j < i) up the etree until reaching a node
+  // already marked for row i.  Each visited node j gains one nonzero in its
+  // column (the entry L_{ij}).
+  std::vector<vid_t> mark(static_cast<std::size_t>(n), kInvalidVid);
+  for (vid_t i = 0; i < n; ++i) {
+    mark[static_cast<std::size_t>(i)] = i;
+    const vid_t old_i = new_to_old[static_cast<std::size_t>(i)];
+    for (vid_t old_j : g.neighbors(old_i)) {
+      vid_t j = old_to_new[static_cast<std::size_t>(old_j)];
+      while (j < i && mark[static_cast<std::size_t>(j)] != i) {
+        mark[static_cast<std::size_t>(j)] = i;
+        ++sf.col_count[static_cast<std::size_t>(j)];
+        j = sf.parent[static_cast<std::size_t>(j)];
+        if (j == kInvalidVid) break;
+      }
+    }
+  }
+
+  for (std::int64_t cc : sf.col_count) {
+    sf.nnz_factor += cc;
+    sf.flops += cc * cc;
+  }
+  return sf;
+}
+
+ConcurrencyProfile concurrency_profile(const SymbolicFactor& sf) {
+  const std::size_t n = sf.parent.size();
+  ConcurrencyProfile cp;
+  cp.etree_height = etree_height(sf.parent);
+
+  // Longest weighted leaf-to-root path: process columns in order (children
+  // always precede parents in an elimination tree), accumulating the max
+  // path cost into each parent.
+  std::vector<std::int64_t> path(n, 0);
+  std::int64_t best = 0;
+  for (std::size_t j = 0; j < n; ++j) {
+    const std::int64_t cost = sf.col_count[j] * sf.col_count[j];
+    path[j] += cost;
+    best = std::max(best, path[j]);
+    const vid_t p = sf.parent[j];
+    if (p != kInvalidVid) {
+      path[static_cast<std::size_t>(p)] =
+          std::max(path[static_cast<std::size_t>(p)], path[j]);
+    }
+  }
+  cp.critical_path_flops = best;
+  cp.average_width =
+      best > 0 ? static_cast<double>(sf.flops) / static_cast<double>(best) : 1.0;
+  return cp;
+}
+
+}  // namespace mgp

@@ -1,0 +1,47 @@
+// Symbolic Cholesky factorisation: fill and operation counts for an
+// ordering, without forming the numeric factor.
+//
+// Figure 5 compares orderings by "the number of operations required during
+// factorization".  We compute, for each column j of the permuted matrix,
+// the number of nonzeros cc(j) in L's column j (the standard row-subtree
+// traversal over the elimination tree, O(nnz(L)) time and O(n) space), and
+// report:
+//   fill  = nnz(L)            = Σ cc(j)
+//   flops = Σ cc(j)^2          (dense column update cost, the paper's metric)
+// plus the concurrency metrics of §4.3 (critical path, average width).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "support/types.hpp"
+
+namespace mgp {
+
+struct SymbolicFactor {
+  /// cc[j] = nonzeros in column j of L, *including* the diagonal, in the
+  /// ordered numbering.
+  std::vector<std::int64_t> col_count;
+  std::vector<vid_t> parent;  ///< elimination tree
+  std::int64_t nnz_factor = 0;
+  std::int64_t flops = 0;
+};
+
+/// Symbolic factorisation of g's pattern under the ordering `new_to_old`.
+SymbolicFactor symbolic_cholesky(const Graph& g, std::span<const vid_t> new_to_old);
+
+/// Concurrency profile of a factorisation (§4.3's parallelism argument).
+struct ConcurrencyProfile {
+  vid_t etree_height = 0;
+  /// Flops on the heaviest root-to-leaf path — the parallel critical path
+  /// under unlimited processors with one task per column.
+  std::int64_t critical_path_flops = 0;
+  /// total flops / critical path: average exploitable concurrency.
+  double average_width = 0.0;
+};
+
+ConcurrencyProfile concurrency_profile(const SymbolicFactor& sf);
+
+}  // namespace mgp

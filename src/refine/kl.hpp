@@ -1,0 +1,61 @@
+// The Kernighan–Lin refinement engine (§3.3).
+//
+// The paper's KL variant (after [6], Fiduccia–Mattheyses style) moves one
+// vertex at a time: repeatedly take the highest-gain unlocked vertex from
+// the heavier side, move it, and lock it.  A pass ends when x = 50
+// consecutive moves fail to produce a new best cut (those trailing moves
+// are undone) or when the queues empty.  KLR iterates passes to a local
+// minimum; GR runs exactly one pass ("the largest decrease in the edge-cut
+// is obtained during the first pass").
+//
+// The boundary variants (BGR/BKLR) seed the gain queues with boundary
+// vertices only, inserting newly-boundary vertices with positive gain as
+// refinement proceeds — same moves machinery, far less queue traffic.
+#pragma once
+
+#include <span>
+
+#include "initpart/bisection_state.hpp"
+#include "support/rng.hpp"
+
+namespace mgp {
+
+struct KlOptions {
+  /// Stop a pass after this many consecutive non-improving moves (§3.3's x).
+  int non_improving_window = 50;
+  /// Pass cap for the multi-pass policies (convergence usually takes 2-4).
+  int max_passes = 8;
+  /// Seed the queues with boundary vertices only (BGR/BKLR).
+  bool boundary_only = false;
+  /// Stop after a single pass (GR/BGR).
+  bool single_pass = false;
+  /// Additive slack on each side's target weight, in units of the maximum
+  /// vertex weight (coarse-level multinodes are lumpy; a best-cut state is
+  /// only accepted within target + slack).
+  double weight_slack_factor = 1.0;
+  /// BKLGR's switch rule (§3.3): run multi-pass BKLR while the boundary is
+  /// smaller than this fraction of the original graph, else single-pass BGR.
+  double bklgr_boundary_fraction = 0.02;
+};
+
+struct KlStats {
+  int passes = 0;
+  /// Vertices whose move survived undo, summed over passes ("swapped").
+  vid_t swapped = 0;
+  /// All moves attempted, including undone ones.
+  vid_t moves_attempted = 0;
+  /// Total queue insertions (the cost the boundary variants avoid).
+  vid_t insertions = 0;
+  /// Edge-cut improvement achieved.
+  ewt_t cut_reduction = 0;
+};
+
+/// Refines `b` in place.  `target0` is side 0's desired vertex weight.
+/// Deterministic given rng state.
+KlStats kl_refine(const Graph& g, Bisection& b, vwt_t target0, const KlOptions& opts,
+                  Rng& rng);
+
+/// Number of boundary vertices (vertices with at least one cut edge).
+vid_t count_boundary_vertices(const Graph& g, std::span<const part_t> side);
+
+}  // namespace mgp

@@ -1,0 +1,56 @@
+#include "refine/refine.hpp"
+
+namespace mgp {
+
+std::string to_string(RefinePolicy p) {
+  switch (p) {
+    case RefinePolicy::kNone: return "none";
+    case RefinePolicy::kGR: return "GR";
+    case RefinePolicy::kKLR: return "KLR";
+    case RefinePolicy::kBGR: return "BGR";
+    case RefinePolicy::kBKLR: return "BKLR";
+    case RefinePolicy::kBKLGR: return "BKLGR";
+  }
+  return "?";
+}
+
+KlStats refine_bisection(const Graph& g, Bisection& b, vwt_t target0,
+                         RefinePolicy policy, vid_t original_n, Rng& rng,
+                         const KlOptions& base_opts) {
+  KlOptions opts = base_opts;
+  switch (policy) {
+    case RefinePolicy::kNone:
+      return {};
+    case RefinePolicy::kGR:
+      opts.boundary_only = false;
+      opts.single_pass = true;
+      break;
+    case RefinePolicy::kKLR:
+      opts.boundary_only = false;
+      opts.single_pass = false;
+      break;
+    case RefinePolicy::kBGR:
+      opts.boundary_only = true;
+      opts.single_pass = true;
+      break;
+    case RefinePolicy::kBKLR:
+      opts.boundary_only = true;
+      opts.single_pass = false;
+      break;
+    case RefinePolicy::kBKLGR: {
+      // §3.3: "if the number of vertices in the boundary of the coarse graph
+      // is less than 2% of the number of vertices in the original graph,
+      // refinement is performed using BKLR, otherwise BGR is used."
+      const vid_t boundary = count_boundary_vertices(g, b.side);
+      const bool small_boundary =
+          static_cast<double>(boundary) <
+          base_opts.bklgr_boundary_fraction * static_cast<double>(original_n);
+      opts.boundary_only = true;
+      opts.single_pass = !small_boundary;
+      break;
+    }
+  }
+  return kl_refine(g, b, target0, opts, rng);
+}
+
+}  // namespace mgp

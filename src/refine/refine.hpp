@@ -1,0 +1,34 @@
+// Refinement policy dispatch (§3.3 / Table 4).
+//
+// Five policies from the paper, plus kNone for the Table 3 experiment
+// (edge-cut when no refinement is performed):
+//
+//   GR    — one KL pass over all vertices
+//   KLR   — KL passes over all vertices until convergence
+//   BGR   — one pass, boundary vertices only
+//   BKLR  — boundary passes until convergence
+//   BKLGR — the hybrid: BKLR while the boundary is small relative to the
+//           *original* graph (< 2% of |V_0|), BGR once it grows past that.
+#pragma once
+
+#include <string>
+
+#include "refine/kl.hpp"
+
+namespace mgp {
+
+enum class RefinePolicy { kNone, kGR, kKLR, kBGR, kBKLR, kBKLGR };
+
+/// Paper mnemonic ("GR", "BKLGR", ...).
+std::string to_string(RefinePolicy p);
+
+/// Refines one level's bisection under the given policy.
+///
+/// `original_n` is |V_0|, the finest graph's vertex count — the BKLGR
+/// switch rule compares the current boundary size against 2% of it.
+/// Returns the engine stats (zeroed for kNone).
+KlStats refine_bisection(const Graph& g, Bisection& b, vwt_t target0,
+                         RefinePolicy policy, vid_t original_n, Rng& rng,
+                         const KlOptions& base_opts = {});
+
+}  // namespace mgp

@@ -1,0 +1,40 @@
+#include "spectral/fiedler.hpp"
+
+#include <cmath>
+
+#include "spectral/jacobi.hpp"
+#include "spectral/laplacian.hpp"
+
+namespace mgp {
+
+FiedlerResult fiedler_vector(const Graph& g, std::span<const double> warm_start,
+                             const FiedlerOptions& opts, Rng& rng) {
+  const vid_t n = g.num_vertices();
+  FiedlerResult out;
+  if (n <= 1) {
+    out.vector.assign(static_cast<std::size_t>(n), 1.0);
+    out.exact = true;
+    return out;
+  }
+
+  if (n <= opts.dense_threshold) {
+    std::vector<double> dense = laplacian_dense(g);
+    DenseEigen e = jacobi_eigen(dense, static_cast<std::size_t>(n));
+    // values[0] ~ 0 (constant vector); the Fiedler pair is index 1.
+    out.value = e.values[1];
+    out.vector.assign(e.vectors.begin() + static_cast<std::ptrdiff_t>(n),
+                      e.vectors.begin() + static_cast<std::ptrdiff_t>(2 * n));
+    deflate_constant(out.vector);
+    double nr = norm2(out.vector);
+    if (nr > 0) scale(out.vector, 1.0 / nr);
+    out.exact = true;
+    return out;
+  }
+
+  LanczosResult lr = lanczos_fiedler(g, warm_start, opts.lanczos, rng);
+  out.value = lr.value;
+  out.vector = std::move(lr.vector);
+  return out;
+}
+
+}  // namespace mgp

@@ -1,0 +1,33 @@
+// Fiedler-vector computation with automatic method selection.
+//
+// Small graphs (the coarsest level of MSB, |V| < ~100) get an exact dense
+// eigensolve; everything else goes through Lanczos, optionally warm-started
+// with a vector interpolated from a coarser graph.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "spectral/lanczos.hpp"
+#include "support/rng.hpp"
+
+namespace mgp {
+
+struct FiedlerOptions {
+  vid_t dense_threshold = 128;  ///< use the dense solver at or below this size
+  LanczosOptions lanczos;
+};
+
+struct FiedlerResult {
+  std::vector<double> vector;  ///< unit norm, orthogonal to constant
+  double value = 0.0;          ///< algebraic connectivity estimate
+  bool exact = false;          ///< true when the dense path was used
+};
+
+/// Computes (an approximation of) the Fiedler vector of g.
+/// `warm_start` may be empty; when it has size n it seeds Lanczos.
+FiedlerResult fiedler_vector(const Graph& g, std::span<const double> warm_start,
+                             const FiedlerOptions& opts, Rng& rng);
+
+}  // namespace mgp

@@ -1,0 +1,85 @@
+#include "spectral/jacobi.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace mgp {
+
+DenseEigen jacobi_eigen(std::span<const double> matrix, std::size_t n,
+                        double tol, int max_sweeps) {
+  assert(matrix.size() == n * n);
+  std::vector<double> a(matrix.begin(), matrix.end());
+  // v starts as identity; accumulates the rotations (column k = eigenvector).
+  std::vector<double> v(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) v[i * n + i] = 1.0;
+
+  auto off_norm = [&]() {
+    double s = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = i + 1; j < n; ++j) s += a[i * n + j] * a[i * n + j];
+    return std::sqrt(2.0 * s);
+  };
+  double anorm = 0.0;
+  for (double x : a) anorm += x * x;
+  anorm = std::sqrt(anorm);
+  const double threshold = tol * std::max(anorm, 1e-300);
+
+  for (int sweep = 0; sweep < max_sweeps && off_norm() > threshold; ++sweep) {
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = a[p * n + q];
+        if (std::abs(apq) < 1e-300) continue;
+        const double app = a[p * n + p];
+        const double aqq = a[q * n + q];
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        // Update rows/cols p and q of a (symmetric).
+        for (std::size_t k = 0; k < n; ++k) {
+          const double akp = a[k * n + p];
+          const double akq = a[k * n + q];
+          a[k * n + p] = c * akp - s * akq;
+          a[k * n + q] = s * akp + c * akq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double apk = a[p * n + k];
+          const double aqk = a[q * n + k];
+          a[p * n + k] = c * apk - s * aqk;
+          a[q * n + k] = s * apk + c * aqk;
+        }
+        // Accumulate the rotation into v.
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = v[k * n + p];
+          const double vkq = v[k * n + q];
+          v[k * n + p] = c * vkp - s * vkq;
+          v[k * n + q] = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  DenseEigen out;
+  out.values.resize(n);
+  for (std::size_t i = 0; i < n; ++i) out.values[i] = a[i * n + i];
+
+  // Sort ascending, permuting eigenvector columns to match.
+  std::vector<std::size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  std::sort(idx.begin(), idx.end(),
+            [&](std::size_t x, std::size_t y) { return out.values[x] < out.values[y]; });
+  DenseEigen sorted;
+  sorted.values.resize(n);
+  sorted.vectors.resize(n * n);
+  for (std::size_t k = 0; k < n; ++k) {
+    sorted.values[k] = out.values[idx[k]];
+    for (std::size_t i = 0; i < n; ++i) sorted.vectors[k * n + i] = v[i * n + idx[k]];
+  }
+  return sorted;
+}
+
+}  // namespace mgp

@@ -1,0 +1,29 @@
+// Dense symmetric eigensolver (cyclic Jacobi rotations).
+//
+// MSB's base case computes the exact Fiedler vector of the coarsest graph;
+// since coarsening stops below ~100 vertices, an O(n^3) dense solve is
+// negligible and removes all convergence concerns at the bottom of the
+// V-cycle.  Also used to diagonalise the Lanczos tridiagonal matrices
+// (trivially, since those are already nearly diagonal after rotation).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace mgp {
+
+struct DenseEigen {
+  /// Ascending eigenvalues.
+  std::vector<double> values;
+  /// Column-major eigenvectors: vector k is vectors[k*n .. k*n+n-1],
+  /// aligned with values[k].
+  std::vector<double> vectors;
+};
+
+/// Full eigendecomposition of a symmetric row-major n*n matrix by the
+/// cyclic Jacobi method.  Converges quadratically; tolerance is the
+/// off-diagonal Frobenius norm relative to the matrix norm.
+DenseEigen jacobi_eigen(std::span<const double> matrix, std::size_t n,
+                        double tol = 1e-12, int max_sweeps = 64);
+
+}  // namespace mgp

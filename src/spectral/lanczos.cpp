@@ -1,0 +1,217 @@
+#include "spectral/lanczos.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "spectral/jacobi.hpp"
+#include "spectral/laplacian.hpp"
+
+namespace mgp {
+
+TridiagEigen tridiag_eigen(std::span<const double> alpha, std::span<const double> beta) {
+  const std::size_t m = alpha.size();
+  assert(beta.size() + 1 == m || (m == 0 && beta.empty()));
+  std::vector<double> dense(m * m, 0.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    dense[i * m + i] = alpha[i];
+    if (i + 1 < m) {
+      dense[i * m + i + 1] = beta[i];
+      dense[(i + 1) * m + i] = beta[i];
+    }
+  }
+  DenseEigen e = jacobi_eigen(dense, m);
+  return TridiagEigen{std::move(e.values), std::move(e.vectors)};
+}
+
+namespace {
+
+/// Number of eigenvalues of T strictly less than x (Sturm sequence count).
+int sturm_count(std::span<const double> alpha, std::span<const double> beta, double x) {
+  int count = 0;
+  double d = 1.0;
+  for (std::size_t i = 0; i < alpha.size(); ++i) {
+    const double b2 = i == 0 ? 0.0 : beta[i - 1] * beta[i - 1];
+    d = alpha[i] - x - (d == 0.0 ? b2 / 1e-300 : b2 / d);
+    if (d < 0.0) ++count;
+  }
+  return count;
+}
+
+}  // namespace
+
+TridiagPair tridiag_smallest(std::span<const double> alpha, std::span<const double> beta) {
+  const std::size_t m = alpha.size();
+  TridiagPair out;
+  if (m == 0) return out;
+  if (m == 1) {
+    out.value = alpha[0];
+    out.vector = {1.0};
+    return out;
+  }
+
+  // Gershgorin interval, then bisection on the Sturm count.
+  double lo = alpha[0], hi = alpha[0];
+  for (std::size_t i = 0; i < m; ++i) {
+    const double r = (i > 0 ? std::abs(beta[i - 1]) : 0.0) +
+                     (i + 1 < m ? std::abs(beta[i]) : 0.0);
+    lo = std::min(lo, alpha[i] - r);
+    hi = std::max(hi, alpha[i] + r);
+  }
+  const double width = hi - lo;
+  for (int it = 0; it < 70 && hi - lo > 1e-14 * std::max(1.0, width); ++it) {
+    const double mid = 0.5 * (lo + hi);
+    if (sturm_count(alpha, beta, mid) >= 1) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  out.value = 0.5 * (lo + hi);
+
+  // Inverse iteration on (T - value*I) with a tiny perturbation to keep the
+  // shifted matrix nonsingular.  Two sweeps of a tridiagonal solve via
+  // Gaussian elimination with partial pivoting (LAPACK xSTEIN-style).
+  const double shift = out.value + 1e-10 * std::max(1.0, width);
+  std::vector<double> x(m, 1.0 / std::sqrt(static_cast<double>(m)));
+  // Work arrays for the factorisation of the shifted matrix per sweep.
+  std::vector<double> d(m), du(m > 1 ? m - 1 : 0), du2(m > 2 ? m - 2 : 0), dl(m > 1 ? m - 1 : 0);
+  for (int sweep = 0; sweep < 3; ++sweep) {
+    // Rebuild the tridiagonal T - shift.
+    for (std::size_t i = 0; i < m; ++i) d[i] = alpha[i] - shift;
+    for (std::size_t i = 0; i + 1 < m; ++i) {
+      du[i] = beta[i];
+      dl[i] = beta[i];
+    }
+    std::fill(du2.begin(), du2.end(), 0.0);
+    // LU with partial pivoting, applying the row ops to x as we go.
+    for (std::size_t i = 0; i + 1 < m; ++i) {
+      if (std::abs(dl[i]) > std::abs(d[i])) {
+        std::swap(d[i], dl[i]);
+        std::swap(du[i], d[i + 1]);
+        if (i + 2 < m) {
+          du2[i] = du[i + 1];
+          du[i + 1] = 0.0;
+        }
+        std::swap(x[i], x[i + 1]);
+      }
+      const double piv = d[i] == 0.0 ? 1e-300 : d[i];
+      const double mult = dl[i] / piv;
+      d[i + 1] -= mult * du[i];
+      if (i + 2 < m) du[i + 1] -= mult * du2[i];
+      x[i + 1] -= mult * x[i];
+    }
+    // Back substitution.
+    for (std::size_t ii = m; ii-- > 0;) {
+      double s = x[ii];
+      if (ii + 1 < m) s -= du[ii] * x[ii + 1];
+      if (ii + 2 < m) s -= du2[ii] * x[ii + 2];
+      const double piv = d[ii] == 0.0 ? 1e-300 : d[ii];
+      x[ii] = s / piv;
+    }
+    double nx = 0.0;
+    for (double v : x) nx += v * v;
+    nx = std::sqrt(nx);
+    if (nx > 0) {
+      for (double& v : x) v /= nx;
+    }
+  }
+  out.vector = std::move(x);
+  return out;
+}
+
+LanczosResult lanczos_fiedler(const Graph& g, std::span<const double> warm_start,
+                              const LanczosOptions& opts, Rng& rng) {
+  const std::size_t n = static_cast<std::size_t>(g.num_vertices());
+  LanczosResult out;
+  if (n == 0) return out;
+  if (n == 1) {
+    out.vector = {1.0};
+    out.converged = true;
+    return out;
+  }
+
+  // Scale for the relative convergence test: Gershgorin bound on ||L||.
+  double lnorm = 1.0;
+  {
+    std::vector<double> diag = laplacian_diagonal(g);
+    for (double d : diag) lnorm = std::max(lnorm, 2.0 * d);
+  }
+
+  const int max_m = std::min<int>(opts.max_iters, static_cast<int>(n) - 1);
+  std::vector<std::vector<double>> q;  // Lanczos basis, each unit, ⟂ constant
+  q.reserve(static_cast<std::size_t>(max_m) + 1);
+  std::vector<double> alpha, beta;
+
+  // Starting vector: warm start if supplied (projected off the constant),
+  // otherwise random.
+  std::vector<double> v(n);
+  if (warm_start.size() == n) {
+    std::copy(warm_start.begin(), warm_start.end(), v.begin());
+  } else {
+    for (double& x : v) x = rng.next_double() - 0.5;
+  }
+  deflate_constant(v);
+  double nv = norm2(v);
+  if (nv < 1e-14) {
+    for (double& x : v) x = rng.next_double() - 0.5;
+    deflate_constant(v);
+    nv = norm2(v);
+  }
+  scale(v, 1.0 / nv);
+  q.push_back(v);
+
+  std::vector<double> w(n);
+  auto finish = [&](int m) {
+    // Ritz extraction: smallest eigenpair of T_m, mapped back through Q.
+    TridiagPair tp = tridiag_smallest(
+        alpha, std::span<const double>(beta.data(), alpha.size() - 1));
+    out.value = tp.value;
+    out.vector.assign(n, 0.0);
+    for (int j = 0; j < m; ++j) {
+      axpy(tp.vector[static_cast<std::size_t>(j)], q[static_cast<std::size_t>(j)],
+           out.vector);
+    }
+    double nr = norm2(out.vector);
+    if (nr > 0) scale(out.vector, 1.0 / nr);
+    out.iterations = m;
+  };
+
+  for (int j = 0; j < max_m; ++j) {
+    laplacian_apply(g, q.back(), w);
+    double a = dot(w, q.back());
+    alpha.push_back(a);
+    axpy(-a, q.back(), w);
+    if (j > 0) axpy(-beta.back(), q[static_cast<std::size_t>(j) - 1], w);
+    // Full reorthogonalisation (including against the constant direction).
+    deflate_constant(w);
+    for (const auto& qi : q) axpy(-dot(w, qi), qi, w);
+
+    double b = norm2(w);
+    const int m = j + 1;
+
+    // Convergence check: residual of the smallest Ritz pair is |b * s_m|.
+    bool check = (m % opts.check_every == 0) || m == max_m || b < 1e-12 * lnorm;
+    if (check) {
+      TridiagPair tp = tridiag_smallest(
+          alpha, std::span<const double>(beta.data(), alpha.size() - 1));
+      double s_last = tp.vector[static_cast<std::size_t>(m) - 1];
+      double resid = std::abs(b * s_last);
+      if (resid <= opts.tol * lnorm || b < 1e-12 * lnorm || m == max_m) {
+        out.residual = resid;
+        out.converged = resid <= opts.tol * lnorm || b < 1e-12 * lnorm;
+        finish(m);
+        return out;
+      }
+    }
+
+    beta.push_back(b);
+    scale(w, 1.0 / b);
+    q.push_back(w);
+  }
+
+  finish(static_cast<int>(alpha.size()));
+  return out;
+}
+
+}  // namespace mgp

@@ -1,0 +1,80 @@
+#include "spectral/laplacian.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace mgp {
+
+void laplacian_apply(const Graph& g, std::span<const double> x, std::span<double> y) {
+  const vid_t n = g.num_vertices();
+  assert(x.size() == static_cast<std::size_t>(n));
+  assert(y.size() == static_cast<std::size_t>(n));
+  for (vid_t u = 0; u < n; ++u) {
+    auto nbrs = g.neighbors(u);
+    auto wgts = g.edge_weights(u);
+    double acc = 0.0;
+    double deg = 0.0;
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const double w = static_cast<double>(wgts[i]);
+      deg += w;
+      acc += w * x[static_cast<std::size_t>(nbrs[i])];
+    }
+    y[static_cast<std::size_t>(u)] = deg * x[static_cast<std::size_t>(u)] - acc;
+  }
+}
+
+std::vector<double> laplacian_diagonal(const Graph& g) {
+  const vid_t n = g.num_vertices();
+  std::vector<double> d(static_cast<std::size_t>(n), 0.0);
+  for (vid_t u = 0; u < n; ++u) {
+    double deg = 0.0;
+    for (ewt_t w : g.edge_weights(u)) deg += static_cast<double>(w);
+    d[static_cast<std::size_t>(u)] = deg;
+  }
+  return d;
+}
+
+std::vector<double> laplacian_dense(const Graph& g) {
+  const std::size_t n = static_cast<std::size_t>(g.num_vertices());
+  std::vector<double> m(n * n, 0.0);
+  for (vid_t u = 0; u < g.num_vertices(); ++u) {
+    auto nbrs = g.neighbors(u);
+    auto wgts = g.edge_weights(u);
+    double deg = 0.0;
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const double w = static_cast<double>(wgts[i]);
+      deg += w;
+      m[static_cast<std::size_t>(u) * n + static_cast<std::size_t>(nbrs[i])] = -w;
+    }
+    m[static_cast<std::size_t>(u) * n + static_cast<std::size_t>(u)] = deg;
+  }
+  return m;
+}
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  assert(a.size() == b.size());
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double norm2(std::span<const double> a) { return std::sqrt(dot(a, a)); }
+
+void axpy(double alpha, std::span<const double> x, std::span<double> y) {
+  assert(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void scale(std::span<double> x, double alpha) {
+  for (double& v : x) v *= alpha;
+}
+
+void deflate_constant(std::span<double> x) {
+  if (x.empty()) return;
+  double mean = 0.0;
+  for (double v : x) mean += v;
+  mean /= static_cast<double>(x.size());
+  for (double& v : x) v -= mean;
+}
+
+}  // namespace mgp

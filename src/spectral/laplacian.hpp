@@ -1,0 +1,35 @@
+// Graph Laplacian kernels for the spectral methods.
+//
+// Spectral bisection needs y = L x products (L = D - A, with edge weights)
+// and a few dense-vector primitives.  Everything operates on the CSR graph
+// directly — no separate matrix object is materialised.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace mgp {
+
+/// y = (D - A) x, the weighted Laplacian applied to x.  O(|E|).
+void laplacian_apply(const Graph& g, std::span<const double> x, std::span<double> y);
+
+/// Weighted degree of every vertex (the Laplacian diagonal).
+std::vector<double> laplacian_diagonal(const Graph& g);
+
+/// Dense Laplacian matrix (row-major n*n), for the coarsest-graph
+/// eigensolve where n < ~100.
+std::vector<double> laplacian_dense(const Graph& g);
+
+// Small-vector helpers shared by the eigensolvers.
+double dot(std::span<const double> a, std::span<const double> b);
+double norm2(std::span<const double> a);
+/// y += alpha * x
+void axpy(double alpha, std::span<const double> x, std::span<double> y);
+/// x *= alpha
+void scale(std::span<double> x, double alpha);
+/// Removes the component of x along the (unnormalised) all-ones direction.
+void deflate_constant(std::span<double> x);
+
+}  // namespace mgp

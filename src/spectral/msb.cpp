@@ -1,0 +1,66 @@
+#include "spectral/msb.hpp"
+
+#include <utility>
+#include <vector>
+
+#include "coarsen/contract.hpp"
+#include "initpart/spectral_init.hpp"
+#include "spectral/fiedler.hpp"
+
+namespace mgp {
+
+Bisection msb_bisect(const Graph& g, vwt_t target0, const MsbOptions& opts, Rng& rng) {
+  // ---- Coarsen with random matching. ----
+  std::vector<Contraction> levels;
+  const Graph* cur = &g;
+  while (cur->num_vertices() > opts.coarsen_to) {
+    Matching m = compute_matching(*cur, MatchingScheme::kRandom, {}, rng);
+    Contraction c = contract(*cur, m, {});
+    if (static_cast<double>(c.coarse.num_vertices()) >
+        opts.min_shrink_factor * static_cast<double>(cur->num_vertices())) {
+      break;
+    }
+    levels.push_back(std::move(c));
+    cur = &levels.back().coarse;
+  }
+  const Graph& coarsest = levels.empty() ? g : levels.back().coarse;
+
+  // ---- Exact Fiedler vector of the coarsest graph. ----
+  FiedlerOptions fopts;
+  fopts.lanczos = opts.lanczos;
+  fopts.dense_threshold = std::max<vid_t>(fopts.dense_threshold, opts.coarsen_to);
+  FiedlerResult f = fiedler_vector(coarsest, /*warm_start=*/{}, fopts, rng);
+  std::vector<double> fied = std::move(f.vector);
+
+  // ---- Uncoarsen: interpolate, then re-converge with warm-started Lanczos. ----
+  for (std::size_t li = levels.size(); li-- > 0;) {
+    const Graph& fine = (li == 0) ? g : levels[li - 1].coarse;
+    const std::vector<vid_t>& cmap = levels[li].cmap;
+    std::vector<double> interp(static_cast<std::size_t>(fine.num_vertices()));
+    for (std::size_t v = 0; v < interp.size(); ++v) {
+      interp[v] = fied[static_cast<std::size_t>(cmap[v])];
+    }
+    LanczosResult lr = lanczos_fiedler(fine, interp, opts.lanczos, rng);
+    fied = std::move(lr.vector);
+  }
+
+  // ---- Split at the weighted median of the Fiedler coordinate. ----
+  Bisection b = split_at_weighted_median(g, fied, target0);
+
+  if (opts.kl_refine) {
+    KlOptions kl = opts.kl;
+    kl.boundary_only = false;
+    kl.single_pass = false;
+    kl_refine(g, b, target0, kl, rng);
+  }
+  return b;
+}
+
+KwayResult msb_partition(const Graph& g, part_t k, const MsbOptions& opts, Rng& rng) {
+  Bisector bisect = [&opts](const Graph& sub, vwt_t target0, Rng& r) {
+    return msb_bisect(sub, target0, opts, r);
+  };
+  return recursive_bisection(g, k, bisect, rng);
+}
+
+}  // namespace mgp

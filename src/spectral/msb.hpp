@@ -1,0 +1,38 @@
+// Multilevel Spectral Bisection (Barnard & Simon [2]) — the paper's main
+// quality baseline (Figures 1, 2, 4).
+//
+// "The MSB algorithm coarsens the graph down to a few hundred vertices
+// using random matching.  It partitions the coarse graph using spectral
+// bisection and obtains the Fiedler vector of the coarser graph.  During
+// uncoarsening, it obtains an approximate Fiedler vector of the next level
+// fine graph by interpolating the Fiedler vector of the coarser graph, and
+// computes a more accurate Fiedler vector using [an iterative solver]."
+//
+// Our iterative solver is warm-started Lanczos (see spectral/lanczos.hpp);
+// the coarsest-level Fiedler vector is exact (dense Jacobi).  MSB-KL runs
+// Kernighan-Lin refinement on the final bisection, as in Figure 2.
+#pragma once
+
+#include "core/kway.hpp"
+#include "initpart/bisection_state.hpp"
+#include "spectral/lanczos.hpp"
+#include "support/rng.hpp"
+#include "support/timer.hpp"
+
+namespace mgp {
+
+struct MsbOptions {
+  vid_t coarsen_to = 100;       ///< RM-coarsen until below this many vertices
+  double min_shrink_factor = 0.95;
+  LanczosOptions lanczos;       ///< per-level Fiedler refinement
+  bool kl_refine = false;       ///< true = the MSB-KL variant
+  KlOptions kl;                 ///< used when kl_refine is set
+};
+
+/// One MSB (or MSB-KL) bisection of g.
+Bisection msb_bisect(const Graph& g, vwt_t target0, const MsbOptions& opts, Rng& rng);
+
+/// k-way MSB partition by recursive bisection.
+KwayResult msb_partition(const Graph& g, part_t k, const MsbOptions& opts, Rng& rng);
+
+}  // namespace mgp

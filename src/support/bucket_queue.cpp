@@ -1,0 +1,78 @@
+#include "support/bucket_queue.hpp"
+
+#include <cassert>
+
+namespace mgp {
+
+void BucketQueue::reset(vid_t n, gain_t max_gain) {
+  offset_ = max_gain;
+  head_.assign(static_cast<std::size_t>(2 * max_gain + 1), kInvalidVid);
+  node_.assign(static_cast<std::size_t>(n), Node{});
+  max_bucket_ = -1;
+  size_ = 0;
+}
+
+void BucketQueue::link_front(vid_t v, std::size_t bucket) {
+  Node& nd = node_[static_cast<std::size_t>(v)];
+  nd.prev = kInvalidVid;
+  nd.next = head_[bucket];
+  if (nd.next != kInvalidVid) node_[static_cast<std::size_t>(nd.next)].prev = v;
+  head_[bucket] = v;
+}
+
+void BucketQueue::unlink(vid_t v) {
+  Node& nd = node_[static_cast<std::size_t>(v)];
+  std::size_t bucket = bucket_of(nd.gain);
+  if (nd.prev != kInvalidVid) {
+    node_[static_cast<std::size_t>(nd.prev)].next = nd.next;
+  } else {
+    head_[bucket] = nd.next;
+  }
+  if (nd.next != kInvalidVid) node_[static_cast<std::size_t>(nd.next)].prev = nd.prev;
+}
+
+void BucketQueue::insert(vid_t v, gain_t gain) {
+  assert(!contains(v));
+  Node& nd = node_[static_cast<std::size_t>(v)];
+  nd.gain = gain;
+  nd.in_queue = true;
+  std::size_t bucket = bucket_of(gain);
+  assert(bucket < head_.size());
+  link_front(v, bucket);
+  max_bucket_ = std::max(max_bucket_, static_cast<std::ptrdiff_t>(bucket));
+  ++size_;
+}
+
+void BucketQueue::update(vid_t v, gain_t new_gain) {
+  assert(contains(v));
+  Node& nd = node_[static_cast<std::size_t>(v)];
+  if (nd.gain == new_gain) return;
+  unlink(v);
+  nd.gain = new_gain;
+  std::size_t bucket = bucket_of(new_gain);
+  assert(bucket < head_.size());
+  link_front(v, bucket);
+  max_bucket_ = std::max(max_bucket_, static_cast<std::ptrdiff_t>(bucket));
+}
+
+void BucketQueue::remove(vid_t v) {
+  assert(contains(v));
+  unlink(v);
+  node_[static_cast<std::size_t>(v)].in_queue = false;
+  --size_;
+}
+
+void BucketQueue::settle_max() const {
+  assert(size_ > 0);
+  while (head_[static_cast<std::size_t>(max_bucket_)] == kInvalidVid) --max_bucket_;
+}
+
+vid_t BucketQueue::pop_max() {
+  assert(!empty());
+  settle_max();
+  vid_t v = head_[static_cast<std::size_t>(max_bucket_)];
+  remove(v);
+  return v;
+}
+
+}  // namespace mgp

@@ -1,0 +1,58 @@
+// Deterministic random number generation for every randomised phase.
+//
+// Section 4 of the paper: "Since the nature of the multilevel algorithm
+// discussed is randomized, we performed all experiments with fixed seed."
+// Every algorithm in mgp that makes a random choice takes an explicit Rng so
+// experiments are exactly reproducible and independent phases can be given
+// independent streams (split()).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "support/types.hpp"
+
+namespace mgp {
+
+/// Small, fast, high-quality PRNG (xoshiro256**).  Not cryptographic.
+class Rng {
+ public:
+  /// Seeds the four words of state from a single 64-bit seed via splitmix64,
+  /// so nearby seeds produce unrelated streams.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Uniform 64 random bits.
+  std::uint64_t next_u64();
+
+  /// Uniform integer in [0, bound) using Lemire's unbiased reduction.
+  /// bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform vertex id in [0, n).
+  vid_t next_vid(vid_t n) { return static_cast<vid_t>(next_below(static_cast<std::uint64_t>(n))); }
+
+  /// Returns an independent generator (for a sub-phase) without disturbing
+  /// the reproducibility of this stream's future values.
+  Rng split();
+
+  /// Fisher–Yates shuffle of a span.
+  template <typename T>
+  void shuffle(std::span<T> data) {
+    for (std::size_t i = data.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(next_below(i));
+      std::swap(data[i - 1], data[j]);
+    }
+  }
+
+  /// Convenience: a random permutation of 0..n-1.
+  std::vector<vid_t> permutation(vid_t n);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace mgp

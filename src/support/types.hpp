@@ -1,0 +1,32 @@
+// Fundamental scalar types used throughout mgp.
+//
+// The paper's graphs are in the 10^4..10^6 vertex range; 32-bit vertex ids
+// are ample and keep CSR arrays compact (cache behaviour dominates the run
+// time of coarsening and refinement).  Edge *offsets* are 64-bit so graphs
+// with more than 2^31 directed edges still index correctly, and all weight
+// accumulators are 64-bit because contraction sums weights level after level.
+#pragma once
+
+#include <cstdint>
+
+namespace mgp {
+
+/// Vertex id. Valid ids are 0 .. n-1; kInvalidVid marks "none".
+using vid_t = std::int32_t;
+
+/// Index into CSR adjacency arrays (directed edge slot).
+using eid_t = std::int64_t;
+
+/// Vertex weight (sum of collapsed fine vertices' weights).
+using vwt_t = std::int64_t;
+
+/// Edge weight (sum of collapsed parallel edges' weights).
+using ewt_t = std::int64_t;
+
+/// Partition side / block id.
+using part_t = std::int32_t;
+
+inline constexpr vid_t kInvalidVid = -1;
+inline constexpr part_t kInvalidPart = -1;
+
+}  // namespace mgp

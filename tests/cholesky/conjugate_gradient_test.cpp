@@ -1,0 +1,105 @@
+#include "cholesky/conjugate_gradient.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "support/rng.hpp"
+
+namespace mgp {
+namespace {
+
+class CgSeedTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CgSeedTest, SolvesSpdSystem) {
+  Graph g = fem2d_tri(12, 12, GetParam());
+  const std::size_t n = static_cast<std::size_t>(g.num_vertices());
+  SymmetricMatrix a = laplacian_matrix(g, 1.0);
+  Rng rng(GetParam());
+  std::vector<double> x_true(n);
+  for (double& v : x_true) v = rng.next_double() * 2.0 - 1.0;
+  std::vector<double> b(n, 0.0);
+  a.multiply_add(x_true, b);
+
+  std::vector<double> x(n, 0.0);
+  CgResult r = conjugate_gradient(a, b, std::span<double>(x));
+  ASSERT_TRUE(r.converged);
+  double err = 0.0;
+  for (std::size_t i = 0; i < n; ++i) err = std::max(err, std::abs(x[i] - x_true[i]));
+  EXPECT_LT(err, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CgSeedTest, ::testing::Values(1, 2, 3));
+
+TEST(CgTest, AgreesWithDirectSolve) {
+  Graph g = grid3d(6, 6, 6);
+  const std::size_t n = static_cast<std::size_t>(g.num_vertices());
+  SymmetricMatrix a = laplacian_matrix(g, 2.0);
+  Rng rng(7);
+  std::vector<double> b(n);
+  for (double& v : b) v = rng.next_double();
+
+  std::vector<double> x_cg(n, 0.0);
+  CgResult r = conjugate_gradient(a, b, std::span<double>(x_cg));
+  ASSERT_TRUE(r.converged);
+
+  CholeskyResult chol = cholesky_factorize(a);
+  ASSERT_TRUE(chol.ok);
+  std::vector<double> x_direct(b);
+  chol.factor.solve(std::span<double>(x_direct));
+
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x_cg[i], x_direct[i], 1e-6);
+}
+
+TEST(CgTest, PreconditionerReducesIterations) {
+  // A badly scaled system: Jacobi preconditioning must help.
+  Graph base = fem2d_tri(14, 14, 9);
+  SymmetricMatrix a = laplacian_matrix(base, 0.01);
+  // Scale one row/col block heavily by bumping some diagonal entries.
+  for (vid_t j = 0; j < a.n; j += 7) {
+    a.values[static_cast<std::size_t>(a.colptr[static_cast<std::size_t>(j)])] *= 1000.0;
+  }
+  const std::size_t n = static_cast<std::size_t>(a.n);
+  Rng rng(3);
+  std::vector<double> b(n);
+  for (double& v : b) v = rng.next_double();
+
+  CgOptions with;
+  CgOptions without;
+  without.jacobi_preconditioner = false;
+  std::vector<double> x1(n, 0.0), x2(n, 0.0);
+  CgResult r1 = conjugate_gradient(a, b, std::span<double>(x1), with);
+  CgResult r2 = conjugate_gradient(a, b, std::span<double>(x2), without);
+  ASSERT_TRUE(r1.converged);
+  ASSERT_TRUE(r2.converged);
+  EXPECT_LT(r1.iterations, r2.iterations);
+}
+
+TEST(CgTest, ZeroRhsConvergesImmediately) {
+  Graph g = path_graph(5);
+  SymmetricMatrix a = laplacian_matrix(g, 1.0);
+  std::vector<double> b(5, 0.0), x(5, 0.0);
+  CgResult r = conjugate_gradient(a, b, std::span<double>(x));
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.iterations, 0);
+}
+
+TEST(CgTest, WarmStartFinishesFaster) {
+  Graph g = fem2d_tri(12, 12, 4);
+  const std::size_t n = static_cast<std::size_t>(g.num_vertices());
+  SymmetricMatrix a = laplacian_matrix(g, 1.0);
+  Rng rng(5);
+  std::vector<double> b(n);
+  for (double& v : b) v = rng.next_double();
+  std::vector<double> cold(n, 0.0);
+  CgResult rc = conjugate_gradient(a, b, std::span<double>(cold));
+  ASSERT_TRUE(rc.converged);
+  // Restarting from the converged solution should need (almost) no steps.
+  std::vector<double> warm(cold);
+  CgResult rw = conjugate_gradient(a, b, std::span<double>(warm));
+  EXPECT_LE(rw.iterations, 1);
+}
+
+}  // namespace
+}  // namespace mgp

@@ -1,0 +1,190 @@
+#include "cholesky/sparse_cholesky.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "graph/generators.hpp"
+#include "order/mmd.hpp"
+#include "order/symbolic.hpp"
+#include "spectral/laplacian.hpp"
+#include "support/rng.hpp"
+
+namespace mgp {
+namespace {
+
+std::vector<vid_t> identity_perm(vid_t n) {
+  std::vector<vid_t> p(static_cast<std::size_t>(n));
+  std::iota(p.begin(), p.end(), vid_t{0});
+  return p;
+}
+
+TEST(SymmetricMatrixTest, LaplacianLayout) {
+  Graph g = path_graph(3);
+  SymmetricMatrix a = laplacian_matrix(g, 1.0);
+  ASSERT_EQ(a.n, 3);
+  // Column 0: diag (1+1=2), then row 1 (-1).
+  EXPECT_EQ(a.rowind[0], 0);
+  EXPECT_DOUBLE_EQ(a.values[0], 2.0);
+  EXPECT_EQ(a.rowind[1], 1);
+  EXPECT_DOUBLE_EQ(a.values[1], -1.0);
+  // Column 1: diag 3, then row 2.
+  EXPECT_DOUBLE_EQ(a.values[static_cast<std::size_t>(a.colptr[1])], 3.0);
+}
+
+TEST(SymmetricMatrixTest, MultiplyMatchesLaplacianApply) {
+  Graph g = fem2d_tri(8, 8, 5);
+  const std::size_t n = static_cast<std::size_t>(g.num_vertices());
+  SymmetricMatrix a = laplacian_matrix(g, 2.5);
+  Rng rng(3);
+  std::vector<double> x(n);
+  for (double& v : x) v = rng.next_double() - 0.5;
+  std::vector<double> y_mat(n, 0.0), y_lap(n);
+  a.multiply_add(x, y_mat);
+  laplacian_apply(g, x, y_lap);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(y_mat[i], y_lap[i] + 2.5 * x[i], 1e-10);
+  }
+}
+
+TEST(CholeskyTest, FactorStructureMatchesSymbolic) {
+  Graph g = fem2d_tri(9, 9, 7);
+  SymmetricMatrix a = laplacian_matrix(g);
+  CholeskyResult r = cholesky_factorize(a);
+  ASSERT_TRUE(r.ok);
+  SymbolicFactor sf = symbolic_cholesky(g, identity_perm(g.num_vertices()));
+  EXPECT_EQ(r.factor.nnz(), sf.nnz_factor);
+  // Per-column counts must agree exactly.
+  for (vid_t j = 0; j < g.num_vertices(); ++j) {
+    EXPECT_EQ(r.factor.colptr[static_cast<std::size_t>(j) + 1] -
+                  r.factor.colptr[static_cast<std::size_t>(j)],
+              sf.col_count[static_cast<std::size_t>(j)])
+        << "column " << j;
+  }
+}
+
+TEST(CholeskyTest, ReconstructsMatrixOnSmallGraph) {
+  // Dense check: L L^T must equal A.
+  Graph g = cycle_graph(6);
+  SymmetricMatrix a = laplacian_matrix(g, 1.5);
+  CholeskyResult r = cholesky_factorize(a);
+  ASSERT_TRUE(r.ok);
+  const std::size_t n = 6;
+  std::vector<double> dense_l(n * n, 0.0);
+  for (vid_t j = 0; j < r.factor.n; ++j) {
+    for (eid_t p = r.factor.colptr[static_cast<std::size_t>(j)];
+         p < r.factor.colptr[static_cast<std::size_t>(j) + 1]; ++p) {
+      dense_l[static_cast<std::size_t>(r.factor.rowind[static_cast<std::size_t>(p)]) * n +
+              static_cast<std::size_t>(j)] = r.factor.values[static_cast<std::size_t>(p)];
+    }
+  }
+  std::vector<double> dense_a(n * n, 0.0);
+  for (vid_t j = 0; j < a.n; ++j) {
+    for (eid_t p = a.colptr[static_cast<std::size_t>(j)];
+         p < a.colptr[static_cast<std::size_t>(j) + 1]; ++p) {
+      vid_t i = a.rowind[static_cast<std::size_t>(p)];
+      dense_a[static_cast<std::size_t>(i) * n + static_cast<std::size_t>(j)] =
+          a.values[static_cast<std::size_t>(p)];
+      dense_a[static_cast<std::size_t>(j) * n + static_cast<std::size_t>(i)] =
+          a.values[static_cast<std::size_t>(p)];
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double llt = 0;
+      for (std::size_t k = 0; k < n; ++k) llt += dense_l[i * n + k] * dense_l[j * n + k];
+      EXPECT_NEAR(llt, dense_a[i * n + j], 1e-10) << "(" << i << "," << j << ")";
+    }
+  }
+}
+
+class CholeskySolveTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CholeskySolveTest, SolvesToSmallResidual) {
+  Graph g = fem2d_tri(10 + static_cast<vid_t>(GetParam() % 5), 11, GetParam());
+  const std::size_t n = static_cast<std::size_t>(g.num_vertices());
+  SymmetricMatrix a = laplacian_matrix(g, 1.0);
+  CholeskyResult r = cholesky_factorize(a);
+  ASSERT_TRUE(r.ok);
+  Rng rng(GetParam());
+  std::vector<double> x_true(n);
+  for (double& v : x_true) v = rng.next_double() * 2.0 - 1.0;
+  std::vector<double> b(n, 0.0);
+  a.multiply_add(x_true, b);
+  r.factor.solve(std::span<double>(b));
+  double err = 0;
+  for (std::size_t i = 0; i < n; ++i) err = std::max(err, std::abs(b[i] - x_true[i]));
+  EXPECT_LT(err, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CholeskySolveTest, ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(CholeskyTest, IndefiniteMatrixReportsFailure) {
+  Graph g = path_graph(5);
+  SymmetricMatrix a = laplacian_matrix(g, -10.0);  // strongly negative shift
+  CholeskyResult r = cholesky_factorize(a);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.failed_column, kInvalidVid);
+}
+
+TEST(CholeskyTest, SingularLaplacianCollapsesLastPivot) {
+  // shift = 0: the pure Laplacian is singular (constant null vector); the
+  // final pivot must collapse to ~0 (reported as failure, or as a pivot
+  // many orders of magnitude below the diagonal scale when rounding leaves
+  // it barely positive).
+  Graph g = cycle_graph(8);
+  SymmetricMatrix a = laplacian_matrix(g, 0.0);
+  CholeskyResult r = cholesky_factorize(a);
+  if (r.ok) {
+    const std::size_t last = static_cast<std::size_t>(r.factor.colptr[7]);
+    EXPECT_LT(r.factor.values[last], 1e-6);
+  } else {
+    EXPECT_EQ(r.failed_column, 7);
+  }
+}
+
+TEST(CholeskyTest, PermutedSystemSolvesOriginal) {
+  Graph g = grid2d(7, 6);
+  const std::size_t n = static_cast<std::size_t>(g.num_vertices());
+  SymmetricMatrix a = laplacian_matrix(g, 1.0);
+  Rng rng(9);
+  std::vector<vid_t> perm = rng.permutation(g.num_vertices());
+  SymmetricMatrix pa = permute_matrix(a, perm);
+  CholeskyResult r = cholesky_factorize(pa);
+  ASSERT_TRUE(r.ok);
+
+  std::vector<double> x_true(n);
+  for (double& v : x_true) v = rng.next_double();
+  std::vector<double> b(n, 0.0);
+  a.multiply_add(x_true, b);
+  // Permute rhs, solve, un-permute.
+  std::vector<double> pb(n);
+  for (std::size_t i = 0; i < n; ++i) pb[i] = b[static_cast<std::size_t>(perm[i])];
+  r.factor.solve(std::span<double>(pb));
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(pb[i], x_true[static_cast<std::size_t>(perm[i])], 1e-9);
+  }
+}
+
+TEST(CholeskyTest, MmdOrderingShrinksNumericFactor) {
+  Graph g = grid2d(14, 14);
+  SymmetricMatrix a = laplacian_matrix(g, 1.0);
+  CholeskyResult natural = cholesky_factorize(a);
+  CholeskyResult ordered = cholesky_factorize(permute_matrix(a, mmd_order(g)));
+  ASSERT_TRUE(natural.ok);
+  ASSERT_TRUE(ordered.ok);
+  EXPECT_LT(ordered.factor.nnz(), natural.factor.nnz());
+}
+
+TEST(CholeskyTest, DiagonalMatrix) {
+  Graph g = empty_graph(4);
+  SymmetricMatrix a = laplacian_matrix(g, 4.0);  // 4 I
+  CholeskyResult r = cholesky_factorize(a);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.factor.nnz(), 4);
+  for (double v : r.factor.values) EXPECT_DOUBLE_EQ(v, 2.0);
+}
+
+}  // namespace
+}  // namespace mgp

@@ -1,0 +1,177 @@
+#include "coarsen/contract.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "initpart/bisection_state.hpp"
+
+namespace mgp {
+namespace {
+
+TEST(ContractTest, CollapsesSingleEdge) {
+  Graph g = path_graph(3);  // 0-1-2
+  Matching m;
+  m.match = {1, 0, 2};
+  m.pairs = 1;
+  m.weight = 1;
+  Contraction c = contract(g, m, {});
+  EXPECT_EQ(c.coarse.num_vertices(), 2);
+  EXPECT_EQ(c.coarse.num_edges(), 1);
+  // Multinode {0,1} has weight 2, vertex 2 stays at 1.
+  EXPECT_EQ(c.coarse.vertex_weight(c.cmap[0]), 2);
+  EXPECT_EQ(c.cmap[0], c.cmap[1]);
+  EXPECT_NE(c.cmap[0], c.cmap[2]);
+  EXPECT_EQ(c.coarse.validate(), "");
+}
+
+TEST(ContractTest, ParallelEdgesMergeWeights) {
+  // Square 0-1-2-3-0; match (0,1) and (2,3): coarse graph has 2 multinodes
+  // joined by the two cross edges (1,2) and (3,0) -> single edge weight 2.
+  Graph g = cycle_graph(4);
+  Matching m;
+  m.match = {1, 0, 3, 2};
+  m.pairs = 2;
+  m.weight = 2;
+  Contraction c = contract(g, m, {});
+  EXPECT_EQ(c.coarse.num_vertices(), 2);
+  EXPECT_EQ(c.coarse.num_edges(), 1);
+  EXPECT_EQ(c.coarse.edge_weights(0)[0], 2);
+}
+
+TEST(ContractTest, VertexWeightConservation) {
+  Graph g = fem2d_tri(15, 15, 2);
+  Rng rng(4);
+  Matching m = compute_matching(g, MatchingScheme::kHeavyEdge, {}, rng);
+  Contraction c = contract(g, m, {});
+  EXPECT_EQ(c.coarse.total_vertex_weight(), g.total_vertex_weight());
+}
+
+TEST(ContractTest, PaperEdgeWeightInvariant) {
+  // §3.1: W(E_{i+1}) = W(E_i) - W(M_i).
+  Graph g = fem2d_tri(15, 15, 6);
+  for (MatchingScheme scheme :
+       {MatchingScheme::kRandom, MatchingScheme::kHeavyEdge,
+        MatchingScheme::kLightEdge, MatchingScheme::kHeavyClique}) {
+    Rng rng(8);
+    Matching m = compute_matching(g, scheme, {}, rng);
+    Contraction c = contract(g, m, {});
+    EXPECT_EQ(c.coarse.total_edge_weight(), g.total_edge_weight() - m.weight)
+        << to_string(scheme);
+  }
+}
+
+TEST(ContractTest, CoarseVertexCountIsFineMinusPairs) {
+  Graph g = grid2d(10, 10);
+  Rng rng(5);
+  Matching m = compute_matching(g, MatchingScheme::kRandom, {}, rng);
+  Contraction c = contract(g, m, {});
+  EXPECT_EQ(c.coarse.num_vertices(), g.num_vertices() - m.pairs);
+}
+
+TEST(ContractTest, CmapIsSurjectiveOntoCoarse) {
+  Graph g = grid2d(8, 8);
+  Rng rng(6);
+  Matching m = compute_matching(g, MatchingScheme::kHeavyEdge, {}, rng);
+  Contraction c = contract(g, m, {});
+  std::vector<bool> hit(static_cast<std::size_t>(c.coarse.num_vertices()), false);
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    vid_t cv = c.cmap[static_cast<std::size_t>(v)];
+    ASSERT_GE(cv, 0);
+    ASSERT_LT(cv, c.coarse.num_vertices());
+    hit[static_cast<std::size_t>(cv)] = true;
+  }
+  for (bool h : hit) EXPECT_TRUE(h);
+}
+
+TEST(ContractTest, CewgtTracksCollapsedEdgeWeight) {
+  // Triangle with weights: match (0,1) across weight-5 edge.
+  GraphBuilder b(3);
+  b.add_edge(0, 1, 5);
+  b.add_edge(1, 2, 2);
+  b.add_edge(0, 2, 3);
+  Graph g = std::move(b).build();
+  Matching m;
+  m.match = {1, 0, 2};
+  m.pairs = 1;
+  m.weight = 5;
+  Contraction c = contract(g, m, {});
+  vid_t mn = c.cmap[0];
+  EXPECT_EQ(c.cewgt[static_cast<std::size_t>(mn)], 5);
+  EXPECT_EQ(c.cewgt[static_cast<std::size_t>(c.cmap[2])], 0);
+  // The two edges to vertex 2 merge into one of weight 5.
+  EXPECT_EQ(c.coarse.num_edges(), 1);
+  EXPECT_EQ(c.coarse.edge_weights(mn)[0], 5);
+}
+
+TEST(ContractTest, CewgtAccumulatesAcrossLevels) {
+  // Path of 4 with unit weights, contract twice down to a single multinode.
+  Graph g = path_graph(4);
+  Matching m1;
+  m1.match = {1, 0, 3, 2};
+  m1.pairs = 2;
+  m1.weight = 2;
+  Contraction c1 = contract(g, m1, {});
+  ASSERT_EQ(c1.coarse.num_vertices(), 2);
+  Matching m2;
+  m2.match = {1, 0};
+  m2.pairs = 1;
+  m2.weight = c1.coarse.edge_weights(0)[0];
+  Contraction c2 = contract(c1.coarse, m2, c1.cewgt);
+  ASSERT_EQ(c2.coarse.num_vertices(), 1);
+  // Total interior weight equals the whole original edge weight (3).
+  EXPECT_EQ(c2.cewgt[0], 3);
+  EXPECT_EQ(c2.coarse.total_vertex_weight(), 4);
+}
+
+TEST(ContractTest, EdgeCutPreservedUnderProjection) {
+  // §3.1: "The edge-cut of the partition in a coarser graph will be equal
+  // to the edge-cut of the same partition in the finer graph."
+  Graph g = fem2d_tri(12, 12, 9);
+  Rng rng(10);
+  Matching m = compute_matching(g, MatchingScheme::kHeavyEdge, {}, rng);
+  Contraction c = contract(g, m, {});
+
+  // Any labelling of the coarse graph, projected to the fine graph, must
+  // have the same cut.
+  std::vector<part_t> coarse_side(static_cast<std::size_t>(c.coarse.num_vertices()));
+  Rng lab(3);
+  for (auto& s : coarse_side) s = static_cast<part_t>(lab.next_below(2));
+  std::vector<part_t> fine_side(static_cast<std::size_t>(g.num_vertices()));
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    fine_side[static_cast<std::size_t>(v)] =
+        coarse_side[static_cast<std::size_t>(c.cmap[static_cast<std::size_t>(v)])];
+  }
+  EXPECT_EQ(compute_cut(c.coarse, coarse_side), compute_cut(g, fine_side));
+}
+
+TEST(ContractTest, RepeatedCoarseningReachesSmallGraph) {
+  Graph g = grid2d(20, 20);
+  std::vector<Contraction> levels;
+  const Graph* cur = &g;
+  std::span<const ewt_t> cewgt;
+  Rng rng(14);
+  int guard = 0;
+  while (cur->num_vertices() > 20 && guard++ < 50) {
+    Matching m = compute_matching(*cur, MatchingScheme::kHeavyEdge, cewgt, rng);
+    if (m.pairs == 0) break;
+    levels.push_back(contract(*cur, m, cewgt));
+    cur = &levels.back().coarse;
+    cewgt = levels.back().cewgt;
+    EXPECT_EQ(cur->validate(), "");
+    EXPECT_EQ(cur->total_vertex_weight(), g.total_vertex_weight());
+  }
+  EXPECT_LE(cur->num_vertices(), 20);
+}
+
+TEST(ContractTest, EmptyMatchingCopiesGraph) {
+  Graph g = empty_graph(4);
+  Matching m;
+  m.match = {0, 1, 2, 3};
+  Contraction c = contract(g, m, {});
+  EXPECT_EQ(c.coarse.num_vertices(), 4);
+  EXPECT_EQ(c.coarse.num_edges(), 0);
+}
+
+}  // namespace
+}  // namespace mgp

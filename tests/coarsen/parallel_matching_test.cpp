@@ -1,0 +1,121 @@
+#include "coarsen/parallel_matching.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "coarsen/contract.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+
+namespace mgp {
+namespace {
+
+using GraphThreads = std::tuple<const char*, int>;
+
+Graph graph_by_name(const std::string& name) {
+  if (name == "path") return path_graph(101);
+  if (name == "grid") return grid2d(17, 13);
+  if (name == "fem") return fem2d_tri(20, 20, 3);
+  if (name == "grid3d27") return grid3d_27(5, 5, 5);
+  if (name == "star") return star_graph(40);
+  if (name == "clique") return complete_graph(17);
+  if (name == "isolated") return empty_graph(11);
+  return path_graph(2);
+}
+
+class ParallelMatchingTest : public ::testing::TestWithParam<GraphThreads> {};
+
+TEST_P(ParallelMatchingTest, ProducesMaximalMatching) {
+  auto [name, threads] = GetParam();
+  Graph g = graph_by_name(name);
+  Matching m = compute_matching_parallel_hem(g, threads);
+  EXPECT_TRUE(is_maximal_matching(g, m)) << name << " threads=" << threads;
+}
+
+TEST_P(ParallelMatchingTest, IdenticalAcrossThreadCounts) {
+  auto [name, threads] = GetParam();
+  Graph g = graph_by_name(name);
+  Matching seq = compute_matching_parallel_hem(g, 1);
+  Matching par = compute_matching_parallel_hem(g, threads);
+  EXPECT_EQ(seq.match, par.match);
+  EXPECT_EQ(seq.pairs, par.pairs);
+  EXPECT_EQ(seq.weight, par.weight);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GraphsTimesThreads, ParallelMatchingTest,
+    ::testing::Combine(::testing::Values("path", "grid", "fem", "grid3d27", "star",
+                                         "clique", "isolated"),
+                       ::testing::Values(1, 2, 4, 8)),
+    [](const ::testing::TestParamInfo<GraphThreads>& info) {
+      return std::string(std::get<0>(info.param)) + "_t" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(ParallelMatchingTest, GreedyOnHeaviestEdges) {
+  // The weight-total-order makes proposal matching grab the heaviest edge
+  // of every local neighbourhood: on a weighted path 1-9-1-9-1 the two 9s
+  // cannot both be taken (they share a vertex), but the heavier-first rule
+  // takes a maximum-weight maximal matching here.
+  GraphBuilder b(5);
+  b.add_edge(0, 1, 1);
+  b.add_edge(1, 2, 9);
+  b.add_edge(2, 3, 1);
+  b.add_edge(3, 4, 9);
+  Graph g = std::move(b).build();
+  Matching m = compute_matching_parallel_hem(g, 2);
+  EXPECT_EQ(m.match[1], 2);
+  EXPECT_EQ(m.match[3], 4);
+  EXPECT_EQ(m.weight, 18);
+}
+
+TEST(ParallelMatchingTest, WeightCompetitiveWithSerialHem) {
+  // Same quality class as the sequential heavy-edge matching: W(M) within
+  // 25% on a weighted mesh (proposal matching is in fact >= 1/2-optimal).
+  Graph base = fem2d_tri(25, 25, 7);
+  GraphBuilder b(base.num_vertices());
+  Rng wrng(5);
+  for (vid_t u = 0; u < base.num_vertices(); ++u) {
+    for (vid_t v : base.neighbors(u)) {
+      if (u < v) b.add_edge(u, v, 1 + static_cast<ewt_t>(wrng.next_below(30)));
+    }
+  }
+  Graph g = std::move(b).build();
+  Matching par = compute_matching_parallel_hem(g, 4);
+  ewt_t serial_total = 0;
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    Rng rng(seed);
+    serial_total += compute_matching(g, MatchingScheme::kHeavyEdge, {}, rng).weight;
+  }
+  const double serial_avg = static_cast<double>(serial_total) / 4.0;
+  EXPECT_GT(static_cast<double>(par.weight), 0.75 * serial_avg);
+}
+
+TEST(ParallelMatchingTest, ContractionWorksOnParallelMatching) {
+  Graph g = grid3d_27(5, 5, 4);
+  Matching m = compute_matching_parallel_hem(g, 4);
+  Contraction c = contract(g, m, {});
+  EXPECT_EQ(c.coarse.validate(), "");
+  EXPECT_EQ(c.coarse.total_vertex_weight(), g.total_vertex_weight());
+  EXPECT_EQ(c.coarse.total_edge_weight(), g.total_edge_weight() - m.weight);
+}
+
+TEST(ParallelMatchingTest, FullCoarseningPipeline) {
+  // Coarsen a mesh to < 50 vertices purely with the parallel matcher.
+  Graph g = fem2d_tri(30, 30, 9);
+  std::vector<Contraction> levels;
+  const Graph* cur = &g;
+  int guard = 0;
+  while (cur->num_vertices() > 50 && guard++ < 40) {
+    Matching m = compute_matching_parallel_hem(*cur, 4);
+    if (m.pairs == 0) break;
+    levels.push_back(contract(*cur, m, {}));
+    cur = &levels.back().coarse;
+  }
+  EXPECT_LE(cur->num_vertices(), 50);
+  EXPECT_EQ(cur->total_vertex_weight(), g.total_vertex_weight());
+}
+
+}  // namespace
+}  // namespace mgp

@@ -1,0 +1,45 @@
+#include "core/chaco_ml.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "metrics/partition_metrics.hpp"
+
+namespace mgp {
+namespace {
+
+TEST(ChacoMlTest, ConfigMatchesPaperDescription) {
+  MultilevelConfig cfg = MultilevelConfig::chaco_ml();
+  EXPECT_EQ(cfg.matching, MatchingScheme::kRandom);
+  EXPECT_EQ(cfg.initpart, InitPartScheme::kSpectral);
+  EXPECT_EQ(cfg.refine, RefinePolicy::kKLR);
+  EXPECT_EQ(cfg.refine_period, 2);
+}
+
+TEST(ChacoMlTest, BisectionIsValid) {
+  Graph g = fem2d_tri(30, 30, 2);
+  Rng rng(1);
+  BisectResult r = chaco_ml_bisect(g, g.total_vertex_weight() / 2, rng);
+  EXPECT_EQ(check_bisection(g, r.bisection), "");
+  EXPECT_LT(r.bisection.cut, g.num_edges() / 2);
+}
+
+TEST(ChacoMlTest, KwayPartitionIsValid) {
+  Graph g = fem2d_tri(24, 24, 4);
+  Rng rng(2);
+  KwayResult r = chaco_ml_partition(g, 8, rng);
+  EXPECT_EQ(check_partition(g, r.part, 8), "");
+  PartitionQuality q = evaluate_partition(g, r.part, 8);
+  EXPECT_LT(q.imbalance, 1.25);
+}
+
+TEST(ChacoMlTest, DeterministicGivenSeed) {
+  Graph g = fem2d_tri(20, 20, 5);
+  Rng r1(3), r2(3);
+  KwayResult a = chaco_ml_partition(g, 4, r1);
+  KwayResult b = chaco_ml_partition(g, 4, r2);
+  EXPECT_EQ(a.part, b.part);
+}
+
+}  // namespace
+}  // namespace mgp

@@ -1,0 +1,121 @@
+#include "core/kway_direct.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "metrics/partition_metrics.hpp"
+
+namespace mgp {
+namespace {
+
+class KwayDirectKTest : public ::testing::TestWithParam<part_t> {};
+
+TEST_P(KwayDirectKTest, ValidBalancedNonEmptyParts) {
+  const part_t k = GetParam();
+  Graph g = fem2d_tri(30, 30, 3);
+  Rng rng(1);
+  KwayDirectConfig cfg;
+  KwayResult r = kway_partition_direct(g, k, cfg, rng);
+  EXPECT_EQ(check_partition(g, r.part, k), "");
+  PartitionQuality q = evaluate_partition(g, r.part, k);
+  EXPECT_LT(q.imbalance, 1.3);
+  EXPECT_GT(q.min_part_weight, 0);
+  EXPECT_EQ(q.edge_cut, r.edge_cut);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, KwayDirectKTest, ::testing::Values(2, 4, 8, 16, 32, 64));
+
+TEST(KwayDirectTest, CutComparableToRecursiveBisection) {
+  Graph g = fem3d_tet(12, 12, 12, 5);
+  const part_t k = 32;
+  Rng r1(7), r2(7);
+  KwayDirectConfig direct_cfg;
+  MultilevelConfig rb_cfg;
+  KwayResult direct = kway_partition_direct(g, k, direct_cfg, r1);
+  KwayResult rb = kway_partition(g, k, rb_cfg, r2);
+  // Same quality class: within 35% either way.
+  EXPECT_LT(static_cast<double>(direct.edge_cut), 1.35 * static_cast<double>(rb.edge_cut));
+  EXPECT_LT(static_cast<double>(rb.edge_cut), 1.35 * static_cast<double>(direct.edge_cut));
+}
+
+TEST(KwayDirectTest, GreedyRefineNeverWorsensCut) {
+  Graph g = fem2d_tri(20, 20, 9);
+  Rng rng(3);
+  const part_t k = 6;
+  std::vector<part_t> part(static_cast<std::size_t>(g.num_vertices()));
+  for (auto& p : part) p = static_cast<part_t>(rng.next_below(k));
+  const ewt_t before = compute_kway_cut(g, part);
+  const vwt_t limit = g.total_vertex_weight() / k + g.total_vertex_weight() / 10;
+  KwayRefineStats s = kway_greedy_refine(g, part, k, limit, 0, 8, rng);
+  const ewt_t after = compute_kway_cut(g, part);
+  EXPECT_LE(after, before);
+  EXPECT_EQ(before - after, s.cut_reduction);
+  EXPECT_GE(s.passes, 1);
+}
+
+TEST(KwayDirectTest, GreedyRefineRespectsWeightCeiling) {
+  Graph g = grid2d(12, 12);
+  Rng rng(4);
+  const part_t k = 4;
+  std::vector<part_t> part(144);
+  for (vid_t v = 0; v < 144; ++v) part[static_cast<std::size_t>(v)] = v % k;
+  const vwt_t limit = 40;  // ideal 36, slack 4
+  kway_greedy_refine(g, part, k, limit, 0, 8, rng);
+  std::vector<vwt_t> pwgts(static_cast<std::size_t>(k), 0);
+  for (vid_t v = 0; v < 144; ++v) {
+    pwgts[static_cast<std::size_t>(part[static_cast<std::size_t>(v)])] += 1;
+  }
+  for (vwt_t w : pwgts) EXPECT_LE(w, limit);
+}
+
+TEST(KwayDirectTest, RefineFixesPlantedNoise) {
+  // Perfect quadrant partition with 5% random relabels: greedy refinement
+  // should recover (nearly) the planted cut.
+  Graph g = grid2d(20, 20);
+  std::vector<part_t> part(400);
+  for (vid_t v = 0; v < 400; ++v) {
+    vid_t x = v % 20, y = v / 20;
+    part[static_cast<std::size_t>(v)] = static_cast<part_t>((y / 10) * 2 + (x / 10));
+  }
+  const ewt_t planted = compute_kway_cut(g, part);
+  Rng noise(5);
+  for (int i = 0; i < 20; ++i) {
+    part[static_cast<std::size_t>(noise.next_vid(400))] =
+        static_cast<part_t>(noise.next_below(4));
+  }
+  ASSERT_GT(compute_kway_cut(g, part), planted);
+  Rng rng(6);
+  kway_greedy_refine(g, part, 4, 110, 1, 8, rng);
+  EXPECT_LE(compute_kway_cut(g, part), planted + 10);
+}
+
+TEST(KwayDirectTest, DeterministicGivenSeed) {
+  Graph g = fem2d_tri(22, 22, 11);
+  KwayDirectConfig cfg;
+  Rng r1(13), r2(13);
+  KwayResult a = kway_partition_direct(g, 16, cfg, r1);
+  KwayResult b = kway_partition_direct(g, 16, cfg, r2);
+  EXPECT_EQ(a.part, b.part);
+}
+
+TEST(KwayDirectTest, KOneTrivial) {
+  Graph g = grid2d(6, 6);
+  Rng rng(1);
+  KwayDirectConfig cfg;
+  KwayResult r = kway_partition_direct(g, 1, cfg, rng);
+  EXPECT_EQ(r.edge_cut, 0);
+}
+
+TEST(KwayDirectTest, TimersPopulated) {
+  Graph g = fem2d_tri(25, 25, 15);
+  Rng rng(2);
+  KwayDirectConfig cfg;
+  PhaseTimers timers;
+  kway_partition_direct(g, 8, cfg, rng, &timers);
+  EXPECT_GT(timers.get(PhaseTimers::kCoarsen), 0.0);
+  EXPECT_GT(timers.get(PhaseTimers::kInitPart), 0.0);
+  EXPECT_GT(timers.get(PhaseTimers::kRefine), 0.0);
+}
+
+}  // namespace
+}  // namespace mgp

@@ -1,0 +1,118 @@
+#include "core/kway.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "metrics/partition_metrics.hpp"
+
+namespace mgp {
+namespace {
+
+class KwayKTest : public ::testing::TestWithParam<part_t> {};
+
+TEST_P(KwayKTest, PartitionIsValidBalancedAndUsesAllParts) {
+  const part_t k = GetParam();
+  Graph g = fem2d_tri(28, 28, 3);
+  Rng rng(1);
+  MultilevelConfig cfg;
+  KwayResult r = kway_partition(g, k, cfg, rng);
+  EXPECT_EQ(check_partition(g, r.part, k), "");
+  PartitionQuality q = evaluate_partition(g, r.part, k);
+  EXPECT_LT(q.imbalance, 1.25);
+  EXPECT_GT(q.min_part_weight, 0);  // every part non-empty
+  EXPECT_EQ(q.edge_cut, r.edge_cut);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, KwayKTest, ::testing::Values(2, 3, 4, 5, 7, 8, 16, 32));
+
+TEST(KwayTest, KOneIsTrivial) {
+  Graph g = grid2d(8, 8);
+  Rng rng(2);
+  MultilevelConfig cfg;
+  KwayResult r = kway_partition(g, 1, cfg, rng);
+  EXPECT_EQ(r.edge_cut, 0);
+  for (part_t p : r.part) EXPECT_EQ(p, 0);
+}
+
+TEST(KwayTest, MoreVerticesThanPartsDegenerate) {
+  Graph g = path_graph(5);
+  Rng rng(3);
+  MultilevelConfig cfg;
+  KwayResult r = kway_partition(g, 8, cfg, rng);
+  EXPECT_EQ(check_partition(g, r.part, 8), "");
+}
+
+TEST(KwayTest, CutGrowsWithK) {
+  Graph g = fem2d_tri(30, 30, 5);
+  Rng r1(4), r2(4);
+  MultilevelConfig cfg;
+  KwayResult k4 = kway_partition(g, 4, cfg, r1);
+  KwayResult k32 = kway_partition(g, 32, cfg, r2);
+  EXPECT_LT(k4.edge_cut, k32.edge_cut);
+}
+
+TEST(KwayTest, ComputeKwayCutBruteForceAgreement) {
+  Graph g = fem2d_tri(10, 10, 6);
+  Rng rng(5);
+  std::vector<part_t> part(static_cast<std::size_t>(g.num_vertices()));
+  for (auto& p : part) p = static_cast<part_t>(rng.next_below(4));
+  ewt_t brute = 0;
+  for (vid_t u = 0; u < g.num_vertices(); ++u) {
+    auto nbrs = g.neighbors(u);
+    auto wgts = g.edge_weights(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (nbrs[i] > u &&
+          part[static_cast<std::size_t>(u)] != part[static_cast<std::size_t>(nbrs[i])]) {
+        brute += wgts[i];
+      }
+    }
+  }
+  EXPECT_EQ(compute_kway_cut(g, part), brute);
+}
+
+TEST(KwayTest, CustomBisectorIsUsed) {
+  // A bisector that splits by vertex id parity produces a predictable part
+  // structure through the recursion.
+  Graph g = path_graph(16);
+  Bisector even_odd = [](const Graph& sub, vwt_t, Rng&) {
+    std::vector<part_t> side(static_cast<std::size_t>(sub.num_vertices()));
+    for (vid_t v = 0; v < sub.num_vertices(); ++v) {
+      side[static_cast<std::size_t>(v)] = v % 2;
+    }
+    return make_bisection(sub, std::move(side));
+  };
+  Rng rng(6);
+  KwayResult r = recursive_bisection(g, 4, even_odd, rng);
+  EXPECT_EQ(check_partition(g, r.part, 4), "");
+}
+
+TEST(KwayTest, TimersAccumulateAcrossBisections) {
+  Graph g = fem2d_tri(25, 25, 7);
+  Rng rng(7);
+  MultilevelConfig cfg;
+  PhaseTimers timers;
+  kway_partition(g, 8, cfg, rng, &timers);
+  EXPECT_GT(timers.get(PhaseTimers::kCoarsen), 0.0);
+  EXPECT_GT(timers.utime(), 0.0);
+}
+
+TEST(KwayTest, DeterministicGivenSeed) {
+  Graph g = fem2d_tri(20, 20, 8);
+  MultilevelConfig cfg;
+  Rng r1(9), r2(9);
+  KwayResult a = kway_partition(g, 8, cfg, r1);
+  KwayResult b = kway_partition(g, 8, cfg, r2);
+  EXPECT_EQ(a.part, b.part);
+}
+
+TEST(KwayTest, GridFourWayNearOptimal) {
+  // 20x20 grid into 4 quadrants: optimal cut is 2*20 = 40.
+  Graph g = grid2d(20, 20);
+  Rng rng(10);
+  MultilevelConfig cfg;
+  KwayResult r = kway_partition(g, 4, cfg, rng);
+  EXPECT_LE(r.edge_cut, 80);  // within 2x of optimal
+}
+
+}  // namespace
+}  // namespace mgp

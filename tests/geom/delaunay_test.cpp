@@ -1,0 +1,137 @@
+#include "geom/delaunay.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/components.hpp"
+#include "support/rng.hpp"
+
+namespace mgp {
+namespace {
+
+double incircle_ref(double ax, double ay, double bx, double by, double cx,
+                    double cy, double dx, double dy) {
+  const double adx = ax - dx, ady = ay - dy;
+  const double bdx = bx - dx, bdy = by - dy;
+  const double cdx = cx - dx, cdy = cy - dy;
+  const double ad = adx * adx + ady * ady;
+  const double bd = bdx * bdx + bdy * bdy;
+  const double cd = cdx * cdx + cdy * cdy;
+  return adx * (bdy * cd - bd * cdy) - ady * (bdx * cd - bd * cdx) +
+         ad * (bdx * cdy - bdy * cdx);
+}
+
+TEST(DelaunayTest, ThreePointsOneTriangle) {
+  std::vector<double> xs = {0.0, 1.0, 0.3};
+  std::vector<double> ys = {0.0, 0.1, 1.0};
+  Triangulation t = delaunay_triangulate(xs, ys);
+  EXPECT_EQ(t.num_triangles(), 1u);
+}
+
+TEST(DelaunayTest, SquareWithCenter) {
+  // 4 corners + center: 4 triangles, 8 edges.
+  std::vector<double> xs = {0.0, 1.0, 1.0, 0.0, 0.51};
+  std::vector<double> ys = {0.0, 0.0, 1.0, 1.0, 0.49};
+  Triangulation t = delaunay_triangulate(xs, ys);
+  EXPECT_EQ(t.num_triangles(), 4u);
+  EmbeddedGraph eg = delaunay_mesh_graph(xs, ys);
+  EXPECT_EQ(eg.graph.num_edges(), 8);
+  EXPECT_EQ(eg.graph.validate(), "");
+}
+
+TEST(DelaunayTest, RejectsBadInput) {
+  std::vector<double> xs = {0.0, 1.0};
+  std::vector<double> ys = {0.0, 1.0};
+  EXPECT_THROW(delaunay_triangulate(xs, ys), std::invalid_argument);
+  std::vector<double> ys3 = {0.0, 1.0, 2.0};
+  EXPECT_THROW(delaunay_triangulate(xs, ys3), std::invalid_argument);
+}
+
+TEST(DelaunayTest, EulerFormulaHolds) {
+  // For a triangulation of a point set: T = 2n - 2 - h, E = 3n - 3 - h
+  // (h = hull vertices).  Check the derived identity E = T + n - 1 for a
+  // connected planar triangulation (Euler: n - E + (T+1) = 2).
+  EmbeddedGraph eg = delaunay_mesh(500, 42);
+  Triangulation t;
+  {
+    t = delaunay_triangulate(eg.coords.x, eg.coords.y);
+  }
+  EXPECT_EQ(static_cast<long long>(eg.graph.num_edges()),
+            static_cast<long long>(t.num_triangles()) + eg.graph.num_vertices() - 1);
+}
+
+class DelaunaySizeTest : public ::testing::TestWithParam<vid_t> {};
+
+TEST_P(DelaunaySizeTest, MeshIsValidConnectedPlanarDensity) {
+  EmbeddedGraph eg = delaunay_mesh(GetParam(), 7);
+  EXPECT_EQ(eg.graph.validate(), "");
+  EXPECT_TRUE(is_connected(eg.graph));
+  // Planar: E <= 3n - 6; triangulation: E close to that bound.
+  const long long n = eg.graph.num_vertices();
+  const long long e = eg.graph.num_edges();
+  EXPECT_LE(e, 3 * n - 6);
+  EXPECT_GE(e, 2 * n);  // far denser than a tree
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, DelaunaySizeTest,
+                         ::testing::Values(10, 50, 200, 1000, 5000));
+
+TEST(DelaunayTest, EmptyCircumcirclePropertyBruteForce) {
+  // The defining property, verified exhaustively on a small instance.
+  Rng rng(11);
+  const vid_t n = 60;
+  std::vector<double> xs(n), ys(n);
+  for (vid_t i = 0; i < n; ++i) {
+    xs[static_cast<std::size_t>(i)] = rng.next_double();
+    ys[static_cast<std::size_t>(i)] = rng.next_double();
+  }
+  Triangulation t = delaunay_triangulate(xs, ys);
+  for (std::size_t ti = 0; ti < t.num_triangles(); ++ti) {
+    const vid_t a = t.tri_vertices[3 * ti];
+    const vid_t b = t.tri_vertices[3 * ti + 1];
+    const vid_t c = t.tri_vertices[3 * ti + 2];
+    for (vid_t d = 0; d < n; ++d) {
+      if (d == a || d == b || d == c) continue;
+      EXPECT_LE(incircle_ref(xs[static_cast<std::size_t>(a)], ys[static_cast<std::size_t>(a)],
+                             xs[static_cast<std::size_t>(b)], ys[static_cast<std::size_t>(b)],
+                             xs[static_cast<std::size_t>(c)], ys[static_cast<std::size_t>(c)],
+                             xs[static_cast<std::size_t>(d)], ys[static_cast<std::size_t>(d)]),
+                1e-9)
+          << "triangle " << ti << " circumcircle contains point " << d;
+    }
+  }
+}
+
+TEST(DelaunayTest, DeterministicGivenSeed) {
+  EmbeddedGraph a = delaunay_mesh(300, 5);
+  EmbeddedGraph b = delaunay_mesh(300, 5);
+  ASSERT_EQ(a.graph.num_edges(), b.graph.num_edges());
+  for (vid_t v = 0; v < a.graph.num_vertices(); ++v) {
+    auto na = a.graph.neighbors(v);
+    auto nb = b.graph.neighbors(v);
+    ASSERT_EQ(std::vector<vid_t>(na.begin(), na.end()),
+              std::vector<vid_t>(nb.begin(), nb.end()));
+  }
+}
+
+TEST(DelaunayTest, StressTwentyThousandPoints) {
+  // Walk-based point location and cavity bookkeeping at scale: the mesh
+  // must stay structurally valid and connected.
+  for (std::uint64_t seed : {0ULL, 1ULL}) {
+    EmbeddedGraph eg = delaunay_mesh(20000, seed);
+    EXPECT_EQ(eg.graph.validate(), "");
+    EXPECT_TRUE(is_connected(eg.graph));
+  }
+}
+
+TEST(DelaunayTest, AverageDegreeNearSix) {
+  EmbeddedGraph eg = delaunay_mesh(4000, 9);
+  const double avg = 2.0 * static_cast<double>(eg.graph.num_edges()) /
+                     static_cast<double>(eg.graph.num_vertices());
+  EXPECT_GT(avg, 5.5);
+  EXPECT_LT(avg, 6.0);
+}
+
+}  // namespace
+}  // namespace mgp

@@ -1,0 +1,91 @@
+#include "graph/builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace mgp {
+namespace {
+
+TEST(BuilderTest, BuildsSimpleEdge) {
+  GraphBuilder b(2);
+  b.add_edge(0, 1, 7);
+  Graph g = std::move(b).build();
+  EXPECT_EQ(g.num_edges(), 1);
+  EXPECT_EQ(g.total_edge_weight(), 7);
+  EXPECT_EQ(g.validate(), "");
+}
+
+TEST(BuilderTest, SelfLoopsIgnored) {
+  GraphBuilder b(3);
+  b.add_edge(1, 1);
+  b.add_edge(0, 2);
+  Graph g = std::move(b).build();
+  EXPECT_EQ(g.num_edges(), 1);
+  EXPECT_EQ(g.degree(1), 0);
+}
+
+TEST(BuilderTest, ParallelEdgesAccumulateWeight) {
+  GraphBuilder b(2);
+  b.add_edge(0, 1, 3);
+  b.add_edge(1, 0, 4);
+  Graph g = std::move(b).build();
+  EXPECT_EQ(g.num_edges(), 1);
+  EXPECT_EQ(g.edge_weights(0)[0], 7);
+  EXPECT_EQ(g.edge_weights(1)[0], 7);
+  EXPECT_EQ(g.validate(), "");
+}
+
+TEST(BuilderTest, VertexWeights) {
+  GraphBuilder b(3);
+  b.set_vertex_weight(0, 10);
+  b.set_vertex_weight(2, 5);
+  b.add_edge(0, 1);
+  Graph g = std::move(b).build();
+  EXPECT_EQ(g.vertex_weight(0), 10);
+  EXPECT_EQ(g.vertex_weight(1), 1);  // default
+  EXPECT_EQ(g.vertex_weight(2), 5);
+  EXPECT_EQ(g.total_vertex_weight(), 16);
+}
+
+TEST(BuilderTest, OutOfRangeThrows) {
+  GraphBuilder b(2);
+  EXPECT_THROW(b.add_edge(0, 2), std::out_of_range);
+  EXPECT_THROW(b.add_edge(-1, 1), std::out_of_range);
+}
+
+TEST(BuilderTest, NonPositiveWeightThrows) {
+  GraphBuilder b(2);
+  EXPECT_THROW(b.add_edge(0, 1, 0), std::invalid_argument);
+  EXPECT_THROW(b.add_edge(0, 1, -5), std::invalid_argument);
+}
+
+TEST(BuilderTest, AdjacencyRowsAreSorted) {
+  GraphBuilder b(5);
+  b.add_edge(2, 4);
+  b.add_edge(2, 0);
+  b.add_edge(2, 3);
+  b.add_edge(2, 1);
+  Graph g = std::move(b).build();
+  auto nbrs = g.neighbors(2);
+  ASSERT_EQ(nbrs.size(), 4u);
+  for (std::size_t i = 1; i < nbrs.size(); ++i) EXPECT_LT(nbrs[i - 1], nbrs[i]);
+}
+
+TEST(BuilderTest, LargeRandomGraphValidates) {
+  GraphBuilder b(200);
+  std::uint64_t state = 99;
+  auto next = [&]() {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return static_cast<vid_t>((state >> 33) % 200);
+  };
+  for (int i = 0; i < 2000; ++i) {
+    vid_t u = next(), v = next();
+    if (u != v) b.add_edge(u, v);
+  }
+  Graph g = std::move(b).build();
+  EXPECT_EQ(g.validate(), "");
+}
+
+}  // namespace
+}  // namespace mgp

@@ -1,0 +1,131 @@
+#include "graph/csr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+
+namespace mgp {
+namespace {
+
+Graph triangle() {
+  GraphBuilder b(3);
+  b.add_edge(0, 1, 2);
+  b.add_edge(1, 2, 3);
+  b.add_edge(0, 2, 5);
+  return std::move(b).build();
+}
+
+TEST(CsrTest, EmptyGraph) {
+  Graph g = empty_graph(0);
+  EXPECT_EQ(g.num_vertices(), 0);
+  EXPECT_EQ(g.num_edges(), 0);
+  EXPECT_TRUE(g.empty());
+  EXPECT_EQ(g.validate(), "");
+}
+
+TEST(CsrTest, IsolatedVertices) {
+  Graph g = empty_graph(5);
+  EXPECT_EQ(g.num_vertices(), 5);
+  EXPECT_EQ(g.num_edges(), 0);
+  EXPECT_EQ(g.degree(3), 0);
+  EXPECT_EQ(g.total_vertex_weight(), 5);
+  EXPECT_EQ(g.validate(), "");
+}
+
+TEST(CsrTest, TriangleBasics) {
+  Graph g = triangle();
+  EXPECT_EQ(g.num_vertices(), 3);
+  EXPECT_EQ(g.num_edges(), 3);
+  EXPECT_EQ(g.num_arcs(), 6);
+  EXPECT_EQ(g.degree(0), 2);
+  EXPECT_EQ(g.total_edge_weight(), 10);
+  EXPECT_EQ(g.total_vertex_weight(), 3);
+  EXPECT_EQ(g.validate(), "");
+}
+
+TEST(CsrTest, NeighborsAndWeightsAligned) {
+  Graph g = triangle();
+  auto nbrs = g.neighbors(0);
+  auto wgts = g.edge_weights(0);
+  ASSERT_EQ(nbrs.size(), 2u);
+  ASSERT_EQ(wgts.size(), 2u);
+  for (std::size_t i = 0; i < nbrs.size(); ++i) {
+    if (nbrs[i] == 1) {
+      EXPECT_EQ(wgts[i], 2);
+    }
+    if (nbrs[i] == 2) {
+      EXPECT_EQ(wgts[i], 5);
+    }
+  }
+}
+
+TEST(CsrTest, MaxWeightedDegree) {
+  Graph g = triangle();
+  // Vertex 2 touches weights 3 and 5.
+  EXPECT_EQ(g.max_weighted_degree(), 8);
+}
+
+TEST(CsrTest, ValidateDetectsSelfLoop) {
+  std::vector<eid_t> xadj = {0, 1};
+  std::vector<vid_t> adjncy = {0};
+  std::vector<vwt_t> vwgt = {1};
+  std::vector<ewt_t> adjwgt = {1};
+  Graph g(std::move(xadj), std::move(adjncy), std::move(vwgt), std::move(adjwgt));
+  EXPECT_NE(g.validate().find("self-loop"), std::string::npos);
+}
+
+TEST(CsrTest, ValidateDetectsMissingReverseEdge) {
+  std::vector<eid_t> xadj = {0, 1, 1};
+  std::vector<vid_t> adjncy = {1};
+  std::vector<vwt_t> vwgt = {1, 1};
+  std::vector<ewt_t> adjwgt = {1};
+  Graph g(std::move(xadj), std::move(adjncy), std::move(vwgt), std::move(adjwgt));
+  EXPECT_NE(g.validate().find("missing reverse"), std::string::npos);
+}
+
+TEST(CsrTest, ValidateDetectsAsymmetricWeight) {
+  std::vector<eid_t> xadj = {0, 1, 2};
+  std::vector<vid_t> adjncy = {1, 0};
+  std::vector<vwt_t> vwgt = {1, 1};
+  std::vector<ewt_t> adjwgt = {2, 3};
+  Graph g(std::move(xadj), std::move(adjncy), std::move(vwgt), std::move(adjwgt));
+  EXPECT_NE(g.validate().find("asymmetric"), std::string::npos);
+}
+
+TEST(CsrTest, ValidateDetectsOutOfRangeNeighbor) {
+  std::vector<eid_t> xadj = {0, 1};
+  std::vector<vid_t> adjncy = {5};
+  std::vector<vwt_t> vwgt = {1};
+  std::vector<ewt_t> adjwgt = {1};
+  Graph g(std::move(xadj), std::move(adjncy), std::move(vwgt), std::move(adjwgt));
+  EXPECT_NE(g.validate().find("out of range"), std::string::npos);
+}
+
+TEST(CsrTest, ValidateDetectsNonPositiveEdgeWeight) {
+  std::vector<eid_t> xadj = {0, 1, 2};
+  std::vector<vid_t> adjncy = {1, 0};
+  std::vector<vwt_t> vwgt = {1, 1};
+  std::vector<ewt_t> adjwgt = {0, 0};
+  Graph g(std::move(xadj), std::move(adjncy), std::move(vwgt), std::move(adjwgt));
+  EXPECT_NE(g.validate().find("non-positive edge weight"), std::string::npos);
+}
+
+TEST(CsrTest, ValidateDetectsDuplicateEdge) {
+  std::vector<eid_t> xadj = {0, 2, 4};
+  std::vector<vid_t> adjncy = {1, 1, 0, 0};
+  std::vector<vwt_t> vwgt = {1, 1};
+  std::vector<ewt_t> adjwgt = {1, 1, 1, 1};
+  Graph g(std::move(xadj), std::move(adjncy), std::move(vwgt), std::move(adjwgt));
+  EXPECT_NE(g.validate().find("duplicate"), std::string::npos);
+}
+
+TEST(CsrTest, TotalEdgeWeightCountsEachEdgeOnce) {
+  Graph g = grid2d(4, 4);
+  // 4x4 grid: 3*4 + 4*3 = 24 edges, unit weights.
+  EXPECT_EQ(g.num_edges(), 24);
+  EXPECT_EQ(g.total_edge_weight(), 24);
+}
+
+}  // namespace
+}  // namespace mgp

@@ -1,0 +1,189 @@
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/components.hpp"
+
+namespace mgp {
+namespace {
+
+TEST(GeneratorsTest, PathGraph) {
+  Graph g = path_graph(5);
+  EXPECT_EQ(g.num_edges(), 4);
+  EXPECT_EQ(g.degree(0), 1);
+  EXPECT_EQ(g.degree(2), 2);
+  EXPECT_EQ(g.validate(), "");
+}
+
+TEST(GeneratorsTest, CycleGraph) {
+  Graph g = cycle_graph(7);
+  EXPECT_EQ(g.num_edges(), 7);
+  for (vid_t v = 0; v < 7; ++v) EXPECT_EQ(g.degree(v), 2);
+  EXPECT_THROW(cycle_graph(2), std::invalid_argument);
+}
+
+TEST(GeneratorsTest, StarGraph) {
+  Graph g = star_graph(9);
+  EXPECT_EQ(g.degree(0), 8);
+  for (vid_t v = 1; v < 9; ++v) EXPECT_EQ(g.degree(v), 1);
+}
+
+TEST(GeneratorsTest, CompleteGraph) {
+  Graph g = complete_graph(6);
+  EXPECT_EQ(g.num_edges(), 15);
+  for (vid_t v = 0; v < 6; ++v) EXPECT_EQ(g.degree(v), 5);
+}
+
+TEST(GeneratorsTest, CompleteBipartite) {
+  Graph g = complete_bipartite(3, 4);
+  EXPECT_EQ(g.num_vertices(), 7);
+  EXPECT_EQ(g.num_edges(), 12);
+  for (vid_t v = 0; v < 3; ++v) EXPECT_EQ(g.degree(v), 4);
+  for (vid_t v = 3; v < 7; ++v) EXPECT_EQ(g.degree(v), 3);
+}
+
+TEST(GeneratorsTest, Grid2dStructure) {
+  Graph g = grid2d(4, 3);
+  EXPECT_EQ(g.num_vertices(), 12);
+  EXPECT_EQ(g.num_edges(), 3 * 3 + 4 * 2);  // horizontal + vertical
+  EXPECT_EQ(g.degree(0), 2);                // corner
+  EXPECT_EQ(g.validate(), "");
+}
+
+TEST(GeneratorsTest, Stencil9HasDiagonals) {
+  Graph g = stencil9(3, 3);
+  // Center vertex of 3x3 9-point stencil touches all 8 others.
+  EXPECT_EQ(g.degree(4), 8);
+}
+
+TEST(GeneratorsTest, Grid3dStructure) {
+  Graph g = grid3d(3, 3, 3);
+  EXPECT_EQ(g.num_vertices(), 27);
+  // Center of 3x3x3 7-point stencil has degree 6.
+  EXPECT_EQ(g.degree(13), 6);
+}
+
+TEST(GeneratorsTest, Grid3d27Structure) {
+  Graph g = grid3d_27(3, 3, 3);
+  // Center vertex adjacent to all 26 others in the 3x3x3 cube.
+  EXPECT_EQ(g.degree(13), 26);
+  EXPECT_EQ(g.validate(), "");
+}
+
+TEST(GeneratorsTest, Fem2dTriDeterministicPerSeed) {
+  Graph a = fem2d_tri(10, 10, 42);
+  Graph b = fem2d_tri(10, 10, 42);
+  Graph c = fem2d_tri(10, 10, 43);
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+  ASSERT_EQ(a.num_vertices(), b.num_vertices());
+  for (vid_t v = 0; v < a.num_vertices(); ++v) {
+    auto na = a.neighbors(v);
+    auto nb = b.neighbors(v);
+    ASSERT_EQ(std::vector<vid_t>(na.begin(), na.end()),
+              std::vector<vid_t>(nb.begin(), nb.end()));
+  }
+  // Different seed flips some diagonals: same vertex count, same edge count,
+  // different adjacency somewhere.
+  EXPECT_EQ(a.num_edges(), c.num_edges());
+  bool any_diff = false;
+  for (vid_t v = 0; v < a.num_vertices() && !any_diff; ++v) {
+    auto na = a.neighbors(v);
+    auto nc = c.neighbors(v);
+    any_diff = std::vector<vid_t>(na.begin(), na.end()) !=
+               std::vector<vid_t>(nc.begin(), nc.end());
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(GeneratorsTest, Fem2dTriAverageDegreeNearSix) {
+  Graph g = fem2d_tri(30, 30, 1);
+  double avg = 2.0 * static_cast<double>(g.num_edges()) / g.num_vertices();
+  EXPECT_GT(avg, 5.0);
+  EXPECT_LT(avg, 6.0);
+}
+
+TEST(GeneratorsTest, LshapeOmitsQuadrant) {
+  Graph g = lshape2d(10, 2);
+  // Full grid would be 100; the open upper-right quadrant removes ~16 of
+  // the (x > 5, y > 5) vertices.
+  EXPECT_LT(g.num_vertices(), 100);
+  EXPECT_GT(g.num_vertices(), 70);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(g.validate(), "");
+}
+
+TEST(GeneratorsTest, Fem3dTetConnectedAndDenserThan7pt) {
+  Graph tet = fem3d_tet(6, 6, 6, 9);
+  Graph g7 = grid3d(6, 6, 6);
+  EXPECT_TRUE(is_connected(tet));
+  EXPECT_GT(tet.num_edges(), g7.num_edges());
+  EXPECT_EQ(tet.validate(), "");
+}
+
+TEST(GeneratorsTest, PowerGridSparseAndConnected) {
+  Graph g = power_grid(2000, 17);
+  EXPECT_TRUE(is_connected(g));
+  double avg = 2.0 * static_cast<double>(g.num_edges()) / g.num_vertices();
+  EXPECT_GT(avg, 1.5);
+  EXPECT_LT(avg, 4.5);
+  EXPECT_EQ(g.validate(), "");
+}
+
+TEST(GeneratorsTest, FinanHasCliqueBlocks) {
+  Graph g = finan(8, 10, 3);
+  EXPECT_EQ(g.num_vertices(), 80);
+  EXPECT_TRUE(is_connected(g));
+  // Each block contributes a K_10 (45 edges), so at least 360 edges.
+  EXPECT_GE(g.num_edges(), 8 * 45);
+  EXPECT_EQ(g.validate(), "");
+}
+
+TEST(GeneratorsTest, CircuitHasSkewedDegrees) {
+  Graph g = circuit(3000, 11);
+  EXPECT_TRUE(is_connected(g));
+  vid_t dmax = 0;
+  for (vid_t v = 0; v < g.num_vertices(); ++v) dmax = std::max(dmax, g.degree(v));
+  // Preferential attachment produces hubs far above the mean (~4).
+  EXPECT_GT(dmax, 30);
+  EXPECT_EQ(g.validate(), "");
+}
+
+TEST(GeneratorsTest, RandomGeometricHitsTargetDegree) {
+  Graph g = random_geometric(3000, 8.0, 5);
+  double avg = 2.0 * static_cast<double>(g.num_edges()) / g.num_vertices();
+  EXPECT_GT(avg, 5.0);
+  EXPECT_LT(avg, 11.0);
+  EXPECT_TRUE(is_connected(g));
+}
+
+class SuiteTest : public ::testing::TestWithParam<SuiteKind> {};
+
+TEST_P(SuiteTest, SuiteGraphsAreValidAndConnected) {
+  auto suite = paper_suite(GetParam(), 0.02, 1234);
+  EXPECT_GE(suite.size(), 10u);
+  for (const auto& ng : suite) {
+    SCOPED_TRACE(ng.name);
+    EXPECT_EQ(ng.graph.validate(), "");
+    EXPECT_GT(ng.graph.num_vertices(), 0);
+    EXPECT_FALSE(ng.name.empty());
+    EXPECT_FALSE(ng.description.empty());
+    EXPECT_FALSE(ng.stands_in_for.empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, SuiteTest,
+                         ::testing::Values(SuiteKind::kTables, SuiteKind::kFigures,
+                                           SuiteKind::kOrdering));
+
+TEST(SuiteTest, ScaleGrowsGraphs) {
+  auto small = paper_suite(SuiteKind::kTables, 0.01, 7);
+  auto large = paper_suite(SuiteKind::kTables, 0.05, 7);
+  ASSERT_EQ(small.size(), large.size());
+  vid_t total_small = 0, total_large = 0;
+  for (const auto& g : small) total_small += g.graph.num_vertices();
+  for (const auto& g : large) total_large += g.graph.num_vertices();
+  EXPECT_GT(total_large, 2 * total_small);
+}
+
+}  // namespace
+}  // namespace mgp

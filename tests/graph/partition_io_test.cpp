@@ -1,0 +1,80 @@
+#include "graph/partition_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/kway.hpp"
+#include "graph/generators.hpp"
+#include "support/rng.hpp"
+
+namespace mgp {
+namespace {
+
+TEST(PartitionIoTest, RoundTripPartition) {
+  std::vector<part_t> part = {0, 3, 1, 2, 2, 0};
+  std::ostringstream out;
+  write_partition(out, part);
+  std::istringstream in(out.str());
+  EXPECT_EQ(read_partition(in, 6, 4), part);
+}
+
+TEST(PartitionIoTest, RejectsWrongCount) {
+  std::istringstream short_in("0\n1\n");
+  EXPECT_THROW(read_partition(short_in, 3), std::runtime_error);
+  std::istringstream long_in("0\n1\n0\n1\n");
+  EXPECT_THROW(read_partition(long_in, 3), std::runtime_error);
+}
+
+TEST(PartitionIoTest, RejectsOutOfRangePart) {
+  std::istringstream neg("0\n-1\n");
+  EXPECT_THROW(read_partition(neg, 2), std::runtime_error);
+  std::istringstream big("0\n5\n");
+  EXPECT_THROW(read_partition(big, 2, /*k=*/4), std::runtime_error);
+}
+
+TEST(PartitionIoTest, RoundTripPermutation) {
+  Rng rng(3);
+  std::vector<vid_t> perm = rng.permutation(40);
+  std::ostringstream out;
+  write_permutation(out, perm);
+  std::istringstream in(out.str());
+  EXPECT_EQ(read_permutation(in, 40), perm);
+}
+
+TEST(PartitionIoTest, RejectsNonPermutation) {
+  std::istringstream dup("0\n0\n2\n");
+  EXPECT_THROW(read_permutation(dup, 3), std::runtime_error);
+  std::istringstream oob("0\n1\n7\n");
+  EXPECT_THROW(read_permutation(oob, 3), std::runtime_error);
+}
+
+TEST(PartitionIoTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/mgp_part_io_test.part";
+  std::vector<part_t> part = {1, 0, 1, 1, 0};
+  write_partition_file(path, part);
+  EXPECT_EQ(read_partition_file(path, 5, 2), part);
+  EXPECT_THROW(read_partition_file("/nonexistent/x.part", 5), std::runtime_error);
+}
+
+TEST(KwayBestOfTest, NotWorseThanSingleTrial) {
+  Graph g = fem2d_tri(20, 20, 4);
+  MultilevelConfig cfg;
+  Rng r1(5), r2(5);
+  KwayResult single = kway_partition(g, 8, cfg, r1);
+  KwayResult best = kway_partition_best_of(g, 8, cfg, 4, r2);
+  EXPECT_LE(best.edge_cut, single.edge_cut);
+  EXPECT_EQ(best.part.size(), static_cast<std::size_t>(g.num_vertices()));
+}
+
+TEST(KwayBestOfTest, OneTrialEqualsSingleCall) {
+  Graph g = fem2d_tri(15, 15, 6);
+  MultilevelConfig cfg;
+  Rng r1(7), r2(7);
+  KwayResult a = kway_partition(g, 4, cfg, r1);
+  KwayResult b = kway_partition_best_of(g, 4, cfg, 1, r2);
+  EXPECT_EQ(a.part, b.part);
+}
+
+}  // namespace
+}  // namespace mgp

@@ -1,0 +1,86 @@
+#include "initpart/bisection_state.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+
+namespace mgp {
+namespace {
+
+TEST(BisectionStateTest, ComputeCutOnPath) {
+  Graph g = path_graph(4);
+  std::vector<part_t> side = {0, 0, 1, 1};
+  EXPECT_EQ(compute_cut(g, side), 1);
+  side = {0, 1, 0, 1};
+  EXPECT_EQ(compute_cut(g, side), 3);
+}
+
+TEST(BisectionStateTest, ComputeCutRespectsWeights) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1, 10);
+  b.add_edge(1, 2, 7);
+  Graph g = std::move(b).build();
+  std::vector<part_t> side = {0, 0, 1};
+  EXPECT_EQ(compute_cut(g, side), 7);
+}
+
+TEST(BisectionStateTest, MakeBisectionFillsCaches) {
+  Graph g = cycle_graph(6);
+  Bisection b = make_bisection(g, {0, 0, 0, 1, 1, 1});
+  EXPECT_EQ(b.part_weight[0], 3);
+  EXPECT_EQ(b.part_weight[1], 3);
+  EXPECT_EQ(b.cut, 2);
+  EXPECT_EQ(check_bisection(g, b), "");
+}
+
+TEST(BisectionStateTest, AllOneSide) {
+  Graph g = path_graph(3);
+  Bisection b = make_bisection(g, {0, 0, 0});
+  EXPECT_EQ(b.cut, 0);
+  EXPECT_EQ(b.part_weight[0], 3);
+  EXPECT_EQ(b.part_weight[1], 0);
+}
+
+TEST(BisectionStateTest, BalancePerfectHalves) {
+  Graph g = path_graph(4);
+  Bisection b = make_bisection(g, {0, 0, 1, 1});
+  EXPECT_DOUBLE_EQ(bisection_balance(g, b, 2), 1.0);
+}
+
+TEST(BisectionStateTest, BalanceReflectsOverweight) {
+  Graph g = path_graph(4);
+  Bisection b = make_bisection(g, {0, 0, 0, 1});
+  EXPECT_DOUBLE_EQ(bisection_balance(g, b, 2), 1.5);
+}
+
+TEST(BisectionStateTest, CheckDetectsWrongCachedCut) {
+  Graph g = path_graph(4);
+  Bisection b = make_bisection(g, {0, 0, 1, 1});
+  b.cut = 99;
+  EXPECT_NE(check_bisection(g, b), "");
+}
+
+TEST(BisectionStateTest, CheckDetectsWrongWeights) {
+  Graph g = path_graph(4);
+  Bisection b = make_bisection(g, {0, 0, 1, 1});
+  b.part_weight[0] = 7;
+  EXPECT_NE(check_bisection(g, b), "");
+}
+
+TEST(BisectionStateTest, CheckDetectsBadLabel) {
+  Graph g = path_graph(3);
+  Bisection b = make_bisection(g, {0, 0, 1});
+  b.side[1] = 5;
+  EXPECT_NE(check_bisection(g, b), "");
+}
+
+TEST(BisectionStateTest, CheckDetectsSizeMismatch) {
+  Graph g = path_graph(3);
+  Bisection b = make_bisection(g, {0, 0, 1});
+  b.side.pop_back();
+  EXPECT_NE(check_bisection(g, b), "");
+}
+
+}  // namespace
+}  // namespace mgp

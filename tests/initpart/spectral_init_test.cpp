@@ -1,0 +1,95 @@
+#include "initpart/spectral_init.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+
+namespace mgp {
+namespace {
+
+TEST(SplitMedianTest, SplitsByValueOrder) {
+  Graph g = path_graph(4);
+  std::vector<double> vals = {0.9, -0.5, 0.1, -0.9};
+  Bisection b = split_at_weighted_median(g, vals, 2);
+  // Two smallest values (indices 3 and 1) go to side 0.
+  EXPECT_EQ(b.side[3], 0);
+  EXPECT_EQ(b.side[1], 0);
+  EXPECT_EQ(b.side[0], 1);
+  EXPECT_EQ(b.side[2], 1);
+  EXPECT_EQ(check_bisection(g, b), "");
+}
+
+TEST(SplitMedianTest, RespectsVertexWeights) {
+  GraphBuilder gb(3);
+  gb.set_vertex_weight(0, 5);
+  gb.add_edge(0, 1);
+  gb.add_edge(1, 2);
+  Graph g = std::move(gb).build();
+  std::vector<double> vals = {-1.0, 0.0, 1.0};
+  Bisection b = split_at_weighted_median(g, vals, 5);
+  // Vertex 0 alone already reaches the target weight of 5.
+  EXPECT_EQ(b.side[0], 0);
+  EXPECT_EQ(b.side[1], 1);
+  EXPECT_EQ(b.side[2], 1);
+}
+
+TEST(SplitMedianTest, TieBreakIsDeterministic) {
+  Graph g = empty_graph(4);
+  std::vector<double> vals = {0.5, 0.5, 0.5, 0.5};
+  Bisection a = split_at_weighted_median(g, vals, 2);
+  Bisection b = split_at_weighted_median(g, vals, 2);
+  EXPECT_EQ(a.side, b.side);
+  EXPECT_EQ(a.part_weight[0], 2);
+}
+
+TEST(SpectralBisectTest, PathSplitsContiguously) {
+  // The Fiedler vector of a path is monotone (cos profile), so the spectral
+  // split is the contiguous optimal halving with cut 1.
+  Graph g = path_graph(30);
+  Rng rng(2);
+  FiedlerOptions opts;
+  Bisection b = spectral_bisect(g, 15, {}, opts, rng);
+  EXPECT_EQ(b.cut, 1);
+  EXPECT_EQ(b.part_weight[0], 15);
+}
+
+TEST(SpectralBisectTest, Grid2dFindsStraightCut) {
+  // 8x16 grid: the Fiedler vector varies along the long axis; the optimal
+  // bisection cuts the 8 rung edges in the middle.
+  Graph g = grid2d(8, 16);
+  Rng rng(3);
+  FiedlerOptions opts;
+  Bisection b = spectral_bisect(g, 64, {}, opts, rng);
+  EXPECT_EQ(b.cut, 8);
+  EXPECT_EQ(check_bisection(g, b), "");
+}
+
+TEST(SpectralBisectTest, LargerGraphUsesLanczosAndStaysReasonable) {
+  Graph g = grid2d(12, 30);  // 360 > dense threshold -> Lanczos path
+  Rng rng(4);
+  FiedlerOptions opts;
+  Bisection b = spectral_bisect(g, 180, {}, opts, rng);
+  EXPECT_EQ(check_bisection(g, b), "");
+  // Optimal cut is 12; allow slack for iterative convergence.
+  EXPECT_LE(b.cut, 24);
+}
+
+TEST(SpectralBisectTest, DisconnectedGraphSeparatesComponents) {
+  // Two equal cliques: Fiedler value 0, eigenvector constant per component;
+  // the split should put whole components on each side -> cut 0.
+  GraphBuilder gb(8);
+  for (vid_t i = 0; i < 4; ++i)
+    for (vid_t j = i + 1; j < 4; ++j) gb.add_edge(i, j);
+  for (vid_t i = 4; i < 8; ++i)
+    for (vid_t j = i + 1; j < 8; ++j) gb.add_edge(i, j);
+  Graph g = std::move(gb).build();
+  Rng rng(5);
+  FiedlerOptions opts;
+  Bisection b = spectral_bisect(g, 4, {}, opts, rng);
+  EXPECT_EQ(b.cut, 0);
+  EXPECT_EQ(b.part_weight[0], 4);
+}
+
+}  // namespace
+}  // namespace mgp

@@ -1,0 +1,183 @@
+// Shape-level reproductions of the paper's headline claims at test scale.
+// The bench/ harness reproduces the full tables; these tests pin the
+// *directional* findings so a regression that flips a conclusion fails CI.
+#include <gtest/gtest.h>
+
+#include "core/chaco_ml.hpp"
+#include "core/kway.hpp"
+#include "graph/generators.hpp"
+#include "graph/permute.hpp"
+#include "metrics/ordering_metrics.hpp"
+#include "order/mmd.hpp"
+#include "order/nested_dissection.hpp"
+#include "spectral/msb.hpp"
+#include "support/timer.hpp"
+
+namespace mgp {
+namespace {
+
+/// A mid-size FE mesh, the paper's bread-and-butter workload.
+Graph test_mesh() { return fem3d_tet(12, 12, 12, 4242); }
+
+TEST(PaperClaimsTest, Table3_HemUnrefinedCutFarBelowLem) {
+  // Table 3: without refinement, HEM's initial partitions are drastically
+  // better than LEM's (often 5-20x) and clearly better than RM's.
+  Graph g = test_mesh();
+  auto unrefined_cut = [&](MatchingScheme m) {
+    MultilevelConfig cfg;
+    cfg.matching = m;
+    cfg.refine = RefinePolicy::kNone;
+    Rng rng(7);
+    return kway_partition(g, 8, cfg, rng).edge_cut;
+  };
+  const ewt_t hem = unrefined_cut(MatchingScheme::kHeavyEdge);
+  const ewt_t rm = unrefined_cut(MatchingScheme::kRandom);
+  const ewt_t lem = unrefined_cut(MatchingScheme::kLightEdge);
+  EXPECT_LT(hem, lem);
+  EXPECT_LT(hem, rm);
+}
+
+TEST(PaperClaimsTest, Table2_RefinedCutsWithinSpreadAcrossMatchings) {
+  // Table 2: after full refinement the matching schemes land within a
+  // modest factor of each other ("within 10%" in the paper; we allow 40%
+  // at this reduced scale).
+  Graph g = test_mesh();
+  std::vector<ewt_t> cuts;
+  for (MatchingScheme m : {MatchingScheme::kRandom, MatchingScheme::kHeavyEdge,
+                           MatchingScheme::kLightEdge, MatchingScheme::kHeavyClique}) {
+    MultilevelConfig cfg;
+    cfg.matching = m;
+    Rng rng(11);
+    cuts.push_back(kway_partition(g, 8, cfg, rng).edge_cut);
+  }
+  const ewt_t best = *std::min_element(cuts.begin(), cuts.end());
+  const ewt_t worst = *std::max_element(cuts.begin(), cuts.end());
+  EXPECT_LE(static_cast<double>(worst), 1.4 * static_cast<double>(best));
+}
+
+TEST(PaperClaimsTest, Table4_RefinementPoliciesWithinSpread) {
+  // Table 4: "the size of the edge-cut does not vary significantly for
+  // different refinement policies" (within 15%; we allow 35% at this scale).
+  Graph g = test_mesh();
+  std::vector<ewt_t> cuts;
+  for (RefinePolicy p : {RefinePolicy::kGR, RefinePolicy::kKLR, RefinePolicy::kBGR,
+                         RefinePolicy::kBKLR, RefinePolicy::kBKLGR}) {
+    MultilevelConfig cfg;
+    cfg.refine = p;
+    Rng rng(13);
+    cuts.push_back(kway_partition(g, 8, cfg, rng).edge_cut);
+  }
+  const ewt_t best = *std::min_element(cuts.begin(), cuts.end());
+  const ewt_t worst = *std::max_element(cuts.begin(), cuts.end());
+  EXPECT_LE(static_cast<double>(worst), 1.35 * static_cast<double>(best));
+}
+
+TEST(PaperClaimsTest, Section41_KlSwapsSmallFractionOfVertices) {
+  // §4.1: "a single iteration of KL terminates after only a small
+  // percentage of the vertices have been swapped (less than 5%)."
+  Graph g = test_mesh();
+  MultilevelConfig cfg;
+  cfg.refine = RefinePolicy::kKLR;
+  Rng rng(17);
+  BisectResult r = multilevel_bisect(g, g.total_vertex_weight() / 2, cfg, rng);
+  // Swaps summed across all levels stay well below the vertex count.
+  EXPECT_LT(r.refine_stats.swapped, g.num_vertices() / 4);
+}
+
+TEST(PaperClaimsTest, Fig1_OurCutNotWorseThanMsbOverall) {
+  // Figure 1: our multilevel beats MSB on edge-cut for almost every matrix.
+  // At test scale we assert the aggregate over three meshes.
+  double ratio_sum = 0;
+  int count = 0;
+  for (std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    Graph g = fem3d_tet(9, 9, 9, seed);
+    Rng r1(seed), r2(seed);
+    MultilevelConfig ours;
+    MsbOptions msb;
+    ewt_t our_cut = kway_partition(g, 8, ours, r1).edge_cut;
+    ewt_t msb_cut = msb_partition(g, 8, msb, r2).edge_cut;
+    ratio_sum += static_cast<double>(our_cut) / static_cast<double>(msb_cut);
+    ++count;
+  }
+  EXPECT_LE(ratio_sum / count, 1.05);
+}
+
+TEST(PaperClaimsTest, Fig4_OursFasterThanMsb) {
+  // Figure 4: MSB is an order of magnitude slower; at test scale demand 2x.
+  Graph g = fem3d_tet(10, 10, 10, 5);
+  Rng r1(3), r2(3);
+  MultilevelConfig ours;
+  Timer t1;
+  kway_partition(g, 16, ours, r1);
+  const double ours_time = t1.seconds();
+  MsbOptions msb;
+  Timer t2;
+  msb_partition(g, 16, msb, r2);
+  const double msb_time = t2.seconds();
+  EXPECT_LT(ours_time * 2.0, msb_time);
+}
+
+TEST(PaperClaimsTest, Fig5_MlndBeatsNaturalAndRandomOrder) {
+  Graph g = grid3d(9, 9, 9);
+  Rng rng(19);
+  MultilevelConfig cfg;
+  NdOptions nd;
+  std::vector<vid_t> mlnd = mlnd_order(g, cfg, nd, rng);
+  std::vector<vid_t> natural(static_cast<std::size_t>(g.num_vertices()));
+  for (vid_t v = 0; v < g.num_vertices(); ++v) natural[static_cast<std::size_t>(v)] = v;
+  Rng prng(23);
+  std::vector<vid_t> random_perm = prng.permutation(g.num_vertices());
+  const std::int64_t f_mlnd = evaluate_ordering(g, mlnd).flops;
+  EXPECT_LT(f_mlnd, evaluate_ordering(g, natural).flops);
+  EXPECT_LT(f_mlnd, evaluate_ordering(g, random_perm).flops);
+}
+
+TEST(PaperClaimsTest, Fig5_MlndCompetitiveWithMmdOn3dMesh) {
+  // Fig 5: on 3D FE problems MLND outperforms MMD (by 2-3x on the largest).
+  // At this small scale we require MLND to be within 1.5x and expect it to
+  // win outright on the larger instance.
+  Graph g = fem3d_tet(10, 10, 10, 29);
+  Rng rng(31);
+  MultilevelConfig cfg;
+  NdOptions nd;
+  const std::int64_t f_mlnd = evaluate_ordering(g, mlnd_order(g, cfg, nd, rng)).flops;
+  const std::int64_t f_mmd = evaluate_ordering(g, mmd_order(g)).flops;
+  EXPECT_LT(f_mlnd, f_mmd * 3 / 2);
+}
+
+TEST(PaperClaimsTest, Section43_MlndEtreeShorterThanMmd) {
+  // §4.3: MMD etrees are "long and slender"; nested dissection ones are
+  // balanced.
+  Graph g = grid3d(10, 10, 10);
+  Rng rng(37);
+  MultilevelConfig cfg;
+  NdOptions nd;
+  nd.leaf_size = 60;
+  OrderingQuality mlnd = evaluate_ordering(g, mlnd_order(g, cfg, nd, rng));
+  OrderingQuality mmd = evaluate_ordering(g, mmd_order(g));
+  // The load-bearing parallel metric at this scale: a wider elimination
+  // tree (more exploitable concurrency).  The critical path crossover needs
+  // paper-size graphs (see bench/fig5_ordering), so here we only require
+  // MLND's critical path not to be materially worse.
+  EXPECT_GT(mlnd.average_width, mmd.average_width);
+  EXPECT_LT(static_cast<double>(mlnd.critical_path_flops),
+            1.5 * static_cast<double>(mmd.critical_path_flops));
+}
+
+TEST(PaperClaimsTest, Table4_BoundaryPoliciesInsertLess) {
+  // §3.3/Table 4: boundary refinement's entire advantage is avoiding the
+  // full-queue insertions.
+  Graph g = test_mesh();
+  auto insertions = [&](RefinePolicy p) {
+    MultilevelConfig cfg;
+    cfg.refine = p;
+    Rng rng(41);
+    return multilevel_bisect(g, g.total_vertex_weight() / 2, cfg, rng)
+        .refine_stats.insertions;
+  };
+  EXPECT_LT(insertions(RefinePolicy::kBGR), insertions(RefinePolicy::kGR));
+  EXPECT_LT(insertions(RefinePolicy::kBKLR), insertions(RefinePolicy::kKLR));
+}
+
+}  // namespace
+}  // namespace mgp

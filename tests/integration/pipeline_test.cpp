@@ -1,0 +1,83 @@
+// End-to-end pipeline tests: the full suite of generated graphs through
+// partitioning and ordering, asserting structural validity and sane quality
+// on every one.
+#include <gtest/gtest.h>
+
+#include "core/chaco_ml.hpp"
+#include "core/kway.hpp"
+#include "graph/generators.hpp"
+#include "graph/permute.hpp"
+#include "metrics/ordering_metrics.hpp"
+#include "metrics/partition_metrics.hpp"
+#include "order/nested_dissection.hpp"
+#include "spectral/msb.hpp"
+
+namespace mgp {
+namespace {
+
+class SuitePipelineTest : public ::testing::TestWithParam<std::size_t> {
+ public:
+  static const std::vector<NamedGraph>& suite() {
+    static const std::vector<NamedGraph> s =
+        paper_suite(SuiteKind::kFigures, 0.01, 777);
+    return s;
+  }
+};
+
+TEST_P(SuitePipelineTest, EightWayPartitionEndToEnd) {
+  const NamedGraph& ng = suite()[GetParam()];
+  SCOPED_TRACE(ng.name);
+  Rng rng(99);
+  MultilevelConfig cfg;
+  KwayResult r = kway_partition(ng.graph, 8, cfg, rng);
+  EXPECT_EQ(check_partition(ng.graph, r.part, 8), "");
+  PartitionQuality q = evaluate_partition(ng.graph, r.part, 8);
+  EXPECT_LT(q.imbalance, 1.3);
+  EXPECT_GT(q.min_part_weight, 0);
+  // Cut must beat a random 8-way labelling by a wide margin.
+  Rng lab(5);
+  std::vector<part_t> random_part(static_cast<std::size_t>(ng.graph.num_vertices()));
+  for (auto& p : random_part) p = static_cast<part_t>(lab.next_below(8));
+  EXPECT_LT(q.edge_cut, compute_kway_cut(ng.graph, random_part));
+}
+
+TEST_P(SuitePipelineTest, OrderingEndToEnd) {
+  const NamedGraph& ng = suite()[GetParam()];
+  SCOPED_TRACE(ng.name);
+  Rng rng(101);
+  MultilevelConfig cfg;
+  NdOptions nd;
+  std::vector<vid_t> perm = mlnd_order(ng.graph, cfg, nd, rng);
+  ASSERT_TRUE(is_permutation(perm));
+  OrderingQuality q = evaluate_ordering(ng.graph, perm);
+  EXPECT_GT(q.flops, 0);
+  EXPECT_GE(q.average_width, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGraphs, SuitePipelineTest,
+                         ::testing::Range<std::size_t>(0, 16),
+                         [](const ::testing::TestParamInfo<std::size_t>& info) {
+                           return SuitePipelineTest::suite()[info.param].name;
+                         });
+
+TEST(PipelineTest, AllFourPartitionersAgreeOnValidity) {
+  Graph g = fem2d_tri(22, 22, 31);
+  const part_t k = 4;
+  Rng r1(1), r2(2), r3(3), r4(4);
+  MultilevelConfig ours;
+  KwayResult a = kway_partition(g, k, ours, r1);
+  KwayResult b = chaco_ml_partition(g, k, r2);
+  MsbOptions msb;
+  KwayResult c = msb_partition(g, k, msb, r3);
+  MsbOptions msbkl = msb;
+  msbkl.kl_refine = true;
+  KwayResult d = msb_partition(g, k, msbkl, r4);
+  for (const KwayResult* r : {&a, &b, &c, &d}) {
+    EXPECT_EQ(check_partition(g, r->part, k), "");
+    PartitionQuality q = evaluate_partition(g, r->part, k);
+    EXPECT_LT(q.imbalance, 1.3);
+  }
+}
+
+}  // namespace
+}  // namespace mgp

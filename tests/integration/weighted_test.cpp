@@ -1,0 +1,125 @@
+// Weighted-graph pipelines: everything the paper's algorithms guarantee for
+// unit weights must also hold with heterogeneous vertex and edge weights
+// (coarse levels always are weighted — these tests feed weighted graphs in
+// at level 0 as well).
+#include <gtest/gtest.h>
+
+#include "core/kway.hpp"
+#include "core/kway_direct.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "metrics/partition_metrics.hpp"
+#include "order/nested_dissection.hpp"
+#include "graph/permute.hpp"
+
+namespace mgp {
+namespace {
+
+/// A mesh with lumpy vertex weights (1..8) and edge weights (1..5).
+Graph weighted_mesh(vid_t nx, vid_t ny, std::uint64_t seed) {
+  Graph base = fem2d_tri(nx, ny, seed);
+  Rng rng(seed + 1);
+  GraphBuilder b(base.num_vertices());
+  for (vid_t v = 0; v < base.num_vertices(); ++v) {
+    b.set_vertex_weight(v, 1 + static_cast<vwt_t>(rng.next_below(8)));
+  }
+  for (vid_t u = 0; u < base.num_vertices(); ++u) {
+    for (vid_t v : base.neighbors(u)) {
+      if (u < v) b.add_edge(u, v, 1 + static_cast<ewt_t>(rng.next_below(5)));
+    }
+  }
+  return std::move(b).build();
+}
+
+class WeightedSeedTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WeightedSeedTest, MultilevelBisectBalancesWeight) {
+  Graph g = weighted_mesh(20, 20, GetParam());
+  Rng rng(GetParam());
+  MultilevelConfig cfg;
+  const vwt_t target0 = g.total_vertex_weight() / 2;
+  BisectResult r = multilevel_bisect(g, target0, cfg, rng);
+  EXPECT_EQ(check_bisection(g, r.bisection), "");
+  // Balanced in *weight*, within a small multiple of the max vertex weight.
+  EXPECT_NEAR(static_cast<double>(r.bisection.part_weight[0]),
+              static_cast<double>(target0),
+              0.08 * static_cast<double>(g.total_vertex_weight()));
+}
+
+TEST_P(WeightedSeedTest, KwayBalancesWeightNotCount) {
+  Graph g = weighted_mesh(18, 18, GetParam());
+  Rng rng(GetParam());
+  MultilevelConfig cfg;
+  KwayResult r = kway_partition(g, 8, cfg, rng);
+  EXPECT_EQ(check_partition(g, r.part, 8), "");
+  PartitionQuality q = evaluate_partition(g, r.part, 8);
+  EXPECT_LT(q.imbalance, 1.35);
+}
+
+TEST_P(WeightedSeedTest, KwayDirectHandlesWeights) {
+  Graph g = weighted_mesh(18, 18, GetParam());
+  Rng rng(GetParam());
+  KwayDirectConfig cfg;
+  KwayResult r = kway_partition_direct(g, 8, cfg, rng);
+  EXPECT_EQ(check_partition(g, r.part, 8), "");
+  PartitionQuality q = evaluate_partition(g, r.part, 8);
+  EXPECT_LT(q.imbalance, 1.4);
+  EXPECT_GT(q.min_part_weight, 0);
+}
+
+TEST_P(WeightedSeedTest, OrderingHandlesWeightedPattern) {
+  // Ordering operates on the pattern; vertex weights must not break it.
+  Graph g = weighted_mesh(14, 14, GetParam());
+  Rng rng(GetParam());
+  MultilevelConfig cfg;
+  NdOptions nd;
+  std::vector<vid_t> perm = mlnd_order(g, cfg, nd, rng);
+  EXPECT_TRUE(is_permutation(perm));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WeightedSeedTest, ::testing::Values(1, 2, 3, 4));
+
+TEST(WeightedTest, EdgeWeightsSteerTheCut) {
+  // A path with one cheap edge in the middle of expensive ones: the bisector
+  // must cut the cheap edge even at slight balance cost.
+  GraphBuilder b(8);
+  for (vid_t v = 0; v + 1 < 8; ++v) {
+    b.add_edge(v, v + 1, v == 4 ? 1 : 100);
+  }
+  Graph g = std::move(b).build();
+  Rng rng(5);
+  MultilevelConfig cfg;
+  BisectResult r = multilevel_bisect(g, 4, cfg, rng);
+  EXPECT_EQ(r.bisection.cut, 1);
+}
+
+TEST(WeightedTest, HeavyVertexDominatesBalance) {
+  // One vertex holds half the total weight: it must sit alone-ish on a side.
+  GraphBuilder b(10);
+  b.set_vertex_weight(0, 9);
+  for (vid_t v = 0; v + 1 < 10; ++v) b.add_edge(v, v + 1);
+  Graph g = std::move(b).build();
+  Rng rng(6);
+  MultilevelConfig cfg;
+  const vwt_t target0 = g.total_vertex_weight() / 2;  // 9
+  BisectResult r = multilevel_bisect(g, target0, cfg, rng);
+  EXPECT_EQ(check_bisection(g, r.bisection), "");
+  // Each side's weight is within one max-vertex of the target.
+  EXPECT_GE(r.bisection.part_weight[0], 5);
+  EXPECT_LE(r.bisection.part_weight[0], 13);
+}
+
+TEST(WeightedTest, CommVolumeUsesCountsNotWeights) {
+  GraphBuilder b(3);
+  b.set_vertex_weight(1, 50);
+  b.add_edge(0, 1, 99);
+  b.add_edge(1, 2, 99);
+  Graph g = std::move(b).build();
+  std::vector<part_t> part = {0, 1, 0};
+  PartitionQuality q = evaluate_partition(g, part, 2);
+  EXPECT_EQ(q.edge_cut, 198);   // weighted
+  EXPECT_EQ(q.comm_volume, 3);  // structural: 1 sees part 0; 0 and 2 see part 1
+}
+
+}  // namespace
+}  // namespace mgp

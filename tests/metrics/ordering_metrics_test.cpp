@@ -1,0 +1,41 @@
+#include "metrics/ordering_metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/generators.hpp"
+
+namespace mgp {
+namespace {
+
+TEST(OrderingMetricsTest, AgreesWithSymbolicFactor) {
+  Graph g = grid2d(8, 8);
+  std::vector<vid_t> perm(64);
+  std::iota(perm.begin(), perm.end(), vid_t{0});
+  OrderingQuality q = evaluate_ordering(g, perm);
+  SymbolicFactor sf = symbolic_cholesky(g, perm);
+  EXPECT_EQ(q.nnz_factor, sf.nnz_factor);
+  EXPECT_EQ(q.flops, sf.flops);
+  ConcurrencyProfile cp = concurrency_profile(sf);
+  EXPECT_EQ(q.etree_height, cp.etree_height);
+  EXPECT_EQ(q.critical_path_flops, cp.critical_path_flops);
+}
+
+TEST(OrderingMetricsTest, PathIsCheapest) {
+  Graph g = path_graph(20);
+  std::vector<vid_t> perm(20);
+  std::iota(perm.begin(), perm.end(), vid_t{0});
+  OrderingQuality q = evaluate_ordering(g, perm);
+  EXPECT_EQ(q.nnz_factor, 39);
+  EXPECT_GE(q.average_width, 1.0);
+}
+
+TEST(OrderingMetricsTest, FormatFlops) {
+  EXPECT_EQ(format_flops(0), "0");
+  EXPECT_EQ(format_flops(1500), "1.5e+03");
+  EXPECT_FALSE(format_flops(123456789).empty());
+}
+
+}  // namespace
+}  // namespace mgp

@@ -1,0 +1,99 @@
+#include "metrics/partition_metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+
+namespace mgp {
+namespace {
+
+TEST(PartitionMetricsTest, PerfectQuartersOfAGrid) {
+  Graph g = grid2d(4, 4);
+  // Quadrants of the 4x4 grid.
+  std::vector<part_t> part(16);
+  for (vid_t v = 0; v < 16; ++v) {
+    vid_t x = v % 4, y = v / 4;
+    part[static_cast<std::size_t>(v)] = static_cast<part_t>((y / 2) * 2 + (x / 2));
+  }
+  PartitionQuality q = evaluate_partition(g, part, 4);
+  EXPECT_EQ(q.edge_cut, 8);
+  EXPECT_DOUBLE_EQ(q.imbalance, 1.0);
+  EXPECT_EQ(q.max_part_weight, 4);
+  EXPECT_EQ(q.min_part_weight, 4);
+}
+
+TEST(PartitionMetricsTest, BoundaryVerticesCounted) {
+  Graph g = path_graph(6);
+  std::vector<part_t> part = {0, 0, 0, 1, 1, 1};
+  PartitionQuality q = evaluate_partition(g, part, 2);
+  EXPECT_EQ(q.boundary_vertices, 2);  // vertices 2 and 3
+  EXPECT_EQ(q.comm_volume, 2);
+  EXPECT_EQ(q.edge_cut, 1);
+}
+
+TEST(PartitionMetricsTest, CommVolumeCountsDistinctParts) {
+  // Star center adjacent to leaves in 3 different parts: volume 3 for the
+  // center plus 1 for each leaf in a foreign part.
+  Graph g = star_graph(4);
+  std::vector<part_t> part = {0, 1, 2, 3};
+  PartitionQuality q = evaluate_partition(g, part, 4);
+  EXPECT_EQ(q.comm_volume, 3 + 3);
+  EXPECT_EQ(q.boundary_vertices, 4);
+}
+
+TEST(PartitionMetricsTest, SinglePartHasNoCut) {
+  Graph g = fem2d_tri(6, 6, 1);
+  std::vector<part_t> part(static_cast<std::size_t>(g.num_vertices()), 0);
+  PartitionQuality q = evaluate_partition(g, part, 1);
+  EXPECT_EQ(q.edge_cut, 0);
+  EXPECT_EQ(q.boundary_vertices, 0);
+  EXPECT_EQ(q.comm_volume, 0);
+  EXPECT_DOUBLE_EQ(q.imbalance, 1.0);
+}
+
+TEST(PartitionMetricsTest, WeightedImbalance) {
+  GraphBuilder b(3);
+  b.set_vertex_weight(0, 6);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  Graph g = std::move(b).build();
+  std::vector<part_t> part = {0, 1, 1};
+  PartitionQuality q = evaluate_partition(g, part, 2);
+  // total 8, ideal 4, max part 6.
+  EXPECT_DOUBLE_EQ(q.imbalance, 1.5);
+}
+
+TEST(PartitionMetricsTest, CheckPartitionAcceptsValid) {
+  Graph g = path_graph(4);
+  std::vector<part_t> part = {0, 1, 2, 0};
+  EXPECT_EQ(check_partition(g, part, 3), "");
+}
+
+TEST(PartitionMetricsTest, CheckPartitionRejectsOutOfRange) {
+  Graph g = path_graph(3);
+  std::vector<part_t> part = {0, 3, 1};
+  EXPECT_NE(check_partition(g, part, 3), "");
+  std::vector<part_t> neg = {0, -1, 1};
+  EXPECT_NE(check_partition(g, neg, 3), "");
+}
+
+TEST(PartitionMetricsTest, CheckPartitionRejectsSizeMismatch) {
+  Graph g = path_graph(3);
+  std::vector<part_t> part = {0, 1};
+  EXPECT_NE(check_partition(g, part, 2), "");
+}
+
+TEST(PartitionMetricsTest, EdgeCutRespectsWeights) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1, 10);
+  b.add_edge(1, 2, 20);
+  b.add_edge(2, 3, 30);
+  Graph g = std::move(b).build();
+  std::vector<part_t> part = {0, 0, 1, 1};
+  PartitionQuality q = evaluate_partition(g, part, 2);
+  EXPECT_EQ(q.edge_cut, 20);
+}
+
+}  // namespace
+}  // namespace mgp

@@ -1,0 +1,92 @@
+#include "order/etree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/generators.hpp"
+#include "support/rng.hpp"
+
+namespace mgp {
+namespace {
+
+std::vector<vid_t> identity_perm(vid_t n) {
+  std::vector<vid_t> p(static_cast<std::size_t>(n));
+  std::iota(p.begin(), p.end(), vid_t{0});
+  return p;
+}
+
+TEST(EtreeTest, PathNaturalOrderIsChain) {
+  Graph g = path_graph(6);
+  std::vector<vid_t> parent = elimination_tree(g, identity_perm(6));
+  for (vid_t j = 0; j < 5; ++j) EXPECT_EQ(parent[static_cast<std::size_t>(j)], j + 1);
+  EXPECT_EQ(parent[5], kInvalidVid);
+  EXPECT_EQ(etree_height(parent), 6);
+}
+
+TEST(EtreeTest, StarLeavesFirstIsFlat) {
+  // Star with center last: every leaf's parent is the center; height 2.
+  Graph g = star_graph(6);  // center 0
+  std::vector<vid_t> perm = {1, 2, 3, 4, 5, 0};  // center eliminated last
+  std::vector<vid_t> parent = elimination_tree(g, perm);
+  for (vid_t j = 0; j < 5; ++j) EXPECT_EQ(parent[static_cast<std::size_t>(j)], 5);
+  EXPECT_EQ(parent[5], kInvalidVid);
+  EXPECT_EQ(etree_height(parent), 2);
+}
+
+TEST(EtreeTest, StarCenterFirstIsChain) {
+  // Eliminating the center first connects all leaves: etree is a chain.
+  Graph g = star_graph(5);
+  std::vector<vid_t> perm = {0, 1, 2, 3, 4};
+  std::vector<vid_t> parent = elimination_tree(g, perm);
+  EXPECT_EQ(etree_height(parent), 5);
+}
+
+TEST(EtreeTest, DisconnectedGraphIsForest) {
+  Graph g = empty_graph(4);
+  std::vector<vid_t> parent = elimination_tree(g, identity_perm(4));
+  for (vid_t j = 0; j < 4; ++j) EXPECT_EQ(parent[static_cast<std::size_t>(j)], kInvalidVid);
+  EXPECT_EQ(etree_height(parent), 1);
+}
+
+TEST(EtreeTest, ParentsAlwaysLater) {
+  Graph g = fem2d_tri(10, 10, 3);
+  Rng rng(5);
+  std::vector<vid_t> perm = rng.permutation(g.num_vertices());
+  std::vector<vid_t> parent = elimination_tree(g, perm);
+  for (std::size_t j = 0; j < parent.size(); ++j) {
+    if (parent[j] != kInvalidVid) {
+      EXPECT_GT(parent[j], static_cast<vid_t>(j));
+    }
+  }
+}
+
+TEST(EtreeTest, ChildrenInverseOfParents) {
+  Graph g = grid2d(6, 6);
+  Rng rng(6);
+  std::vector<vid_t> perm = rng.permutation(g.num_vertices());
+  std::vector<vid_t> parent = elimination_tree(g, perm);
+  EtreeChildren ch = etree_children(parent);
+  vid_t counted = 0;
+  for (std::size_t p = 0; p < parent.size(); ++p) {
+    for (eid_t e = ch.xadj[p]; e < ch.xadj[p + 1]; ++e) {
+      vid_t c = ch.child[static_cast<std::size_t>(e)];
+      EXPECT_EQ(parent[static_cast<std::size_t>(c)], static_cast<vid_t>(p));
+      ++counted;
+    }
+  }
+  EXPECT_EQ(static_cast<std::size_t>(counted) + ch.roots.size(), parent.size());
+  for (vid_t r : ch.roots) EXPECT_EQ(parent[static_cast<std::size_t>(r)], kInvalidVid);
+}
+
+TEST(EtreeTest, CliqueIsAlwaysAChain) {
+  Graph g = complete_graph(7);
+  Rng rng(7);
+  std::vector<vid_t> perm = rng.permutation(7);
+  std::vector<vid_t> parent = elimination_tree(g, perm);
+  // In a clique every column j has parent j+1.
+  for (vid_t j = 0; j < 6; ++j) EXPECT_EQ(parent[static_cast<std::size_t>(j)], j + 1);
+}
+
+}  // namespace
+}  // namespace mgp

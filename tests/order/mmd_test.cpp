@@ -1,0 +1,152 @@
+#include "order/mmd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "graph/permute.hpp"
+#include "order/symbolic.hpp"
+
+namespace mgp {
+namespace {
+
+std::vector<vid_t> identity_perm(vid_t n) {
+  std::vector<vid_t> p(static_cast<std::size_t>(n));
+  std::iota(p.begin(), p.end(), vid_t{0});
+  return p;
+}
+
+class MmdGraphTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  Graph make() const {
+    std::string name = GetParam();
+    if (name == "path") return path_graph(50);
+    if (name == "cycle") return cycle_graph(41);
+    if (name == "grid") return grid2d(12, 13);
+    if (name == "fem") return fem2d_tri(14, 14, 3);
+    if (name == "grid3d") return grid3d(6, 6, 6);
+    if (name == "grid3d27") return grid3d_27(5, 5, 5);
+    if (name == "star") return star_graph(30);
+    if (name == "clique") return complete_graph(15);
+    if (name == "isolated") return empty_graph(12);
+    if (name == "bipartite") return complete_bipartite(6, 9);
+    return path_graph(3);
+  }
+};
+
+TEST_P(MmdGraphTest, ProducesValidPermutation) {
+  Graph g = make();
+  std::vector<vid_t> perm = mmd_order(g);
+  EXPECT_TRUE(is_permutation(perm));
+}
+
+TEST_P(MmdGraphTest, SingleEliminationAlsoValid) {
+  Graph g = make();
+  MmdOptions opts;
+  opts.multiple = false;
+  EXPECT_TRUE(is_permutation(mmd_order(g, opts)));
+}
+
+TEST_P(MmdGraphTest, NoSupervariablesAlsoValid) {
+  Graph g = make();
+  MmdOptions opts;
+  opts.supervariables = false;
+  EXPECT_TRUE(is_permutation(mmd_order(g, opts)));
+}
+
+TEST_P(MmdGraphTest, Deterministic) {
+  Graph g = make();
+  EXPECT_EQ(mmd_order(g), mmd_order(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(Graphs, MmdGraphTest,
+                         ::testing::Values("path", "cycle", "grid", "fem", "grid3d",
+                                           "grid3d27", "star", "clique", "isolated",
+                                           "bipartite"));
+
+TEST(MmdTest, PathYieldsZeroFill) {
+  // Minimum degree on a path always eliminates endpoints (degree 1), which
+  // produces no fill at all.
+  Graph g = path_graph(40);
+  SymbolicFactor sf = symbolic_cholesky(g, mmd_order(g));
+  EXPECT_EQ(sf.nnz_factor, 40 + 39);
+}
+
+TEST(MmdTest, StarEliminatesLeavesFirst) {
+  Graph g = star_graph(20);
+  std::vector<vid_t> perm = mmd_order(g);
+  // Center (vertex 0, degree 19) must come last.
+  EXPECT_EQ(perm.back(), 0);
+  SymbolicFactor sf = symbolic_cholesky(g, perm);
+  EXPECT_EQ(sf.nnz_factor, 20 + 19);  // no fill
+}
+
+TEST(MmdTest, TreeYieldsZeroFill) {
+  // Any tree admits a perfect (no-fill) elimination; minimum degree finds it
+  // because a tree always has a leaf.
+  GraphBuilder b(15);
+  for (vid_t v = 1; v < 15; ++v) b.add_edge(v, (v - 1) / 2);  // complete binary tree
+  Graph g = std::move(b).build();
+  SymbolicFactor sf = symbolic_cholesky(g, mmd_order(g));
+  EXPECT_EQ(sf.nnz_factor, 15 + 14);
+}
+
+TEST(MmdTest, BeatsNaturalOrderOnGrid) {
+  Graph g = grid2d(15, 15);
+  SymbolicFactor natural = symbolic_cholesky(g, identity_perm(g.num_vertices()));
+  SymbolicFactor md = symbolic_cholesky(g, mmd_order(g));
+  EXPECT_LT(md.flops, natural.flops);
+  EXPECT_LT(md.nnz_factor, natural.nnz_factor);
+}
+
+TEST(MmdTest, BeatsRandomOrderOnFemMesh) {
+  Graph g = fem2d_tri(16, 16, 9);
+  Rng rng(4);
+  SymbolicFactor random_order = symbolic_cholesky(g, rng.permutation(g.num_vertices()));
+  SymbolicFactor md = symbolic_cholesky(g, mmd_order(g));
+  EXPECT_LT(md.flops, random_order.flops / 2);
+}
+
+TEST(MmdTest, CliqueAnyOrderSameFill) {
+  Graph g = complete_graph(10);
+  SymbolicFactor sf = symbolic_cholesky(g, mmd_order(g));
+  EXPECT_EQ(sf.nnz_factor, 10 * 11 / 2);
+}
+
+TEST(MmdTest, SupervariablesDoNotChangeQualityClass) {
+  Graph g = grid3d(5, 5, 5);
+  MmdOptions with;
+  MmdOptions without;
+  without.supervariables = false;
+  std::int64_t f_with = symbolic_cholesky(g, mmd_order(g, with)).flops;
+  std::int64_t f_without = symbolic_cholesky(g, mmd_order(g, without)).flops;
+  // Same algorithm family: within 3x of each other.
+  EXPECT_LT(f_with, 3 * f_without);
+  EXPECT_LT(f_without, 3 * f_with);
+}
+
+TEST(MmdTest, MultipleVsSingleEliminationSameQualityClass) {
+  Graph g = fem2d_tri(12, 12, 7);
+  MmdOptions multiple;
+  MmdOptions single;
+  single.multiple = false;
+  std::int64_t fm = symbolic_cholesky(g, mmd_order(g, multiple)).flops;
+  std::int64_t fs = symbolic_cholesky(g, mmd_order(g, single)).flops;
+  EXPECT_LT(fm, 3 * fs);
+  EXPECT_LT(fs, 3 * fm);
+}
+
+TEST(MmdTest, EmptyGraph) {
+  EXPECT_TRUE(mmd_order(empty_graph(0)).empty());
+}
+
+TEST(MmdTest, SingleVertex) {
+  std::vector<vid_t> p = mmd_order(empty_graph(1));
+  ASSERT_EQ(p.size(), 1u);
+  EXPECT_EQ(p[0], 0);
+}
+
+}  // namespace
+}  // namespace mgp

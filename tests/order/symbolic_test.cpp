@@ -1,0 +1,149 @@
+#include "order/symbolic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "graph/generators.hpp"
+#include "graph/permute.hpp"
+#include "support/rng.hpp"
+
+namespace mgp {
+namespace {
+
+std::vector<vid_t> identity_perm(vid_t n) {
+  std::vector<vid_t> p(static_cast<std::size_t>(n));
+  std::iota(p.begin(), p.end(), vid_t{0});
+  return p;
+}
+
+/// Reference symbolic factorisation by explicit elimination (O(n^3)-ish,
+/// for tiny graphs): returns per-column factor counts including diagonal.
+std::vector<std::int64_t> brute_force_colcounts(const Graph& g,
+                                                std::span<const vid_t> perm) {
+  const vid_t n = g.num_vertices();
+  std::vector<vid_t> inv = invert_permutation(perm);
+  // adj[i] = current nonzero set of row/col i (in new numbering), i.e. the
+  // elimination graph.
+  std::vector<std::set<vid_t>> adj(static_cast<std::size_t>(n));
+  for (vid_t u = 0; u < n; ++u) {
+    for (vid_t v : g.neighbors(u)) {
+      adj[static_cast<std::size_t>(inv[static_cast<std::size_t>(u)])].insert(
+          inv[static_cast<std::size_t>(v)]);
+    }
+  }
+  std::vector<std::int64_t> cc(static_cast<std::size_t>(n), 1);
+  for (vid_t j = 0; j < n; ++j) {
+    std::vector<vid_t> later;
+    for (vid_t x : adj[static_cast<std::size_t>(j)]) {
+      if (x > j) later.push_back(x);
+    }
+    cc[static_cast<std::size_t>(j)] += static_cast<std::int64_t>(later.size());
+    // Eliminate j: pairwise fill among the later neighbours.
+    for (std::size_t a = 0; a < later.size(); ++a) {
+      for (std::size_t b = a + 1; b < later.size(); ++b) {
+        adj[static_cast<std::size_t>(later[a])].insert(later[b]);
+        adj[static_cast<std::size_t>(later[b])].insert(later[a]);
+      }
+    }
+  }
+  return cc;
+}
+
+TEST(SymbolicTest, PathNaturalOrderHasNoFill) {
+  Graph g = path_graph(10);
+  SymbolicFactor sf = symbolic_cholesky(g, identity_perm(10));
+  // Tridiagonal: every column except the last has exactly one off-diagonal.
+  EXPECT_EQ(sf.nnz_factor, 10 + 9);
+  EXPECT_EQ(sf.flops, 9 * 4 + 1);
+}
+
+TEST(SymbolicTest, CliqueIsFullyDense) {
+  const vid_t n = 8;
+  Graph g = complete_graph(n);
+  SymbolicFactor sf = symbolic_cholesky(g, identity_perm(n));
+  EXPECT_EQ(sf.nnz_factor, n * (n + 1) / 2);
+}
+
+TEST(SymbolicTest, StarLeafFirstNoFill) {
+  Graph g = star_graph(8);
+  std::vector<vid_t> perm = {1, 2, 3, 4, 5, 6, 7, 0};
+  SymbolicFactor sf = symbolic_cholesky(g, perm);
+  EXPECT_EQ(sf.nnz_factor, 8 + 7);  // no fill
+}
+
+TEST(SymbolicTest, StarCenterFirstFullFill) {
+  Graph g = star_graph(8);
+  SymbolicFactor sf = symbolic_cholesky(g, identity_perm(8));
+  // Eliminating the center connects all leaves: dense factor.
+  EXPECT_EQ(sf.nnz_factor, 8 * 9 / 2);
+}
+
+class SymbolicBruteForceTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SymbolicBruteForceTest, MatchesReferenceOnRandomOrdersAndGraphs) {
+  Rng rng(GetParam());
+  Graph g = fem2d_tri(5 + static_cast<vid_t>(GetParam() % 4),
+                      5 + static_cast<vid_t>(GetParam() % 3), GetParam());
+  std::vector<vid_t> perm = rng.permutation(g.num_vertices());
+  SymbolicFactor sf = symbolic_cholesky(g, perm);
+  std::vector<std::int64_t> ref = brute_force_colcounts(g, perm);
+  ASSERT_EQ(sf.col_count.size(), ref.size());
+  for (std::size_t j = 0; j < ref.size(); ++j) {
+    EXPECT_EQ(sf.col_count[j], ref[j]) << "column " << j;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SymbolicBruteForceTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+TEST(SymbolicTest, FlopsAndNnzAreSumAndSumOfSquares) {
+  Graph g = grid2d(5, 5);
+  Rng rng(3);
+  std::vector<vid_t> perm = rng.permutation(25);
+  SymbolicFactor sf = symbolic_cholesky(g, perm);
+  std::int64_t nnz = 0, flops = 0;
+  for (std::int64_t cc : sf.col_count) {
+    nnz += cc;
+    flops += cc * cc;
+  }
+  EXPECT_EQ(sf.nnz_factor, nnz);
+  EXPECT_EQ(sf.flops, flops);
+}
+
+TEST(ConcurrencyTest, ChainHasNoConcurrency) {
+  Graph g = path_graph(12);
+  // Center-out ordering would chain; natural order of a path gives a chain
+  // etree and thus critical path == total flops.
+  SymbolicFactor sf = symbolic_cholesky(g, identity_perm(12));
+  ConcurrencyProfile cp = concurrency_profile(sf);
+  EXPECT_EQ(cp.etree_height, 12);
+  EXPECT_EQ(cp.critical_path_flops, sf.flops);
+  EXPECT_DOUBLE_EQ(cp.average_width, 1.0);
+}
+
+TEST(ConcurrencyTest, BalancedTreeHasWidth) {
+  // Star ordered leaves-first: etree of height 2, heavy concurrency.
+  Graph g = star_graph(17);
+  std::vector<vid_t> perm(17);
+  for (vid_t i = 0; i < 16; ++i) perm[static_cast<std::size_t>(i)] = i + 1;
+  perm[16] = 0;
+  SymbolicFactor sf = symbolic_cholesky(g, perm);
+  ConcurrencyProfile cp = concurrency_profile(sf);
+  EXPECT_EQ(cp.etree_height, 2);
+  EXPECT_GT(cp.average_width, 4.0);
+}
+
+TEST(ConcurrencyTest, CriticalPathBoundedByTotal) {
+  Graph g = fem2d_tri(8, 8, 5);
+  Rng rng(6);
+  std::vector<vid_t> perm = rng.permutation(g.num_vertices());
+  SymbolicFactor sf = symbolic_cholesky(g, perm);
+  ConcurrencyProfile cp = concurrency_profile(sf);
+  EXPECT_LE(cp.critical_path_flops, sf.flops);
+  EXPECT_GE(cp.average_width, 1.0);
+}
+
+}  // namespace
+}  // namespace mgp

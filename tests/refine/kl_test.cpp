@@ -1,0 +1,213 @@
+#include "refine/kl.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+
+namespace mgp {
+namespace {
+
+/// Deliberately poor halving: odd/even interleave.
+Bisection interleaved(const Graph& g) {
+  std::vector<part_t> side(static_cast<std::size_t>(g.num_vertices()));
+  for (vid_t v = 0; v < g.num_vertices(); ++v) side[static_cast<std::size_t>(v)] = v % 2;
+  return make_bisection(g, std::move(side));
+}
+
+TEST(KlTest, NeverWorsensCut) {
+  Graph g = fem2d_tri(12, 12, 3);
+  for (bool boundary : {false, true}) {
+    for (bool single : {false, true}) {
+      Bisection b = interleaved(g);
+      const ewt_t before = b.cut;
+      KlOptions opts;
+      opts.boundary_only = boundary;
+      opts.single_pass = single;
+      Rng rng(5);
+      kl_refine(g, b, g.total_vertex_weight() / 2, opts, rng);
+      EXPECT_LE(b.cut, before);
+      EXPECT_EQ(check_bisection(g, b), "");
+    }
+  }
+}
+
+TEST(KlTest, ImprovesInterleavedGrid) {
+  Graph g = grid2d(10, 10);
+  Bisection b = interleaved(g);
+  const ewt_t before = b.cut;  // 180: every edge cut
+  Rng rng(6);
+  KlOptions opts;
+  kl_refine(g, b, 50, opts, rng);
+  EXPECT_LT(b.cut, before / 2);
+}
+
+TEST(KlTest, FixesAlmostPerfectPartition) {
+  // Path split 0..14 | 15..29 with two vertices swapped: one pass of
+  // boundary KL must restore the clean cut of 1.
+  Graph g = path_graph(30);
+  std::vector<part_t> side(30);
+  for (vid_t v = 0; v < 30; ++v) side[static_cast<std::size_t>(v)] = v < 15 ? 0 : 1;
+  std::swap(side[14], side[15]);
+  Bisection b = make_bisection(g, std::move(side));
+  ASSERT_GT(b.cut, 1);
+  Rng rng(7);
+  KlOptions opts;
+  opts.boundary_only = true;
+  kl_refine(g, b, 15, opts, rng);
+  EXPECT_EQ(b.cut, 1);
+  // The clean cut may land a vertex either side of the midpoint within the
+  // one-vertex weight slack.
+  EXPECT_GE(b.part_weight[0], 14);
+  EXPECT_LE(b.part_weight[0], 16);
+}
+
+TEST(KlTest, RespectsWeightLimits) {
+  Graph g = grid2d(8, 8);
+  Bisection b = interleaved(g);
+  Rng rng(8);
+  KlOptions opts;
+  kl_refine(g, b, 32, opts, rng);
+  // Unit weights, slack = 1 vertex: neither side may exceed 33.
+  EXPECT_LE(b.part_weight[0], 33);
+  EXPECT_LE(b.part_weight[1], 33);
+}
+
+TEST(KlTest, StatsAreCoherent) {
+  Graph g = fem2d_tri(10, 10, 4);
+  Bisection b = interleaved(g);
+  const ewt_t before = b.cut;
+  Rng rng(9);
+  KlOptions opts;
+  KlStats s = kl_refine(g, b, 50, opts, rng);
+  EXPECT_GE(s.passes, 1);
+  EXPECT_LE(s.passes, opts.max_passes);
+  EXPECT_GE(s.moves_attempted, s.swapped);
+  EXPECT_EQ(s.cut_reduction, before - b.cut);
+}
+
+TEST(KlTest, SinglePassDoesExactlyOnePass) {
+  Graph g = fem2d_tri(10, 10, 5);
+  Bisection b = interleaved(g);
+  Rng rng(10);
+  KlOptions opts;
+  opts.single_pass = true;
+  KlStats s = kl_refine(g, b, 50, opts, rng);
+  EXPECT_EQ(s.passes, 1);
+}
+
+TEST(KlTest, MultiPassNotWorseThanSinglePass) {
+  Graph g = fem2d_tri(14, 14, 6);
+  Bisection b1 = interleaved(g);
+  Bisection b2 = interleaved(g);
+  KlOptions single;
+  single.single_pass = true;
+  KlOptions multi;
+  Rng r1(11), r2(11);
+  kl_refine(g, b1, g.total_vertex_weight() / 2, single, r1);
+  kl_refine(g, b2, g.total_vertex_weight() / 2, multi, r2);
+  EXPECT_LE(b2.cut, b1.cut);
+}
+
+TEST(KlTest, BoundaryInsertsFewerVertices) {
+  // The whole point of the boundary variants (§3.3): far less queue traffic.
+  Graph g = grid2d(20, 20);
+  std::vector<part_t> side(400);
+  for (vid_t v = 0; v < 400; ++v) side[static_cast<std::size_t>(v)] = (v % 20) < 10 ? 0 : 1;
+  Bisection b1 = make_bisection(g, side);
+  Bisection b2 = make_bisection(g, side);
+  KlOptions full;
+  KlOptions boundary;
+  boundary.boundary_only = true;
+  Rng r1(12), r2(12);
+  KlStats sf = kl_refine(g, b1, 200, full, r1);
+  KlStats sb = kl_refine(g, b2, 200, boundary, r2);
+  EXPECT_LT(sb.insertions, sf.insertions / 2);
+}
+
+TEST(KlTest, ZeroCutIsFixedPoint) {
+  // Disconnected halves with no cut edges: nothing to do, nothing changes.
+  GraphBuilder gb(8);
+  for (vid_t i = 0; i < 4; ++i)
+    for (vid_t j = i + 1; j < 4; ++j) gb.add_edge(i, j);
+  for (vid_t i = 4; i < 8; ++i)
+    for (vid_t j = i + 1; j < 8; ++j) gb.add_edge(i, j);
+  Graph g = std::move(gb).build();
+  std::vector<part_t> side = {0, 0, 0, 0, 1, 1, 1, 1};
+  Bisection b = make_bisection(g, side);
+  Rng rng(13);
+  KlOptions opts;
+  kl_refine(g, b, 4, opts, rng);
+  EXPECT_EQ(b.cut, 0);
+  EXPECT_EQ(b.side, side);
+}
+
+TEST(KlTest, EmptyGraph) {
+  Graph g = empty_graph(0);
+  Bisection b;
+  Rng rng(1);
+  KlOptions opts;
+  KlStats s = kl_refine(g, b, 0, opts, rng);
+  EXPECT_EQ(s.passes, 0);
+}
+
+TEST(KlTest, WeightedVerticesStayWithinSlack) {
+  GraphBuilder gb(6);
+  for (vid_t v = 0; v < 6; ++v) gb.set_vertex_weight(v, v == 0 ? 10 : 2);
+  gb.add_edge(0, 1);
+  gb.add_edge(1, 2);
+  gb.add_edge(2, 3);
+  gb.add_edge(3, 4);
+  gb.add_edge(4, 5);
+  Graph g = std::move(gb).build();
+  std::vector<part_t> side = {0, 1, 0, 1, 0, 1};
+  Bisection b = make_bisection(g, side);
+  Rng rng(14);
+  KlOptions opts;
+  const vwt_t target0 = g.total_vertex_weight() / 2;  // 10
+  kl_refine(g, b, target0, opts, rng);
+  EXPECT_EQ(check_bisection(g, b), "");
+  // Slack is one max vertex weight (10): limit = 20 per side.
+  EXPECT_LE(b.part_weight[0], 20);
+  EXPECT_LE(b.part_weight[1], 20);
+}
+
+TEST(KlTest, CountBoundaryVertices) {
+  Graph g = grid2d(4, 4);
+  std::vector<part_t> side(16, 0);
+  for (vid_t v = 0; v < 16; ++v) side[static_cast<std::size_t>(v)] = (v % 4) < 2 ? 0 : 1;
+  EXPECT_EQ(count_boundary_vertices(g, side), 8);
+  std::fill(side.begin(), side.end(), part_t{0});
+  EXPECT_EQ(count_boundary_vertices(g, side), 0);
+}
+
+TEST(KlTest, DeterministicGivenSeed) {
+  Graph g = fem2d_tri(12, 12, 7);
+  Bisection b1 = interleaved(g);
+  Bisection b2 = interleaved(g);
+  Rng r1(15), r2(15);
+  KlOptions opts;
+  kl_refine(g, b1, g.total_vertex_weight() / 2, opts, r1);
+  kl_refine(g, b2, g.total_vertex_weight() / 2, opts, r2);
+  EXPECT_EQ(b1.side, b2.side);
+  EXPECT_EQ(b1.cut, b2.cut);
+}
+
+class KlWindowTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(KlWindowTest, NonImprovingWindowStillImproves) {
+  Graph g = fem2d_tri(10, 10, 8);
+  Bisection b = interleaved(g);
+  const ewt_t before = b.cut;
+  Rng rng(16);
+  KlOptions opts;
+  opts.non_improving_window = GetParam();
+  kl_refine(g, b, 50, opts, rng);
+  EXPECT_LE(b.cut, before);
+  EXPECT_EQ(check_bisection(g, b), "");
+}
+
+INSTANTIATE_TEST_SUITE_P(Windows, KlWindowTest, ::testing::Values(1, 5, 50, 500));
+
+}  // namespace
+}  // namespace mgp

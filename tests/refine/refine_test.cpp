@@ -1,0 +1,119 @@
+#include "refine/refine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace mgp {
+namespace {
+
+Bisection stripes(const Graph& g, vid_t period) {
+  std::vector<part_t> side(static_cast<std::size_t>(g.num_vertices()));
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    side[static_cast<std::size_t>(v)] = (v / period) % 2;
+  }
+  return make_bisection(g, std::move(side));
+}
+
+class PolicyTest : public ::testing::TestWithParam<RefinePolicy> {};
+
+TEST_P(PolicyTest, ImprovesOrPreservesCut) {
+  Graph g = fem2d_tri(14, 14, 2);
+  Bisection b = stripes(g, 14);
+  const ewt_t before = b.cut;
+  Rng rng(3);
+  refine_bisection(g, b, g.total_vertex_weight() / 2, GetParam(),
+                   g.num_vertices(), rng);
+  EXPECT_LE(b.cut, before);
+  EXPECT_EQ(check_bisection(g, b), "");
+}
+
+TEST_P(PolicyTest, DeterministicGivenSeed) {
+  Graph g = fem2d_tri(12, 12, 9);
+  Bisection b1 = stripes(g, 6);
+  Bisection b2 = stripes(g, 6);
+  Rng r1(4), r2(4);
+  refine_bisection(g, b1, g.total_vertex_weight() / 2, GetParam(), g.num_vertices(), r1);
+  refine_bisection(g, b2, g.total_vertex_weight() / 2, GetParam(), g.num_vertices(), r2);
+  EXPECT_EQ(b1.side, b2.side);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, PolicyTest,
+                         ::testing::Values(RefinePolicy::kNone, RefinePolicy::kGR,
+                                           RefinePolicy::kKLR, RefinePolicy::kBGR,
+                                           RefinePolicy::kBKLR, RefinePolicy::kBKLGR),
+                         [](const ::testing::TestParamInfo<RefinePolicy>& info) {
+                           return to_string(info.param);
+                         });
+
+TEST(PolicyTest, NoneDoesNothing) {
+  Graph g = grid2d(6, 6);
+  Bisection b = stripes(g, 3);
+  Bisection before = b;
+  Rng rng(5);
+  KlStats s = refine_bisection(g, b, 18, RefinePolicy::kNone, 36, rng);
+  EXPECT_EQ(b.side, before.side);
+  EXPECT_EQ(b.cut, before.cut);
+  EXPECT_EQ(s.passes, 0);
+}
+
+TEST(PolicyTest, GrIsSinglePassFullQueue) {
+  Graph g = grid2d(10, 10);
+  Bisection b = stripes(g, 1);
+  Rng rng(6);
+  KlStats s = refine_bisection(g, b, 50, RefinePolicy::kGR, 100, rng);
+  EXPECT_EQ(s.passes, 1);
+  EXPECT_EQ(s.insertions, 100);  // every vertex inserted once
+}
+
+TEST(PolicyTest, BgrInsertsOnlyBoundary) {
+  Graph g = grid2d(10, 10);
+  Bisection b = stripes(g, 5);  // clean vertical stripes -> small boundary
+  const vid_t boundary = count_boundary_vertices(g, b.side);
+  Rng rng(7);
+  KlStats s = refine_bisection(g, b, 50, RefinePolicy::kBGR, 100, rng);
+  EXPECT_EQ(s.passes, 1);
+  EXPECT_LE(s.insertions, boundary + s.moves_attempted * 4);
+  EXPECT_LT(s.insertions, 100);
+}
+
+TEST(PolicyTest, BklgrSwitchesOnBoundarySize) {
+  Graph g = grid2d(24, 24);
+  // Small boundary relative to a huge "original" graph -> BKLR (multi-pass
+  // allowed).  Large relative boundary -> BGR (one pass).
+  Bisection b1 = stripes(g, 12);
+  Rng r1(8);
+  KlStats s1 = refine_bisection(g, b1, 288, RefinePolicy::kBKLGR,
+                                /*original_n=*/10'000'000, r1);
+  EXPECT_GE(s1.passes, 1);  // multi-pass permitted (may converge in 1)
+
+  Bisection b2 = stripes(g, 1);  // interleave: everything is boundary
+  Rng r2(8);
+  KlStats s2 = refine_bisection(g, b2, 288, RefinePolicy::kBKLGR,
+                                /*original_n=*/g.num_vertices(), r2);
+  EXPECT_EQ(s2.passes, 1);  // boundary >= 2% of original -> single pass BGR
+}
+
+TEST(PolicyTest, KlrNotWorseThanGr) {
+  Graph g = fem2d_tri(16, 16, 10);
+  Bisection b1 = stripes(g, 1);
+  Bisection b2 = stripes(g, 1);
+  Rng r1(9), r2(9);
+  refine_bisection(g, b1, g.total_vertex_weight() / 2, RefinePolicy::kGR,
+                   g.num_vertices(), r1);
+  refine_bisection(g, b2, g.total_vertex_weight() / 2, RefinePolicy::kKLR,
+                   g.num_vertices(), r2);
+  EXPECT_LE(b2.cut, b1.cut);
+}
+
+TEST(PolicyTest, ToStringRoundTrip) {
+  EXPECT_EQ(to_string(RefinePolicy::kNone), "none");
+  EXPECT_EQ(to_string(RefinePolicy::kGR), "GR");
+  EXPECT_EQ(to_string(RefinePolicy::kKLR), "KLR");
+  EXPECT_EQ(to_string(RefinePolicy::kBGR), "BGR");
+  EXPECT_EQ(to_string(RefinePolicy::kBKLR), "BKLR");
+  EXPECT_EQ(to_string(RefinePolicy::kBKLGR), "BKLGR");
+}
+
+}  // namespace
+}  // namespace mgp

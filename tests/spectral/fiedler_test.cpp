@@ -1,0 +1,76 @@
+#include "spectral/fiedler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "spectral/laplacian.hpp"
+
+namespace mgp {
+namespace {
+
+TEST(FiedlerTest, SmallGraphUsesExactPath) {
+  Graph g = path_graph(20);
+  Rng rng(1);
+  FiedlerOptions opts;  // dense threshold 128 > 20
+  FiedlerResult r = fiedler_vector(g, {}, opts, rng);
+  EXPECT_TRUE(r.exact);
+  const double expect = 2.0 - 2.0 * std::cos(M_PI / 20);
+  EXPECT_NEAR(r.value, expect, 1e-9);
+}
+
+TEST(FiedlerTest, LargeGraphUsesLanczos) {
+  Graph g = grid2d(20, 10);
+  Rng rng(2);
+  FiedlerOptions opts;
+  FiedlerResult r = fiedler_vector(g, {}, opts, rng);
+  EXPECT_FALSE(r.exact);
+  EXPECT_EQ(r.vector.size(), static_cast<std::size_t>(g.num_vertices()));
+}
+
+TEST(FiedlerTest, DenseAndLanczosAgreeOnValue) {
+  Graph g = grid2d(10, 9);  // 90 vertices: under the default dense threshold
+  Rng rng(3);
+  FiedlerOptions dense_opts;
+  FiedlerResult exact = fiedler_vector(g, {}, dense_opts, rng);
+  FiedlerOptions lanczos_opts;
+  lanczos_opts.dense_threshold = 1;
+  lanczos_opts.lanczos.max_iters = 89;
+  lanczos_opts.lanczos.tol = 1e-8;
+  FiedlerResult iter = fiedler_vector(g, {}, lanczos_opts, rng);
+  EXPECT_NEAR(exact.value, iter.value, 1e-4);
+}
+
+TEST(FiedlerTest, SignStructureSplitsPathInHalf) {
+  Graph g = path_graph(64);
+  Rng rng(4);
+  FiedlerOptions opts;
+  FiedlerResult r = fiedler_vector(g, {}, opts, rng);
+  // One sign change, at the middle.
+  int sign_changes = 0;
+  for (std::size_t i = 1; i < r.vector.size(); ++i) {
+    if ((r.vector[i] > 0) != (r.vector[i - 1] > 0)) ++sign_changes;
+  }
+  EXPECT_EQ(sign_changes, 1);
+}
+
+TEST(FiedlerTest, SingletonAndEmpty) {
+  Rng rng(5);
+  FiedlerOptions opts;
+  FiedlerResult r1 = fiedler_vector(empty_graph(1), {}, opts, rng);
+  EXPECT_EQ(r1.vector.size(), 1u);
+  FiedlerResult r0 = fiedler_vector(empty_graph(0), {}, opts, rng);
+  EXPECT_EQ(r0.vector.size(), 0u);
+}
+
+TEST(FiedlerTest, DisconnectedGraphHasZeroValue) {
+  Graph g = empty_graph(10);
+  Rng rng(6);
+  FiedlerOptions opts;
+  FiedlerResult r = fiedler_vector(g, {}, opts, rng);
+  EXPECT_NEAR(r.value, 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace mgp

@@ -1,0 +1,89 @@
+#include "spectral/jacobi.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "spectral/laplacian.hpp"
+
+namespace mgp {
+namespace {
+
+TEST(JacobiTest, DiagonalMatrixIsItsOwnDecomposition) {
+  std::vector<double> m = {3.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 2.0};
+  DenseEigen e = jacobi_eigen(m, 3);
+  EXPECT_NEAR(e.values[0], 1.0, 1e-12);
+  EXPECT_NEAR(e.values[1], 2.0, 1e-12);
+  EXPECT_NEAR(e.values[2], 3.0, 1e-12);
+}
+
+TEST(JacobiTest, TwoByTwoAnalytic) {
+  // [[2, 1], [1, 2]] has eigenvalues 1 and 3.
+  std::vector<double> m = {2.0, 1.0, 1.0, 2.0};
+  DenseEigen e = jacobi_eigen(m, 2);
+  EXPECT_NEAR(e.values[0], 1.0, 1e-12);
+  EXPECT_NEAR(e.values[1], 3.0, 1e-12);
+  // Eigenvector for value 1 is (1,-1)/sqrt(2) up to sign.
+  EXPECT_NEAR(std::abs(e.vectors[0] - (-e.vectors[1])), 0.0, 1e-10);
+}
+
+TEST(JacobiTest, EigenvectorsSatisfyDefinition) {
+  Graph g = fem2d_tri(4, 4, 7);
+  const std::size_t n = static_cast<std::size_t>(g.num_vertices());
+  std::vector<double> m = laplacian_dense(g);
+  DenseEigen e = jacobi_eigen(m, n);
+  for (std::size_t k = 0; k < n; ++k) {
+    std::vector<double> v(e.vectors.begin() + static_cast<std::ptrdiff_t>(k * n),
+                          e.vectors.begin() + static_cast<std::ptrdiff_t>((k + 1) * n));
+    std::vector<double> mv(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < n; ++j) mv[i] += m[i * n + j] * v[j];
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(mv[i], e.values[k] * v[i], 1e-8);
+    }
+  }
+}
+
+TEST(JacobiTest, EigenvectorsAreOrthonormal) {
+  Graph g = grid2d(4, 3);
+  const std::size_t n = static_cast<std::size_t>(g.num_vertices());
+  DenseEigen e = jacobi_eigen(laplacian_dense(g), n);
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = a; b < n; ++b) {
+      double d = 0;
+      for (std::size_t i = 0; i < n; ++i) d += e.vectors[a * n + i] * e.vectors[b * n + i];
+      EXPECT_NEAR(d, a == b ? 1.0 : 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(JacobiTest, PathLaplacianAnalyticEigenvalues) {
+  // Path on n vertices: eigenvalues 2 - 2 cos(k*pi/n), k = 0..n-1.
+  const std::size_t n = 8;
+  Graph g = path_graph(static_cast<vid_t>(n));
+  DenseEigen e = jacobi_eigen(laplacian_dense(g), n);
+  for (std::size_t k = 0; k < n; ++k) {
+    double expect = 2.0 - 2.0 * std::cos(static_cast<double>(k) * M_PI / n);
+    EXPECT_NEAR(e.values[k], expect, 1e-9);
+  }
+}
+
+TEST(JacobiTest, ValuesAreAscending) {
+  Graph g = fem2d_tri(5, 5, 2);
+  const std::size_t n = static_cast<std::size_t>(g.num_vertices());
+  DenseEigen e = jacobi_eigen(laplacian_dense(g), n);
+  for (std::size_t k = 1; k < n; ++k) EXPECT_LE(e.values[k - 1], e.values[k] + 1e-12);
+  // Laplacian: smallest eigenvalue is 0 with the constant eigenvector.
+  EXPECT_NEAR(e.values[0], 0.0, 1e-9);
+}
+
+TEST(JacobiTest, OneByOne) {
+  std::vector<double> m = {42.0};
+  DenseEigen e = jacobi_eigen(m, 1);
+  EXPECT_DOUBLE_EQ(e.values[0], 42.0);
+  EXPECT_NEAR(std::abs(e.vectors[0]), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace mgp

@@ -1,0 +1,158 @@
+#include "spectral/lanczos.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "spectral/laplacian.hpp"
+
+namespace mgp {
+namespace {
+
+TEST(TridiagEigenTest, MatchesAnalytic2x2) {
+  std::vector<double> alpha = {2.0, 2.0};
+  std::vector<double> beta = {1.0};
+  TridiagEigen e = tridiag_eigen(alpha, beta);
+  EXPECT_NEAR(e.values[0], 1.0, 1e-10);
+  EXPECT_NEAR(e.values[1], 3.0, 1e-10);
+}
+
+TEST(TridiagEigenTest, SingleElement) {
+  std::vector<double> alpha = {5.0};
+  TridiagEigen e = tridiag_eigen(alpha, {});
+  ASSERT_EQ(e.values.size(), 1u);
+  EXPECT_DOUBLE_EQ(e.values[0], 5.0);
+}
+
+class TridiagSmallestTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TridiagSmallestTest, AgreesWithFullDecomposition) {
+  // The O(m) Sturm/inverse-iteration path must reproduce the full Jacobi
+  // decomposition's smallest eigenpair on random tridiagonal matrices.
+  const std::size_t m = GetParam();
+  Rng rng(m * 977);
+  std::vector<double> alpha(m), beta(m > 1 ? m - 1 : 0);
+  for (double& a : alpha) a = 4.0 * rng.next_double();
+  for (double& b : beta) b = 2.0 * rng.next_double() - 1.0;
+  TridiagPair fast = tridiag_smallest(alpha, beta);
+  TridiagEigen full = tridiag_eigen(alpha, beta);
+  EXPECT_NEAR(fast.value, full.values[0], 1e-8);
+  // Vectors agree up to sign.
+  double dot_fv = 0.0;
+  for (std::size_t i = 0; i < m; ++i) dot_fv += fast.vector[i] * full.vectors[i];
+  EXPECT_NEAR(std::abs(dot_fv), 1.0, 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TridiagSmallestTest,
+                         ::testing::Values(1, 2, 3, 5, 10, 25, 60, 120));
+
+TEST(TridiagSmallestTest, DiagonalMatrix) {
+  std::vector<double> alpha = {5.0, 1.0, 3.0};
+  std::vector<double> beta = {0.0, 0.0};
+  TridiagPair p = tridiag_smallest(alpha, beta);
+  EXPECT_NEAR(p.value, 1.0, 1e-10);
+  EXPECT_NEAR(std::abs(p.vector[1]), 1.0, 1e-6);
+}
+
+TEST(LanczosTest, CycleAlgebraicConnectivity) {
+  // Cycle on n vertices: lambda_2 = 2 - 2 cos(2 pi / n).
+  const vid_t n = 200;
+  Graph g = cycle_graph(n);
+  Rng rng(1);
+  LanczosOptions opts;
+  opts.max_iters = 150;
+  LanczosResult r = lanczos_fiedler(g, {}, opts, rng);
+  const double expect = 2.0 - 2.0 * std::cos(2.0 * M_PI / n);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.value, expect, 1e-4 * expect + 1e-8);
+}
+
+TEST(LanczosTest, ResultIsUnitAndDeflated) {
+  Graph g = fem2d_tri(15, 15, 3);
+  Rng rng(2);
+  LanczosOptions opts;
+  LanczosResult r = lanczos_fiedler(g, {}, opts, rng);
+  EXPECT_NEAR(norm2(r.vector), 1.0, 1e-8);
+  double sum = 0;
+  for (double v : r.vector) sum += v;
+  EXPECT_NEAR(sum, 0.0, 1e-6);
+}
+
+TEST(LanczosTest, ResidualIsSmallOnConvergence) {
+  Graph g = grid2d(20, 10);
+  Rng rng(3);
+  LanczosOptions opts;
+  opts.max_iters = 200;
+  opts.tol = 1e-7;
+  LanczosResult r = lanczos_fiedler(g, {}, opts, rng);
+  ASSERT_TRUE(r.converged);
+  // Verify the eigen-residual directly: ||L v - lambda v||.
+  std::vector<double> y(r.vector.size());
+  laplacian_apply(g, r.vector, y);
+  axpy(-r.value, r.vector, std::span<double>(y));
+  EXPECT_LT(norm2(y), 1e-4);
+}
+
+TEST(LanczosTest, WarmStartConvergesFaster) {
+  Graph g = grid2d(25, 12);
+  Rng rng(4);
+  LanczosOptions opts;
+  opts.max_iters = 250;
+  opts.tol = 1e-6;
+  LanczosResult cold = lanczos_fiedler(g, {}, opts, rng);
+  ASSERT_TRUE(cold.converged);
+  // Re-run warm-started with the converged vector: should finish in far
+  // fewer iterations.  This property is what makes MSB viable.
+  LanczosResult warm = lanczos_fiedler(g, cold.vector, opts, rng);
+  EXPECT_TRUE(warm.converged);
+  EXPECT_LT(warm.iterations, std::max(2, cold.iterations / 2));
+}
+
+TEST(LanczosTest, PathFiedlerVectorIsMonotone) {
+  Graph g = path_graph(120);
+  Rng rng(5);
+  LanczosOptions opts;
+  opts.max_iters = 200;
+  LanczosResult r = lanczos_fiedler(g, {}, opts, rng);
+  ASSERT_TRUE(r.converged);
+  // The Fiedler vector of a path is cos((i+1/2) pi/n): strictly monotone.
+  const bool increasing = r.vector.front() < r.vector.back();
+  int violations = 0;
+  for (std::size_t i = 1; i < r.vector.size(); ++i) {
+    const bool up = r.vector[i] > r.vector[i - 1];
+    if (up != increasing) ++violations;
+  }
+  EXPECT_EQ(violations, 0);
+}
+
+TEST(LanczosTest, TinyGraphs) {
+  Rng rng(6);
+  LanczosOptions opts;
+  {
+    Graph g = empty_graph(1);
+    LanczosResult r = lanczos_fiedler(g, {}, opts, rng);
+    EXPECT_TRUE(r.converged);
+    ASSERT_EQ(r.vector.size(), 1u);
+  }
+  {
+    Graph g = path_graph(2);
+    LanczosResult r = lanczos_fiedler(g, {}, opts, rng);
+    ASSERT_EQ(r.vector.size(), 2u);
+    EXPECT_NEAR(r.value, 2.0, 1e-6);  // K_2 Laplacian eigenvalues: 0 and 2
+    EXPECT_NEAR(r.vector[0], -r.vector[1], 1e-8);
+  }
+}
+
+TEST(LanczosTest, DeterministicGivenSeed) {
+  Graph g = fem2d_tri(10, 10, 4);
+  LanczosOptions opts;
+  Rng r1(7), r2(7);
+  LanczosResult a = lanczos_fiedler(g, {}, opts, r1);
+  LanczosResult b = lanczos_fiedler(g, {}, opts, r2);
+  EXPECT_EQ(a.iterations, b.iterations);
+  EXPECT_DOUBLE_EQ(a.value, b.value);
+}
+
+}  // namespace
+}  // namespace mgp

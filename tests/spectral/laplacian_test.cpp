@@ -1,0 +1,89 @@
+#include "spectral/laplacian.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+
+namespace mgp {
+namespace {
+
+TEST(LaplacianTest, ConstantVectorInNullSpace) {
+  Graph g = fem2d_tri(6, 6, 1);
+  std::vector<double> x(static_cast<std::size_t>(g.num_vertices()), 3.0);
+  std::vector<double> y(x.size());
+  laplacian_apply(g, x, y);
+  for (double v : y) EXPECT_NEAR(v, 0.0, 1e-12);
+}
+
+TEST(LaplacianTest, MatchesDenseOnSmallGraph) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1, 2);
+  b.add_edge(1, 2, 3);
+  b.add_edge(2, 3, 1);
+  b.add_edge(0, 3, 4);
+  Graph g = std::move(b).build();
+  std::vector<double> dense = laplacian_dense(g);
+  std::vector<double> x = {1.0, -2.0, 0.5, 3.0};
+  std::vector<double> y_sparse(4), y_dense(4, 0.0);
+  laplacian_apply(g, x, y_sparse);
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::size_t j = 0; j < 4; ++j) y_dense[i] += dense[i * 4 + j] * x[j];
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_NEAR(y_sparse[i], y_dense[i], 1e-12);
+}
+
+TEST(LaplacianTest, DiagonalIsWeightedDegree) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1, 5);
+  b.add_edge(1, 2, 7);
+  Graph g = std::move(b).build();
+  std::vector<double> d = laplacian_diagonal(g);
+  EXPECT_DOUBLE_EQ(d[0], 5.0);
+  EXPECT_DOUBLE_EQ(d[1], 12.0);
+  EXPECT_DOUBLE_EQ(d[2], 7.0);
+}
+
+TEST(LaplacianTest, QuadraticFormEqualsCutEnergy) {
+  // x^T L x = sum over edges w_uv (x_u - x_v)^2.
+  Graph g = cycle_graph(5);
+  std::vector<double> x = {1.0, 2.0, -1.0, 0.0, 3.0};
+  std::vector<double> y(5);
+  laplacian_apply(g, x, y);
+  double xtlx = dot(x, y);
+  double expected = 0;
+  for (vid_t u = 0; u < 5; ++u) {
+    for (vid_t v : g.neighbors(u)) {
+      if (v > u) {
+        double d = x[static_cast<std::size_t>(u)] - x[static_cast<std::size_t>(v)];
+        expected += d * d;
+      }
+    }
+  }
+  EXPECT_NEAR(xtlx, expected, 1e-12);
+}
+
+TEST(VectorOpsTest, DotNormAxpyScale) {
+  std::vector<double> a = {3.0, 4.0};
+  std::vector<double> b = {1.0, 2.0};
+  EXPECT_DOUBLE_EQ(dot(a, b), 11.0);
+  EXPECT_DOUBLE_EQ(norm2(a), 5.0);
+  axpy(2.0, b, std::span<double>(a));
+  EXPECT_DOUBLE_EQ(a[0], 5.0);
+  EXPECT_DOUBLE_EQ(a[1], 8.0);
+  scale(std::span<double>(a), 0.5);
+  EXPECT_DOUBLE_EQ(a[0], 2.5);
+}
+
+TEST(VectorOpsTest, DeflateConstantRemovesMean) {
+  std::vector<double> x = {1.0, 2.0, 3.0, 6.0};
+  deflate_constant(std::span<double>(x));
+  double sum = 0;
+  for (double v : x) sum += v;
+  EXPECT_NEAR(sum, 0.0, 1e-12);
+  EXPECT_DOUBLE_EQ(x[0], -2.0);
+}
+
+}  // namespace
+}  // namespace mgp

@@ -1,0 +1,65 @@
+#include "spectral/msb.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "metrics/partition_metrics.hpp"
+
+namespace mgp {
+namespace {
+
+TEST(MsbTest, BisectsLongGridNearOptimally) {
+  // 10 x 60 grid: optimal bisection cuts 10 edges across the long axis.
+  Graph g = grid2d(10, 60);
+  Rng rng(1);
+  MsbOptions opts;
+  Bisection b = msb_bisect(g, 300, opts, rng);
+  EXPECT_EQ(check_bisection(g, b), "");
+  EXPECT_EQ(b.part_weight[0], 300);
+  EXPECT_LE(b.cut, 20);  // within 2x of optimal
+}
+
+TEST(MsbTest, SmallGraphSkipsCoarsening) {
+  Graph g = grid2d(6, 6);  // 36 < coarsen_to
+  Rng rng(2);
+  MsbOptions opts;
+  Bisection b = msb_bisect(g, 18, opts, rng);
+  EXPECT_EQ(check_bisection(g, b), "");
+  EXPECT_EQ(b.cut, 6);  // exact spectral answer on the coarsest (= original)
+}
+
+TEST(MsbTest, KlRefinementNeverHurts) {
+  Graph g = fem2d_tri(30, 30, 3);
+  Rng r1(4), r2(4);
+  MsbOptions plain;
+  MsbOptions with_kl;
+  with_kl.kl_refine = true;
+  Bisection b1 = msb_bisect(g, g.total_vertex_weight() / 2, plain, r1);
+  Bisection b2 = msb_bisect(g, g.total_vertex_weight() / 2, with_kl, r2);
+  EXPECT_LE(b2.cut, b1.cut);
+  EXPECT_EQ(check_bisection(g, b2), "");
+}
+
+TEST(MsbTest, KwayPartitionIsValidAndBalanced) {
+  Graph g = fem2d_tri(24, 24, 5);
+  Rng rng(6);
+  MsbOptions opts;
+  KwayResult r = msb_partition(g, 8, opts, rng);
+  EXPECT_EQ(check_partition(g, r.part, 8), "");
+  PartitionQuality q = evaluate_partition(g, r.part, 8);
+  EXPECT_LT(q.imbalance, 1.15);
+  EXPECT_EQ(q.edge_cut, r.edge_cut);
+  EXPECT_GT(r.edge_cut, 0);
+}
+
+TEST(MsbTest, DeterministicGivenSeed) {
+  Graph g = fem2d_tri(20, 20, 7);
+  MsbOptions opts;
+  Rng r1(9), r2(9);
+  Bisection a = msb_bisect(g, g.total_vertex_weight() / 2, opts, r1);
+  Bisection b = msb_bisect(g, g.total_vertex_weight() / 2, opts, r2);
+  EXPECT_EQ(a.side, b.side);
+}
+
+}  // namespace
+}  // namespace mgp

@@ -1,0 +1,174 @@
+#include "support/bucket_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace mgp {
+namespace {
+
+TEST(BucketQueueTest, EmptyAfterReset) {
+  BucketQueue q;
+  q.reset(10, 5);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0);
+  for (vid_t v = 0; v < 10; ++v) EXPECT_FALSE(q.contains(v));
+}
+
+TEST(BucketQueueTest, InsertPopSingle) {
+  BucketQueue q;
+  q.reset(4, 10);
+  q.insert(2, 7);
+  EXPECT_TRUE(q.contains(2));
+  EXPECT_EQ(q.max_gain(), 7);
+  EXPECT_EQ(q.pop_max(), 2);
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(q.contains(2));
+}
+
+TEST(BucketQueueTest, PopsInDescendingGainOrder) {
+  BucketQueue q;
+  q.reset(5, 10);
+  q.insert(0, -3);
+  q.insert(1, 5);
+  q.insert(2, 0);
+  q.insert(3, 10);
+  q.insert(4, -10);
+  std::vector<vid_t> order;
+  while (!q.empty()) order.push_back(q.pop_max());
+  EXPECT_EQ(order, (std::vector<vid_t>{3, 1, 2, 0, 4}));
+}
+
+TEST(BucketQueueTest, LifoWithinEqualGains) {
+  BucketQueue q;
+  q.reset(3, 5);
+  q.insert(0, 2);
+  q.insert(1, 2);
+  q.insert(2, 2);
+  EXPECT_EQ(q.pop_max(), 2);  // most recently inserted first
+  EXPECT_EQ(q.pop_max(), 1);
+  EXPECT_EQ(q.pop_max(), 0);
+}
+
+TEST(BucketQueueTest, UpdateMovesVertex) {
+  BucketQueue q;
+  q.reset(3, 10);
+  q.insert(0, 1);
+  q.insert(1, 5);
+  q.update(0, 9);
+  EXPECT_EQ(q.gain_of(0), 9);
+  EXPECT_EQ(q.pop_max(), 0);
+  EXPECT_EQ(q.pop_max(), 1);
+}
+
+TEST(BucketQueueTest, UpdateToSameGainIsNoop) {
+  BucketQueue q;
+  q.reset(2, 5);
+  q.insert(0, 3);
+  q.update(0, 3);
+  EXPECT_EQ(q.gain_of(0), 3);
+  EXPECT_EQ(q.pop_max(), 0);
+}
+
+TEST(BucketQueueTest, RemoveMiddleOfBucket) {
+  BucketQueue q;
+  q.reset(4, 5);
+  q.insert(0, 2);
+  q.insert(1, 2);
+  q.insert(2, 2);
+  q.remove(1);
+  EXPECT_FALSE(q.contains(1));
+  EXPECT_EQ(q.size(), 2);
+  EXPECT_EQ(q.pop_max(), 2);
+  EXPECT_EQ(q.pop_max(), 0);
+}
+
+TEST(BucketQueueTest, NegativeGainBoundary) {
+  BucketQueue q;
+  q.reset(2, 4);
+  q.insert(0, -4);
+  q.insert(1, 4);
+  EXPECT_EQ(q.pop_max(), 1);
+  EXPECT_EQ(q.max_gain(), -4);
+  EXPECT_EQ(q.pop_max(), 0);
+}
+
+TEST(BucketQueueTest, ReusableAcrossResets) {
+  BucketQueue q;
+  q.reset(3, 2);
+  q.insert(0, 1);
+  q.reset(5, 8);
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(q.contains(0));
+  q.insert(4, -8);
+  EXPECT_EQ(q.pop_max(), 4);
+}
+
+TEST(BucketQueueTest, MaxGainTracksAfterPops) {
+  BucketQueue q;
+  q.reset(4, 10);
+  q.insert(0, 10);
+  q.insert(1, 2);
+  q.pop_max();
+  EXPECT_EQ(q.max_gain(), 2);
+  q.insert(2, 6);
+  EXPECT_EQ(q.max_gain(), 6);
+}
+
+/// Property test: behave identically to a reference implementation under a
+/// random operation sequence.
+TEST(BucketQueueTest, MatchesReferenceUnderRandomOps) {
+  Rng rng(2024);
+  const vid_t n = 64;
+  const BucketQueue::gain_t max_gain = 20;
+  BucketQueue q;
+  q.reset(n, max_gain);
+  std::map<vid_t, BucketQueue::gain_t> ref;
+
+  for (int step = 0; step < 20000; ++step) {
+    const int op = static_cast<int>(rng.next_below(4));
+    const vid_t v = rng.next_vid(n);
+    const BucketQueue::gain_t g =
+        static_cast<BucketQueue::gain_t>(rng.next_below(2 * max_gain + 1)) - max_gain;
+    switch (op) {
+      case 0:  // insert
+        if (!ref.contains(v)) {
+          q.insert(v, g);
+          ref[v] = g;
+        }
+        break;
+      case 1:  // update
+        if (ref.contains(v)) {
+          q.update(v, g);
+          ref[v] = g;
+        }
+        break;
+      case 2:  // remove
+        if (ref.contains(v)) {
+          q.remove(v);
+          ref.erase(v);
+        }
+        break;
+      case 3:  // pop_max: must return *some* vertex with the max gain
+        if (!ref.empty()) {
+          BucketQueue::gain_t best = -1000;
+          for (const auto& [rv, rg] : ref) best = std::max(best, rg);
+          ASSERT_EQ(q.max_gain(), best);
+          vid_t popped = q.pop_max();
+          ASSERT_TRUE(ref.contains(popped));
+          ASSERT_EQ(ref[popped], best);
+          ref.erase(popped);
+        }
+        break;
+    }
+    ASSERT_EQ(q.size(), static_cast<vid_t>(ref.size()));
+    ASSERT_EQ(q.empty(), ref.empty());
+  }
+}
+
+}  // namespace
+}  // namespace mgp

@@ -1,0 +1,119 @@
+#include "support/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+namespace mgp {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a.next_u64() == b.next_u64());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, ZeroSeedIsValid) {
+  Rng r(0);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 100; ++i) seen.insert(r.next_u64());
+  EXPECT_GT(seen.size(), 95u);  // not stuck in a tiny cycle
+}
+
+TEST(RngTest, NextBelowStaysInRange) {
+  Rng r(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(r.next_below(bound), bound);
+  }
+}
+
+TEST(RngTest, NextBelowOneIsAlwaysZero) {
+  Rng r(7);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(r.next_below(1), 0u);
+}
+
+TEST(RngTest, NextBelowRoughlyUniform) {
+  Rng r(123);
+  constexpr int kBuckets = 10;
+  constexpr int kDraws = 100000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kDraws; ++i) ++counts[r.next_below(kBuckets)];
+  for (int c : counts) {
+    EXPECT_GT(c, kDraws / kBuckets * 0.9);
+    EXPECT_LT(c, kDraws / kBuckets * 1.1);
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng r(9);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double x = r.next_double();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, SplitProducesIndependentStream) {
+  Rng a(5);
+  Rng child = a.split();
+  // Child values differ from parent's subsequent values.
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a.next_u64() == child.next_u64());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, SplitIsDeterministic) {
+  Rng a(5), b(5);
+  Rng ca = a.split(), cb = b.split();
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(ca.next_u64(), cb.next_u64());
+}
+
+class RngPermutationTest : public ::testing::TestWithParam<vid_t> {};
+
+TEST_P(RngPermutationTest, PermutationIsValid) {
+  Rng r(GetParam());
+  const vid_t n = GetParam();
+  std::vector<vid_t> p = r.permutation(n);
+  ASSERT_EQ(p.size(), static_cast<std::size_t>(n));
+  std::vector<bool> seen(static_cast<std::size_t>(n), false);
+  for (vid_t v : p) {
+    ASSERT_GE(v, 0);
+    ASSERT_LT(v, n);
+    ASSERT_FALSE(seen[static_cast<std::size_t>(v)]);
+    seen[static_cast<std::size_t>(v)] = true;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RngPermutationTest,
+                         ::testing::Values(0, 1, 2, 3, 10, 100, 1000));
+
+TEST(RngTest, ShuffleIsUnbiasedOnThreeElements) {
+  // All 6 permutations of 3 elements should appear ~uniformly.
+  Rng r(77);
+  std::map<std::vector<int>, int> hist;
+  for (int trial = 0; trial < 6000; ++trial) {
+    std::vector<int> v = {0, 1, 2};
+    r.shuffle(std::span<int>(v));
+    ++hist[v];
+  }
+  ASSERT_EQ(hist.size(), 6u);
+  for (const auto& [perm, count] : hist) {
+    EXPECT_GT(count, 800);
+    EXPECT_LT(count, 1200);
+  }
+}
+
+}  // namespace
+}  // namespace mgp

@@ -1,0 +1,64 @@
+#include "support/timer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mgp {
+namespace {
+
+TEST(TimerTest, MeasuresNonNegativeTime) {
+  Timer t;
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
+  EXPECT_GE(t.seconds(), 0.0);
+}
+
+TEST(TimerTest, ResetRestartsClock) {
+  Timer t;
+  volatile double sink = 0;
+  for (int i = 0; i < 1000000; ++i) sink = sink + i;
+  double before = t.seconds();
+  t.reset();
+  EXPECT_LE(t.seconds(), before + 1.0);  // sanity: reset did not go backwards wildly
+}
+
+TEST(PhaseTimersTest, AccumulatesPerPhase) {
+  PhaseTimers pt;
+  pt.add(PhaseTimers::kCoarsen, 1.0);
+  pt.add(PhaseTimers::kCoarsen, 0.5);
+  pt.add(PhaseTimers::kRefine, 2.0);
+  EXPECT_DOUBLE_EQ(pt.get(PhaseTimers::kCoarsen), 1.5);
+  EXPECT_DOUBLE_EQ(pt.get(PhaseTimers::kRefine), 2.0);
+  EXPECT_DOUBLE_EQ(pt.get(PhaseTimers::kInitPart), 0.0);
+}
+
+TEST(PhaseTimersTest, UtimeIsInitPlusRefinePlusProject) {
+  // Matches the paper's definition: UTime = ITime + RTime + PTime.
+  PhaseTimers pt;
+  pt.add(PhaseTimers::kCoarsen, 10.0);
+  pt.add(PhaseTimers::kInitPart, 1.0);
+  pt.add(PhaseTimers::kRefine, 2.0);
+  pt.add(PhaseTimers::kProject, 3.0);
+  EXPECT_DOUBLE_EQ(pt.utime(), 6.0);
+  EXPECT_DOUBLE_EQ(pt.total(), 16.0);
+}
+
+TEST(PhaseTimersTest, ClearZeroesEverything) {
+  PhaseTimers pt;
+  pt.add(PhaseTimers::kProject, 3.0);
+  pt.clear();
+  EXPECT_DOUBLE_EQ(pt.total(), 0.0);
+}
+
+TEST(PhaseTimersTest, ScopedPhaseAddsElapsed) {
+  PhaseTimers pt;
+  {
+    ScopedPhase sp(pt, PhaseTimers::kInitPart);
+    volatile double sink = 0;
+    for (int i = 0; i < 10000; ++i) sink = sink + i;
+  }
+  EXPECT_GT(pt.get(PhaseTimers::kInitPart), 0.0);
+  EXPECT_DOUBLE_EQ(pt.get(PhaseTimers::kCoarsen), 0.0);
+}
+
+}  // namespace
+}  // namespace mgp

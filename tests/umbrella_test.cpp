@@ -1,0 +1,19 @@
+// Compilation test for the umbrella header plus a smoke run of the
+// three-call quickstart it advertises.
+#include "mgp.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mgp {
+namespace {
+
+TEST(UmbrellaTest, QuickstartCompilesAndRuns) {
+  Graph g = fem2d_tri(12, 12, 1);
+  Rng rng(1995);
+  KwayResult r = kway_partition(g, 4, MultilevelConfig{}, rng);
+  EXPECT_EQ(check_partition(g, r.part, 4), "");
+  EXPECT_GT(r.edge_cut, 0);
+}
+
+}  // namespace
+}  // namespace mgp
