@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_separator.dir/ablation_separator.cpp.o"
+  "CMakeFiles/ablation_separator.dir/ablation_separator.cpp.o.d"
+  "ablation_separator"
+  "ablation_separator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_separator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_vs_msb.dir/fig1_vs_msb.cpp.o"
+  "CMakeFiles/fig1_vs_msb.dir/fig1_vs_msb.cpp.o.d"
+  "fig1_vs_msb"
+  "fig1_vs_msb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_vs_msb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

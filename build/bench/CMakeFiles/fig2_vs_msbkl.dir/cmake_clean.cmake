@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_vs_msbkl.dir/fig2_vs_msbkl.cpp.o"
+  "CMakeFiles/fig2_vs_msbkl.dir/fig2_vs_msbkl.cpp.o.d"
+  "fig2_vs_msbkl"
+  "fig2_vs_msbkl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_vs_msbkl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

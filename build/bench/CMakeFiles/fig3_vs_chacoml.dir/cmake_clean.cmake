@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_vs_chacoml.dir/fig3_vs_chacoml.cpp.o"
+  "CMakeFiles/fig3_vs_chacoml.dir/fig3_vs_chacoml.cpp.o.d"
+  "fig3_vs_chacoml"
+  "fig3_vs_chacoml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_vs_chacoml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

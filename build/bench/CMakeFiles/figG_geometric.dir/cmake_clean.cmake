@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figG_geometric.dir/figG_geometric.cpp.o"
+  "CMakeFiles/figG_geometric.dir/figG_geometric.cpp.o.d"
+  "figG_geometric"
+  "figG_geometric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figG_geometric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for figG_geometric.
+# This may be replaced when dependencies are built.

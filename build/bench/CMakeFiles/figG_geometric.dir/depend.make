@@ -1,0 +1,2 @@
+# Empty dependencies file for figG_geometric.
+# This may be replaced when dependencies are built.

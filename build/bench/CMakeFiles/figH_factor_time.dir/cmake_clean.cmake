@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figH_factor_time.dir/figH_factor_time.cpp.o"
+  "CMakeFiles/figH_factor_time.dir/figH_factor_time.cpp.o.d"
+  "figH_factor_time"
+  "figH_factor_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figH_factor_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

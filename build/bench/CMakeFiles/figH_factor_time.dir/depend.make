@@ -1,0 +1,2 @@
+# Empty dependencies file for figH_factor_time.
+# This may be replaced when dependencies are built.

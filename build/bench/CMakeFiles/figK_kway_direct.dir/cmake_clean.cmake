@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figK_kway_direct.dir/figK_kway_direct.cpp.o"
+  "CMakeFiles/figK_kway_direct.dir/figK_kway_direct.cpp.o.d"
+  "figK_kway_direct"
+  "figK_kway_direct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figK_kway_direct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_matching.dir/table2_matching.cpp.o"
+  "CMakeFiles/table2_matching.dir/table2_matching.cpp.o.d"
+  "table2_matching"
+  "table2_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

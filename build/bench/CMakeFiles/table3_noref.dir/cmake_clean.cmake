@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_noref.dir/table3_noref.cpp.o"
+  "CMakeFiles/table3_noref.dir/table3_noref.cpp.o.d"
+  "table3_noref"
+  "table3_noref.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_noref.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

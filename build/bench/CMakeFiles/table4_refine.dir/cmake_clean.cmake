@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_refine.dir/table4_refine.cpp.o"
+  "CMakeFiles/table4_refine.dir/table4_refine.cpp.o.d"
+  "table4_refine"
+  "table4_refine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_refine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

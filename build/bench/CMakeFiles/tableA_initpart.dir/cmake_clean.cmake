@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tableA_initpart.dir/tableA_initpart.cpp.o"
+  "CMakeFiles/tableA_initpart.dir/tableA_initpart.cpp.o.d"
+  "tableA_initpart"
+  "tableA_initpart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tableA_initpart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tableB_klstats.dir/tableB_klstats.cpp.o"
+  "CMakeFiles/tableB_klstats.dir/tableB_klstats.cpp.o.d"
+  "tableB_klstats"
+  "tableB_klstats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tableB_klstats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

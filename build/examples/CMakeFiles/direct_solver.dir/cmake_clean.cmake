@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/direct_solver.dir/direct_solver.cpp.o"
+  "CMakeFiles/direct_solver.dir/direct_solver.cpp.o.d"
+  "direct_solver"
+  "direct_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/direct_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

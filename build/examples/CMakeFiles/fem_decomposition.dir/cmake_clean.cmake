@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fem_decomposition.dir/fem_decomposition.cpp.o"
+  "CMakeFiles/fem_decomposition.dir/fem_decomposition.cpp.o.d"
+  "fem_decomposition"
+  "fem_decomposition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fem_decomposition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

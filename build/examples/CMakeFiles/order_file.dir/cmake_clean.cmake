@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/order_file.dir/order_file.cpp.o"
+  "CMakeFiles/order_file.dir/order_file.cpp.o.d"
+  "order_file"
+  "order_file.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/order_file.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

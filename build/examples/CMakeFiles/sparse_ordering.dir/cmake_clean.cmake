@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparse_ordering.dir/sparse_ordering.cpp.o"
+  "CMakeFiles/sparse_ordering.dir/sparse_ordering.cpp.o.d"
+  "sparse_ordering"
+  "sparse_ordering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparse_ordering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

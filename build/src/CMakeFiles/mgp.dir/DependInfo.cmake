@@ -1,0 +1,59 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cholesky/conjugate_gradient.cpp" "src/CMakeFiles/mgp.dir/cholesky/conjugate_gradient.cpp.o" "gcc" "src/CMakeFiles/mgp.dir/cholesky/conjugate_gradient.cpp.o.d"
+  "/root/repo/src/cholesky/sparse_cholesky.cpp" "src/CMakeFiles/mgp.dir/cholesky/sparse_cholesky.cpp.o" "gcc" "src/CMakeFiles/mgp.dir/cholesky/sparse_cholesky.cpp.o.d"
+  "/root/repo/src/coarsen/contract.cpp" "src/CMakeFiles/mgp.dir/coarsen/contract.cpp.o" "gcc" "src/CMakeFiles/mgp.dir/coarsen/contract.cpp.o.d"
+  "/root/repo/src/coarsen/matching.cpp" "src/CMakeFiles/mgp.dir/coarsen/matching.cpp.o" "gcc" "src/CMakeFiles/mgp.dir/coarsen/matching.cpp.o.d"
+  "/root/repo/src/coarsen/parallel_matching.cpp" "src/CMakeFiles/mgp.dir/coarsen/parallel_matching.cpp.o" "gcc" "src/CMakeFiles/mgp.dir/coarsen/parallel_matching.cpp.o.d"
+  "/root/repo/src/core/chaco_ml.cpp" "src/CMakeFiles/mgp.dir/core/chaco_ml.cpp.o" "gcc" "src/CMakeFiles/mgp.dir/core/chaco_ml.cpp.o.d"
+  "/root/repo/src/core/config.cpp" "src/CMakeFiles/mgp.dir/core/config.cpp.o" "gcc" "src/CMakeFiles/mgp.dir/core/config.cpp.o.d"
+  "/root/repo/src/core/kway.cpp" "src/CMakeFiles/mgp.dir/core/kway.cpp.o" "gcc" "src/CMakeFiles/mgp.dir/core/kway.cpp.o.d"
+  "/root/repo/src/core/kway_direct.cpp" "src/CMakeFiles/mgp.dir/core/kway_direct.cpp.o" "gcc" "src/CMakeFiles/mgp.dir/core/kway_direct.cpp.o.d"
+  "/root/repo/src/core/multilevel.cpp" "src/CMakeFiles/mgp.dir/core/multilevel.cpp.o" "gcc" "src/CMakeFiles/mgp.dir/core/multilevel.cpp.o.d"
+  "/root/repo/src/geom/delaunay.cpp" "src/CMakeFiles/mgp.dir/geom/delaunay.cpp.o" "gcc" "src/CMakeFiles/mgp.dir/geom/delaunay.cpp.o.d"
+  "/root/repo/src/geom/geometric_bisect.cpp" "src/CMakeFiles/mgp.dir/geom/geometric_bisect.cpp.o" "gcc" "src/CMakeFiles/mgp.dir/geom/geometric_bisect.cpp.o.d"
+  "/root/repo/src/geom/geometry.cpp" "src/CMakeFiles/mgp.dir/geom/geometry.cpp.o" "gcc" "src/CMakeFiles/mgp.dir/geom/geometry.cpp.o.d"
+  "/root/repo/src/graph/builder.cpp" "src/CMakeFiles/mgp.dir/graph/builder.cpp.o" "gcc" "src/CMakeFiles/mgp.dir/graph/builder.cpp.o.d"
+  "/root/repo/src/graph/components.cpp" "src/CMakeFiles/mgp.dir/graph/components.cpp.o" "gcc" "src/CMakeFiles/mgp.dir/graph/components.cpp.o.d"
+  "/root/repo/src/graph/csr.cpp" "src/CMakeFiles/mgp.dir/graph/csr.cpp.o" "gcc" "src/CMakeFiles/mgp.dir/graph/csr.cpp.o.d"
+  "/root/repo/src/graph/generators.cpp" "src/CMakeFiles/mgp.dir/graph/generators.cpp.o" "gcc" "src/CMakeFiles/mgp.dir/graph/generators.cpp.o.d"
+  "/root/repo/src/graph/io.cpp" "src/CMakeFiles/mgp.dir/graph/io.cpp.o" "gcc" "src/CMakeFiles/mgp.dir/graph/io.cpp.o.d"
+  "/root/repo/src/graph/partition_io.cpp" "src/CMakeFiles/mgp.dir/graph/partition_io.cpp.o" "gcc" "src/CMakeFiles/mgp.dir/graph/partition_io.cpp.o.d"
+  "/root/repo/src/graph/permute.cpp" "src/CMakeFiles/mgp.dir/graph/permute.cpp.o" "gcc" "src/CMakeFiles/mgp.dir/graph/permute.cpp.o.d"
+  "/root/repo/src/initpart/bisection_state.cpp" "src/CMakeFiles/mgp.dir/initpart/bisection_state.cpp.o" "gcc" "src/CMakeFiles/mgp.dir/initpart/bisection_state.cpp.o.d"
+  "/root/repo/src/initpart/graph_grow.cpp" "src/CMakeFiles/mgp.dir/initpart/graph_grow.cpp.o" "gcc" "src/CMakeFiles/mgp.dir/initpart/graph_grow.cpp.o.d"
+  "/root/repo/src/initpart/spectral_init.cpp" "src/CMakeFiles/mgp.dir/initpart/spectral_init.cpp.o" "gcc" "src/CMakeFiles/mgp.dir/initpart/spectral_init.cpp.o.d"
+  "/root/repo/src/metrics/ordering_metrics.cpp" "src/CMakeFiles/mgp.dir/metrics/ordering_metrics.cpp.o" "gcc" "src/CMakeFiles/mgp.dir/metrics/ordering_metrics.cpp.o.d"
+  "/root/repo/src/metrics/partition_metrics.cpp" "src/CMakeFiles/mgp.dir/metrics/partition_metrics.cpp.o" "gcc" "src/CMakeFiles/mgp.dir/metrics/partition_metrics.cpp.o.d"
+  "/root/repo/src/order/etree.cpp" "src/CMakeFiles/mgp.dir/order/etree.cpp.o" "gcc" "src/CMakeFiles/mgp.dir/order/etree.cpp.o.d"
+  "/root/repo/src/order/mmd.cpp" "src/CMakeFiles/mgp.dir/order/mmd.cpp.o" "gcc" "src/CMakeFiles/mgp.dir/order/mmd.cpp.o.d"
+  "/root/repo/src/order/nested_dissection.cpp" "src/CMakeFiles/mgp.dir/order/nested_dissection.cpp.o" "gcc" "src/CMakeFiles/mgp.dir/order/nested_dissection.cpp.o.d"
+  "/root/repo/src/order/separator.cpp" "src/CMakeFiles/mgp.dir/order/separator.cpp.o" "gcc" "src/CMakeFiles/mgp.dir/order/separator.cpp.o.d"
+  "/root/repo/src/order/separator_refine.cpp" "src/CMakeFiles/mgp.dir/order/separator_refine.cpp.o" "gcc" "src/CMakeFiles/mgp.dir/order/separator_refine.cpp.o.d"
+  "/root/repo/src/order/symbolic.cpp" "src/CMakeFiles/mgp.dir/order/symbolic.cpp.o" "gcc" "src/CMakeFiles/mgp.dir/order/symbolic.cpp.o.d"
+  "/root/repo/src/order/vertex_cover.cpp" "src/CMakeFiles/mgp.dir/order/vertex_cover.cpp.o" "gcc" "src/CMakeFiles/mgp.dir/order/vertex_cover.cpp.o.d"
+  "/root/repo/src/refine/kl.cpp" "src/CMakeFiles/mgp.dir/refine/kl.cpp.o" "gcc" "src/CMakeFiles/mgp.dir/refine/kl.cpp.o.d"
+  "/root/repo/src/refine/refine.cpp" "src/CMakeFiles/mgp.dir/refine/refine.cpp.o" "gcc" "src/CMakeFiles/mgp.dir/refine/refine.cpp.o.d"
+  "/root/repo/src/spectral/fiedler.cpp" "src/CMakeFiles/mgp.dir/spectral/fiedler.cpp.o" "gcc" "src/CMakeFiles/mgp.dir/spectral/fiedler.cpp.o.d"
+  "/root/repo/src/spectral/jacobi.cpp" "src/CMakeFiles/mgp.dir/spectral/jacobi.cpp.o" "gcc" "src/CMakeFiles/mgp.dir/spectral/jacobi.cpp.o.d"
+  "/root/repo/src/spectral/lanczos.cpp" "src/CMakeFiles/mgp.dir/spectral/lanczos.cpp.o" "gcc" "src/CMakeFiles/mgp.dir/spectral/lanczos.cpp.o.d"
+  "/root/repo/src/spectral/laplacian.cpp" "src/CMakeFiles/mgp.dir/spectral/laplacian.cpp.o" "gcc" "src/CMakeFiles/mgp.dir/spectral/laplacian.cpp.o.d"
+  "/root/repo/src/spectral/msb.cpp" "src/CMakeFiles/mgp.dir/spectral/msb.cpp.o" "gcc" "src/CMakeFiles/mgp.dir/spectral/msb.cpp.o.d"
+  "/root/repo/src/support/bucket_queue.cpp" "src/CMakeFiles/mgp.dir/support/bucket_queue.cpp.o" "gcc" "src/CMakeFiles/mgp.dir/support/bucket_queue.cpp.o.d"
+  "/root/repo/src/support/rng.cpp" "src/CMakeFiles/mgp.dir/support/rng.cpp.o" "gcc" "src/CMakeFiles/mgp.dir/support/rng.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cholesky_test.dir/cholesky/conjugate_gradient_test.cpp.o"
+  "CMakeFiles/cholesky_test.dir/cholesky/conjugate_gradient_test.cpp.o.d"
+  "CMakeFiles/cholesky_test.dir/cholesky/sparse_cholesky_test.cpp.o"
+  "CMakeFiles/cholesky_test.dir/cholesky/sparse_cholesky_test.cpp.o.d"
+  "cholesky_test"
+  "cholesky_test.pdb"
+  "cholesky_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cholesky_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

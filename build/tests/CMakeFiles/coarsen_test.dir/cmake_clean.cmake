@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coarsen_test.dir/coarsen/contract_test.cpp.o"
+  "CMakeFiles/coarsen_test.dir/coarsen/contract_test.cpp.o.d"
+  "CMakeFiles/coarsen_test.dir/coarsen/matching_test.cpp.o"
+  "CMakeFiles/coarsen_test.dir/coarsen/matching_test.cpp.o.d"
+  "CMakeFiles/coarsen_test.dir/coarsen/parallel_matching_test.cpp.o"
+  "CMakeFiles/coarsen_test.dir/coarsen/parallel_matching_test.cpp.o.d"
+  "coarsen_test"
+  "coarsen_test.pdb"
+  "coarsen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coarsen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

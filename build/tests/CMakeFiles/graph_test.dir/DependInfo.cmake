@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/graph/builder_test.cpp" "tests/CMakeFiles/graph_test.dir/graph/builder_test.cpp.o" "gcc" "tests/CMakeFiles/graph_test.dir/graph/builder_test.cpp.o.d"
+  "/root/repo/tests/graph/components_test.cpp" "tests/CMakeFiles/graph_test.dir/graph/components_test.cpp.o" "gcc" "tests/CMakeFiles/graph_test.dir/graph/components_test.cpp.o.d"
+  "/root/repo/tests/graph/csr_test.cpp" "tests/CMakeFiles/graph_test.dir/graph/csr_test.cpp.o" "gcc" "tests/CMakeFiles/graph_test.dir/graph/csr_test.cpp.o.d"
+  "/root/repo/tests/graph/generators_test.cpp" "tests/CMakeFiles/graph_test.dir/graph/generators_test.cpp.o" "gcc" "tests/CMakeFiles/graph_test.dir/graph/generators_test.cpp.o.d"
+  "/root/repo/tests/graph/io_test.cpp" "tests/CMakeFiles/graph_test.dir/graph/io_test.cpp.o" "gcc" "tests/CMakeFiles/graph_test.dir/graph/io_test.cpp.o.d"
+  "/root/repo/tests/graph/partition_io_test.cpp" "tests/CMakeFiles/graph_test.dir/graph/partition_io_test.cpp.o" "gcc" "tests/CMakeFiles/graph_test.dir/graph/partition_io_test.cpp.o.d"
+  "/root/repo/tests/graph/permute_test.cpp" "tests/CMakeFiles/graph_test.dir/graph/permute_test.cpp.o" "gcc" "tests/CMakeFiles/graph_test.dir/graph/permute_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mgp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

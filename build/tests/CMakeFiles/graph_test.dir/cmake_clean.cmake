@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_test.dir/graph/builder_test.cpp.o"
+  "CMakeFiles/graph_test.dir/graph/builder_test.cpp.o.d"
+  "CMakeFiles/graph_test.dir/graph/components_test.cpp.o"
+  "CMakeFiles/graph_test.dir/graph/components_test.cpp.o.d"
+  "CMakeFiles/graph_test.dir/graph/csr_test.cpp.o"
+  "CMakeFiles/graph_test.dir/graph/csr_test.cpp.o.d"
+  "CMakeFiles/graph_test.dir/graph/generators_test.cpp.o"
+  "CMakeFiles/graph_test.dir/graph/generators_test.cpp.o.d"
+  "CMakeFiles/graph_test.dir/graph/io_test.cpp.o"
+  "CMakeFiles/graph_test.dir/graph/io_test.cpp.o.d"
+  "CMakeFiles/graph_test.dir/graph/partition_io_test.cpp.o"
+  "CMakeFiles/graph_test.dir/graph/partition_io_test.cpp.o.d"
+  "CMakeFiles/graph_test.dir/graph/permute_test.cpp.o"
+  "CMakeFiles/graph_test.dir/graph/permute_test.cpp.o.d"
+  "graph_test"
+  "graph_test.pdb"
+  "graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

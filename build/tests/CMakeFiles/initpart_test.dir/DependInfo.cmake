@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/initpart/bisection_state_test.cpp" "tests/CMakeFiles/initpart_test.dir/initpart/bisection_state_test.cpp.o" "gcc" "tests/CMakeFiles/initpart_test.dir/initpart/bisection_state_test.cpp.o.d"
+  "/root/repo/tests/initpart/graph_grow_test.cpp" "tests/CMakeFiles/initpart_test.dir/initpart/graph_grow_test.cpp.o" "gcc" "tests/CMakeFiles/initpart_test.dir/initpart/graph_grow_test.cpp.o.d"
+  "/root/repo/tests/initpart/spectral_init_test.cpp" "tests/CMakeFiles/initpart_test.dir/initpart/spectral_init_test.cpp.o" "gcc" "tests/CMakeFiles/initpart_test.dir/initpart/spectral_init_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mgp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/initpart_test.dir/initpart/bisection_state_test.cpp.o"
+  "CMakeFiles/initpart_test.dir/initpart/bisection_state_test.cpp.o.d"
+  "CMakeFiles/initpart_test.dir/initpart/graph_grow_test.cpp.o"
+  "CMakeFiles/initpart_test.dir/initpart/graph_grow_test.cpp.o.d"
+  "CMakeFiles/initpart_test.dir/initpart/spectral_init_test.cpp.o"
+  "CMakeFiles/initpart_test.dir/initpart/spectral_init_test.cpp.o.d"
+  "initpart_test"
+  "initpart_test.pdb"
+  "initpart_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/initpart_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/order/etree_test.cpp" "tests/CMakeFiles/order_test.dir/order/etree_test.cpp.o" "gcc" "tests/CMakeFiles/order_test.dir/order/etree_test.cpp.o.d"
+  "/root/repo/tests/order/mmd_test.cpp" "tests/CMakeFiles/order_test.dir/order/mmd_test.cpp.o" "gcc" "tests/CMakeFiles/order_test.dir/order/mmd_test.cpp.o.d"
+  "/root/repo/tests/order/nested_dissection_test.cpp" "tests/CMakeFiles/order_test.dir/order/nested_dissection_test.cpp.o" "gcc" "tests/CMakeFiles/order_test.dir/order/nested_dissection_test.cpp.o.d"
+  "/root/repo/tests/order/separator_refine_test.cpp" "tests/CMakeFiles/order_test.dir/order/separator_refine_test.cpp.o" "gcc" "tests/CMakeFiles/order_test.dir/order/separator_refine_test.cpp.o.d"
+  "/root/repo/tests/order/separator_test.cpp" "tests/CMakeFiles/order_test.dir/order/separator_test.cpp.o" "gcc" "tests/CMakeFiles/order_test.dir/order/separator_test.cpp.o.d"
+  "/root/repo/tests/order/symbolic_test.cpp" "tests/CMakeFiles/order_test.dir/order/symbolic_test.cpp.o" "gcc" "tests/CMakeFiles/order_test.dir/order/symbolic_test.cpp.o.d"
+  "/root/repo/tests/order/vertex_cover_test.cpp" "tests/CMakeFiles/order_test.dir/order/vertex_cover_test.cpp.o" "gcc" "tests/CMakeFiles/order_test.dir/order/vertex_cover_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mgp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

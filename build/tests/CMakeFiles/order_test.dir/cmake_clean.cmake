@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/order_test.dir/order/etree_test.cpp.o"
+  "CMakeFiles/order_test.dir/order/etree_test.cpp.o.d"
+  "CMakeFiles/order_test.dir/order/mmd_test.cpp.o"
+  "CMakeFiles/order_test.dir/order/mmd_test.cpp.o.d"
+  "CMakeFiles/order_test.dir/order/nested_dissection_test.cpp.o"
+  "CMakeFiles/order_test.dir/order/nested_dissection_test.cpp.o.d"
+  "CMakeFiles/order_test.dir/order/separator_refine_test.cpp.o"
+  "CMakeFiles/order_test.dir/order/separator_refine_test.cpp.o.d"
+  "CMakeFiles/order_test.dir/order/separator_test.cpp.o"
+  "CMakeFiles/order_test.dir/order/separator_test.cpp.o.d"
+  "CMakeFiles/order_test.dir/order/symbolic_test.cpp.o"
+  "CMakeFiles/order_test.dir/order/symbolic_test.cpp.o.d"
+  "CMakeFiles/order_test.dir/order/vertex_cover_test.cpp.o"
+  "CMakeFiles/order_test.dir/order/vertex_cover_test.cpp.o.d"
+  "order_test"
+  "order_test.pdb"
+  "order_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/order_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/spectral/fiedler_test.cpp" "tests/CMakeFiles/spectral_test.dir/spectral/fiedler_test.cpp.o" "gcc" "tests/CMakeFiles/spectral_test.dir/spectral/fiedler_test.cpp.o.d"
+  "/root/repo/tests/spectral/jacobi_test.cpp" "tests/CMakeFiles/spectral_test.dir/spectral/jacobi_test.cpp.o" "gcc" "tests/CMakeFiles/spectral_test.dir/spectral/jacobi_test.cpp.o.d"
+  "/root/repo/tests/spectral/lanczos_test.cpp" "tests/CMakeFiles/spectral_test.dir/spectral/lanczos_test.cpp.o" "gcc" "tests/CMakeFiles/spectral_test.dir/spectral/lanczos_test.cpp.o.d"
+  "/root/repo/tests/spectral/laplacian_test.cpp" "tests/CMakeFiles/spectral_test.dir/spectral/laplacian_test.cpp.o" "gcc" "tests/CMakeFiles/spectral_test.dir/spectral/laplacian_test.cpp.o.d"
+  "/root/repo/tests/spectral/msb_test.cpp" "tests/CMakeFiles/spectral_test.dir/spectral/msb_test.cpp.o" "gcc" "tests/CMakeFiles/spectral_test.dir/spectral/msb_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mgp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

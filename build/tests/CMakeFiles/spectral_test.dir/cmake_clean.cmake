@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spectral_test.dir/spectral/fiedler_test.cpp.o"
+  "CMakeFiles/spectral_test.dir/spectral/fiedler_test.cpp.o.d"
+  "CMakeFiles/spectral_test.dir/spectral/jacobi_test.cpp.o"
+  "CMakeFiles/spectral_test.dir/spectral/jacobi_test.cpp.o.d"
+  "CMakeFiles/spectral_test.dir/spectral/lanczos_test.cpp.o"
+  "CMakeFiles/spectral_test.dir/spectral/lanczos_test.cpp.o.d"
+  "CMakeFiles/spectral_test.dir/spectral/laplacian_test.cpp.o"
+  "CMakeFiles/spectral_test.dir/spectral/laplacian_test.cpp.o.d"
+  "CMakeFiles/spectral_test.dir/spectral/msb_test.cpp.o"
+  "CMakeFiles/spectral_test.dir/spectral/msb_test.cpp.o.d"
+  "spectral_test"
+  "spectral_test.pdb"
+  "spectral_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spectral_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

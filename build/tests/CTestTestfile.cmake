@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_test[1]_include.cmake")
+include("/root/repo/build/tests/coarsen_test[1]_include.cmake")
+include("/root/repo/build/tests/initpart_test[1]_include.cmake")
+include("/root/repo/build/tests/refine_test[1]_include.cmake")
+include("/root/repo/build/tests/spectral_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/order_test[1]_include.cmake")
+include("/root/repo/build/tests/cholesky_test[1]_include.cmake")
+include("/root/repo/build/tests/geom_test[1]_include.cmake")
+include("/root/repo/build/tests/metrics_test[1]_include.cmake")
+include("/root/repo/build/tests/umbrella_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
