@@ -1,11 +1,23 @@
 #include "coarsen/contract.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <utility>
 
 namespace mgp {
+namespace {
+
+/// Per-chunk scratch for the parallel path: rows are assembled into these
+/// buffers, then concatenated in chunk (= row) order.
+struct RowChunk {
+  std::vector<vid_t> adjncy;
+  std::vector<ewt_t> adjwgt;
+};
+
+}  // namespace
 
 Contraction contract(const Graph& fine, const Matching& match,
-                     std::span<const ewt_t> fine_cewgt) {
+                     std::span<const ewt_t> fine_cewgt, ThreadPool* pool) {
   const vid_t n = fine.num_vertices();
   assert(match.match.size() == static_cast<std::size_t>(n));
 
@@ -13,12 +25,18 @@ Contraction contract(const Graph& fine, const Matching& match,
   out.cmap.assign(static_cast<std::size_t>(n), kInvalidVid);
 
   // Number coarse vertices: the smaller endpoint of each pair (and every
-  // unmatched vertex) claims the next id, in fine-vertex order.
-  vid_t cn = 0;
+  // unmatched vertex) claims the next id, in fine-vertex order.  reps[c] is
+  // that claiming fine vertex, so coarse rows can be built in any order.
+  std::vector<vid_t> reps;
+  reps.reserve(static_cast<std::size_t>(n));
   for (vid_t v = 0; v < n; ++v) {
     vid_t p = match.match[static_cast<std::size_t>(v)];
-    if (v <= p) out.cmap[static_cast<std::size_t>(v)] = cn++;
+    if (v <= p) {
+      out.cmap[static_cast<std::size_t>(v)] = static_cast<vid_t>(reps.size());
+      reps.push_back(v);
+    }
   }
+  const vid_t cn = static_cast<vid_t>(reps.size());
   for (vid_t v = 0; v < n; ++v) {
     vid_t p = match.match[static_cast<std::size_t>(v)];
     if (v > p) out.cmap[static_cast<std::size_t>(v)] = out.cmap[static_cast<std::size_t>(p)];
@@ -32,57 +50,111 @@ Contraction contract(const Graph& fine, const Matching& match,
     return fine_cewgt.empty() ? ewt_t{0} : fine_cewgt[static_cast<std::size_t>(v)];
   };
 
-  // A dense scatter table: for the coarse vertex currently being assembled,
-  // pos[c] is the slot of coarse neighbour c in the output row, or -1.
-  std::vector<eid_t> pos(static_cast<std::size_t>(cn), -1);
-  std::vector<vid_t> cadjncy;
-  std::vector<ewt_t> cadjwgt;
-  cadjncy.reserve(static_cast<std::size_t>(fine.num_arcs()));
-  cadjwgt.reserve(static_cast<std::size_t>(fine.num_arcs()));
+  // Assembles coarse rows [row_begin, row_end) into `adjncy`/`adjwgt`,
+  // recording each row's end offset *relative to the buffer* in cxadj[c+1].
+  // `pos` is a dense scatter table (coarse neighbour -> slot in the row
+  // being assembled, or -1), owned by the caller so each chunk reuses one.
+  // Row content depends only on the row itself, so any chunking of the row
+  // range yields the same bytes after in-order concatenation.
+  auto build_rows = [&](vid_t row_begin, vid_t row_end, std::vector<eid_t>& pos,
+                        std::vector<vid_t>& adjncy, std::vector<ewt_t>& adjwgt) {
+    for (vid_t c = row_begin; c < row_end; ++c) {
+      const vid_t v = reps[static_cast<std::size_t>(c)];
+      const vid_t p = match.match[static_cast<std::size_t>(v)];
 
-  for (vid_t v = 0; v < n; ++v) {
-    vid_t p = match.match[static_cast<std::size_t>(v)];
-    if (v > p) continue;  // processed with its partner
-    vid_t c = out.cmap[static_cast<std::size_t>(v)];
-
-    cvwgt[static_cast<std::size_t>(c)] = fine.vertex_weight(v);
-    out.cewgt[static_cast<std::size_t>(c)] = fine_interior(v);
-    if (p != v) {
-      cvwgt[static_cast<std::size_t>(c)] += fine.vertex_weight(p);
-      out.cewgt[static_cast<std::size_t>(c)] += fine_interior(p);
-    }
-
-    const eid_t row_begin = static_cast<eid_t>(cadjncy.size());
-    auto scatter = [&](vid_t u) {
-      auto nbrs = fine.neighbors(u);
-      auto wgts = fine.edge_weights(u);
-      for (std::size_t i = 0; i < nbrs.size(); ++i) {
-        vid_t cv = out.cmap[static_cast<std::size_t>(nbrs[i])];
-        if (cv == c) {
-          // Edge interior to the multinode (the collapsed matching edge):
-          // count its weight once, on the smaller fine endpoint's scan.
-          if (u < nbrs[i]) out.cewgt[static_cast<std::size_t>(c)] += wgts[i];
-          continue;
-        }
-        eid_t slot = pos[static_cast<std::size_t>(cv)];
-        if (slot < 0) {
-          pos[static_cast<std::size_t>(cv)] = static_cast<eid_t>(cadjncy.size());
-          cadjncy.push_back(cv);
-          cadjwgt.push_back(wgts[i]);
-        } else {
-          cadjwgt[static_cast<std::size_t>(slot)] += wgts[i];
-        }
+      cvwgt[static_cast<std::size_t>(c)] = fine.vertex_weight(v);
+      out.cewgt[static_cast<std::size_t>(c)] = fine_interior(v);
+      if (p != v) {
+        cvwgt[static_cast<std::size_t>(c)] += fine.vertex_weight(p);
+        out.cewgt[static_cast<std::size_t>(c)] += fine_interior(p);
       }
-    };
-    scatter(v);
-    if (p != v) scatter(p);
 
-    // Reset the scatter table for the next coarse row.
-    for (std::size_t i = static_cast<std::size_t>(row_begin); i < cadjncy.size(); ++i) {
-      pos[static_cast<std::size_t>(cadjncy[i])] = -1;
+      const eid_t row_start = static_cast<eid_t>(adjncy.size());
+      auto scatter = [&](vid_t u) {
+        auto nbrs = fine.neighbors(u);
+        auto wgts = fine.edge_weights(u);
+        for (std::size_t i = 0; i < nbrs.size(); ++i) {
+          vid_t cv = out.cmap[static_cast<std::size_t>(nbrs[i])];
+          if (cv == c) {
+            // Edge interior to the multinode (the collapsed matching edge):
+            // count its weight once, on the smaller fine endpoint's scan.
+            if (u < nbrs[i]) out.cewgt[static_cast<std::size_t>(c)] += wgts[i];
+            continue;
+          }
+          eid_t slot = pos[static_cast<std::size_t>(cv)];
+          if (slot < 0) {
+            pos[static_cast<std::size_t>(cv)] = static_cast<eid_t>(adjncy.size());
+            adjncy.push_back(cv);
+            adjwgt.push_back(wgts[i]);
+          } else {
+            adjwgt[static_cast<std::size_t>(slot)] += wgts[i];
+          }
+        }
+      };
+      scatter(v);
+      if (p != v) scatter(p);
+
+      // Reset the scatter table for the next coarse row.
+      for (std::size_t i = static_cast<std::size_t>(row_start); i < adjncy.size(); ++i) {
+        pos[static_cast<std::size_t>(adjncy[i])] = -1;
+      }
+      cxadj[static_cast<std::size_t>(c) + 1] = static_cast<eid_t>(adjncy.size());
     }
-    cxadj[static_cast<std::size_t>(c) + 1] = static_cast<eid_t>(cadjncy.size());
+  };
+
+  const int chunks = pool ? pool->num_threads() : 1;
+  if (chunks <= 1 || cn < 2 * static_cast<vid_t>(chunks)) {
+    // Sequential path: one buffer, row-relative offsets are already final.
+    std::vector<eid_t> pos(static_cast<std::size_t>(cn), -1);
+    std::vector<vid_t> cadjncy;
+    std::vector<ewt_t> cadjwgt;
+    cadjncy.reserve(static_cast<std::size_t>(fine.num_arcs()));
+    cadjwgt.reserve(static_cast<std::size_t>(fine.num_arcs()));
+    build_rows(0, cn, pos, cadjncy, cadjwgt);
+    out.coarse = Graph(std::move(cxadj), std::move(cadjncy), std::move(cvwgt),
+                       std::move(cadjwgt));
+    return out;
   }
+
+  // Parallel path: each chunk of coarse rows is assembled into its own
+  // scratch buffers (disjoint writes everywhere: cvwgt/cewgt/cxadj slots
+  // are owned by the row's chunk), then a prefix sum over chunk sizes
+  // places every chunk in the output CSR and a second sweep copies.
+  std::vector<RowChunk> scratch(static_cast<std::size_t>(chunks));
+  pool->parallel_for_chunks(cn, chunks, [&](int c, vid_t begin, vid_t end) {
+    std::vector<eid_t> pos(static_cast<std::size_t>(cn), -1);
+    auto& rc = scratch[static_cast<std::size_t>(c)];
+    rc.adjncy.reserve(static_cast<std::size_t>(fine.num_arcs()) /
+                      static_cast<std::size_t>(chunks));
+    rc.adjwgt.reserve(static_cast<std::size_t>(fine.num_arcs()) /
+                      static_cast<std::size_t>(chunks));
+    build_rows(begin, end, pos, rc.adjncy, rc.adjwgt);
+  });
+
+  std::vector<eid_t> chunk_base(static_cast<std::size_t>(chunks) + 1, 0);
+  for (int c = 0; c < chunks; ++c) {
+    chunk_base[static_cast<std::size_t>(c) + 1] =
+        chunk_base[static_cast<std::size_t>(c)] +
+        static_cast<eid_t>(scratch[static_cast<std::size_t>(c)].adjncy.size());
+  }
+  const eid_t total_arcs = chunk_base[static_cast<std::size_t>(chunks)];
+  std::vector<vid_t> cadjncy(static_cast<std::size_t>(total_arcs));
+  std::vector<ewt_t> cadjwgt(static_cast<std::size_t>(total_arcs));
+
+  // Same chunk boundaries as the build sweep, so chunk c's rows are exactly
+  // the ones whose cxadj slots it wrote: shift them by the chunk's base and
+  // copy its buffers into place.
+  pool->parallel_for_chunks(cn, chunks, [&](int c, vid_t begin, vid_t end) {
+    const eid_t base = chunk_base[static_cast<std::size_t>(c)];
+    for (vid_t row = begin; row < end; ++row) {
+      cxadj[static_cast<std::size_t>(row) + 1] += base;
+    }
+    const auto& rc = scratch[static_cast<std::size_t>(c)];
+    std::copy(rc.adjncy.begin(), rc.adjncy.end(),
+              cadjncy.begin() + static_cast<std::size_t>(base));
+    std::copy(rc.adjwgt.begin(), rc.adjwgt.end(),
+              cadjwgt.begin() + static_cast<std::size_t>(base));
+  });
 
   out.coarse = Graph(std::move(cxadj), std::move(cadjncy), std::move(cvwgt),
                      std::move(cadjwgt));

@@ -4,6 +4,12 @@
 // the pair's weights; parallel edges to a common neighbour merge by summing
 // weights, so a partition's edge-cut is identical at every level for the
 // same vertex assignment.  Unmatched vertices are copied over.
+//
+// Contraction is data-parallel over coarse rows: each coarse vertex's
+// adjacency depends only on its own fine constituents and the (read-only)
+// cmap, so rows can be assembled concurrently into per-chunk scratch
+// buffers and concatenated in row order.  The parallel path is
+// byte-identical to the sequential one for every thread count.
 #pragma once
 
 #include <span>
@@ -11,6 +17,7 @@
 
 #include "coarsen/matching.hpp"
 #include "graph/csr.hpp"
+#include "support/thread_pool.hpp"
 
 namespace mgp {
 
@@ -26,7 +33,11 @@ struct Contraction {
 /// Contracts `fine` along `match`.  `fine_cewgt` may be empty (level 0).
 /// O(|V| + |E|): two passes over the fine adjacency with a dense
 /// coarse-neighbour position table.
+///
+/// When `pool` is non-null with num_threads() > 1, coarse rows are built in
+/// parallel (per-chunk scratch buffers, prefix-sum merge into the output
+/// CSR); the result is byte-identical to the sequential path.
 Contraction contract(const Graph& fine, const Matching& match,
-                     std::span<const ewt_t> fine_cewgt);
+                     std::span<const ewt_t> fine_cewgt, ThreadPool* pool = nullptr);
 
 }  // namespace mgp

@@ -1,35 +1,11 @@
 #include "coarsen/parallel_matching.hpp"
 
 #include <atomic>
-#include <thread>
 #include <vector>
 
 namespace mgp {
-namespace {
 
-/// Runs fn(begin, end) over [0, n) split into `num_threads` contiguous
-/// blocks.  The worker owning a block is the only writer of its slots.
-template <typename Fn>
-void parallel_blocks(vid_t n, int num_threads, Fn&& fn) {
-  if (num_threads <= 1 || n < 2 * num_threads) {
-    fn(vid_t{0}, n);
-    return;
-  }
-  std::vector<std::thread> workers;
-  workers.reserve(static_cast<std::size_t>(num_threads));
-  const vid_t chunk = (n + num_threads - 1) / num_threads;
-  for (int t = 0; t < num_threads; ++t) {
-    const vid_t begin = std::min<vid_t>(n, t * chunk);
-    const vid_t end = std::min<vid_t>(n, begin + chunk);
-    if (begin >= end) break;
-    workers.emplace_back([&fn, begin, end]() { fn(begin, end); });
-  }
-  for (auto& w : workers) w.join();
-}
-
-}  // namespace
-
-Matching compute_matching_parallel_hem(const Graph& g, int num_threads) {
+Matching compute_matching_parallel_hem(const Graph& g, ThreadPool& pool) {
   const vid_t n = g.num_vertices();
   Matching result;
   result.match.assign(static_cast<std::size_t>(n), kInvalidVid);
@@ -43,7 +19,7 @@ Matching compute_matching_parallel_hem(const Graph& g, int num_threads) {
   // so n/2 rounds suffice; typical convergence is O(log n) rounds.
   for (vid_t round = 0; round <= n / 2 + 1; ++round) {
     // --- Phase 1: propose (reads matches, writes only propose[own block]).
-    parallel_blocks(n, num_threads, [&](vid_t begin, vid_t end) {
+    pool.parallel_for(n, [&](vid_t begin, vid_t end) {
       for (vid_t v = begin; v < end; ++v) {
         propose[static_cast<std::size_t>(v)] = kInvalidVid;
         if (matched(v)) continue;
@@ -68,7 +44,7 @@ Matching compute_matching_parallel_hem(const Graph& g, int num_threads) {
     // --- Phase 2: commit mutual proposals (each pair written by the worker
     //     owning its smaller endpoint; cells are disjoint across pairs).
     std::atomic<vid_t> new_pairs{0};
-    parallel_blocks(n, num_threads, [&](vid_t begin, vid_t end) {
+    pool.parallel_for(n, [&](vid_t begin, vid_t end) {
       vid_t local = 0;
       for (vid_t v = begin; v < end; ++v) {
         const vid_t u = propose[static_cast<std::size_t>(v)];
@@ -106,6 +82,11 @@ Matching compute_matching_parallel_hem(const Graph& g, int num_threads) {
     }
   }
   return result;
+}
+
+Matching compute_matching_parallel_hem(const Graph& g, int num_threads) {
+  ThreadPool pool(num_threads <= 0 ? 1 : num_threads);
+  return compute_matching_parallel_hem(g, pool);
 }
 
 }  // namespace mgp

@@ -21,12 +21,17 @@
 #pragma once
 
 #include "coarsen/matching.hpp"
+#include "support/thread_pool.hpp"
 
 namespace mgp {
 
-/// Heavy-edge matching computed by parallel rounds with `num_threads`
-/// workers (1 = sequential execution of the same algorithm; results are
-/// byte-identical across thread counts).
+/// Heavy-edge matching computed by parallel rounds on `pool`'s workers
+/// (a 1-thread pool executes the same algorithm inline; results are
+/// byte-identical across pool sizes).
+Matching compute_matching_parallel_hem(const Graph& g, ThreadPool& pool);
+
+/// Convenience overload: runs on a temporary pool of `num_threads` workers
+/// (1 = inline sequential execution of the same algorithm).
 Matching compute_matching_parallel_hem(const Graph& g, int num_threads);
 
 }  // namespace mgp

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "support/thread_pool.hpp"
+
 namespace mgp {
 
 std::string to_string(InitPartScheme s) {
@@ -11,6 +13,10 @@ std::string to_string(InitPartScheme s) {
     case InitPartScheme::kSpectral: return "SBP";
   }
   return "?";
+}
+
+int MultilevelConfig::resolved_threads() const {
+  return threads <= 0 ? ThreadPool::hardware_threads() : threads;
 }
 
 MultilevelConfig MultilevelConfig::chaco_ml() {

@@ -1,20 +1,46 @@
 #include "core/kway.hpp"
 
 #include <cassert>
+#include <mutex>
+#include <optional>
 
 #include "graph/permute.hpp"
 
 namespace mgp {
 namespace {
 
+/// Below this size a subproblem recurses inline: task overhead would exceed
+/// the bisection work.  Purely a scheduling decision — results are identical
+/// either way, so the constant can be retuned freely.
+constexpr vid_t kSpawnThresholdVertices = 2048;
+
+/// RNG seed of a subproblem: splitmix64-style mix of the run's root seed
+/// and the subproblem's position in the bisection tree (heap encoding:
+/// root = 1, children of p are 2p and 2p+1).  Sibling and ancestor streams
+/// are unrelated, and the seed does not depend on execution order.
+std::uint64_t subproblem_seed(std::uint64_t root_seed, std::uint64_t path) {
+  std::uint64_t z = root_seed ^ (path * 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Shared, read-only (or disjointly-written) state of one recursion.
+struct RbContext {
+  const Bisector& bisect;
+  std::vector<part_t>& out_part;  ///< subproblems write disjoint slots
+  std::uint64_t root_seed;
+  ThreadPool* pool;  ///< may be null (fully inline recursion)
+};
+
 /// Recursive worker: labels g's vertices with parts [part_base, part_base+k)
-/// into out_part via the local→global map.
+/// into ctx.out_part via the local→global map.  `path` identifies this
+/// subproblem in the bisection tree and seeds its private RNG stream.
 void recurse(const Graph& g, std::span<const vid_t> to_global, part_t k,
-             part_t part_base, const Bisector& bisect, Rng& rng,
-             std::vector<part_t>& out_part) {
+             part_t part_base, std::uint64_t path, const RbContext& ctx) {
   if (k <= 1 || g.num_vertices() == 0) {
     for (vid_t v = 0; v < g.num_vertices(); ++v) {
-      out_part[static_cast<std::size_t>(to_global[static_cast<std::size_t>(v)])] =
+      ctx.out_part[static_cast<std::size_t>(to_global[static_cast<std::size_t>(v)])] =
           part_base;
     }
     return;
@@ -22,7 +48,7 @@ void recurse(const Graph& g, std::span<const vid_t> to_global, part_t k,
   if (g.num_vertices() <= k) {
     // Degenerate: fewer vertices than requested parts; spread them out.
     for (vid_t v = 0; v < g.num_vertices(); ++v) {
-      out_part[static_cast<std::size_t>(to_global[static_cast<std::size_t>(v)])] =
+      ctx.out_part[static_cast<std::size_t>(to_global[static_cast<std::size_t>(v)])] =
           part_base + (v % k);
     }
     return;
@@ -34,51 +60,106 @@ void recurse(const Graph& g, std::span<const vid_t> to_global, part_t k,
   const vwt_t target0 =
       static_cast<vwt_t>((static_cast<long double>(total) * k0) / k + 0.5L);
 
-  Bisection b = bisect(g, target0, rng);
+  Rng rng(subproblem_seed(ctx.root_seed, path));
+  Bisection b = ctx.bisect(g, target0, rng);
   assert(b.side.size() == static_cast<std::size_t>(g.num_vertices()));
 
+  // Build both subproblems in this frame so a spawned child can borrow them.
+  Subgraph sub[2];
+  std::vector<vid_t> global_ids[2];
   for (part_t s = 0; s < 2; ++s) {
-    Subgraph sub = extract_where(g, b.side, s);
+    sub[s] = extract_where(g, b.side, s);
     // Rewire local→global through this level's map.
-    std::vector<vid_t> global_ids(sub.local_to_global.size());
-    for (std::size_t i = 0; i < global_ids.size(); ++i) {
-      global_ids[i] =
-          to_global[static_cast<std::size_t>(sub.local_to_global[i])];
+    global_ids[s].resize(sub[s].local_to_global.size());
+    for (std::size_t i = 0; i < global_ids[s].size(); ++i) {
+      global_ids[s][i] =
+          to_global[static_cast<std::size_t>(sub[s].local_to_global[i])];
     }
-    recurse(sub.graph, global_ids, s == 0 ? k0 : k1,
-            s == 0 ? part_base : part_base + k0, bisect, rng, out_part);
+  }
+
+  const std::uint64_t child_path[2] = {2 * path, 2 * path + 1};
+  const part_t child_k[2] = {k0, k1};
+  const part_t child_base[2] = {part_base, part_base + k0};
+
+  if (ctx.pool && ctx.pool->num_threads() > 1 &&
+      g.num_vertices() >= kSpawnThresholdVertices) {
+    // Fork side 0 to the pool, recurse on side 1 here, join with helping
+    // (the waiting thread executes other queued subproblems meanwhile).
+    std::future<void> fut = ctx.pool->submit([&]() {
+      recurse(sub[0].graph, global_ids[0], child_k[0], child_base[0],
+              child_path[0], ctx);
+    });
+    recurse(sub[1].graph, global_ids[1], child_k[1], child_base[1],
+            child_path[1], ctx);
+    ctx.pool->wait_help(fut);
+  } else {
+    for (part_t s = 0; s < 2; ++s) {
+      recurse(sub[s].graph, global_ids[s], child_k[s], child_base[s],
+              child_path[s], ctx);
+    }
   }
 }
 
 }  // namespace
 
 KwayResult recursive_bisection(const Graph& g, part_t k, const Bisector& bisect,
-                               Rng& rng) {
+                               Rng& rng, ThreadPool* pool) {
   assert(k >= 1);
   KwayResult out;
   out.k = k;
   out.part.assign(static_cast<std::size_t>(g.num_vertices()), 0);
   std::vector<vid_t> identity(static_cast<std::size_t>(g.num_vertices()));
   for (vid_t v = 0; v < g.num_vertices(); ++v) identity[static_cast<std::size_t>(v)] = v;
-  recurse(g, identity, k, 0, bisect, rng, out.part);
+  // One draw fixes every subproblem's stream; everything below is a pure
+  // function of it, so thread count and scheduling cannot change the result.
+  const std::uint64_t root_seed = rng.next_u64();
+  RbContext ctx{bisect, out.part, root_seed, pool};
+  recurse(g, identity, k, 0, /*path=*/1, ctx);
   out.edge_cut = compute_kway_cut(g, out.part);
   return out;
 }
 
 KwayResult kway_partition(const Graph& g, part_t k, const MultilevelConfig& cfg,
-                          Rng& rng, PhaseTimers* timers) {
-  Bisector bisect = [&cfg, timers](const Graph& sub, vwt_t target0, Rng& r) {
-    return multilevel_bisect(sub, target0, cfg, r, timers).bisection;
+                          Rng& rng, PhaseTimers* timers, ThreadPool* pool) {
+  std::optional<ThreadPool> owned;
+  if (!pool && cfg.resolved_threads() > 1) {
+    owned.emplace(cfg.resolved_threads());
+    pool = &*owned;
+  }
+  // PhaseTimers is not thread-safe; concurrent bisections accumulate into
+  // per-call locals merged under a lock.
+  std::mutex timers_mu;
+  Bisector bisect = [&cfg, timers, &timers_mu, pool](const Graph& sub,
+                                                     vwt_t target0, Rng& r) {
+    if (!timers) {
+      return multilevel_bisect(sub, target0, cfg, r, nullptr, pool).bisection;
+    }
+    PhaseTimers local;
+    Bisection b = multilevel_bisect(sub, target0, cfg, r, &local, pool).bisection;
+    std::lock_guard<std::mutex> lock(timers_mu);
+    for (int p = 0; p < PhaseTimers::kNumPhases; ++p) {
+      const auto phase = static_cast<PhaseTimers::Phase>(p);
+      timers->add(phase, local.get(phase));
+    }
+    return b;
   };
-  return recursive_bisection(g, k, bisect, rng);
+  return recursive_bisection(g, k, bisect, rng, pool);
 }
 
 KwayResult kway_partition_best_of(const Graph& g, part_t k,
                                   const MultilevelConfig& cfg, int trials,
                                   Rng& rng, PhaseTimers* timers) {
+  // One pool shared by every trial (constructing per trial would churn
+  // threads); null when the config asks for sequential execution.
+  std::optional<ThreadPool> owned;
+  ThreadPool* pool = nullptr;
+  if (cfg.resolved_threads() > 1) {
+    owned.emplace(cfg.resolved_threads());
+    pool = &*owned;
+  }
   KwayResult best;
   for (int t = 0; t < trials; ++t) {
-    KwayResult r = kway_partition(g, k, cfg, rng, timers);
+    KwayResult r = kway_partition(g, k, cfg, rng, timers, pool);
     if (t == 0 || r.edge_cut < best.edge_cut) best = std::move(r);
   }
   return best;

@@ -8,6 +8,13 @@
 //
 // Non-power-of-two k is supported by splitting with proportional target
 // weights (ceil(k/2) : floor(k/2)) at every level.
+//
+// The two halves of every bisection are independent subproblems, so the
+// recursion tree runs as fork/join tasks on an optional ThreadPool.  Each
+// subproblem draws from its own RNG stream, seeded by (root seed, path in
+// the bisection tree), so the partition is a pure function of the seed —
+// independent of execution order and thread count (DESIGN.md "Threading
+// model & determinism").
 #pragma once
 
 #include <functional>
@@ -17,11 +24,15 @@
 #include "core/multilevel.hpp"
 #include "graph/csr.hpp"
 #include "support/rng.hpp"
+#include "support/thread_pool.hpp"
 #include "support/timer.hpp"
 
 namespace mgp {
 
 /// A 2-way partitioner: bisect `g` so side 0 holds ~`target0` vertex weight.
+/// May be invoked concurrently from several pool workers (on distinct
+/// subproblems), so implementations must not share mutable state across
+/// calls except under their own synchronisation.
 using Bisector = std::function<Bisection(const Graph& g, vwt_t target0, Rng& rng)>;
 
 struct KwayResult {
@@ -31,15 +42,25 @@ struct KwayResult {
 };
 
 /// Recursively applies `bisect` until k blocks exist.  Deterministic given
-/// rng.  Handles k = 1 (trivial) and graphs with fewer vertices than k
-/// (round-robin assignment of the remainder).
+/// rng: exactly one value is drawn from `rng` to seed the recursion's
+/// per-subproblem streams, so the result depends only on that seed (not on
+/// thread count or scheduling).  Handles k = 1 (trivial) and graphs with
+/// fewer vertices than k (round-robin assignment of the remainder).
+/// With a non-null `pool`, sibling subproblems run as pool tasks.
 KwayResult recursive_bisection(const Graph& g, part_t k, const Bisector& bisect,
-                               Rng& rng);
+                               Rng& rng, ThreadPool* pool = nullptr);
 
 /// k-way partition with the paper's multilevel bisection.  Phase times
-/// accumulate into `timers` (summed over all k-1 bisections) when non-null.
+/// accumulate into `timers` (summed over all k-1 bisections) when non-null;
+/// under parallel execution concurrent bisections sum their phase times, so
+/// the totals are CPU seconds rather than wall-clock.
+///
+/// Parallelism: uses `pool` when non-null; otherwise, if
+/// cfg.resolved_threads() > 1, a pool of that size is created for the call.
+/// Pass cfg.threads = 1 (the default) for the fully sequential path.
 KwayResult kway_partition(const Graph& g, part_t k, const MultilevelConfig& cfg,
-                          Rng& rng, PhaseTimers* timers = nullptr);
+                          Rng& rng, PhaseTimers* timers = nullptr,
+                          ThreadPool* pool = nullptr);
 
 /// Edge-cut of an arbitrary k-way labelling.
 ewt_t compute_kway_cut(const Graph& g, std::span<const part_t> part);

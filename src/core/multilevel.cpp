@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "coarsen/contract.hpp"
+#include "coarsen/parallel_matching.hpp"
 #include "initpart/graph_grow.hpp"
 #include "initpart/spectral_init.hpp"
 
@@ -27,7 +28,7 @@ Bisection initial_partition(const Graph& g, vwt_t target0, const MultilevelConfi
 
 BisectResult multilevel_bisect(const Graph& g, vwt_t target0,
                                const MultilevelConfig& cfg, Rng& rng,
-                               PhaseTimers* timers) {
+                               PhaseTimers* timers, ThreadPool* pool) {
   PhaseTimers local;
   PhaseTimers& pt = timers ? *timers : local;
   BisectResult out;
@@ -40,8 +41,15 @@ BisectResult multilevel_bisect(const Graph& g, vwt_t target0,
     const Graph* cur = &g;
     std::span<const ewt_t> cewgt;  // empty at level 0
     while (cur->num_vertices() > cfg.coarsen_to) {
-      Matching m = compute_matching(*cur, cfg.matching, cewgt, rng);
-      Contraction c = contract(*cur, m, cewgt);
+      // With a pool, HEM switches to the proposal-based parallel matcher
+      // (deterministic for every pool size; draws no RNG).  The other
+      // schemes have no parallel variant and stay sequential — still
+      // byte-identical across pool sizes, since they draw the same RNG
+      // stream regardless and contraction is thread-count-invariant.
+      Matching m = (pool && cfg.matching == MatchingScheme::kHeavyEdge)
+                       ? compute_matching_parallel_hem(*cur, *pool)
+                       : compute_matching(*cur, cfg.matching, cewgt, rng);
+      Contraction c = contract(*cur, m, cewgt, pool);
       const vid_t fine_n = cur->num_vertices();
       const vid_t coarse_n = c.coarse.num_vertices();
       if (static_cast<double>(coarse_n) >

@@ -6,6 +6,7 @@
 #include "core/config.hpp"
 #include "initpart/bisection_state.hpp"
 #include "support/rng.hpp"
+#include "support/thread_pool.hpp"
 #include "support/timer.hpp"
 
 namespace mgp {
@@ -22,8 +23,16 @@ struct BisectResult {
 /// If `timers` is non-null, phase times accumulate into it using the
 /// paper's breakdown (CTime / ITime / RTime / PTime) — recursive callers
 /// pass one accumulator through every sub-bisection.
+///
+/// If `pool` is non-null the coarsening phase runs in parallel: matching
+/// by the proposal-based parallel HEM (when cfg.matching is kHeavyEdge)
+/// and contraction by chunked row assembly.  Results are byte-identical
+/// for every pool size, including a 1-thread pool (see DESIGN.md
+/// "Threading model & determinism"); with pool == nullptr the fully
+/// sequential pre-pool path runs.
 BisectResult multilevel_bisect(const Graph& g, vwt_t target0,
                                const MultilevelConfig& cfg, Rng& rng,
-                               PhaseTimers* timers = nullptr);
+                               PhaseTimers* timers = nullptr,
+                               ThreadPool* pool = nullptr);
 
 }  // namespace mgp

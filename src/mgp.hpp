@@ -13,6 +13,7 @@
 #include "support/types.hpp"       // vid_t / eid_t / weights
 #include "support/rng.hpp"         // deterministic randomness
 #include "support/timer.hpp"       // phase timing (CTime/ITime/RTime/PTime)
+#include "support/thread_pool.hpp" // work-helping pool for the parallel pipeline
 #include "support/bucket_queue.hpp"
 
 // Graphs.

@@ -92,6 +92,78 @@ TEST(ParallelMatchingTest, WeightCompetitiveWithSerialHem) {
   EXPECT_GT(static_cast<double>(par.weight), 0.75 * serial_avg);
 }
 
+// --- Parity suite: the parallel matcher against sequential HEM on every ---
+// --- generator family, and thread-count invariance beyond seed coverage. ---
+
+std::vector<std::pair<std::string, Graph>> parity_families() {
+  std::vector<std::pair<std::string, Graph>> out;
+  out.emplace_back("grid2d", grid2d(24, 21));
+  out.emplace_back("stencil9", stencil9(20, 20));
+  out.emplace_back("fem2d", fem2d_tri(22, 22, 3));
+  out.emplace_back("lshape", lshape2d(24, 5));
+  out.emplace_back("grid3d", grid3d(8, 8, 7));
+  out.emplace_back("grid3d27", grid3d_27(7, 6, 6));
+  out.emplace_back("fem3d", fem3d_tet(7, 6, 6, 9));
+  out.emplace_back("power", power_grid(1100, 11));
+  out.emplace_back("finan", finan(10, 13, 13));
+  out.emplace_back("circuit", circuit(1000, 15));
+  out.emplace_back("geom", random_geometric(900, 7.0, 17));
+  return out;
+}
+
+TEST(ParallelMatchingParityTest, ValidMaximalOnAllGeneratorFamilies) {
+  for (const auto& [name, g] : parity_families()) {
+    Matching m = compute_matching_parallel_hem(g, 4);
+    EXPECT_TRUE(is_maximal_matching(g, m)) << name;
+  }
+}
+
+TEST(ParallelMatchingParityTest, IdenticalAcrossThreadCountsOnAllFamilies) {
+  for (const auto& [name, g] : parity_families()) {
+    Matching t1 = compute_matching_parallel_hem(g, 1);
+    Matching t2 = compute_matching_parallel_hem(g, 2);
+    Matching t8 = compute_matching_parallel_hem(g, 8);
+    EXPECT_EQ(t1.match, t2.match) << name;
+    EXPECT_EQ(t1.match, t8.match) << name;
+    EXPECT_EQ(t1.pairs, t8.pairs) << name;
+    EXPECT_EQ(t1.weight, t8.weight) << name;
+  }
+}
+
+TEST(ParallelMatchingParityTest, SharedPoolMatchesOwnedPool) {
+  // The pool-reusing overload (what the multilevel pipeline calls) must
+  // agree with the convenience overload that builds its own pool.
+  ThreadPool pool(4);
+  for (const auto& [name, g] : parity_families()) {
+    Matching owned = compute_matching_parallel_hem(g, 4);
+    Matching shared = compute_matching_parallel_hem(g, pool);
+    EXPECT_EQ(owned.match, shared.match) << name;
+  }
+}
+
+TEST(ParallelMatchingParityTest, WeightWithinToleranceOfSequentialHemEverywhere) {
+  // Proposal matching is >= 1/2-optimal; in practice it lands within ~25%
+  // of sequential HEM's matched weight.  Assert that on every family.
+  for (const auto& [name, g] : parity_families()) {
+    Matching par = compute_matching_parallel_hem(g, 4);
+    ewt_t serial_total = 0;
+    constexpr int kTrials = 3;
+    for (std::uint64_t seed = 0; seed < kTrials; ++seed) {
+      Rng rng(seed);
+      serial_total += compute_matching(g, MatchingScheme::kHeavyEdge, {}, rng).weight;
+    }
+    const double serial_avg = static_cast<double>(serial_total) / kTrials;
+    EXPECT_GT(static_cast<double>(par.weight), 0.75 * serial_avg) << name;
+    // Maximality also bounds the pair count from below: a maximal matching
+    // is at least half the size of a maximum one, and sequential HEM's
+    // matching is itself maximal, so the counts are within 2x each way.
+    Rng rng(0);
+    Matching seq = compute_matching(g, MatchingScheme::kHeavyEdge, {}, rng);
+    EXPECT_GE(2 * par.pairs, seq.pairs) << name;
+    EXPECT_GE(2 * seq.pairs, par.pairs) << name;
+  }
+}
+
 TEST(ParallelMatchingTest, ContractionWorksOnParallelMatching) {
   Graph g = grid3d_27(5, 5, 4);
   Matching m = compute_matching_parallel_hem(g, 4);

@@ -1,0 +1,176 @@
+// Cross-cutting determinism suite for the parallel pipeline.
+//
+// "Fast but silently different" is the failure mode of parallel
+// partitioners, so this suite pins the repo's central threading guarantee:
+// the partition produced by the parallel pipeline is a pure function of the
+// seed — byte-identical for every pool size in {1, 2, 4, 8}, for every
+// matching scheme × refinement policy, on several generator families.
+//
+// Three layers of the guarantee, each asserted separately:
+//   1. contraction: parallel row assembly == sequential bytes, any pool;
+//   2. coarsening + kway: whole-pipeline partitions identical across pools;
+//   3. config plumbing: cfg.threads = t engages the same algorithms as an
+//      explicit pool, so user-visible runs are invariant too.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "coarsen/contract.hpp"
+#include "coarsen/parallel_matching.hpp"
+#include "core/kway.hpp"
+#include "graph/generators.hpp"
+#include "metrics/partition_metrics.hpp"
+#include "support/thread_pool.hpp"
+
+namespace mgp {
+namespace {
+
+constexpr int kPoolSizes[] = {1, 2, 4, 8};
+
+std::vector<std::pair<std::string, Graph>> family_graphs() {
+  std::vector<std::pair<std::string, Graph>> out;
+  // fem2d is sized past the kway spawn threshold so the fork/join recursion
+  // actually runs as concurrent pool tasks, not just inline.
+  out.emplace_back("fem2d", fem2d_tri(48, 48, 3));
+  out.emplace_back("grid3d27", grid3d_27(6, 6, 4));
+  out.emplace_back("power", power_grid(1200, 5));
+  out.emplace_back("circuit", circuit(900, 7));
+  out.emplace_back("finan", finan(10, 12, 11));
+  return out;
+}
+
+using SchemeRefine = std::tuple<MatchingScheme, RefinePolicy>;
+
+class PipelineDeterminismTest : public ::testing::TestWithParam<SchemeRefine> {};
+
+TEST_P(PipelineDeterminismTest, PartitionsByteIdenticalAcrossPoolSizes) {
+  auto [scheme, refine] = GetParam();
+  MultilevelConfig cfg;
+  cfg.matching = scheme;
+  cfg.refine = refine;
+  for (const auto& [name, g] : family_graphs()) {
+    std::vector<part_t> reference;
+    for (int threads : kPoolSizes) {
+      ThreadPool pool(threads);
+      Rng rng(1234);
+      KwayResult r = kway_partition(g, 8, cfg, rng, nullptr, &pool);
+      ASSERT_EQ(check_partition(g, r.part, 8), "") << name << " t=" << threads;
+      if (threads == kPoolSizes[0]) {
+        reference = r.part;
+      } else {
+        ASSERT_EQ(r.part, reference)
+            << "partition differs: " << name << " scheme=" << to_string(scheme)
+            << " refine=" << to_string(refine) << " threads=" << threads;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SchemesTimesRefiners, PipelineDeterminismTest,
+    ::testing::Combine(::testing::Values(MatchingScheme::kRandom,
+                                         MatchingScheme::kHeavyEdge,
+                                         MatchingScheme::kLightEdge,
+                                         MatchingScheme::kHeavyClique),
+                       ::testing::Values(RefinePolicy::kNone, RefinePolicy::kGR,
+                                         RefinePolicy::kKLR, RefinePolicy::kBGR,
+                                         RefinePolicy::kBKLR,
+                                         RefinePolicy::kBKLGR)),
+    [](const ::testing::TestParamInfo<SchemeRefine>& info) {
+      return to_string(std::get<0>(info.param)) + "_" +
+             to_string(std::get<1>(info.param));
+    });
+
+TEST(PipelineDeterminismTest, ConfigThreadsMatchesExplicitPool) {
+  // cfg.threads = t must run exactly the algorithms an explicit pool runs,
+  // so user-visible partitions are invariant across every threads > 1.
+  Graph g = fem2d_tri(30, 30, 9);
+  MultilevelConfig cfg;  // HEM + GGGP + BKLGR, the paper default
+  std::vector<part_t> reference;
+  for (int threads : {2, 4, 8}) {
+    cfg.threads = threads;
+    Rng rng(99);
+    KwayResult r = kway_partition(g, 8, cfg, rng);
+    if (reference.empty()) {
+      reference = r.part;
+    } else {
+      ASSERT_EQ(r.part, reference) << "threads=" << threads;
+    }
+  }
+  // ... and matches a caller-owned pool of any size.
+  ThreadPool pool(3);
+  cfg.threads = 1;
+  Rng rng(99);
+  KwayResult r = kway_partition(g, 8, cfg, rng, nullptr, &pool);
+  EXPECT_EQ(r.part, reference);
+}
+
+TEST(PipelineDeterminismTest, SequentialPathUnaffectedByPoolElsewhere) {
+  // threads == 1 (the default) must stay the pre-pool sequential path:
+  // repeated runs agree with themselves.
+  Graph g = grid3d_27(7, 6, 5);
+  MultilevelConfig cfg;
+  Rng r1(5), r2(5);
+  KwayResult a = kway_partition(g, 8, cfg, r1);
+  KwayResult b = kway_partition(g, 8, cfg, r2);
+  EXPECT_EQ(a.part, b.part);
+  EXPECT_EQ(a.edge_cut, b.edge_cut);
+}
+
+TEST(ContractDeterminismTest, ParallelContractionByteIdenticalToSequential) {
+  for (const auto& [name, g] : family_graphs()) {
+    Rng rng(77);
+    Matching m = compute_matching(g, MatchingScheme::kHeavyEdge, {}, rng);
+    Contraction seq = contract(g, m, {});
+    for (int threads : kPoolSizes) {
+      ThreadPool pool(threads);
+      Contraction par = contract(g, m, {}, &pool);
+      ASSERT_EQ(par.coarse.xadj().size(), seq.coarse.xadj().size()) << name;
+      ASSERT_TRUE(std::equal(par.coarse.xadj().begin(), par.coarse.xadj().end(),
+                             seq.coarse.xadj().begin()))
+          << name << " t=" << threads;
+      ASSERT_TRUE(std::equal(par.coarse.adjncy().begin(), par.coarse.adjncy().end(),
+                             seq.coarse.adjncy().begin()))
+          << name << " t=" << threads;
+      ASSERT_TRUE(std::equal(par.coarse.adjwgt().begin(), par.coarse.adjwgt().end(),
+                             seq.coarse.adjwgt().begin()))
+          << name << " t=" << threads;
+      ASSERT_TRUE(std::equal(par.coarse.vwgt().begin(), par.coarse.vwgt().end(),
+                             seq.coarse.vwgt().begin()))
+          << name << " t=" << threads;
+      ASSERT_EQ(par.cmap, seq.cmap) << name << " t=" << threads;
+      ASSERT_EQ(par.cewgt, seq.cewgt) << name << " t=" << threads;
+    }
+  }
+}
+
+TEST(ContractDeterminismTest, ParallelContractionOfDeepHierarchy) {
+  // Byte-equality must hold at every level of a full coarsening hierarchy,
+  // where multinode weights and interior-edge weights have accumulated.
+  Graph g = fem2d_tri(26, 26, 13);
+  ThreadPool pool(4);
+  const Graph* cur = &g;
+  std::vector<Contraction> seq_levels, par_levels;
+  std::span<const ewt_t> cewgt;
+  while (cur->num_vertices() > 60) {
+    Matching m = compute_matching_parallel_hem(*cur, pool);
+    Contraction s = contract(*cur, m, cewgt);
+    Contraction p = contract(*cur, m, cewgt, &pool);
+    ASSERT_EQ(p.cmap, s.cmap);
+    ASSERT_EQ(p.cewgt, s.cewgt);
+    ASSERT_TRUE(std::equal(p.coarse.adjncy().begin(), p.coarse.adjncy().end(),
+                           s.coarse.adjncy().begin()));
+    ASSERT_TRUE(std::equal(p.coarse.adjwgt().begin(), p.coarse.adjwgt().end(),
+                           s.coarse.adjwgt().begin()));
+    par_levels.push_back(std::move(p));
+    cur = &par_levels.back().coarse;
+    cewgt = par_levels.back().cewgt;
+  }
+  EXPECT_LE(cur->num_vertices(), 60);
+}
+
+}  // namespace
+}  // namespace mgp
