@@ -45,7 +45,8 @@ double time_coarsen_kernels(const Graph& g, ThreadPool& pool) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ObsSession session(argc, argv, "bench_parallel");
   bench::print_banner(
       "parallel pipeline speedup (extension; no paper analogue)",
       "end-to-end speedup approaching the machine's core count; identical "
@@ -67,6 +68,8 @@ int main() {
 
   const part_t k = 8;
   MultilevelConfig cfg;  // paper default: HEM + GGGP + BKLGR
+  session.attach(cfg);
+  session.describe_run(describe(cfg), k, max_threads, seed);
 
   // Sequential baseline: the pre-pool code path (threads = 1, no pool).
   double seq_kway;

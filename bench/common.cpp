@@ -2,7 +2,10 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
+
+#include "obs/trace.hpp"
 
 namespace mgp::bench {
 
@@ -57,6 +60,89 @@ std::string fmt_ratio(double r, int width) {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%*.3f", width, r);
   return buf;
+}
+
+std::string fmt_cut_time_cell(long long cut, double seconds) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), " | %8lld %8.3f", cut, seconds);
+  return buf;
+}
+
+namespace {
+
+/// Pops the value following `flag` out of argv, or empty when absent.
+std::string consume_flag(int& argc, char** argv, const char* flag) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) {
+      std::string value = argv[i + 1];
+      for (int j = i; j + 2 < argc; ++j) argv[j] = argv[j + 2];
+      argc -= 2;
+      return value;
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+ObsSession::ObsSession(int& argc, char** argv, std::string tool)
+    : tool_(std::move(tool)),
+      trace_path_(consume_flag(argc, argv, "--trace")),
+      report_path_(consume_flag(argc, argv, "--report")) {
+  if (!report_path_.empty()) {
+    obs_ = std::make_unique<obs::Obs>();
+    obs_->report.tool = tool_;
+  }
+  if (!trace_path_.empty()) {
+    if (!obs::kObsCompiled) {
+      std::fprintf(stderr,
+                   "[%s] warning: --trace given but the library was built "
+                   "with MGP_OBS=OFF; the trace will be empty\n",
+                   tool_.c_str());
+    }
+    obs::set_thread_name("main");
+    obs::trace_start();
+  }
+}
+
+ObsSession::~ObsSession() { finish(); }
+
+void ObsSession::attach(MultilevelConfig& cfg) {
+  if (obs_) cfg.obs = obs_.get();
+}
+
+void ObsSession::describe_run(const std::string& scheme, int k, int threads,
+                              std::uint64_t seed) {
+  if (!obs_) return;
+  obs_->report.scheme = scheme;
+  obs_->report.k = k;
+  obs_->report.threads = threads;
+  obs_->report.seed = seed;
+}
+
+void ObsSession::finish() {
+  if (finished_) return;
+  finished_ = true;
+  if (!trace_path_.empty()) {
+    obs::trace_stop();
+    if (obs::trace_write_chrome(trace_path_)) {
+      std::printf("[%s] wrote trace (%zu events) to %s\n", tool_.c_str(),
+                  obs::trace_event_count(), trace_path_.c_str());
+    } else {
+      std::fprintf(stderr, "[%s] FAILED to write trace to %s\n", tool_.c_str(),
+                   trace_path_.c_str());
+    }
+  }
+  if (obs_) {
+    const obs::MetricsSnapshot snap = obs_->metrics.snapshot();
+    if (obs_->report.write_json_file(report_path_, &snap)) {
+      std::printf("[%s] wrote report (%zu bisections) to %s\n", tool_.c_str(),
+                  obs_->report.num_bisections(), report_path_.c_str());
+    } else {
+      std::fprintf(stderr, "[%s] FAILED to write report to %s\n", tool_.c_str(),
+                   report_path_.c_str());
+    }
+  }
 }
 
 }  // namespace mgp::bench

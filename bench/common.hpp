@@ -8,13 +8,22 @@
 //   MGP_BENCH_SCALE  vertex-count factor relative to the paper's sizes
 //                    (default per binary, typically 0.05)
 //   MGP_BENCH_SEED   RNG seed (default 1995, the paper's year)
+//
+// Binaries that construct an ObsSession additionally accept
+//
+//   --trace <file>   write a Chrome trace-event JSON (opens in Perfetto)
+//   --report <file>  write a structured RunReport JSON
+//                    (schema/run_report.schema.json)
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "core/config.hpp"
 #include "graph/generators.hpp"
+#include "obs/report.hpp"
 
 namespace mgp::bench {
 
@@ -36,5 +45,51 @@ std::string pad(const std::string& s, int width);
 std::string fmt_int(long long v, int width);
 std::string fmt_time(double seconds, int width);
 std::string fmt_ratio(double r, int width);
+
+/// The " | <cut> <seconds>" cell shared by the per-scheme sweep tables
+/// (Table 4, Table A): an 8-wide edge-cut and an 8-wide phase time.
+std::string fmt_cut_time_cell(long long cut, double seconds);
+
+/// Command-line observability for a bench binary: parses `--trace <file>` /
+/// `--report <file>` out of argv (consuming both tokens), owns the obs::Obs
+/// context, and writes the requested files in finish() / the destructor.
+///
+///   ObsSession session(argc, argv, "table4_refine");
+///   ...
+///   session.attach(cfg);          // per config used for partitioning
+///   session.describe_run(describe(cfg), k, threads, seed);
+///
+/// With neither flag given the session is inert: attach() leaves cfg.obs
+/// null and finish() writes nothing.  --trace additionally starts span
+/// recording for the binary's whole lifetime (a warning is printed when the
+/// library was compiled with MGP_OBS=OFF, where spans are no-ops).
+class ObsSession {
+ public:
+  ObsSession(int& argc, char** argv, std::string tool);
+  ~ObsSession();
+  ObsSession(const ObsSession&) = delete;
+  ObsSession& operator=(const ObsSession&) = delete;
+
+  /// True when --report was given (an Obs context is collecting).
+  bool active() const { return obs_ != nullptr; }
+  obs::Obs* obs() { return obs_.get(); }
+
+  /// Points cfg.obs at the session's context.  No-op when inactive.
+  void attach(MultilevelConfig& cfg);
+
+  /// Stamps run metadata into the report (last call wins).
+  void describe_run(const std::string& scheme, int k, int threads,
+                    std::uint64_t seed);
+
+  /// Stops tracing and writes the requested files; idempotent.
+  void finish();
+
+ private:
+  std::string tool_;
+  std::string trace_path_;
+  std::string report_path_;
+  std::unique_ptr<obs::Obs> obs_;
+  bool finished_ = false;
+};
 
 }  // namespace mgp::bench

@@ -10,7 +10,8 @@
 using namespace mgp;
 using namespace mgp::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  ObsSession session(argc, argv, "fig1_vs_msb");
   MsbOptions msb;
   return run_cut_ratio_figure(
       "Figure 1: our multilevel vs multilevel spectral bisection (MSB)",
@@ -18,5 +19,6 @@ int main() {
       "MSB",
       [&msb](const Graph& g, part_t k, Rng& rng) {
         return msb_partition(g, k, msb, rng);
-      });
+      },
+      0.05, &session);
 }

@@ -10,7 +10,8 @@
 using namespace mgp;
 using namespace mgp::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  ObsSession session(argc, argv, "fig2_vs_msbkl");
   MsbOptions msbkl;
   msbkl.kl_refine = true;
   return run_cut_ratio_figure(
@@ -19,5 +20,6 @@ int main() {
       "MSB-KL",
       [&msbkl](const Graph& g, part_t k, Rng& rng) {
         return msb_partition(g, k, msbkl, rng);
-      });
+      },
+      0.05, &session);
 }

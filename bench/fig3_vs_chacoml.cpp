@@ -10,12 +10,14 @@
 using namespace mgp;
 using namespace mgp::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  ObsSession session(argc, argv, "fig3_vs_chacoml");
   return run_cut_ratio_figure(
       "Figure 3: our multilevel vs Chaco-ML",
       "mean ratio < 1.0; losses marginal",
       "Chaco-ML",
       [](const Graph& g, part_t k, Rng& rng) {
         return chaco_ml_partition(g, k, rng);
-      });
+      },
+      0.05, &session);
 }

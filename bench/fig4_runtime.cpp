@@ -14,11 +14,13 @@
 using namespace mgp;
 using namespace mgp::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  ObsSession session(argc, argv, "fig4_runtime");
   print_banner("Figure 4: run time relative to our multilevel, 256-way partition",
                "ours = 1.0; Chaco-ML ~2-6x; MSB ~10-35x; MSB-KL >= MSB");
 
   const part_t k = 256;
+  session.describe_run("HEM+GGGP+BKLGR", k, 1, seed_from_env());
   auto suite = load_suite(SuiteKind::kFigures, 0.05);
 
   std::printf("\n%s %9s | %9s | %9s %9s %9s   (multiples of our time)\n",
@@ -28,6 +30,7 @@ int main() {
     Timer t;
     Rng r1(seed_from_env());
     MultilevelConfig ours;
+    session.attach(ours);
     kway_partition(ng.graph, k, ours, r1);
     const double t_ours = t.seconds();
 

@@ -19,8 +19,12 @@ inline int run_cut_ratio_figure(const std::string& artifact,
                                 const std::string& expectation,
                                 const std::string& baseline_name,
                                 const KwayRunner& baseline,
-                                double default_scale = 0.05) {
+                                double default_scale = 0.05,
+                                ObsSession* session = nullptr) {
   print_banner(artifact, expectation);
+  if (session) {
+    session->describe_run("HEM+GGGP+BKLGR", 256, 1, seed_from_env());
+  }
   auto suite = load_suite(SuiteKind::kFigures, default_scale);
 
   const part_t ks[] = {64, 128, 256};
@@ -36,6 +40,7 @@ inline int run_cut_ratio_figure(const std::string& artifact,
     ewt_t ours_cut[3], base_cut[3];
     for (int i = 0; i < 3; ++i) {
       MultilevelConfig cfg;
+      if (session) session->attach(cfg);
       Rng r1(seed_from_env());
       ours_cut[i] = kway_partition(ng.graph, ks[i], cfg, r1).edge_cut;
       Rng r2(seed_from_env());
@@ -50,7 +55,7 @@ inline int run_cut_ratio_figure(const std::string& artifact,
       double ratio = base_cut[i] > 0 ? static_cast<double>(ours_cut[i]) /
                                            static_cast<double>(base_cut[i])
                                      : 1.0;
-      std::printf(" %10.3f", ratio);
+      std::printf(" %s", fmt_ratio(ratio, 10).c_str());
       geo_sum += ratio;
       ++geo_n;
     }

@@ -13,9 +13,11 @@
 #include "coarsen/matching.hpp"
 #include "coarsen/parallel_matching.hpp"
 #include "graph/generators.hpp"
+#include "obs/trace.hpp"
 #include "spectral/laplacian.hpp"
 #include "support/bucket_queue.hpp"
 #include "support/rng.hpp"
+#include "support/timer.hpp"
 
 namespace {
 
@@ -118,6 +120,74 @@ void BM_Contract(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * g.num_arcs());
 }
 BENCHMARK(BM_Contract);
+
+void BM_ObsOverheadGuard(benchmark::State& state) {
+  // Guard for the observability kill switches (DESIGN.md "Observability"):
+  // the instrumentation tax on the HEM+contract kernel must stay <= 1%.
+  // With MGP_OBS=OFF spans compile to nothing, so the tax is zero by
+  // construction (this binary is also built in that configuration by the
+  // sanitizers workflow); here we price the compiled-in-but-runtime-
+  // disabled path — one relaxed atomic load and a branch per span — and
+  // fail the run if (spans per kernel run) x (cost per disabled span)
+  // exceeds 1% of the kernel's own time.
+  const Graph& g = bench_graph();
+
+  // How many spans one kernel run emits, counted from an actual trace.
+  std::size_t spans_per_run = 0;
+  if (obs::kObsCompiled) {
+    obs::trace_start();
+    Rng rng(6);
+    Matching m = compute_matching(g, MatchingScheme::kHeavyEdge, {}, rng);
+    Contraction c = contract(g, m, {});
+    benchmark::DoNotOptimize(c.coarse.num_vertices());
+    obs::trace_stop();
+    spans_per_run = obs::trace_event_count();
+    obs::trace_start();  // clear the probe events, then disable again
+    obs::trace_stop();
+  }
+
+  // Price of one runtime-disabled span (tracing is off here).
+  constexpr int kSpanLoop = 1 << 20;
+  Timer span_timer;
+  for (int i = 0; i < kSpanLoop; ++i) {
+    obs::Span s("overhead_probe");
+    s.arg("i", i);
+  }
+  const double per_span_s = span_timer.seconds() / kSpanLoop;
+
+  // The kernel itself, un-traced (min of 3 to shed scheduling noise).
+  double kernel_s = 0;
+  for (int rep = 0; rep < 3; ++rep) {
+    Rng rng(6);
+    Timer t;
+    Matching m = compute_matching(g, MatchingScheme::kHeavyEdge, {}, rng);
+    Contraction c = contract(g, m, {});
+    benchmark::DoNotOptimize(c.coarse.num_vertices());
+    const double s = t.seconds();
+    kernel_s = rep == 0 ? s : std::min(kernel_s, s);
+  }
+
+  const double overhead_fraction =
+      kernel_s > 0 ? (static_cast<double>(spans_per_run) * per_span_s) / kernel_s
+                   : 0.0;
+  state.counters["spans_per_run"] = static_cast<double>(spans_per_run);
+  state.counters["ns_per_disabled_span"] = per_span_s * 1e9;
+  state.counters["overhead_pct"] = 100.0 * overhead_fraction;
+  if (overhead_fraction > 0.01) {
+    state.SkipWithError("observability overhead guard tripped: disabled spans "
+                        "cost > 1% of the HEM+contract kernel");
+    return;
+  }
+
+  for (auto _ : state) {
+    Rng rng(6);
+    Matching m = compute_matching(g, MatchingScheme::kHeavyEdge, {}, rng);
+    Contraction c = contract(g, m, {});
+    benchmark::DoNotOptimize(c.coarse.num_vertices());
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_arcs());
+}
+BENCHMARK(BM_ObsOverheadGuard);
 
 void BM_LaplacianApply(benchmark::State& state) {
   const Graph& g = bench_graph();

@@ -16,11 +16,13 @@
 using namespace mgp;
 using namespace mgp::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  ObsSession session(argc, argv, "table3_noref");
   print_banner("Table 3: 32-way edge-cut with no refinement, per matching scheme",
                "HEM << RM << LEM; HCM comparable to HEM");
 
   const part_t k = 32;
+  session.describe_run("{RM,HEM,LEM,HCM}+GGGP+none", k, 1, seed_from_env());
   auto suite = load_suite(SuiteKind::kTables, 0.3);
   const MatchingScheme schemes[] = {MatchingScheme::kRandom, MatchingScheme::kHeavyEdge,
                                     MatchingScheme::kLightEdge,
@@ -36,6 +38,7 @@ int main() {
       cfg.matching = m;
       cfg.initpart = InitPartScheme::kGGGP;
       cfg.refine = RefinePolicy::kNone;
+      session.attach(cfg);
       Rng rng(seed_from_env());
       cut[i++] = kway_partition(ng.graph, k, cfg, rng).edge_cut;
     }

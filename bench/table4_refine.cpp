@@ -16,11 +16,13 @@
 using namespace mgp;
 using namespace mgp::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  ObsSession session(argc, argv, "table4_refine");
   print_banner("Table 4: refinement policies, 32-way partition (HEM + GGGP fixed)",
                "cut spread <= ~15-35%; RTime: KLR >> GR, BKLR > BKLGR > BGR");
 
   const part_t k = 32;
+  session.describe_run("HEM+GGGP+{GR,KLR,BGR,BKLR,BKLGR}", k, 1, seed_from_env());
   auto suite = load_suite(SuiteKind::kTables, 0.3);
   const RefinePolicy policies[] = {RefinePolicy::kGR, RefinePolicy::kKLR,
                                    RefinePolicy::kBGR, RefinePolicy::kBKLR,
@@ -39,11 +41,13 @@ int main() {
       cfg.matching = MatchingScheme::kHeavyEdge;
       cfg.initpart = InitPartScheme::kGGGP;
       cfg.refine = p;
+      session.attach(cfg);
       Rng rng(seed_from_env());
       PhaseTimers timers;
       KwayResult r = kway_partition(ng.graph, k, cfg, rng, &timers);
-      std::printf(" | %8lld %8.3f", static_cast<long long>(r.edge_cut),
-                  timers.get(PhaseTimers::kRefine));
+      std::printf("%s", fmt_cut_time_cell(static_cast<long long>(r.edge_cut),
+                                          timers.get(PhaseTimers::kRefine))
+                            .c_str());
     }
     std::printf("\n");
     std::fflush(stdout);

@@ -15,11 +15,13 @@
 using namespace mgp;
 using namespace mgp::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  ObsSession session(argc, argv, "tableA_initpart");
   print_banner("Table A (§3.2 / [22]): initial partitioning of the coarsest graph",
                "GGGP <= GGP and SBP in cut; ITime: SBP highest");
 
   const part_t k = 32;
+  session.describe_run("HEM+{GGP,GGGP,SBP}+BKLGR", k, 1, seed_from_env());
   auto suite = load_suite(SuiteKind::kTables, 0.3);
   const InitPartScheme schemes[] = {InitPartScheme::kGGP, InitPartScheme::kGGGP,
                                     InitPartScheme::kSpectral};
@@ -35,11 +37,13 @@ int main() {
     for (InitPartScheme s : schemes) {
       MultilevelConfig cfg;
       cfg.initpart = s;
+      session.attach(cfg);
       Rng rng(seed_from_env());
       PhaseTimers timers;
       KwayResult r = kway_partition(ng.graph, k, cfg, rng, &timers);
-      std::printf(" | %8lld %8.3f", static_cast<long long>(r.edge_cut),
-                  timers.get(PhaseTimers::kInitPart));
+      std::printf("%s", fmt_cut_time_cell(static_cast<long long>(r.edge_cut),
+                                          timers.get(PhaseTimers::kInitPart))
+                            .c_str());
     }
     std::printf("\n");
     std::fflush(stdout);

@@ -11,11 +11,13 @@
 using namespace mgp;
 using namespace mgp::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  ObsSession session(argc, argv, "tableB_klstats");
   print_banner("Table B (§4.1): KL engine statistics per bisection",
                "swapped vertices a small fraction of |V|; boundary policies "
                "insert far fewer vertices than full-queue policies");
 
+  session.describe_run("HEM+GGGP+{KLR,BKLR}", 2, 1, seed_from_env());
   auto suite = load_suite(SuiteKind::kTables, 0.3);
 
   std::printf("\n%s %9s | %8s %8s %9s | %9s %9s | %7s\n", pad("graph", 6).c_str(),
@@ -24,12 +26,14 @@ int main() {
   for (const auto& ng : suite) {
     MultilevelConfig klr;
     klr.refine = RefinePolicy::kKLR;
+    session.attach(klr);
     Rng r1(seed_from_env());
     BisectResult a =
         multilevel_bisect(ng.graph, ng.graph.total_vertex_weight() / 2, klr, r1);
 
     MultilevelConfig bklr;
     bklr.refine = RefinePolicy::kBKLR;
+    session.attach(bklr);
     Rng r2(seed_from_env());
     BisectResult b =
         multilevel_bisect(ng.graph, ng.graph.total_vertex_weight() / 2, bklr, r2);

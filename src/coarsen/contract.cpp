@@ -4,6 +4,8 @@
 #include <cassert>
 #include <utility>
 
+#include "obs/trace.hpp"
+
 namespace mgp {
 namespace {
 
@@ -20,6 +22,8 @@ Contraction contract(const Graph& fine, const Matching& match,
                      std::span<const ewt_t> fine_cewgt, ThreadPool* pool) {
   const vid_t n = fine.num_vertices();
   assert(match.match.size() == static_cast<std::size_t>(n));
+  obs::Span span("contract");
+  span.arg("fine_n", n);
 
   Contraction out;
   out.cmap.assign(static_cast<std::size_t>(n), kInvalidVid);
@@ -37,6 +41,7 @@ Contraction contract(const Graph& fine, const Matching& match,
     }
   }
   const vid_t cn = static_cast<vid_t>(reps.size());
+  span.arg("coarse_n", cn);
   for (vid_t v = 0; v < n; ++v) {
     vid_t p = match.match[static_cast<std::size_t>(v)];
     if (v > p) out.cmap[static_cast<std::size_t>(v)] = out.cmap[static_cast<std::size_t>(p)];

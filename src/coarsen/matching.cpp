@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "obs/trace.hpp"
+
 namespace mgp {
 
 std::string to_string(MatchingScheme s) {
@@ -30,6 +32,8 @@ double hcm_density(vwt_t vu, vwt_t vv, ewt_t cu, ewt_t cv, ewt_t w) {
 Matching compute_matching(const Graph& g, MatchingScheme scheme,
                           std::span<const ewt_t> cewgt, Rng& rng) {
   const vid_t n = g.num_vertices();
+  obs::Span span("match");
+  span.arg("n", n);
   Matching result;
   result.match.resize(static_cast<std::size_t>(n));
   for (vid_t v = 0; v < n; ++v) result.match[static_cast<std::size_t>(v)] = kInvalidVid;

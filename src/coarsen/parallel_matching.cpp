@@ -3,10 +3,14 @@
 #include <atomic>
 #include <vector>
 
+#include "obs/trace.hpp"
+
 namespace mgp {
 
 Matching compute_matching_parallel_hem(const Graph& g, ThreadPool& pool) {
   const vid_t n = g.num_vertices();
+  obs::Span span("match.parallel_hem");
+  span.arg("n", n);
   Matching result;
   result.match.assign(static_cast<std::size_t>(n), kInvalidVid);
   std::vector<vid_t> propose(static_cast<std::size_t>(n), kInvalidVid);

@@ -10,6 +10,10 @@
 
 namespace mgp {
 
+namespace obs {
+struct Obs;
+}
+
 /// Coarsest-graph partitioning algorithms of §3.2.
 enum class InitPartScheme { kGGP, kGGGP, kSpectral };
 
@@ -41,6 +45,16 @@ struct MultilevelConfig {
   int threads = 1;
   /// `threads` with 0 resolved to the machine's hardware concurrency.
   int resolved_threads() const;
+
+  // Observability (DESIGN.md "Observability"): when non-null, the pipeline
+  // maintains sharded metrics and collects a structured per-level /
+  // per-KL-pass RunReport into `obs`.  Non-owning; the context must outlive
+  // every call using this config.  Null (the default) disables all
+  // collection — recording never draws randomness or alters control flow,
+  // so partitions are byte-identical with obs on or off (asserted by the
+  // determinism suite).  Tracing spans are controlled separately by
+  // obs::trace_start()/trace_stop() plus the MGP_OBS compile switch.
+  obs::Obs* obs = nullptr;
 
   // Phase 3: refinement during uncoarsening.
   RefinePolicy refine = RefinePolicy::kBKLGR;

@@ -1,10 +1,12 @@
 #include "core/kway.hpp"
 
 #include <cassert>
-#include <mutex>
 #include <optional>
 
 #include "graph/permute.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
 
 namespace mgp {
 namespace {
@@ -53,6 +55,10 @@ void recurse(const Graph& g, std::span<const vid_t> to_global, part_t k,
     }
     return;
   }
+
+  obs::Span span("bisect.subproblem");
+  span.arg("path", static_cast<std::int64_t>(path));
+  span.arg("n", g.num_vertices());
 
   const part_t k0 = (k + 1) / 2;  // side 0 gets the larger half for odd k
   const part_t k1 = k - k0;
@@ -126,24 +132,39 @@ KwayResult kway_partition(const Graph& g, part_t k, const MultilevelConfig& cfg,
     owned.emplace(cfg.resolved_threads());
     pool = &*owned;
   }
-  // PhaseTimers is not thread-safe; concurrent bisections accumulate into
-  // per-call locals merged under a lock.
-  std::mutex timers_mu;
-  Bisector bisect = [&cfg, timers, &timers_mu, pool](const Graph& sub,
-                                                     vwt_t target0, Rng& r) {
-    if (!timers) {
-      return multilevel_bisect(sub, target0, cfg, r, nullptr, pool).bisection;
-    }
-    PhaseTimers local;
-    Bisection b = multilevel_bisect(sub, target0, cfg, r, &local, pool).bisection;
-    std::lock_guard<std::mutex> lock(timers_mu);
-    for (int p = 0; p < PhaseTimers::kNumPhases; ++p) {
-      const auto phase = static_cast<PhaseTimers::Phase>(p);
-      timers->add(phase, local.get(phase));
-    }
-    return b;
+  obs::Span span("kway_partition");
+  span.arg("k", k);
+  span.arg("n", g.num_vertices());
+
+  // Phase-time accounting rides the sharded metrics registry: every
+  // concurrent bisection adds nanoseconds to its own thread's shard
+  // (lock-free), and one merge at the end serves `timers` and the attached
+  // Obs context.  A call-local registry keeps the merge scoped to exactly
+  // this call (cfg.obs->metrics is cumulative across calls).
+  std::optional<obs::MetricsRegistry> local_reg;
+  std::optional<obs::PhaseMetrics> phases;
+  if (timers || cfg.obs) phases.emplace(local_reg.emplace());
+  obs::PhaseMetrics* const pm = phases ? &*phases : nullptr;
+
+  Bisector bisect = [&cfg, pm, pool](const Graph& sub, vwt_t target0, Rng& r) {
+    return multilevel_bisect(sub, target0, cfg, r, nullptr, pool, pm).bisection;
   };
-  return recursive_bisection(g, k, bisect, rng, pool);
+  KwayResult out = recursive_bisection(g, k, bisect, rng, pool);
+
+  if (phases) {
+    const PhaseTimers merged = phases->view();
+    if (timers) {
+      for (int p = 0; p < PhaseTimers::kNumPhases; ++p) {
+        const auto phase = static_cast<PhaseTimers::Phase>(p);
+        timers->add(phase, merged.get(phase));
+      }
+    }
+    if (cfg.obs) {
+      cfg.obs->report.add_phase_times(merged);
+      obs::PhaseMetrics(cfg.obs->metrics).add(merged);
+    }
+  }
+  return out;
 }
 
 KwayResult kway_partition_best_of(const Graph& g, part_t k,

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "coarsen/contract.hpp"
+#include "obs/trace.hpp"
 
 namespace mgp {
 
@@ -12,6 +13,9 @@ KwayRefineStats kway_greedy_refine(const Graph& g, std::span<part_t> part, part_
                                    vwt_t max_part_weight, vwt_t min_part_weight,
                                    int max_passes, Rng& rng) {
   const vid_t n = g.num_vertices();
+  obs::Span span("kway_greedy_refine");
+  span.arg("n", n);
+  span.arg("k", k);
   KwayRefineStats stats;
 
   std::vector<vwt_t> pwgts(static_cast<std::size_t>(k), 0);
@@ -98,6 +102,9 @@ KwayResult kway_partition_direct(const Graph& g, part_t k,
   PhaseTimers local;
   PhaseTimers& pt = timers ? *timers : local;
   assert(k >= 1);
+  obs::Span span("kway_partition_direct");
+  span.arg("k", k);
+  span.arg("n", g.num_vertices());
 
   // ---- Coarsening (once, not per bisection). ----
   const vid_t coarsen_to =

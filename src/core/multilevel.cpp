@@ -7,19 +7,24 @@
 #include "coarsen/parallel_matching.hpp"
 #include "initpart/graph_grow.hpp"
 #include "initpart/spectral_init.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
 
 namespace mgp {
 namespace {
 
 Bisection initial_partition(const Graph& g, vwt_t target0, const MultilevelConfig& cfg,
-                            Rng& rng) {
+                            Rng& rng, std::vector<ewt_t>* trial_cuts) {
   switch (cfg.initpart) {
     case InitPartScheme::kGGP:
-      return ggp_bisect(g, target0, cfg.ggp_trials, rng);
+      return ggp_bisect(g, target0, cfg.ggp_trials, rng, trial_cuts);
     case InitPartScheme::kGGGP:
-      return gggp_bisect(g, target0, cfg.gggp_trials, rng);
-    case InitPartScheme::kSpectral:
-      return spectral_bisect(g, target0, /*warm_start=*/{}, cfg.fiedler, rng);
+      return gggp_bisect(g, target0, cfg.gggp_trials, rng, trial_cuts);
+    case InitPartScheme::kSpectral: {
+      Bisection b = spectral_bisect(g, target0, /*warm_start=*/{}, cfg.fiedler, rng);
+      if (trial_cuts) trial_cuts->push_back(b.cut);
+      return b;
+    }
   }
   return {};
 }
@@ -28,10 +33,28 @@ Bisection initial_partition(const Graph& g, vwt_t target0, const MultilevelConfi
 
 BisectResult multilevel_bisect(const Graph& g, vwt_t target0,
                                const MultilevelConfig& cfg, Rng& rng,
-                               PhaseTimers* timers, ThreadPool* pool) {
-  PhaseTimers local;
-  PhaseTimers& pt = timers ? *timers : local;
+                               PhaseTimers* timers, ThreadPool* pool,
+                               obs::PhaseMetrics* phase_metrics) {
+  obs::Span bisect_span("bisect");
+  bisect_span.arg("n", g.num_vertices());
+
+  PhaseTimers pt;  // forwarded to timers / phase_metrics on exit
   BisectResult out;
+
+  obs::Obs* const ob = cfg.obs;
+  const bool report = ob && ob->collect_report;
+  obs::BisectionReport rep;
+  if (report) {
+    rep.n = g.num_vertices();
+    rep.total_weight = g.total_vertex_weight();
+    rep.target0 = target0;
+    obs::LevelReport finest;
+    finest.level = 0;
+    finest.vertices = g.num_vertices();
+    finest.edges = g.num_edges();
+    finest.total_vertex_weight = g.total_vertex_weight();
+    rep.levels.push_back(finest);
+  }
 
   // ---- Coarsening phase. -------------------------------------------------
   // levels[i] holds G_{i+1} and the map from G_i's vertices into it.
@@ -41,6 +64,9 @@ BisectResult multilevel_bisect(const Graph& g, vwt_t target0,
     const Graph* cur = &g;
     std::span<const ewt_t> cewgt;  // empty at level 0
     while (cur->num_vertices() > cfg.coarsen_to) {
+      obs::Span level_span("coarsen");
+      level_span.arg("level", static_cast<std::int64_t>(levels.size()));
+      level_span.arg("n", cur->num_vertices());
       // With a pool, HEM switches to the proposal-based parallel matcher
       // (deterministic for every pool size; draws no RNG).  The other
       // schemes have no parallel variant and stay sequential — still
@@ -56,6 +82,27 @@ BisectResult multilevel_bisect(const Graph& g, vwt_t target0,
           cfg.min_shrink_factor * static_cast<double>(fine_n)) {
         break;  // matching stagnated; further levels would not help
       }
+      if (ob) {
+        ob->metrics.add(ob->pipeline.coarsen_levels);
+        ob->metrics.add(ob->pipeline.matched_pairs, m.pairs);
+        ob->metrics.observe(ob->pipeline.shrink_pct,
+                            fine_n > 0 ? 100 * static_cast<std::int64_t>(coarse_n) /
+                                             fine_n
+                                       : 0);
+      }
+      if (report) {
+        // The matching that built the next level belongs to the *fine* side.
+        rep.levels.back().matched_fraction =
+            fine_n > 0 ? 2.0 * static_cast<double>(m.pairs) /
+                             static_cast<double>(fine_n)
+                       : 0.0;
+        obs::LevelReport lr;
+        lr.level = static_cast<int>(levels.size()) + 1;
+        lr.vertices = coarse_n;
+        lr.edges = c.coarse.num_edges();
+        lr.total_vertex_weight = c.coarse.total_vertex_weight();
+        rep.levels.push_back(lr);
+      }
       levels.push_back(std::move(c));
       cur = &levels.back().coarse;
       cewgt = levels.back().cewgt;
@@ -64,12 +111,24 @@ BisectResult multilevel_bisect(const Graph& g, vwt_t target0,
   const Graph& coarsest = levels.empty() ? g : levels.back().coarse;
   out.levels = static_cast<int>(levels.size());
   out.coarsest_n = coarsest.num_vertices();
+  if (report) {
+    rep.num_levels = out.levels;
+    rep.coarsest_n = out.coarsest_n;
+  }
 
   // ---- Initial partitioning phase. ----------------------------------------
   Bisection b;
   {
     ScopedPhase phase(pt, PhaseTimers::kInitPart);
-    b = initial_partition(coarsest, target0, cfg, rng);
+    obs::Span span("initpart");
+    span.arg("n", coarsest.num_vertices());
+    std::vector<ewt_t> trial_cuts;
+    b = initial_partition(coarsest, target0, cfg, rng,
+                          report ? &trial_cuts : nullptr);
+    if (report) {
+      rep.initpart_candidate_cuts.assign(trial_cuts.begin(), trial_cuts.end());
+      rep.initial_cut = b.cut;
+    }
   }
 
   // ---- Uncoarsening phase: refine, project, repeat. ------------------------
@@ -84,19 +143,51 @@ BisectResult multilevel_bisect(const Graph& g, vwt_t target0,
          static_cast<int>((levels.size() - li)) % cfg.refine_period == 0);
     if (refine_here) {
       ScopedPhase phase(pt, PhaseTimers::kRefine);
+      obs::Span span("refine");
+      span.arg("level", static_cast<std::int64_t>(li));
+      span.arg("n", level_graph.num_vertices());
+      const ewt_t cut_before = b.cut;
+      std::vector<obs::KlPassReport> pass_log;
       KlStats s = refine_bisection(level_graph, b, target0, cfg.refine, original_n,
-                                   rng, cfg.kl);
+                                   rng, cfg.kl, ob ? &pass_log : nullptr);
       out.refine_stats.passes += s.passes;
       out.refine_stats.swapped += s.swapped;
       out.refine_stats.moves_attempted += s.moves_attempted;
       out.refine_stats.insertions += s.insertions;
       out.refine_stats.cut_reduction += s.cut_reduction;
+      if (ob) {
+        ob->metrics.add(ob->pipeline.kl_passes, s.passes);
+        ob->metrics.add(ob->pipeline.kl_moves, s.moves_attempted);
+        ob->metrics.add(ob->pipeline.kl_swapped, s.swapped);
+        ob->metrics.add(ob->pipeline.kl_insertions, s.insertions);
+        for (const obs::KlPassReport& p : pass_log) {
+          ob->metrics.add(ob->pipeline.kl_rollbacks, p.moves_undone);
+          if (p.early_exit) ob->metrics.add(ob->pipeline.kl_early_exits);
+          ob->metrics.record_max(ob->pipeline.queue_peak, p.queue_peak);
+        }
+      }
+      if (report) {
+        obs::LevelReport& lr = rep.levels[li];
+        lr.cut_before_refine = cut_before;
+        lr.cut_after_refine = b.cut;
+        lr.balance = bisection_balance(level_graph, b, target0);
+        lr.refined = true;
+        lr.kl_passes = std::move(pass_log);
+      }
+    } else if (report) {
+      obs::LevelReport& lr = rep.levels[li];
+      lr.cut_before_refine = b.cut;
+      lr.cut_after_refine = b.cut;
+      lr.balance = bisection_balance(level_graph, b, target0);
+      lr.refined = false;
     }
 
     if (li == 0) break;
 
     // Project P_{i+1} to P_i: each fine vertex inherits its multinode's side.
     ScopedPhase phase(pt, PhaseTimers::kProject);
+    obs::Span span("project");
+    span.arg("level", static_cast<std::int64_t>(li));
     const std::vector<vid_t>& cmap = levels[li - 1].cmap;
     std::vector<part_t> fine_side(cmap.size());
     for (std::size_t v = 0; v < cmap.size(); ++v) {
@@ -111,7 +202,21 @@ BisectResult multilevel_bisect(const Graph& g, vwt_t target0,
     b = std::move(fine);
   }
 
+  if (ob) ob->metrics.add(ob->pipeline.bisections);
+  if (report) {
+    rep.final_cut = b.cut;
+    rep.final_balance = bisection_balance(g, b, target0);
+    ob->report.add_bisection(std::move(rep));
+  }
+
   out.bisection = std::move(b);
+  if (timers) {
+    for (int p = 0; p < PhaseTimers::kNumPhases; ++p) {
+      timers->add(static_cast<PhaseTimers::Phase>(p),
+                  pt.get(static_cast<PhaseTimers::Phase>(p)));
+    }
+  }
+  if (phase_metrics) phase_metrics->add(pt);
   return out;
 }
 

@@ -21,8 +21,19 @@ struct BisectResult {
 /// Bisects g so that side 0's vertex weight approaches `target0`.
 ///
 /// If `timers` is non-null, phase times accumulate into it using the
-/// paper's breakdown (CTime / ITime / RTime / PTime) — recursive callers
-/// pass one accumulator through every sub-bisection.
+/// paper's breakdown (CTime / ITime / RTime / PTime).  `timers` is written
+/// once at the end of the call; concurrent callers must either pass
+/// distinct accumulators or use `phase_metrics` instead.
+///
+/// If `phase_metrics` is non-null the same phase times are also added to
+/// the sharded registry-backed accumulator — safe to share across
+/// concurrent bisections with no locking (see obs/metrics.hpp); this is how
+/// core/kway.cpp aggregates its recursion tree.
+///
+/// If `cfg.obs` is non-null, pipeline metrics are maintained and (when
+/// cfg.obs->collect_report) a BisectionReport is appended to
+/// cfg.obs->report.  Collection never draws randomness or alters control
+/// flow: partitions are byte-identical with obs on or off.
 ///
 /// If `pool` is non-null the coarsening phase runs in parallel: matching
 /// by the proposal-based parallel HEM (when cfg.matching is kHeavyEdge)
@@ -33,6 +44,7 @@ struct BisectResult {
 BisectResult multilevel_bisect(const Graph& g, vwt_t target0,
                                const MultilevelConfig& cfg, Rng& rng,
                                PhaseTimers* timers = nullptr,
-                               ThreadPool* pool = nullptr);
+                               ThreadPool* pool = nullptr,
+                               obs::PhaseMetrics* phase_metrics = nullptr);
 
 }  // namespace mgp

@@ -58,10 +58,12 @@ Bisection ggp_grow_once(const Graph& g, vwt_t target0, Rng& rng) {
   return make_bisection(g, std::move(side));
 }
 
-Bisection ggp_bisect(const Graph& g, vwt_t target0, int trials, Rng& rng) {
+Bisection ggp_bisect(const Graph& g, vwt_t target0, int trials, Rng& rng,
+                     std::vector<ewt_t>* trial_cuts) {
   Bisection best;
   for (int t = 0; t < trials; ++t) {
     Bisection b = ggp_grow_once(g, target0, rng);
+    if (trial_cuts) trial_cuts->push_back(b.cut);
     if (best.empty() || b.cut < best.cut) best = std::move(b);
   }
   return best;
@@ -112,10 +114,12 @@ Bisection gggp_grow_once(const Graph& g, vwt_t target0, Rng& rng) {
   return make_bisection(g, std::move(side));
 }
 
-Bisection gggp_bisect(const Graph& g, vwt_t target0, int trials, Rng& rng) {
+Bisection gggp_bisect(const Graph& g, vwt_t target0, int trials, Rng& rng,
+                      std::vector<ewt_t>* trial_cuts) {
   Bisection best;
   for (int t = 0; t < trials; ++t) {
     Bisection b = gggp_grow_once(g, target0, rng);
+    if (trial_cuts) trial_cuts->push_back(b.cut);
     if (best.empty() || b.cut < best.cut) best = std::move(b);
   }
   return best;

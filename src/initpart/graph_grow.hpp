@@ -11,6 +11,8 @@
 // (the paper used 10 trials for GGP and 5 for GGGP).
 #pragma once
 
+#include <vector>
+
 #include "initpart/bisection_state.hpp"
 #include "support/rng.hpp"
 
@@ -20,13 +22,17 @@ namespace mgp {
 /// Disconnected graphs are handled by re-seeding in an untouched component.
 Bisection ggp_grow_once(const Graph& g, vwt_t target0, Rng& rng);
 
-/// Best of `trials` GGP bisections (smallest cut).
-Bisection ggp_bisect(const Graph& g, vwt_t target0, int trials, Rng& rng);
+/// Best of `trials` GGP bisections (smallest cut).  When `trial_cuts` is
+/// non-null, every trial's cut is appended in trial order (observability;
+/// never changes the selection).
+Bisection ggp_bisect(const Graph& g, vwt_t target0, int trials, Rng& rng,
+                     std::vector<ewt_t>* trial_cuts = nullptr);
 
 /// One GGGP bisection (greedy growth).
 Bisection gggp_grow_once(const Graph& g, vwt_t target0, Rng& rng);
 
-/// Best of `trials` GGGP bisections (smallest cut).
-Bisection gggp_bisect(const Graph& g, vwt_t target0, int trials, Rng& rng);
+/// Best of `trials` GGGP bisections (smallest cut).  `trial_cuts` as above.
+Bisection gggp_bisect(const Graph& g, vwt_t target0, int trials, Rng& rng,
+                      std::vector<ewt_t>* trial_cuts = nullptr);
 
 }  // namespace mgp

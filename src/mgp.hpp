@@ -16,6 +16,12 @@
 #include "support/thread_pool.hpp" // work-helping pool for the parallel pipeline
 #include "support/bucket_queue.hpp"
 
+// Observability: tracing spans, sharded metrics, structured run reports.
+// Attach an obs::Obs via MultilevelConfig::obs; see DESIGN.md §6.
+#include "obs/trace.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+
 // Graphs.
 #include "graph/csr.hpp"           // the CSR Graph
 #include "graph/builder.hpp"       // edge-list construction

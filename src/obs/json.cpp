@@ -1,0 +1,132 @@
+#include "obs/json.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace mgp::obs {
+
+void JsonWriter::newline_indent() {
+  if (indent_ <= 0) return;
+  os_.put('\n');
+  const int depth = static_cast<int>(stack_.size());
+  for (int i = 0; i < depth * indent_; ++i) os_.put(' ');
+}
+
+void JsonWriter::before_value() {
+  if (stack_.empty()) return;  // top-level value
+  Frame& f = stack_.back();
+  if (f.scope == Scope::kObject) {
+    // key() already wrote the separator and the key itself.
+    assert(f.keyed && "object values must be preceded by key()");
+    f.keyed = false;
+    return;
+  }
+  if (f.count++ > 0) os_.put(',');
+  newline_indent();
+}
+
+void JsonWriter::key(std::string_view k) {
+  assert(!stack_.empty() && stack_.back().scope == Scope::kObject);
+  Frame& f = stack_.back();
+  assert(!f.keyed && "key() called twice without a value");
+  if (f.count++ > 0) os_.put(',');
+  newline_indent();
+  os_.put('"');
+  os_ << escape(k);
+  os_ << "\": ";
+  f.keyed = true;
+}
+
+void JsonWriter::begin_object() {
+  before_value();
+  os_.put('{');
+  stack_.push_back({Scope::kObject});
+}
+
+void JsonWriter::end_object() {
+  assert(!stack_.empty() && stack_.back().scope == Scope::kObject);
+  const bool had_values = stack_.back().count > 0;
+  stack_.pop_back();
+  if (had_values) newline_indent();
+  os_.put('}');
+}
+
+void JsonWriter::begin_array() {
+  before_value();
+  os_.put('[');
+  stack_.push_back({Scope::kArray});
+}
+
+void JsonWriter::end_array() {
+  assert(!stack_.empty() && stack_.back().scope == Scope::kArray);
+  const bool had_values = stack_.back().count > 0;
+  stack_.pop_back();
+  if (had_values) newline_indent();
+  os_.put(']');
+}
+
+void JsonWriter::value(std::string_view v) {
+  before_value();
+  os_.put('"');
+  os_ << escape(v);
+  os_.put('"');
+}
+
+void JsonWriter::value(bool v) {
+  before_value();
+  os_ << (v ? "true" : "false");
+}
+
+void JsonWriter::value(double v) {
+  before_value();
+  if (!std::isfinite(v)) {
+    os_ << "null";  // JSON has no NaN / Infinity
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  os_ << buf;
+}
+
+void JsonWriter::value(std::int64_t v) {
+  before_value();
+  os_ << v;
+}
+
+void JsonWriter::value(std::uint64_t v) {
+  before_value();
+  os_ << v;
+}
+
+void JsonWriter::null() {
+  before_value();
+  os_ << "null";
+}
+
+std::string JsonWriter::escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace mgp::obs

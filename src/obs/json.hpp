@@ -1,0 +1,72 @@
+// Minimal streaming JSON writer (observability substrate).
+//
+// The obs subsystem serializes traces and run reports without external
+// dependencies, so this hand-rolled writer is the single JSON emitter for
+// the whole repo: Chrome trace-event files (obs/trace), run reports
+// (obs/report), and any bench binary that wants machine-readable rows.
+//
+// Scope-based API: begin_object()/end_object() and begin_array()/end_array()
+// nest freely; key() names the next value inside an object; separators,
+// newlines, and indentation are handled by the writer.  Strings are escaped
+// per RFC 8259; non-finite doubles degrade to null (JSON has no NaN/Inf).
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mgp::obs {
+
+class JsonWriter {
+ public:
+  /// Writes to `os`.  indent <= 0 produces compact single-line output.
+  explicit JsonWriter(std::ostream& os, int indent = 2) : os_(os), indent_(indent) {}
+
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  /// Names the next value.  Pre: inside an object.
+  void key(std::string_view k);
+
+  void value(std::string_view v);
+  void value(const char* v) { value(std::string_view(v)); }
+  void value(bool v);
+  void value(double v);
+  void value(std::int64_t v);
+  void value(std::uint64_t v);
+  void value(int v) { value(static_cast<std::int64_t>(v)); }
+  void null();
+
+  /// key() + value() in one call.
+  template <typename T>
+  void kv(std::string_view k, T v) {
+    key(k);
+    value(v);
+  }
+
+  /// Escapes `s` per RFC 8259 (without the surrounding quotes).
+  static std::string escape(std::string_view s);
+
+ private:
+  enum class Scope { kObject, kArray };
+  void before_value();  // separator + layout for the next value slot
+  void newline_indent();
+
+  std::ostream& os_;
+  int indent_;
+  struct Frame {
+    Scope scope;
+    int count = 0;       // values emitted in this container
+    bool keyed = false;  // a key() is pending its value
+  };
+  std::vector<Frame> stack_;
+};
+
+}  // namespace mgp::obs

@@ -1,0 +1,177 @@
+#include "obs/trace.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace mgp::obs {
+namespace {
+
+/// One thread's event buffer.  The owning thread appends under `mu` (never
+/// contended except during export/clear); the exporter locks each buffer in
+/// turn.  Buffers are shared_ptr so a thread exiting does not invalidate
+/// the registry's view of its events.
+struct ThreadBuffer {
+  std::mutex mu;
+  std::vector<detail::SpanRecord> events;
+  std::string name;
+  int tid;
+};
+
+struct TraceState {
+  std::atomic<bool> enabled{false};
+  std::mutex registry_mu;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  int next_tid = 1;
+};
+
+TraceState& state() {
+  static TraceState s;
+  return s;
+}
+
+std::shared_ptr<ThreadBuffer>& local_buffer_slot() {
+  thread_local std::shared_ptr<ThreadBuffer> buf;
+  return buf;
+}
+
+ThreadBuffer& local_buffer() {
+  std::shared_ptr<ThreadBuffer>& buf = local_buffer_slot();
+  if (!buf) {
+    buf = std::make_shared<ThreadBuffer>();
+    TraceState& s = state();
+    std::lock_guard<std::mutex> lock(s.registry_mu);
+    buf->tid = s.next_tid++;
+    s.buffers.push_back(buf);
+  }
+  return *buf;
+}
+
+}  // namespace
+
+namespace detail {
+
+std::int64_t now_ns() {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point anchor = clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() - anchor)
+      .count();
+}
+
+void record(const SpanRecord& rec) {
+  ThreadBuffer& buf = local_buffer();
+  std::lock_guard<std::mutex> lock(buf.mu);
+  buf.events.push_back(rec);
+}
+
+}  // namespace detail
+
+bool tracing_enabled() {
+  return state().enabled.load(std::memory_order_relaxed);
+}
+
+void trace_start() {
+  TraceState& s = state();
+  std::lock_guard<std::mutex> lock(s.registry_mu);
+  for (auto& buf : s.buffers) {
+    std::lock_guard<std::mutex> bl(buf->mu);
+    buf->events.clear();
+  }
+  s.enabled.store(true, std::memory_order_relaxed);
+}
+
+void trace_stop() {
+  state().enabled.store(false, std::memory_order_relaxed);
+}
+
+std::size_t trace_event_count() {
+  TraceState& s = state();
+  std::lock_guard<std::mutex> lock(s.registry_mu);
+  std::size_t n = 0;
+  for (auto& buf : s.buffers) {
+    std::lock_guard<std::mutex> bl(buf->mu);
+    n += buf->events.size();
+  }
+  return n;
+}
+
+void set_thread_name(const std::string& name) {
+  ThreadBuffer& buf = local_buffer();
+  std::lock_guard<std::mutex> lock(buf.mu);
+  buf.name = name;
+}
+
+std::string trace_chrome_json() {
+  std::ostringstream os;
+  JsonWriter w(os, /*indent=*/0);
+  w.begin_object();
+  w.key("traceEvents");
+  w.begin_array();
+
+  // Process metadata, then per-thread name metadata and span events.
+  w.begin_object();
+  w.kv("name", "process_name");
+  w.kv("ph", "M");
+  w.kv("pid", 0);
+  w.kv("tid", 0);
+  w.key("args");
+  w.begin_object();
+  w.kv("name", "mgp");
+  w.end_object();
+  w.end_object();
+
+  TraceState& s = state();
+  std::lock_guard<std::mutex> lock(s.registry_mu);
+  for (auto& buf : s.buffers) {
+    std::lock_guard<std::mutex> bl(buf->mu);
+    if (!buf->name.empty()) {
+      w.begin_object();
+      w.kv("name", "thread_name");
+      w.kv("ph", "M");
+      w.kv("pid", 0);
+      w.kv("tid", buf->tid);
+      w.key("args");
+      w.begin_object();
+      w.kv("name", buf->name);
+      w.end_object();
+      w.end_object();
+    }
+    for (const detail::SpanRecord& e : buf->events) {
+      w.begin_object();
+      w.kv("name", e.name);
+      w.kv("ph", "X");
+      w.kv("pid", 0);
+      w.kv("tid", buf->tid);
+      // Chrome trace timestamps are microseconds; fractional values keep
+      // nanosecond resolution.
+      w.kv("ts", static_cast<double>(e.start_ns) / 1000.0);
+      w.kv("dur", static_cast<double>(e.dur_ns) / 1000.0);
+      if (e.num_args > 0) {
+        w.key("args");
+        w.begin_object();
+        for (int i = 0; i < e.num_args; ++i) w.kv(e.arg_key[i], e.arg_val[i]);
+        w.end_object();
+      }
+      w.end_object();
+    }
+  }
+
+  w.end_array();
+  w.end_object();
+  return os.str();
+}
+
+bool trace_write_chrome(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << trace_chrome_json() << '\n';
+  return static_cast<bool>(out);
+}
+
+}  // namespace mgp::obs

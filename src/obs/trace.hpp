@@ -1,0 +1,134 @@
+// Low-overhead tracing spans for the multilevel pipeline.
+//
+// An RAII Span records {name, start, duration, up to two integer args} into
+// a per-thread buffer; buffers are registered once per thread and appended
+// to under an uncontended per-buffer mutex, so the hot path never touches a
+// shared lock.  trace_write_chrome() exports everything as Chrome
+// trace-event JSON ("X" complete events plus thread-name metadata), which
+// opens directly in Perfetto / chrome://tracing — the PR-1 fork/join
+// recursion shows up as a per-thread timeline of pool.task spans.
+//
+// Two kill switches (DESIGN.md "Observability"):
+//   * compile time: building with -DMGP_OBS_ENABLED=0 (CMake -DMGP_OBS=OFF)
+//     turns Span into an empty struct and MGP_SPAN into a no-op, so spans
+//     cost literally nothing — the instrumented code is token-identical to
+//     un-instrumented code after inlining;
+//   * run time: spans record only between trace_start() and trace_stop();
+//     when stopped, a Span costs one relaxed atomic load and a branch.
+//
+// Recording draws no randomness and never alters control flow, so tracing
+// cannot perturb partitions (asserted by the determinism suite).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#ifndef MGP_OBS_ENABLED
+#define MGP_OBS_ENABLED 1
+#endif
+
+namespace mgp::obs {
+
+/// True when the library was compiled with observability spans.
+inline constexpr bool kObsCompiled = MGP_OBS_ENABLED != 0;
+
+/// True between trace_start() and trace_stop().
+bool tracing_enabled();
+
+/// Clears previously recorded events (thread names survive) and enables
+/// recording.  Call from a quiescent point (not concurrently with spans).
+void trace_start();
+
+/// Disables recording.  Buffered events stay available for export.
+void trace_stop();
+
+/// Number of span events currently buffered across all threads.
+std::size_t trace_event_count();
+
+/// Serializes buffered events as Chrome trace-event JSON.
+std::string trace_chrome_json();
+
+/// Writes trace_chrome_json() to `path`.  Returns false on I/O failure.
+bool trace_write_chrome(const std::string& path);
+
+/// Labels the calling thread in exported traces ("main", "pool-worker-2").
+/// Cheap; safe to call whether or not tracing is enabled.
+void set_thread_name(const std::string& name);
+
+namespace detail {
+
+struct SpanRecord {
+  const char* name;  // static string; spans never own their names
+  std::int64_t start_ns;
+  std::int64_t dur_ns;
+  const char* arg_key[2] = {nullptr, nullptr};
+  std::int64_t arg_val[2] = {0, 0};
+  int num_args = 0;
+};
+
+/// Nanoseconds since a process-wide steady-clock anchor.
+std::int64_t now_ns();
+
+/// Appends to the calling thread's buffer (creates and registers it on
+/// first use).
+void record(const SpanRecord& rec);
+
+}  // namespace detail
+
+#if MGP_OBS_ENABLED
+
+/// RAII span: measures from construction to destruction.  `name` must be a
+/// string with static storage duration (a literal).  When tracing is
+/// disabled the constructor is a relaxed load + branch and the destructor a
+/// branch.
+class Span {
+ public:
+  explicit Span(const char* name) {
+    if (tracing_enabled()) {
+      active_ = true;
+      rec_.name = name;
+      rec_.start_ns = detail::now_ns();
+    }
+  }
+  ~Span() {
+    if (active_) {
+      rec_.dur_ns = detail::now_ns() - rec_.start_ns;
+      detail::record(rec_);
+    }
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Attaches an integer argument (shown in the trace viewer).  `key` must
+  /// be a static string.  At most two args per span; extras are dropped.
+  void arg(const char* key, std::int64_t v) {
+    if (active_ && rec_.num_args < 2) {
+      rec_.arg_key[rec_.num_args] = key;
+      rec_.arg_val[rec_.num_args] = v;
+      ++rec_.num_args;
+    }
+  }
+
+ private:
+  detail::SpanRecord rec_;
+  bool active_ = false;
+};
+
+#define MGP_OBS_CONCAT_INNER(a, b) a##b
+#define MGP_OBS_CONCAT(a, b) MGP_OBS_CONCAT_INNER(a, b)
+/// Scope-level span with an automatically unique variable name.
+#define MGP_SPAN(name) ::mgp::obs::Span MGP_OBS_CONCAT(mgp_obs_span_, __LINE__)(name)
+
+#else  // !MGP_OBS_ENABLED: spans compile to nothing.
+
+class Span {
+ public:
+  explicit Span(const char*) {}
+  void arg(const char*, std::int64_t) {}
+};
+
+#define MGP_SPAN(name) ((void)0)
+
+#endif  // MGP_OBS_ENABLED
+
+}  // namespace mgp::obs

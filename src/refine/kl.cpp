@@ -4,6 +4,7 @@
 #include <cassert>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "support/bucket_queue.hpp"
 
 namespace mgp {
@@ -38,10 +39,12 @@ vid_t count_boundary_vertices(const Graph& g, std::span<const part_t> side) {
 }
 
 KlStats kl_refine(const Graph& g, Bisection& b, vwt_t target0, const KlOptions& opts,
-                  Rng& rng) {
+                  Rng& rng, std::vector<obs::KlPassReport>* pass_log) {
   const vid_t n = g.num_vertices();
   KlStats stats;
   if (n == 0) return stats;
+  obs::Span span("kl_refine");
+  span.arg("n", n);
 
   const vwt_t total = g.total_vertex_weight();
   const vwt_t target[2] = {target0, total - target0};
@@ -61,6 +64,8 @@ KlStats kl_refine(const Graph& g, Bisection& b, vwt_t target0, const KlOptions& 
   for (int pass = 0; pass < (opts.single_pass ? 1 : opts.max_passes); ++pass) {
     ++stats.passes;
     const ewt_t pass_start_cut = b.cut;
+    const KlStats stats_at_pass_start = stats;
+    std::int64_t queue_peak = 0;
 
     // --- Gain initialisation (O(|E|)). ---
     for (vid_t u = 0; u < n; ++u) {
@@ -102,7 +107,16 @@ KlStats kl_refine(const Graph& g, Bisection& b, vwt_t target0, const KlOptions& 
     int since_best = 0;
 
     // --- Move loop. ---
+    if (pass_log) {
+      queue_peak = static_cast<std::int64_t>(ws.queue[0].size()) +
+                   static_cast<std::int64_t>(ws.queue[1].size());
+    }
     while (since_best < opts.non_improving_window) {
+      if (pass_log) {
+        queue_peak = std::max(queue_peak,
+                              static_cast<std::int64_t>(ws.queue[0].size()) +
+                                  static_cast<std::int64_t>(ws.queue[1].size()));
+      }
       // Move from the side that is most overweight relative to its target.
       part_t from;
       const double over0 = target[0] > 0
@@ -182,6 +196,20 @@ KlStats kl_refine(const Graph& g, Bisection& b, vwt_t target0, const KlOptions& 
     }
     b.cut = best_cut;
     stats.swapped += static_cast<vid_t>(best_prefix);
+
+    if (pass_log) {
+      obs::KlPassReport rep;
+      rep.pass = stats.passes;
+      rep.moves_attempted = stats.moves_attempted - stats_at_pass_start.moves_attempted;
+      rep.moves_kept = static_cast<std::int64_t>(best_prefix);
+      rep.moves_undone = rep.moves_attempted - rep.moves_kept;
+      rep.insertions = stats.insertions - stats_at_pass_start.insertions;
+      rep.cut_before = pass_start_cut;
+      rep.cut_after = best_cut;
+      rep.early_exit = since_best >= opts.non_improving_window;
+      rep.queue_peak = queue_peak;
+      pass_log->push_back(rep);
+    }
 
     if (best_cut >= pass_start_cut) break;  // converged: pass gained nothing
     stats.cut_reduction += pass_start_cut - best_cut;

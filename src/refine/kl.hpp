@@ -14,8 +14,10 @@
 #pragma once
 
 #include <span>
+#include <vector>
 
 #include "initpart/bisection_state.hpp"
+#include "obs/report.hpp"
 #include "support/rng.hpp"
 
 namespace mgp {
@@ -52,8 +54,12 @@ struct KlStats {
 
 /// Refines `b` in place.  `target0` is side 0's desired vertex weight.
 /// Deterministic given rng state.
+///
+/// When `pass_log` is non-null, one obs::KlPassReport per executed pass is
+/// appended (moves / rollbacks / early-exit / bucket-queue peak occupancy).
+/// Logging is passive — it draws no randomness and cannot change the result.
 KlStats kl_refine(const Graph& g, Bisection& b, vwt_t target0, const KlOptions& opts,
-                  Rng& rng);
+                  Rng& rng, std::vector<obs::KlPassReport>* pass_log = nullptr);
 
 /// Number of boundary vertices (vertices with at least one cut edge).
 vid_t count_boundary_vertices(const Graph& g, std::span<const part_t> side);

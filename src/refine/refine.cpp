@@ -16,7 +16,8 @@ std::string to_string(RefinePolicy p) {
 
 KlStats refine_bisection(const Graph& g, Bisection& b, vwt_t target0,
                          RefinePolicy policy, vid_t original_n, Rng& rng,
-                         const KlOptions& base_opts) {
+                         const KlOptions& base_opts,
+                         std::vector<obs::KlPassReport>* pass_log) {
   KlOptions opts = base_opts;
   switch (policy) {
     case RefinePolicy::kNone:
@@ -50,7 +51,7 @@ KlStats refine_bisection(const Graph& g, Bisection& b, vwt_t target0,
       break;
     }
   }
-  return kl_refine(g, b, target0, opts, rng);
+  return kl_refine(g, b, target0, opts, rng, pass_log);
 }
 
 }  // namespace mgp

@@ -27,8 +27,12 @@ std::string to_string(RefinePolicy p);
 /// `original_n` is |V_0|, the finest graph's vertex count — the BKLGR
 /// switch rule compares the current boundary size against 2% of it.
 /// Returns the engine stats (zeroed for kNone).
+///
+/// `pass_log`, when non-null, collects one obs::KlPassReport per KL pass
+/// (see kl_refine); passive, never perturbs the result.
 KlStats refine_bisection(const Graph& g, Bisection& b, vwt_t target0,
                          RefinePolicy policy, vid_t original_n, Rng& rng,
-                         const KlOptions& base_opts = {});
+                         const KlOptions& base_opts = {},
+                         std::vector<obs::KlPassReport>* pass_log = nullptr);
 
 }  // namespace mgp

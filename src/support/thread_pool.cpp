@@ -1,5 +1,9 @@
 #include "support/thread_pool.hpp"
 
+#include <string>
+
+#include "obs/trace.hpp"
+
 namespace mgp {
 
 int ThreadPool::hardware_threads() {
@@ -13,7 +17,7 @@ ThreadPool::ThreadPool(int num_threads) {
   const int workers = num_threads - 1;
   workers_.reserve(static_cast<std::size_t>(workers));
   for (int i = 0; i < workers; ++i) {
-    workers_.emplace_back([this]() { worker_loop(); });
+    workers_.emplace_back([this, i]() { worker_loop(i); });
   }
 }
 
@@ -38,11 +42,15 @@ bool ThreadPool::run_one() {
     task = std::move(queue_.front());
     queue_.pop_front();
   }
-  task();
+  {
+    obs::Span span("pool.task");
+    task();
+  }
   return true;
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(int worker_index) {
+  obs::set_thread_name("pool-worker-" + std::to_string(worker_index));
   for (;;) {
     std::function<void()> task;
     {
@@ -52,6 +60,7 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    obs::Span span("pool.task");
     task();
   }
 }

@@ -129,7 +129,7 @@ class ThreadPool {
   }
 
  private:
-  void worker_loop();
+  void worker_loop(int worker_index);
 
   int num_threads_ = 1;
   std::vector<std::thread> workers_;

@@ -23,6 +23,8 @@
 #include "core/kway.hpp"
 #include "graph/generators.hpp"
 #include "metrics/partition_metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
 #include "support/thread_pool.hpp"
 
 namespace mgp {
@@ -118,6 +120,78 @@ TEST(PipelineDeterminismTest, SequentialPathUnaffectedByPoolElsewhere) {
   KwayResult b = kway_partition(g, 8, cfg, r2);
   EXPECT_EQ(a.part, b.part);
   EXPECT_EQ(a.edge_cut, b.edge_cut);
+}
+
+TEST(PipelineDeterminismTest, ObsCollectionDoesNotPerturbPartitions) {
+  // The observability contract (DESIGN.md): attaching an Obs context draws
+  // no randomness and alters no control flow, so partitions stay
+  // byte-identical with collection on or off, for every pool size.
+  Graph g = fem2d_tri(48, 48, 3);
+  MultilevelConfig cfg;  // HEM + GGGP + BKLGR, the paper default
+  std::vector<part_t> reference;
+  std::vector<std::tuple<std::int64_t, std::int64_t, std::int64_t, std::int64_t>>
+      ref_bisections;
+  for (int threads : kPoolSizes) {
+    ThreadPool pool(threads);
+    Rng plain_rng(1234);
+    KwayResult plain = kway_partition(g, 8, cfg, plain_rng, nullptr, &pool);
+    if (reference.empty()) reference = plain.part;
+    ASSERT_EQ(plain.part, reference) << "plain run diverged, t=" << threads;
+
+    obs::Obs ob;
+    MultilevelConfig with_obs = cfg;
+    with_obs.obs = &ob;
+    Rng obs_rng(1234);
+    PhaseTimers timers;
+    KwayResult traced = kway_partition(g, 8, with_obs, obs_rng, &timers, &pool);
+    ASSERT_EQ(traced.part, reference) << "obs run diverged, t=" << threads;
+
+    // The report must actually have collected, and agree with the metrics.
+    EXPECT_EQ(ob.report.num_bisections(), 7u);  // k=8 -> 7 bisections
+    EXPECT_EQ(ob.metrics.snapshot().counter_value("pipeline.bisections"), 7);
+    EXPECT_GT(timers.total(), 0.0);
+
+    // Report content (modulo times) is pool-size-invariant: same multiset
+    // of bisections regardless of scheduling.
+    std::vector<std::tuple<std::int64_t, std::int64_t, std::int64_t, std::int64_t>>
+        content;
+    for (const auto& b : ob.report.bisections()) {
+      content.emplace_back(b.n, b.coarsest_n, b.initial_cut, b.final_cut);
+    }
+    std::sort(content.begin(), content.end());
+    if (ref_bisections.empty()) {
+      ref_bisections = content;
+    } else {
+      EXPECT_EQ(content, ref_bisections) << "report differs, t=" << threads;
+    }
+  }
+}
+
+TEST(PipelineDeterminismTest, TracingDoesNotPerturbPartitions) {
+  if (!obs::kObsCompiled) GTEST_SKIP() << "library built with MGP_OBS=OFF";
+  Graph g = fem2d_tri(48, 48, 3);
+  MultilevelConfig cfg;
+  std::vector<part_t> reference;
+  for (int threads : kPoolSizes) {
+    ThreadPool pool(threads);
+    Rng rng(4321);
+    obs::trace_start();
+    KwayResult r = kway_partition(g, 8, cfg, rng, nullptr, &pool);
+    obs::trace_stop();
+    EXPECT_GT(obs::trace_event_count(), 0u) << "t=" << threads;
+    if (reference.empty()) {
+      reference = r.part;
+      // Same seed, tracing off: identical bytes.
+      ThreadPool pool2(threads);
+      Rng rng2(4321);
+      KwayResult untraced = kway_partition(g, 8, cfg, rng2, nullptr, &pool2);
+      ASSERT_EQ(untraced.part, reference);
+    } else {
+      ASSERT_EQ(r.part, reference) << "traced run diverged, t=" << threads;
+    }
+  }
+  obs::trace_start();  // drop this test's events so later tests start clean
+  obs::trace_stop();
 }
 
 TEST(ContractDeterminismTest, ParallelContractionByteIdenticalToSequential) {

@@ -1,0 +1,92 @@
+#include "obs/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace mgp::obs {
+namespace {
+
+TEST(JsonWriterTest, CompactObject) {
+  std::ostringstream os;
+  JsonWriter w(os, /*indent=*/0);
+  w.begin_object();
+  w.kv("a", std::int64_t{1});
+  w.kv("b", "two");
+  w.kv("c", true);
+  w.end_object();
+  EXPECT_EQ(os.str(), "{\"a\": 1,\"b\": \"two\",\"c\": true}");
+}
+
+TEST(JsonWriterTest, CompactArrayAndNesting) {
+  std::ostringstream os;
+  JsonWriter w(os, 0);
+  w.begin_object();
+  w.key("xs");
+  w.begin_array();
+  w.value(1);
+  w.value(2);
+  w.begin_object();
+  w.kv("deep", false);
+  w.end_object();
+  w.end_array();
+  w.end_object();
+  EXPECT_EQ(os.str(), "{\"xs\": [1,2,{\"deep\": false}]}");
+}
+
+TEST(JsonWriterTest, EmptyContainers) {
+  std::ostringstream os;
+  JsonWriter w(os, 2);
+  w.begin_object();
+  w.key("o");
+  w.begin_object();
+  w.end_object();
+  w.key("a");
+  w.begin_array();
+  w.end_array();
+  w.end_object();
+  // Empty containers close on the same line even in indented mode.
+  EXPECT_NE(os.str().find("\"o\": {}"), std::string::npos);
+  EXPECT_NE(os.str().find("\"a\": []"), std::string::npos);
+}
+
+TEST(JsonWriterTest, IndentedLayout) {
+  std::ostringstream os;
+  JsonWriter w(os, 2);
+  w.begin_object();
+  w.kv("a", 1);
+  w.end_object();
+  EXPECT_EQ(os.str(), "{\n  \"a\": 1\n}");
+}
+
+TEST(JsonWriterTest, EscapesControlAndQuoteCharacters) {
+  EXPECT_EQ(JsonWriter::escape("plain"), "plain");
+  EXPECT_EQ(JsonWriter::escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonWriter::escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonWriter::escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+  EXPECT_EQ(JsonWriter::escape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesBecomeNull) {
+  std::ostringstream os;
+  JsonWriter w(os, 0);
+  w.begin_array();
+  w.value(std::numeric_limits<double>::quiet_NaN());
+  w.value(std::numeric_limits<double>::infinity());
+  w.value(1.5);
+  w.null();
+  w.end_array();
+  EXPECT_EQ(os.str(), "[null,null,1.5,null]");
+}
+
+TEST(JsonWriterTest, Uint64RoundTripsLargeValues) {
+  std::ostringstream os;
+  JsonWriter w(os, 0);
+  w.value(std::uint64_t{18446744073709551615ULL});
+  EXPECT_EQ(os.str(), "18446744073709551615");
+}
+
+}  // namespace
+}  // namespace mgp::obs

@@ -1,0 +1,167 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace mgp::obs {
+namespace {
+
+TEST(MetricsRegistryTest, CounterAccumulates) {
+  MetricsRegistry reg;
+  const auto id = reg.counter("test.counter");
+  reg.add(id);
+  reg.add(id, 41);
+  EXPECT_EQ(reg.current(id), 42);
+  const MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counter_value("test.counter"), 42);
+  EXPECT_EQ(snap.counter_value("no.such"), 0);
+}
+
+TEST(MetricsRegistryTest, RegistrationIsIdempotentByName) {
+  MetricsRegistry reg;
+  const auto a = reg.counter("dup");
+  const auto b = reg.counter("dup");
+  EXPECT_EQ(a, b);
+  reg.add(a, 1);
+  reg.add(b, 1);
+  EXPECT_EQ(reg.current(a), 2);
+  EXPECT_EQ(reg.size(), 1);
+}
+
+TEST(MetricsRegistryTest, MaxGaugeKeepsMaximum) {
+  MetricsRegistry reg;
+  const auto id = reg.max_gauge("test.gauge");
+  EXPECT_EQ(reg.current(id), 0);  // never recorded
+  reg.record_max(id, 5);
+  reg.record_max(id, 3);
+  reg.record_max(id, 9);
+  reg.record_max(id, 7);
+  EXPECT_EQ(reg.current(id), 9);
+  EXPECT_EQ(reg.snapshot().gauge_max("test.gauge"), 9);
+}
+
+TEST(MetricsRegistryTest, HistogramBucketsSumAndCount) {
+  MetricsRegistry reg;
+  const auto id = reg.histogram("test.hist", {10, 20, 30});
+  reg.observe(id, 5);    // bucket 0 (<= 10)
+  reg.observe(id, 10);   // bucket 0 (inclusive bound)
+  reg.observe(id, 15);   // bucket 1
+  reg.observe(id, 100);  // +inf bucket
+  const MetricsSnapshot snap = reg.snapshot();
+  const auto* h = snap.histogram("test.hist");
+  ASSERT_NE(h, nullptr);
+  ASSERT_EQ(h->counts.size(), 4u);  // 3 bounds + inf
+  EXPECT_EQ(h->counts[0], 2);
+  EXPECT_EQ(h->counts[1], 1);
+  EXPECT_EQ(h->counts[2], 0);
+  EXPECT_EQ(h->counts[3], 1);
+  EXPECT_EQ(h->count, 4);
+  EXPECT_EQ(h->sum, 130);
+  EXPECT_EQ(snap.histogram("absent"), nullptr);
+}
+
+TEST(MetricsRegistryTest, MergesAcrossThreads) {
+  MetricsRegistry reg;
+  const auto counter = reg.counter("mt.counter");
+  const auto gauge = reg.max_gauge("mt.gauge");
+  const auto hist = reg.histogram("mt.hist", {100});
+  constexpr int kThreads = 8;
+  constexpr int kAddsPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t]() {
+      for (int i = 0; i < kAddsPerThread; ++i) reg.add(counter);
+      reg.record_max(gauge, t + 1);
+      reg.observe(hist, t < 4 ? 50 : 500);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(reg.current(counter), kThreads * kAddsPerThread);
+  EXPECT_EQ(reg.current(gauge), kThreads);
+  const MetricsSnapshot snap = reg.snapshot();
+  const auto* h = snap.histogram("mt.hist");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->counts[0], 4);
+  EXPECT_EQ(h->counts[1], 4);
+  EXPECT_EQ(h->count, kThreads);
+}
+
+TEST(MetricsRegistryTest, TwoRegistriesAreIndependent) {
+  // The thread-local shard cache is keyed by a process-unique registry uid;
+  // a second registry must never see the first one's shard.
+  MetricsRegistry a;
+  MetricsRegistry b;
+  const auto ia = a.counter("same.name");
+  const auto ib = b.counter("same.name");
+  a.add(ia, 7);
+  b.add(ib, 11);
+  EXPECT_EQ(a.current(ia), 7);
+  EXPECT_EQ(b.current(ib), 11);
+}
+
+TEST(MetricsRegistryTest, RegistryOutlivedByNoThreadStillSnapshots) {
+  // A thread that wrote and exited must leave its contribution visible.
+  MetricsRegistry reg;
+  const auto id = reg.counter("ephemeral");
+  std::thread([&]() { reg.add(id, 3); }).join();
+  EXPECT_EQ(reg.current(id), 3);
+}
+
+TEST(PhaseMetricsTest, AccumulatesAndMergesIntoPhaseTimers) {
+  MetricsRegistry reg;
+  PhaseMetrics pm(reg);
+  pm.add_ns(PhaseTimers::kCoarsen, 1'500'000'000);  // 1.5 s
+  pm.add_ns(PhaseTimers::kRefine, 500'000'000);
+  PhaseTimers pt = pm.view();
+  EXPECT_NEAR(pt.get(PhaseTimers::kCoarsen), 1.5, 1e-9);
+  EXPECT_NEAR(pt.get(PhaseTimers::kRefine), 0.5, 1e-9);
+  EXPECT_NEAR(pt.utime(), 0.5, 1e-9);
+
+  PhaseTimers out;
+  out.add(PhaseTimers::kCoarsen, 1.0);
+  pm.merge_into(out);
+  EXPECT_NEAR(out.get(PhaseTimers::kCoarsen), 2.5, 1e-9);
+}
+
+TEST(PhaseMetricsTest, AddPhaseTimersRoundTrips) {
+  MetricsRegistry reg;
+  PhaseMetrics pm(reg);
+  PhaseTimers in;
+  in.add(PhaseTimers::kInitPart, 0.25);
+  in.add(PhaseTimers::kProject, 0.75);
+  pm.add(in);
+  PhaseTimers out = pm.view();
+  EXPECT_NEAR(out.get(PhaseTimers::kInitPart), 0.25, 1e-6);
+  EXPECT_NEAR(out.get(PhaseTimers::kProject), 0.75, 1e-6);
+}
+
+TEST(PhaseMetricsTest, ConcurrentAddsFromManyThreads) {
+  MetricsRegistry reg;
+  PhaseMetrics pm(reg);
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&]() {
+      for (int i = 0; i < 1000; ++i) pm.add_ns(PhaseTimers::kRefine, 1'000'000);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_NEAR(pm.view().get(PhaseTimers::kRefine), kThreads * 1.0, 1e-6);
+}
+
+TEST(PhaseMetricsTest, ScopeTimesItsBlock) {
+  MetricsRegistry reg;
+  PhaseMetrics pm(reg);
+  {
+    PhaseMetrics::Scope scope(pm, PhaseTimers::kInitPart);
+    volatile double sink = 0;
+    for (int i = 0; i < 10000; ++i) sink = sink + i;
+  }
+  EXPECT_GT(pm.view().get(PhaseTimers::kInitPart), 0.0);
+  EXPECT_DOUBLE_EQ(pm.view().get(PhaseTimers::kCoarsen), 0.0);
+}
+
+}  // namespace
+}  // namespace mgp::obs

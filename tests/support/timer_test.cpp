@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <thread>
+
 namespace mgp {
 namespace {
 
@@ -19,6 +22,41 @@ TEST(TimerTest, ResetRestartsClock) {
   double before = t.seconds();
   t.reset();
   EXPECT_LE(t.seconds(), before + 1.0);  // sanity: reset did not go backwards wildly
+}
+
+TEST(TimerTest, IsMonotonicNonDecreasing) {
+  Timer t;
+  double prev = t.seconds();
+  for (int i = 0; i < 1000; ++i) {
+    const double cur = t.seconds();
+    ASSERT_GE(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(TimerTest, MeasuresASleepWithinTolerance) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double s = t.seconds();
+  // Sleeps can overshoot under load but never undershoot a steady clock.
+  EXPECT_GE(s, 0.019);
+  EXPECT_LT(s, 5.0);
+}
+
+TEST(TimerTest, ResetDiscardsPriorElapsedTime) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  t.reset();
+  EXPECT_LT(t.seconds(), 0.019);
+}
+
+TEST(PhaseTimersTest, StartsAtZero) {
+  PhaseTimers pt;
+  for (int p = 0; p < PhaseTimers::kNumPhases; ++p) {
+    EXPECT_DOUBLE_EQ(pt.get(static_cast<PhaseTimers::Phase>(p)), 0.0);
+  }
+  EXPECT_DOUBLE_EQ(pt.total(), 0.0);
+  EXPECT_DOUBLE_EQ(pt.utime(), 0.0);
 }
 
 TEST(PhaseTimersTest, AccumulatesPerPhase) {
@@ -58,6 +96,41 @@ TEST(PhaseTimersTest, ScopedPhaseAddsElapsed) {
   }
   EXPECT_GT(pt.get(PhaseTimers::kInitPart), 0.0);
   EXPECT_DOUBLE_EQ(pt.get(PhaseTimers::kCoarsen), 0.0);
+}
+
+TEST(PhaseTimersTest, ScopedPhasesAccumulateAcrossScopes) {
+  // multilevel_bisect opens one ScopedPhase per level per phase; the slot
+  // must sum them, not overwrite.
+  PhaseTimers pt;
+  for (int level = 0; level < 3; ++level) {
+    ScopedPhase sp(pt, PhaseTimers::kRefine);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GE(pt.get(PhaseTimers::kRefine), 0.014);
+  EXPECT_DOUBLE_EQ(pt.utime(), pt.get(PhaseTimers::kRefine));
+}
+
+TEST(PhaseTimersTest, NestedScopesOnDifferentPhasesBothRecord) {
+  PhaseTimers pt;
+  {
+    ScopedPhase outer(pt, PhaseTimers::kCoarsen);
+    {
+      ScopedPhase inner(pt, PhaseTimers::kInitPart);
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+  // The outer scope covers the inner one, so it measures at least as long.
+  EXPECT_GT(pt.get(PhaseTimers::kInitPart), 0.0);
+  EXPECT_GE(pt.get(PhaseTimers::kCoarsen), pt.get(PhaseTimers::kInitPart));
+}
+
+TEST(PhaseTimersTest, ClearThenAddStartsFresh) {
+  PhaseTimers pt;
+  pt.add(PhaseTimers::kCoarsen, 4.0);
+  pt.clear();
+  pt.add(PhaseTimers::kCoarsen, 1.0);
+  EXPECT_DOUBLE_EQ(pt.get(PhaseTimers::kCoarsen), 1.0);
+  EXPECT_DOUBLE_EQ(pt.total(), 1.0);
 }
 
 }  // namespace
