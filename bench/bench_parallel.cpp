@@ -16,6 +16,14 @@
 //   MGP_BENCH_SCALE    vertex-count factor for the graph (default 1.0,
 //                      ~110k vertices)
 //   MGP_BENCH_SEED     RNG seed (default 1995)
+//
+// Each row also reports the heap-allocation count of its timed k-way run
+// (the binary links the counting allocator from tests/support/alloc_guard).
+// The workspace-arena subsystem keeps the serial rows orders of magnitude
+// below |V|; multi-thread rows additionally pay the thread pool's per-task
+// future/function plumbing.  The whole table is emitted as machine-readable
+// JSON (default BENCH_arena.json, override with MGP_BENCH_ARENA_OUT; see
+// README for how to read it).
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -26,12 +34,68 @@
 #include "coarsen/contract.hpp"
 #include "coarsen/parallel_matching.hpp"
 #include "core/kway.hpp"
+#include "support/alloc_guard.hpp"
 #include "support/thread_pool.hpp"
 #include "support/timer.hpp"
 
 namespace {
 
 using namespace mgp;
+
+struct SweepRow {
+  int threads;
+  double coarsen_s;
+  double kway_s;
+  ewt_t cut;
+  std::uint64_t allocs;
+  std::uint64_t alloc_bytes;
+};
+
+/// Writes the sweep as a machine-readable artifact next to the run.
+void write_arena_json(const std::string& path, const Graph& g, vid_t side,
+                      part_t k, std::uint64_t seed, double seq_kway,
+                      ewt_t seq_cut, std::uint64_t seq_allocs,
+                      const std::vector<SweepRow>& rows) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"bench\": \"bench_parallel\",\n"
+               "  \"graph\": \"grid3d_27(%d)\",\n"
+               "  \"num_vertices\": %d,\n"
+               "  \"num_edges\": %lld,\n"
+               "  \"k\": %d,\n"
+               "  \"seed\": %llu,\n"
+               "  \"counting_allocator\": %s,\n"
+               "  \"sequential\": {\"kway_seconds\": %.6f, \"cut\": %lld, "
+               "\"allocations\": %llu},\n"
+               "  \"rows\": [\n",
+               side, g.num_vertices(), static_cast<long long>(g.num_edges()),
+               static_cast<int>(k), static_cast<unsigned long long>(seed),
+               mgp::testing::counting_allocator_active() ? "true" : "false",
+               seq_kway, static_cast<long long>(seq_cut),
+               static_cast<unsigned long long>(seq_allocs));
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const SweepRow& r = rows[i];
+    std::fprintf(f,
+                 "    {\"threads\": %d, \"coarsen_seconds\": %.6f, "
+                 "\"kway_seconds\": %.6f, \"speedup_vs_1t\": %.3f, "
+                 "\"speedup_vs_seq\": %.3f, \"cut\": %lld, "
+                 "\"allocations\": %llu, \"alloc_bytes\": %llu}%s\n",
+                 r.threads, r.coarsen_s, r.kway_s,
+                 rows[0].kway_s / r.kway_s, seq_kway / r.kway_s,
+                 static_cast<long long>(r.cut),
+                 static_cast<unsigned long long>(r.allocs),
+                 static_cast<unsigned long long>(r.alloc_bytes),
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
 
 double time_coarsen_kernels(const Graph& g, ThreadPool& pool) {
   Timer t;
@@ -74,22 +138,28 @@ int main(int argc, char** argv) {
   // Sequential baseline: the pre-pool code path (threads = 1, no pool).
   double seq_kway;
   ewt_t seq_cut;
+  std::uint64_t seq_allocs;
   {
     Rng rng(seed);
+    mgp::testing::AllocGuard alloc_guard;
     Timer t;
     KwayResult r = kway_partition(g, k, cfg, rng);
     seq_kway = t.seconds();
     seq_cut = r.edge_cut;
+    seq_allocs = alloc_guard.allocations();
   }
-  std::printf("sequential baseline:        kway %s   cut %lld\n\n",
+  std::printf("sequential baseline:        kway %s   cut %lld   allocs %llu\n\n",
               bench::fmt_time(seq_kway, 9).c_str(),
-              static_cast<long long>(seq_cut));
+              static_cast<long long>(seq_cut),
+              static_cast<unsigned long long>(seq_allocs));
 
-  std::printf("%s %s %s %s %s %s %s\n", bench::pad("threads", 8).c_str(),
+  std::printf("%s %s %s %s %s %s %s %s\n", bench::pad("threads", 8).c_str(),
               bench::pad("coarsen", 9).c_str(), bench::pad("speedup", 8).c_str(),
               bench::pad("kway", 9).c_str(), bench::pad("speedup", 8).c_str(),
-              bench::pad("vs-seq", 8).c_str(), bench::pad("cut", 10).c_str());
+              bench::pad("vs-seq", 8).c_str(), bench::pad("cut", 10).c_str(),
+              bench::pad("allocs", 9).c_str());
 
+  std::vector<SweepRow> rows;
   double coarsen1 = 0, kway1 = 0;
   ewt_t cut1 = 0;
   for (int threads = 1; threads <= max_threads; threads *= 2) {
@@ -100,9 +170,12 @@ int main(int argc, char** argv) {
     coarsen = std::min(coarsen, time_coarsen_kernels(g, pool));
 
     Rng rng(seed);
+    mgp::testing::AllocGuard alloc_guard;
     Timer t;
     KwayResult r = kway_partition(g, k, cfg, rng, nullptr, &pool);
     const double kway_s = t.seconds();
+    const std::uint64_t allocs = alloc_guard.allocations();
+    const std::uint64_t alloc_bytes = alloc_guard.bytes();
 
     if (threads == 1) {
       coarsen1 = coarsen;
@@ -115,18 +188,27 @@ int main(int argc, char** argv) {
       return 1;
     }
 
-    std::printf("%s %s %s %s %s %s %s\n", bench::fmt_int(threads, 8).c_str(),
+    rows.push_back({threads, coarsen, kway_s, r.edge_cut, allocs, alloc_bytes});
+    std::printf("%s %s %s %s %s %s %s %s\n", bench::fmt_int(threads, 8).c_str(),
                 bench::fmt_time(coarsen, 9).c_str(),
                 bench::fmt_ratio(coarsen1 / coarsen, 8).c_str(),
                 bench::fmt_time(kway_s, 9).c_str(),
                 bench::fmt_ratio(kway1 / kway_s, 8).c_str(),
                 bench::fmt_ratio(seq_kway / kway_s, 8).c_str(),
-                bench::fmt_int(r.edge_cut, 10).c_str());
+                bench::fmt_int(r.edge_cut, 10).c_str(),
+                bench::fmt_int(static_cast<long long>(allocs), 9).c_str());
   }
 
   std::printf(
       "\n(speedup = 1-thread parallel pipeline / this row; vs-seq = "
       "sequential baseline / this row.  Rows share one partition: the cut "
-      "column is constant by the determinism guarantee.)\n");
+      "column is constant by the determinism guarantee.  allocs counts every "
+      "heap allocation inside the timed k-way run; serial rows stay orders of "
+      "magnitude below |V| thanks to the workspace pool, multi-thread rows "
+      "add the thread pool's per-task plumbing.)\n");
+
+  std::string out = "BENCH_arena.json";
+  if (const char* e = std::getenv("MGP_BENCH_ARENA_OUT")) out = e;
+  write_arena_json(out, g, side, k, seed, seq_kway, seq_cut, seq_allocs, rows);
   return 0;
 }

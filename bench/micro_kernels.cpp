@@ -5,6 +5,11 @@
 //   * the four matching schemes (all O(|E|)),
 //   * graph contraction,
 //   * Laplacian SpMV (the inner loop of the spectral baselines).
+//
+// The *Workspace variants benchmark the arena/workspace forms of the same
+// kernels and report a `steady_allocs` counter: heap allocations in one
+// post-warm-up run, counted by the linked counting allocator
+// (tests/support/alloc_guard).  The workspace forms must report 0.
 #include <benchmark/benchmark.h>
 
 #include <queue>
@@ -13,8 +18,11 @@
 #include "coarsen/matching.hpp"
 #include "coarsen/parallel_matching.hpp"
 #include "graph/generators.hpp"
+#include "initpart/graph_grow.hpp"
 #include "obs/trace.hpp"
 #include "spectral/laplacian.hpp"
+#include "support/alloc_guard.hpp"
+#include "support/arena.hpp"
 #include "support/bucket_queue.hpp"
 #include "support/rng.hpp"
 #include "support/timer.hpp"
@@ -120,6 +128,88 @@ void BM_Contract(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * g.num_arcs());
 }
 BENCHMARK(BM_Contract);
+
+void BM_MatchingWorkspace(benchmark::State& state) {
+  // compute_matching with caller-owned result + order scratch: same RNG
+  // stream and output as BM_Matching/kHeavyEdge, zero steady-state allocs.
+  const Graph& g = bench_graph();
+  Rng rng(3);
+  Matching m;
+  std::vector<vid_t> order;
+  auto run = [&]() {
+    compute_matching(g, MatchingScheme::kHeavyEdge, {}, rng, m, order);
+  };
+  run();  // warm the buffers
+  mgp::testing::AllocGuard guard;
+  run();
+  state.counters["steady_allocs"] = static_cast<double>(guard.allocations());
+  for (auto _ : state) {
+    run();
+    benchmark::DoNotOptimize(m.pairs);
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_arcs());
+}
+BENCHMARK(BM_MatchingWorkspace);
+
+void BM_ContractWorkspace(benchmark::State& state) {
+  // contract_into with pooled scratch + arena: the coarse CSR, contraction
+  // map, and hash-lookup tables are all recycled across runs.
+  const Graph& g = bench_graph();
+  Rng rng(4);
+  Matching m = compute_matching(g, MatchingScheme::kHeavyEdge, {}, rng);
+  ContractScratch scratch;
+  ScratchArena arena;
+  Contraction c;
+  auto run = [&]() { contract_into(g, m, {}, nullptr, scratch, arena, c); };
+  run();  // warm the buffers
+  run();  // let the arena coalesce after its first reset
+  mgp::testing::AllocGuard guard;
+  run();
+  state.counters["steady_allocs"] = static_cast<double>(guard.allocations());
+  for (auto _ : state) {
+    run();
+    benchmark::DoNotOptimize(c.coarse.num_vertices());
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_arcs());
+}
+BENCHMARK(BM_ContractWorkspace);
+
+const Graph& coarse_bench_graph() {
+  // Coarsest-graph scale, where the initial partitioner actually runs.
+  static const Graph g = fem2d_tri(16, 16, 7);
+  return g;
+}
+
+void BM_Gggp(benchmark::State& state) {
+  const Graph& g = coarse_bench_graph();
+  const vwt_t target0 = g.total_vertex_weight() / 2;
+  Rng rng(9);
+  for (auto _ : state) {
+    Bisection b = gggp_bisect(g, target0, 5, rng);
+    benchmark::DoNotOptimize(b.cut);
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_arcs());
+}
+BENCHMARK(BM_Gggp);
+
+void BM_GggpWorkspace(benchmark::State& state) {
+  const Graph& g = coarse_bench_graph();
+  const vwt_t target0 = g.total_vertex_weight() / 2;
+  Rng rng(9);
+  GrowScratch ws;
+  Bisection best;
+  auto run = [&]() { gggp_bisect_into(g, target0, 5, rng, ws, best); };
+  run();  // warm the buffers
+  mgp::testing::AllocGuard guard;
+  run();
+  state.counters["steady_allocs"] = static_cast<double>(guard.allocations());
+  for (auto _ : state) {
+    run();
+    benchmark::DoNotOptimize(best.cut);
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_arcs());
+}
+BENCHMARK(BM_GggpWorkspace);
 
 void BM_ObsOverheadGuard(benchmark::State& state) {
   // Guard for the observability kill switches (DESIGN.md "Observability"):

@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Regenerate tests/golden/golden_cuts.txt from the corpus definition in
+# tests/golden/golden_corpus.hpp.  Run after an intentional behavioural
+# change, then review and commit the diff like any other code change.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -S . >/dev/null
+cmake --build build --target mgp_golden_refresh -j >/dev/null
+./build/tests/mgp_golden_refresh tests/golden/golden_cuts.txt
+echo "refreshed tests/golden/golden_cuts.txt"

@@ -7,70 +7,77 @@
 #include "obs/trace.hpp"
 
 namespace mgp {
-namespace {
-
-/// Per-chunk scratch for the parallel path: rows are assembled into these
-/// buffers, then concatenated in chunk (= row) order.
-struct RowChunk {
-  std::vector<vid_t> adjncy;
-  std::vector<ewt_t> adjwgt;
-};
-
-}  // namespace
 
 Contraction contract(const Graph& fine, const Matching& match,
                      std::span<const ewt_t> fine_cewgt, ThreadPool* pool) {
+  ContractScratch scratch;
+  ScratchArena arena;
+  Contraction out;
+  contract_into(fine, match, fine_cewgt, pool, scratch, arena, out);
+  return out;
+}
+
+void contract_into(const Graph& fine, const Matching& match,
+                   std::span<const ewt_t> fine_cewgt, ThreadPool* pool,
+                   ContractScratch& scratch, ScratchArena& arena, Contraction& out) {
   const vid_t n = fine.num_vertices();
   assert(match.match.size() == static_cast<std::size_t>(n));
   obs::Span span("contract");
   span.arg("fine_n", n);
 
-  Contraction out;
+  arena.reset();
   out.cmap.assign(static_cast<std::size_t>(n), kInvalidVid);
 
   // Number coarse vertices: the smaller endpoint of each pair (and every
   // unmatched vertex) claims the next id, in fine-vertex order.  reps[c] is
   // that claiming fine vertex, so coarse rows can be built in any order.
-  std::vector<vid_t> reps;
-  reps.reserve(static_cast<std::size_t>(n));
+  std::span<vid_t> reps = arena.alloc<vid_t>(static_cast<std::size_t>(n));
+  vid_t cn = 0;
   for (vid_t v = 0; v < n; ++v) {
     vid_t p = match.match[static_cast<std::size_t>(v)];
     if (v <= p) {
-      out.cmap[static_cast<std::size_t>(v)] = static_cast<vid_t>(reps.size());
-      reps.push_back(v);
+      out.cmap[static_cast<std::size_t>(v)] = cn;
+      reps[static_cast<std::size_t>(cn)] = v;
+      ++cn;
     }
   }
-  const vid_t cn = static_cast<vid_t>(reps.size());
   span.arg("coarse_n", cn);
   for (vid_t v = 0; v < n; ++v) {
     vid_t p = match.match[static_cast<std::size_t>(v)];
     if (v > p) out.cmap[static_cast<std::size_t>(v)] = out.cmap[static_cast<std::size_t>(p)];
   }
 
-  std::vector<vwt_t> cvwgt(static_cast<std::size_t>(cn), 0);
+  // Rebuild the coarse graph inside out.coarse's recycled storage.  Every
+  // reserve below is against the *fine* graph's size — an upper bound on any
+  // contraction of it — so once warm, mid-build growth can never occur.
+  Graph::Storage st = out.coarse.take_storage();
+  st.vwgt.reserve(static_cast<std::size_t>(n));
+  st.vwgt.assign(static_cast<std::size_t>(cn), 0);
+  out.cewgt.reserve(static_cast<std::size_t>(n));
   out.cewgt.assign(static_cast<std::size_t>(cn), 0);
-  std::vector<eid_t> cxadj(static_cast<std::size_t>(cn) + 1, 0);
+  st.xadj.reserve(static_cast<std::size_t>(n) + 1);
+  st.xadj.assign(static_cast<std::size_t>(cn) + 1, 0);
 
   auto fine_interior = [&](vid_t v) {
     return fine_cewgt.empty() ? ewt_t{0} : fine_cewgt[static_cast<std::size_t>(v)];
   };
 
   // Assembles coarse rows [row_begin, row_end) into `adjncy`/`adjwgt`,
-  // recording each row's end offset *relative to the buffer* in cxadj[c+1].
+  // recording each row's end offset *relative to the buffer* in xadj[c+1].
   // `pos` is a dense scatter table (coarse neighbour -> slot in the row
   // being assembled, or -1), owned by the caller so each chunk reuses one.
   // Row content depends only on the row itself, so any chunking of the row
   // range yields the same bytes after in-order concatenation.
-  auto build_rows = [&](vid_t row_begin, vid_t row_end, std::vector<eid_t>& pos,
+  auto build_rows = [&](vid_t row_begin, vid_t row_end, std::span<eid_t> pos,
                         std::vector<vid_t>& adjncy, std::vector<ewt_t>& adjwgt) {
     for (vid_t c = row_begin; c < row_end; ++c) {
       const vid_t v = reps[static_cast<std::size_t>(c)];
       const vid_t p = match.match[static_cast<std::size_t>(v)];
 
-      cvwgt[static_cast<std::size_t>(c)] = fine.vertex_weight(v);
+      st.vwgt[static_cast<std::size_t>(c)] = fine.vertex_weight(v);
       out.cewgt[static_cast<std::size_t>(c)] = fine_interior(v);
       if (p != v) {
-        cvwgt[static_cast<std::size_t>(c)] += fine.vertex_weight(p);
+        st.vwgt[static_cast<std::size_t>(c)] += fine.vertex_weight(p);
         out.cewgt[static_cast<std::size_t>(c)] += fine_interior(p);
       }
 
@@ -103,67 +110,72 @@ Contraction contract(const Graph& fine, const Matching& match,
       for (std::size_t i = static_cast<std::size_t>(row_start); i < adjncy.size(); ++i) {
         pos[static_cast<std::size_t>(adjncy[i])] = -1;
       }
-      cxadj[static_cast<std::size_t>(c) + 1] = static_cast<eid_t>(adjncy.size());
+      st.xadj[static_cast<std::size_t>(c) + 1] = static_cast<eid_t>(adjncy.size());
     }
   };
 
   const int chunks = pool ? pool->num_threads() : 1;
   if (chunks <= 1 || cn < 2 * static_cast<vid_t>(chunks)) {
     // Sequential path: one buffer, row-relative offsets are already final.
-    std::vector<eid_t> pos(static_cast<std::size_t>(cn), -1);
-    std::vector<vid_t> cadjncy;
-    std::vector<ewt_t> cadjwgt;
-    cadjncy.reserve(static_cast<std::size_t>(fine.num_arcs()));
-    cadjwgt.reserve(static_cast<std::size_t>(fine.num_arcs()));
-    build_rows(0, cn, pos, cadjncy, cadjwgt);
-    out.coarse = Graph(std::move(cxadj), std::move(cadjncy), std::move(cvwgt),
-                       std::move(cadjwgt));
-    return out;
+    std::span<eid_t> pos = arena.alloc<eid_t>(static_cast<std::size_t>(cn));
+    std::fill(pos.begin(), pos.end(), eid_t{-1});
+    st.adjncy.reserve(static_cast<std::size_t>(fine.num_arcs()));
+    st.adjwgt.reserve(static_cast<std::size_t>(fine.num_arcs()));
+    st.adjncy.clear();
+    st.adjwgt.clear();
+    build_rows(0, cn, pos, st.adjncy, st.adjwgt);
+    out.coarse = Graph(std::move(st.xadj), std::move(st.adjncy), std::move(st.vwgt),
+                       std::move(st.adjwgt));
+    return;
   }
 
   // Parallel path: each chunk of coarse rows is assembled into its own
-  // scratch buffers (disjoint writes everywhere: cvwgt/cewgt/cxadj slots
+  // scratch buffers (disjoint writes everywhere: vwgt/cewgt/xadj slots
   // are owned by the row's chunk), then a prefix sum over chunk sizes
   // places every chunk in the output CSR and a second sweep copies.
-  std::vector<RowChunk> scratch(static_cast<std::size_t>(chunks));
+  scratch.chunks.resize(static_cast<std::size_t>(chunks));
   pool->parallel_for_chunks(cn, chunks, [&](int c, vid_t begin, vid_t end) {
-    std::vector<eid_t> pos(static_cast<std::size_t>(cn), -1);
-    auto& rc = scratch[static_cast<std::size_t>(c)];
+    auto& rc = scratch.chunks[static_cast<std::size_t>(c)];
+    rc.pos.assign(static_cast<std::size_t>(cn), -1);
+    rc.adjncy.clear();
+    rc.adjwgt.clear();
     rc.adjncy.reserve(static_cast<std::size_t>(fine.num_arcs()) /
                       static_cast<std::size_t>(chunks));
     rc.adjwgt.reserve(static_cast<std::size_t>(fine.num_arcs()) /
                       static_cast<std::size_t>(chunks));
-    build_rows(begin, end, pos, rc.adjncy, rc.adjwgt);
+    build_rows(begin, end, rc.pos, rc.adjncy, rc.adjwgt);
   });
 
-  std::vector<eid_t> chunk_base(static_cast<std::size_t>(chunks) + 1, 0);
+  scratch.chunk_base.assign(static_cast<std::size_t>(chunks) + 1, 0);
+  std::vector<eid_t>& chunk_base = scratch.chunk_base;
   for (int c = 0; c < chunks; ++c) {
     chunk_base[static_cast<std::size_t>(c) + 1] =
         chunk_base[static_cast<std::size_t>(c)] +
-        static_cast<eid_t>(scratch[static_cast<std::size_t>(c)].adjncy.size());
+        static_cast<eid_t>(scratch.chunks[static_cast<std::size_t>(c)].adjncy.size());
   }
   const eid_t total_arcs = chunk_base[static_cast<std::size_t>(chunks)];
-  std::vector<vid_t> cadjncy(static_cast<std::size_t>(total_arcs));
-  std::vector<ewt_t> cadjwgt(static_cast<std::size_t>(total_arcs));
+  st.adjncy.reserve(static_cast<std::size_t>(fine.num_arcs()));
+  st.adjwgt.reserve(static_cast<std::size_t>(fine.num_arcs()));
+  st.adjncy.resize(static_cast<std::size_t>(total_arcs));
+  st.adjwgt.resize(static_cast<std::size_t>(total_arcs));
 
   // Same chunk boundaries as the build sweep, so chunk c's rows are exactly
-  // the ones whose cxadj slots it wrote: shift them by the chunk's base and
+  // the ones whose xadj slots it wrote: shift them by the chunk's base and
   // copy its buffers into place.
   pool->parallel_for_chunks(cn, chunks, [&](int c, vid_t begin, vid_t end) {
     const eid_t base = chunk_base[static_cast<std::size_t>(c)];
     for (vid_t row = begin; row < end; ++row) {
-      cxadj[static_cast<std::size_t>(row) + 1] += base;
+      st.xadj[static_cast<std::size_t>(row) + 1] += base;
     }
-    const auto& rc = scratch[static_cast<std::size_t>(c)];
+    const auto& rc = scratch.chunks[static_cast<std::size_t>(c)];
     std::copy(rc.adjncy.begin(), rc.adjncy.end(),
-              cadjncy.begin() + static_cast<std::size_t>(base));
+              st.adjncy.begin() + static_cast<std::size_t>(base));
     std::copy(rc.adjwgt.begin(), rc.adjwgt.end(),
-              cadjwgt.begin() + static_cast<std::size_t>(base));
+              st.adjwgt.begin() + static_cast<std::size_t>(base));
   });
 
-  out.coarse = Graph(std::move(cxadj), std::move(cadjncy), std::move(cvwgt),
-                     std::move(cadjwgt));
-  return out;
+  out.coarse = Graph(std::move(st.xadj), std::move(st.adjncy), std::move(st.vwgt),
+                     std::move(st.adjwgt));
 }
 
 }  // namespace mgp

@@ -17,6 +17,7 @@
 
 #include "coarsen/matching.hpp"
 #include "graph/csr.hpp"
+#include "support/arena.hpp"
 #include "support/thread_pool.hpp"
 
 namespace mgp {
@@ -28,6 +29,36 @@ struct Contraction {
   /// Per coarse vertex: total weight of fine edges interior to the multinode
   /// (accumulated across all levels).  Feeds HCM's edge-density computation.
   std::vector<ewt_t> cewgt;
+
+  /// Heap bytes reserved by this level (graph storage + maps).
+  std::size_t memory_bytes() const {
+    return coarse.memory_bytes() + cmap.capacity() * sizeof(vid_t) +
+           cewgt.capacity() * sizeof(ewt_t);
+  }
+};
+
+/// Per-chunk scratch for the parallel contraction path: rows are assembled
+/// into these buffers, then concatenated in chunk (= row) order.
+struct ContractChunk {
+  std::vector<eid_t> pos;  ///< dense coarse-neighbour scatter table
+  std::vector<vid_t> adjncy;
+  std::vector<ewt_t> adjwgt;
+};
+
+/// Reusable scratch for contract_into (the parallel path's per-chunk
+/// buffers; the sequential path draws its scratch from the arena instead).
+struct ContractScratch {
+  std::vector<ContractChunk> chunks;
+  std::vector<eid_t> chunk_base;
+
+  std::size_t memory_bytes() const {
+    std::size_t total = chunk_base.capacity() * sizeof(eid_t);
+    for (const ContractChunk& c : chunks) {
+      total += c.pos.capacity() * sizeof(eid_t) + c.adjncy.capacity() * sizeof(vid_t) +
+               c.adjwgt.capacity() * sizeof(ewt_t);
+    }
+    return total;
+  }
 };
 
 /// Contracts `fine` along `match`.  `fine_cewgt` may be empty (level 0).
@@ -39,5 +70,17 @@ struct Contraction {
 /// CSR); the result is byte-identical to the sequential path.
 Contraction contract(const Graph& fine, const Matching& match,
                      std::span<const ewt_t> fine_cewgt, ThreadPool* pool = nullptr);
+
+/// Allocation-free form: call-local tables come from `arena` (reset here),
+/// longer-lived scratch from `scratch`, and the result is rebuilt inside
+/// `out`, recycling the capacity of whatever Contraction previously occupied
+/// it (the coarse Graph's CSR arrays are moved out, refilled, and moved back
+/// in).  The sequential path performs zero heap allocations once every
+/// buffer has warmed to this subproblem's size; the parallel path is
+/// allocation-free except for the pool's task futures.  Byte-identical to
+/// contract() above, which now wraps this.
+void contract_into(const Graph& fine, const Matching& match,
+                   std::span<const ewt_t> fine_cewgt, ThreadPool* pool,
+                   ContractScratch& scratch, ScratchArena& arena, Contraction& out);
 
 }  // namespace mgp

@@ -31,14 +31,23 @@ double hcm_density(vwt_t vu, vwt_t vv, ewt_t cu, ewt_t cv, ewt_t w) {
 
 Matching compute_matching(const Graph& g, MatchingScheme scheme,
                           std::span<const ewt_t> cewgt, Rng& rng) {
+  Matching result;
+  std::vector<vid_t> order;
+  compute_matching(g, scheme, cewgt, rng, result, order);
+  return result;
+}
+
+void compute_matching(const Graph& g, MatchingScheme scheme,
+                      std::span<const ewt_t> cewgt, Rng& rng, Matching& result,
+                      std::vector<vid_t>& order) {
   const vid_t n = g.num_vertices();
   obs::Span span("match");
   span.arg("n", n);
-  Matching result;
-  result.match.resize(static_cast<std::size_t>(n));
-  for (vid_t v = 0; v < n; ++v) result.match[static_cast<std::size_t>(v)] = kInvalidVid;
+  result.match.assign(static_cast<std::size_t>(n), kInvalidVid);
+  result.pairs = 0;
+  result.weight = 0;
 
-  std::vector<vid_t> order = rng.permutation(n);
+  rng.permutation_into(n, order);
   auto matched = [&](vid_t v) { return result.match[static_cast<std::size_t>(v)] != kInvalidVid; };
 
   for (vid_t u : order) {
@@ -127,7 +136,6 @@ Matching compute_matching(const Graph& g, MatchingScheme scheme,
       result.match[static_cast<std::size_t>(u)] = u;
     }
   }
-  return result;
 }
 
 bool is_maximal_matching(const Graph& g, const Matching& m) {

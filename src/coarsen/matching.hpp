@@ -46,6 +46,15 @@ struct Matching {
 Matching compute_matching(const Graph& g, MatchingScheme scheme,
                           std::span<const ewt_t> cewgt, Rng& rng);
 
+/// Allocation-free form: writes the matching into `out` and uses
+/// `order_scratch` for the random visit order, both caller-owned and reused
+/// across calls (no heap traffic once their capacity has warmed).  Draws the
+/// identical RNG stream and produces byte-identical results to the form
+/// above, which is now a thin wrapper over this one.
+void compute_matching(const Graph& g, MatchingScheme scheme,
+                      std::span<const ewt_t> cewgt, Rng& rng, Matching& out,
+                      std::vector<vid_t>& order_scratch);
+
 /// True iff `m` is a valid maximal matching of g: an involution, every
 /// matched pair is an edge, and no unmatched vertex has an unmatched
 /// neighbour.  Used by tests and debug checks.

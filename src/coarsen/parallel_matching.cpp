@@ -8,12 +8,21 @@
 namespace mgp {
 
 Matching compute_matching_parallel_hem(const Graph& g, ThreadPool& pool) {
+  Matching result;
+  std::vector<vid_t> propose;
+  compute_matching_parallel_hem(g, pool, result, propose);
+  return result;
+}
+
+void compute_matching_parallel_hem(const Graph& g, ThreadPool& pool, Matching& result,
+                                   std::vector<vid_t>& propose) {
   const vid_t n = g.num_vertices();
   obs::Span span("match.parallel_hem");
   span.arg("n", n);
-  Matching result;
   result.match.assign(static_cast<std::size_t>(n), kInvalidVid);
-  std::vector<vid_t> propose(static_cast<std::size_t>(n), kInvalidVid);
+  result.pairs = 0;
+  result.weight = 0;
+  propose.assign(static_cast<std::size_t>(n), kInvalidVid);
 
   auto matched = [&](vid_t v) {
     return result.match[static_cast<std::size_t>(v)] != kInvalidVid;
@@ -85,7 +94,6 @@ Matching compute_matching_parallel_hem(const Graph& g, ThreadPool& pool) {
       }
     }
   }
-  return result;
 }
 
 Matching compute_matching_parallel_hem(const Graph& g, int num_threads) {

@@ -30,6 +30,12 @@ namespace mgp {
 /// byte-identical across pool sizes).
 Matching compute_matching_parallel_hem(const Graph& g, ThreadPool& pool);
 
+/// Allocation-free form: the matching goes into `out` and the per-round
+/// proposal table into `propose_scratch`, both caller-owned and reused
+/// across calls.  Byte-identical to the form above (which wraps this one).
+void compute_matching_parallel_hem(const Graph& g, ThreadPool& pool, Matching& out,
+                                   std::vector<vid_t>& propose_scratch);
+
 /// Convenience overload: runs on a temporary pool of `num_threads` workers
 /// (1 = inline sequential execution of the same algorithm).
 Matching compute_matching_parallel_hem(const Graph& g, int num_threads);

@@ -7,6 +7,7 @@
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
+#include "support/workspace.hpp"
 
 namespace mgp {
 namespace {
@@ -146,10 +147,27 @@ KwayResult kway_partition(const Graph& g, part_t k, const MultilevelConfig& cfg,
   if (timers || cfg.obs) phases.emplace(local_reg.emplace());
   obs::PhaseMetrics* const pm = phases ? &*phases : nullptr;
 
-  Bisector bisect = [&cfg, pm, pool](const Graph& sub, vwt_t target0, Rng& r) {
-    return multilevel_bisect(sub, target0, cfg, r, nullptr, pool, pm).bisection;
+  // Workspaces are pooled across the recursion: each subproblem checks one
+  // out for the duration of its bisection and returns it warm, so after the
+  // first few subproblems the serial hot path stops allocating (the fork/
+  // join recursion holds at most one checkout per concurrent worker).
+  WorkspacePool wpool;
+  Bisector bisect = [&cfg, pm, pool, &wpool](const Graph& sub, vwt_t target0, Rng& r) {
+    WorkspacePool::Lease lease = wpool.checkout();
+    return multilevel_bisect(sub, target0, cfg, r, nullptr, pool, pm, lease.get())
+        .bisection;
   };
   KwayResult out = recursive_bisection(g, k, bisect, rng, pool);
+
+  if (cfg.obs) {
+    const WorkspacePool::Stats ws_stats = wpool.stats();
+    cfg.obs->metrics.record_max(cfg.obs->pipeline.arena_bytes_peak,
+                                static_cast<std::int64_t>(ws_stats.bytes_peak));
+    cfg.obs->metrics.add(cfg.obs->pipeline.arena_reuse_hits,
+                         static_cast<std::int64_t>(ws_stats.reuse_hits));
+    cfg.obs->metrics.add(cfg.obs->pipeline.arena_workspaces,
+                         static_cast<std::int64_t>(ws_stats.created));
+  }
 
   if (phases) {
     const PhaseTimers merged = phases->view();

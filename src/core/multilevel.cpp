@@ -9,24 +9,32 @@
 #include "initpart/spectral_init.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
+#include "support/workspace.hpp"
 
 namespace mgp {
 namespace {
 
-Bisection initial_partition(const Graph& g, vwt_t target0, const MultilevelConfig& cfg,
-                            Rng& rng, std::vector<ewt_t>* trial_cuts) {
+/// Initial bisection of the coarsest graph into `b`, scratch from `ws`.
+/// Exactly the draws and selection of the historical return-by-value
+/// dispatch (the *_into kernels are byte-identical to their wrappers).
+void initial_partition(const Graph& g, vwt_t target0, const MultilevelConfig& cfg,
+                       Rng& rng, std::vector<ewt_t>* trial_cuts,
+                       BisectWorkspace& ws, Bisection& b) {
   switch (cfg.initpart) {
     case InitPartScheme::kGGP:
-      return ggp_bisect(g, target0, cfg.ggp_trials, rng, trial_cuts);
+      ggp_bisect_into(g, target0, cfg.ggp_trials, rng, ws.grow, b, trial_cuts);
+      return;
     case InitPartScheme::kGGGP:
-      return gggp_bisect(g, target0, cfg.gggp_trials, rng, trial_cuts);
+      gggp_bisect_into(g, target0, cfg.gggp_trials, rng, ws.grow, b, trial_cuts);
+      return;
     case InitPartScheme::kSpectral: {
-      Bisection b = spectral_bisect(g, target0, /*warm_start=*/{}, cfg.fiedler, rng);
+      FiedlerResult f = fiedler_vector(g, /*warm_start=*/{}, cfg.fiedler, rng);
+      split_at_weighted_median_into(g, f.vector, target0, ws.median_order, b);
       if (trial_cuts) trial_cuts->push_back(b.cut);
-      return b;
+      return;
     }
   }
-  return {};
+  b = Bisection{};
 }
 
 }  // namespace
@@ -34,12 +42,22 @@ Bisection initial_partition(const Graph& g, vwt_t target0, const MultilevelConfi
 BisectResult multilevel_bisect(const Graph& g, vwt_t target0,
                                const MultilevelConfig& cfg, Rng& rng,
                                PhaseTimers* timers, ThreadPool* pool,
-                               obs::PhaseMetrics* phase_metrics) {
+                               obs::PhaseMetrics* phase_metrics,
+                               BisectWorkspace* ext_ws) {
   obs::Span bisect_span("bisect");
   bisect_span.arg("n", g.num_vertices());
 
   PhaseTimers pt;  // forwarded to timers / phase_metrics on exit
   BisectResult out;
+
+  // Workspace-less callers get a call-local one: same code path throughout,
+  // just without cross-call buffer reuse.
+  std::unique_ptr<BisectWorkspace> local_ws;
+  if (!ext_ws) {
+    local_ws = std::make_unique<BisectWorkspace>();
+    ext_ws = local_ws.get();
+  }
+  BisectWorkspace& ws = *ext_ws;
 
   obs::Obs* const ob = cfg.obs;
   const bool report = ob && ob->collect_report;
@@ -57,25 +75,33 @@ BisectResult multilevel_bisect(const Graph& g, vwt_t target0,
   }
 
   // ---- Coarsening phase. -------------------------------------------------
-  // levels[i] holds G_{i+1} and the map from G_i's vertices into it.
-  std::vector<Contraction> levels;
+  // ws.levels[i] holds G_{i+1} and the map from G_i's vertices into it.
+  // Slots persist across calls (their storage is what contract_into
+  // recycles); num_levels tracks how many this call actually used.
+  std::size_t num_levels = 0;
   {
     ScopedPhase phase(pt, PhaseTimers::kCoarsen);
     const Graph* cur = &g;
     std::span<const ewt_t> cewgt;  // empty at level 0
     while (cur->num_vertices() > cfg.coarsen_to) {
       obs::Span level_span("coarsen");
-      level_span.arg("level", static_cast<std::int64_t>(levels.size()));
+      level_span.arg("level", static_cast<std::int64_t>(num_levels));
       level_span.arg("n", cur->num_vertices());
+      if (ws.levels.size() <= num_levels) {
+        ws.levels.push_back(std::make_unique<Contraction>());
+      }
+      Contraction& c = *ws.levels[num_levels];
       // With a pool, HEM switches to the proposal-based parallel matcher
       // (deterministic for every pool size; draws no RNG).  The other
       // schemes have no parallel variant and stay sequential — still
       // byte-identical across pool sizes, since they draw the same RNG
       // stream regardless and contraction is thread-count-invariant.
-      Matching m = (pool && cfg.matching == MatchingScheme::kHeavyEdge)
-                       ? compute_matching_parallel_hem(*cur, *pool)
-                       : compute_matching(*cur, cfg.matching, cewgt, rng);
-      Contraction c = contract(*cur, m, cewgt, pool);
+      if (pool && cfg.matching == MatchingScheme::kHeavyEdge) {
+        compute_matching_parallel_hem(*cur, *pool, ws.match, ws.propose);
+      } else {
+        compute_matching(*cur, cfg.matching, cewgt, rng, ws.match, ws.match_order);
+      }
+      contract_into(*cur, ws.match, cewgt, pool, ws.contract, ws.arena, c);
       const vid_t fine_n = cur->num_vertices();
       const vid_t coarse_n = c.coarse.num_vertices();
       if (static_cast<double>(coarse_n) >
@@ -84,7 +110,7 @@ BisectResult multilevel_bisect(const Graph& g, vwt_t target0,
       }
       if (ob) {
         ob->metrics.add(ob->pipeline.coarsen_levels);
-        ob->metrics.add(ob->pipeline.matched_pairs, m.pairs);
+        ob->metrics.add(ob->pipeline.matched_pairs, ws.match.pairs);
         ob->metrics.observe(ob->pipeline.shrink_pct,
                             fine_n > 0 ? 100 * static_cast<std::int64_t>(coarse_n) /
                                              fine_n
@@ -93,23 +119,23 @@ BisectResult multilevel_bisect(const Graph& g, vwt_t target0,
       if (report) {
         // The matching that built the next level belongs to the *fine* side.
         rep.levels.back().matched_fraction =
-            fine_n > 0 ? 2.0 * static_cast<double>(m.pairs) /
+            fine_n > 0 ? 2.0 * static_cast<double>(ws.match.pairs) /
                              static_cast<double>(fine_n)
                        : 0.0;
         obs::LevelReport lr;
-        lr.level = static_cast<int>(levels.size()) + 1;
+        lr.level = static_cast<int>(num_levels) + 1;
         lr.vertices = coarse_n;
         lr.edges = c.coarse.num_edges();
         lr.total_vertex_weight = c.coarse.total_vertex_weight();
         rep.levels.push_back(lr);
       }
-      levels.push_back(std::move(c));
-      cur = &levels.back().coarse;
-      cewgt = levels.back().cewgt;
+      ++num_levels;
+      cur = &c.coarse;
+      cewgt = c.cewgt;
     }
   }
-  const Graph& coarsest = levels.empty() ? g : levels.back().coarse;
-  out.levels = static_cast<int>(levels.size());
+  const Graph& coarsest = num_levels == 0 ? g : ws.levels[num_levels - 1]->coarse;
+  out.levels = static_cast<int>(num_levels);
   out.coarsest_n = coarsest.num_vertices();
   if (report) {
     rep.num_levels = out.levels;
@@ -123,8 +149,8 @@ BisectResult multilevel_bisect(const Graph& g, vwt_t target0,
     obs::Span span("initpart");
     span.arg("n", coarsest.num_vertices());
     std::vector<ewt_t> trial_cuts;
-    b = initial_partition(coarsest, target0, cfg, rng,
-                          report ? &trial_cuts : nullptr);
+    initial_partition(coarsest, target0, cfg, rng,
+                      report ? &trial_cuts : nullptr, ws, b);
     if (report) {
       rep.initpart_candidate_cuts.assign(trial_cuts.begin(), trial_cuts.end());
       rep.initial_cut = b.cut;
@@ -133,14 +159,14 @@ BisectResult multilevel_bisect(const Graph& g, vwt_t target0,
 
   // ---- Uncoarsening phase: refine, project, repeat. ------------------------
   const vid_t original_n = g.num_vertices();
-  // Level index of `b`'s graph counts down: levels.size() .. 0, where 0 is g.
-  for (std::size_t li = levels.size() + 1; li-- > 0;) {
-    const Graph& level_graph = (li == 0) ? g : levels[li - 1].coarse;
+  // Level index of `b`'s graph counts down: num_levels .. 0, where 0 is g.
+  for (std::size_t li = num_levels + 1; li-- > 0;) {
+    const Graph& level_graph = (li == 0) ? g : ws.levels[li - 1]->coarse;
 
     const bool refine_here =
         cfg.refine != RefinePolicy::kNone &&
         (li == 0 ||
-         static_cast<int>((levels.size() - li)) % cfg.refine_period == 0);
+         static_cast<int>((num_levels - li)) % cfg.refine_period == 0);
     if (refine_here) {
       ScopedPhase phase(pt, PhaseTimers::kRefine);
       obs::Span span("refine");
@@ -149,7 +175,7 @@ BisectResult multilevel_bisect(const Graph& g, vwt_t target0,
       const ewt_t cut_before = b.cut;
       std::vector<obs::KlPassReport> pass_log;
       KlStats s = refine_bisection(level_graph, b, target0, cfg.refine, original_n,
-                                   rng, cfg.kl, ob ? &pass_log : nullptr);
+                                   rng, cfg.kl, ob ? &pass_log : nullptr, &ws.kl);
       out.refine_stats.passes += s.passes;
       out.refine_stats.swapped += s.swapped;
       out.refine_stats.moves_attempted += s.moves_attempted;
@@ -185,21 +211,18 @@ BisectResult multilevel_bisect(const Graph& g, vwt_t target0,
     if (li == 0) break;
 
     // Project P_{i+1} to P_i: each fine vertex inherits its multinode's side.
+    // The side buffer ping-pongs with ws.proj, so projection reuses the same
+    // two buffers all the way down the ladder.
     ScopedPhase phase(pt, PhaseTimers::kProject);
     obs::Span span("project");
     span.arg("level", static_cast<std::int64_t>(li));
-    const std::vector<vid_t>& cmap = levels[li - 1].cmap;
-    std::vector<part_t> fine_side(cmap.size());
+    const std::vector<vid_t>& cmap = ws.levels[li - 1]->cmap;
+    ws.proj.resize(cmap.size());
     for (std::size_t v = 0; v < cmap.size(); ++v) {
-      fine_side[v] = b.side[static_cast<std::size_t>(cmap[v])];
+      ws.proj[v] = b.side[static_cast<std::size_t>(cmap[v])];
     }
     // Part weights and cut are invariant under projection (§3.1).
-    Bisection fine;
-    fine.side = std::move(fine_side);
-    fine.part_weight[0] = b.part_weight[0];
-    fine.part_weight[1] = b.part_weight[1];
-    fine.cut = b.cut;
-    b = std::move(fine);
+    std::swap(b.side, ws.proj);
   }
 
   if (ob) ob->metrics.add(ob->pipeline.bisections);

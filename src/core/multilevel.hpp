@@ -11,6 +11,8 @@
 
 namespace mgp {
 
+struct BisectWorkspace;
+
 struct BisectResult {
   Bisection bisection;    ///< labels on the *original* graph
   int levels = 0;         ///< number of coarsening steps performed
@@ -41,10 +43,16 @@ struct BisectResult {
 /// for every pool size, including a 1-thread pool (see DESIGN.md
 /// "Threading model & determinism"); with pool == nullptr the fully
 /// sequential pre-pool path runs.
+///
+/// If `ws` is non-null every kernel's scratch and the coarsening ladder's
+/// storage come from it (see support/workspace.hpp): a warm workspace makes
+/// the serial hot path allocation-free, and the partition is byte-identical
+/// to a workspace-less call.  A null `ws` uses a call-local workspace.
 BisectResult multilevel_bisect(const Graph& g, vwt_t target0,
                                const MultilevelConfig& cfg, Rng& rng,
                                PhaseTimers* timers = nullptr,
                                ThreadPool* pool = nullptr,
-                               obs::PhaseMetrics* phase_metrics = nullptr);
+                               obs::PhaseMetrics* phase_metrics = nullptr,
+                               BisectWorkspace* ws = nullptr);
 
 }  // namespace mgp

@@ -23,6 +23,22 @@ Graph::Graph(std::vector<eid_t> xadj, std::vector<vid_t> adjncy,
   total_ewgt_ = twice / 2;
 }
 
+Graph::Storage Graph::take_storage() {
+  Storage s;
+  s.xadj = std::move(xadj_);
+  s.adjncy = std::move(adjncy_);
+  s.vwgt = std::move(vwgt_);
+  s.adjwgt = std::move(adjwgt_);
+  n_ = 0;
+  total_vwgt_ = 0;
+  total_ewgt_ = 0;
+  xadj_.clear();
+  adjncy_.clear();
+  vwgt_.clear();
+  adjwgt_.clear();
+  return s;
+}
+
 ewt_t Graph::max_weighted_degree() const {
   ewt_t best = 0;
   for (vid_t u = 0; u < n_; ++u) {

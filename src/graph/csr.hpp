@@ -83,6 +83,27 @@ class Graph {
 
   bool empty() const { return n_ == 0; }
 
+  /// The four CSR arrays, detached from a Graph so their capacity can be
+  /// recycled (support/workspace.hpp): buffers move out, get refilled with
+  /// a new graph's data, and move back in through the owning constructor —
+  /// std::vector moves preserve capacity, so a warm workspace rebuilds
+  /// coarse graphs without touching the heap.
+  struct Storage {
+    std::vector<eid_t> xadj;
+    std::vector<vid_t> adjncy;
+    std::vector<vwt_t> vwgt;
+    std::vector<ewt_t> adjwgt;
+  };
+
+  /// Moves the CSR arrays out, leaving *this empty.
+  Storage take_storage();
+
+  /// Heap bytes currently reserved by the CSR arrays (capacity, not size).
+  std::size_t memory_bytes() const {
+    return xadj_.capacity() * sizeof(eid_t) + adjncy_.capacity() * sizeof(vid_t) +
+           adjwgt_.capacity() * sizeof(ewt_t) + vwgt_.capacity() * sizeof(vwt_t);
+  }
+
  private:
   vid_t n_ = 0;
   std::vector<eid_t> xadj_;

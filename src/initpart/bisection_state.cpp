@@ -22,11 +22,17 @@ ewt_t compute_cut(const Graph& g, std::span<const part_t> side) {
 Bisection make_bisection(const Graph& g, std::vector<part_t> side) {
   Bisection b;
   b.side = std::move(side);
+  refresh_bisection(g, b);
+  return b;
+}
+
+void refresh_bisection(const Graph& g, Bisection& b) {
+  b.part_weight[0] = 0;
+  b.part_weight[1] = 0;
   for (vid_t v = 0; v < g.num_vertices(); ++v) {
     b.part_weight[b.side[static_cast<std::size_t>(v)]] += g.vertex_weight(v);
   }
   b.cut = compute_cut(g, b.side);
-  return b;
 }
 
 double bisection_balance(const Graph& g, const Bisection& b, vwt_t target0) {

@@ -29,6 +29,11 @@ ewt_t compute_cut(const Graph& g, std::span<const part_t> side);
 /// Builds a Bisection from a labelling, computing weights and cut. O(|E|).
 Bisection make_bisection(const Graph& g, std::vector<part_t> side);
 
+/// Recomputes b's cached part weights and cut from b.side (already sized and
+/// labelled) without touching the heap.  make_bisection == move side in,
+/// then refresh.
+void refresh_bisection(const Graph& g, Bisection& b);
+
 /// max(part_weight) / ideal(part weight given targets); 1.0 is perfect.
 /// `target0` is the desired weight of side 0 (defaults to half).
 double bisection_balance(const Graph& g, const Bisection& b, vwt_t target0);

@@ -1,8 +1,7 @@
 #include "initpart/graph_grow.hpp"
 
 #include <cassert>
-
-#include "support/bucket_queue.hpp"
+#include <utility>
 
 namespace mgp {
 namespace {
@@ -19,75 +18,125 @@ vid_t random_unreached(const Graph& g, std::span<const part_t> side, Rng& rng) {
   return kInvalidVid;
 }
 
+/// Runs `grow` `trials` times into ws.trial, keeping the smallest cut in
+/// `best` by swapping buffers (first trial always wins over whatever `best`
+/// held on entry — same selection as the historical "best starts empty"
+/// loop, with no per-trial allocation).
+template <typename GrowFn>
+void best_of_trials(const Graph& g, vwt_t target0, int trials, Rng& rng,
+                    GrowScratch& ws, Bisection& best,
+                    std::vector<ewt_t>* trial_cuts, GrowFn grow) {
+  bool have_best = false;
+  for (int t = 0; t < trials; ++t) {
+    grow(g, target0, rng, ws, ws.trial);
+    if (trial_cuts) trial_cuts->push_back(ws.trial.cut);
+    if (!have_best || ws.trial.cut < best.cut) {
+      std::swap(best.side, ws.trial.side);
+      best.part_weight[0] = ws.trial.part_weight[0];
+      best.part_weight[1] = ws.trial.part_weight[1];
+      best.cut = ws.trial.cut;
+      have_best = true;
+    }
+  }
+  if (!have_best) {
+    best.side.clear();
+    best.part_weight[0] = 0;
+    best.part_weight[1] = 0;
+    best.cut = 0;
+  }
+}
+
 }  // namespace
 
-Bisection ggp_grow_once(const Graph& g, vwt_t target0, Rng& rng) {
+void ggp_grow_into(const Graph& g, vwt_t target0, Rng& rng, GrowScratch& ws,
+                   Bisection& out) {
   const vid_t n = g.num_vertices();
-  std::vector<part_t> side(static_cast<std::size_t>(n), 1);
-  if (n == 0) return make_bisection(g, std::move(side));
+  out.side.assign(static_cast<std::size_t>(n), 1);
+  if (n == 0) {
+    refresh_bisection(g, out);
+    return;
+  }
 
-  std::vector<vid_t> queue;
+  std::vector<vid_t>& queue = ws.bfs_queue;
+  queue.clear();
   queue.reserve(static_cast<std::size_t>(n));
   vwt_t grown = 0;
   std::size_t head = 0;
 
   vid_t seed = rng.next_vid(n);
-  side[static_cast<std::size_t>(seed)] = 0;
+  out.side[static_cast<std::size_t>(seed)] = 0;
   grown += g.vertex_weight(seed);
   queue.push_back(seed);
 
   while (grown < target0) {
     if (head == queue.size()) {
-      vid_t reseed = random_unreached(g, side, rng);
+      vid_t reseed = random_unreached(g, out.side, rng);
       if (reseed == kInvalidVid) break;  // everything absorbed
-      side[static_cast<std::size_t>(reseed)] = 0;
+      out.side[static_cast<std::size_t>(reseed)] = 0;
       grown += g.vertex_weight(reseed);
       queue.push_back(reseed);
       continue;
     }
     vid_t u = queue[head++];
     for (vid_t v : g.neighbors(u)) {
-      if (side[static_cast<std::size_t>(v)] == 1) {
-        side[static_cast<std::size_t>(v)] = 0;
+      if (out.side[static_cast<std::size_t>(v)] == 1) {
+        out.side[static_cast<std::size_t>(v)] = 0;
         grown += g.vertex_weight(v);
         queue.push_back(v);
         if (grown >= target0) break;
       }
     }
   }
-  return make_bisection(g, std::move(side));
+  refresh_bisection(g, out);
+}
+
+Bisection ggp_grow_once(const Graph& g, vwt_t target0, Rng& rng) {
+  GrowScratch ws;
+  Bisection out;
+  ggp_grow_into(g, target0, rng, ws, out);
+  return out;
+}
+
+void ggp_bisect_into(const Graph& g, vwt_t target0, int trials, Rng& rng,
+                     GrowScratch& ws, Bisection& best,
+                     std::vector<ewt_t>* trial_cuts) {
+  best_of_trials(g, target0, trials, rng, ws, best, trial_cuts,
+                 [](const Graph& gg, vwt_t t0, Rng& r, GrowScratch& w, Bisection& out) {
+                   ggp_grow_into(gg, t0, r, w, out);
+                 });
 }
 
 Bisection ggp_bisect(const Graph& g, vwt_t target0, int trials, Rng& rng,
                      std::vector<ewt_t>* trial_cuts) {
+  GrowScratch ws;
   Bisection best;
-  for (int t = 0; t < trials; ++t) {
-    Bisection b = ggp_grow_once(g, target0, rng);
-    if (trial_cuts) trial_cuts->push_back(b.cut);
-    if (best.empty() || b.cut < best.cut) best = std::move(b);
-  }
+  ggp_bisect_into(g, target0, trials, rng, ws, best, trial_cuts);
   return best;
 }
 
-Bisection gggp_grow_once(const Graph& g, vwt_t target0, Rng& rng) {
+void gggp_grow_into(const Graph& g, vwt_t target0, Rng& rng, GrowScratch& ws,
+                    Bisection& out) {
   const vid_t n = g.num_vertices();
-  std::vector<part_t> side(static_cast<std::size_t>(n), 1);
-  if (n == 0) return make_bisection(g, std::move(side));
+  out.side.assign(static_cast<std::size_t>(n), 1);
+  if (n == 0) {
+    refresh_bisection(g, out);
+    return;
+  }
 
   // Gain of absorbing v into side 0: (weight of edges to side 0) - (weight
   // of edges to side 1).  Only frontier vertices live in the queue.
-  BucketQueue pq;
+  BucketQueue& pq = ws.pq;
   pq.reset(n, std::max<ewt_t>(1, g.max_weighted_degree()));
 
   vwt_t grown = 0;
   auto absorb = [&](vid_t u) {
-    side[static_cast<std::size_t>(u)] = 0;
+    out.side[static_cast<std::size_t>(u)] = 0;
     grown += g.vertex_weight(u);
     auto nbrs = g.neighbors(u);
     auto wgts = g.edge_weights(u);
     for (std::size_t i = 0; i < nbrs.size(); ++i) {
       vid_t v = nbrs[i];
-      if (side[static_cast<std::size_t>(v)] == 0) continue;
+      if (out.side[static_cast<std::size_t>(v)] == 0) continue;
       // v gains 2*w(u,v): the edge (u,v) moves from "to side 1" to "to side 0".
       if (pq.contains(v)) {
         pq.update(v, pq.gain_of(v) + 2 * wgts[i]);
@@ -104,24 +153,37 @@ Bisection gggp_grow_once(const Graph& g, vwt_t target0, Rng& rng) {
   absorb(rng.next_vid(n));
   while (grown < target0) {
     if (pq.empty()) {
-      vid_t reseed = random_unreached(g, side, rng);
+      vid_t reseed = random_unreached(g, out.side, rng);
       if (reseed == kInvalidVid) break;
       absorb(reseed);
       continue;
     }
     absorb(pq.pop_max());
   }
-  return make_bisection(g, std::move(side));
+  refresh_bisection(g, out);
+}
+
+Bisection gggp_grow_once(const Graph& g, vwt_t target0, Rng& rng) {
+  GrowScratch ws;
+  Bisection out;
+  gggp_grow_into(g, target0, rng, ws, out);
+  return out;
+}
+
+void gggp_bisect_into(const Graph& g, vwt_t target0, int trials, Rng& rng,
+                      GrowScratch& ws, Bisection& best,
+                      std::vector<ewt_t>* trial_cuts) {
+  best_of_trials(g, target0, trials, rng, ws, best, trial_cuts,
+                 [](const Graph& gg, vwt_t t0, Rng& r, GrowScratch& w, Bisection& out) {
+                   gggp_grow_into(gg, t0, r, w, out);
+                 });
 }
 
 Bisection gggp_bisect(const Graph& g, vwt_t target0, int trials, Rng& rng,
                       std::vector<ewt_t>* trial_cuts) {
+  GrowScratch ws;
   Bisection best;
-  for (int t = 0; t < trials; ++t) {
-    Bisection b = gggp_grow_once(g, target0, rng);
-    if (trial_cuts) trial_cuts->push_back(b.cut);
-    if (best.empty() || b.cut < best.cut) best = std::move(b);
-  }
+  gggp_bisect_into(g, target0, trials, rng, ws, best, trial_cuts);
   return best;
 }
 

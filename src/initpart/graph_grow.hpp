@@ -14,9 +14,24 @@
 #include <vector>
 
 #include "initpart/bisection_state.hpp"
+#include "support/bucket_queue.hpp"
 #include "support/rng.hpp"
 
 namespace mgp {
+
+/// Reusable scratch for the graph-growing bisectors: the BFS frontier (GGP),
+/// the gain queue (GGGP), and a per-trial labelling.  Keeping one of these
+/// warm makes every *_into call below allocation-free.
+struct GrowScratch {
+  std::vector<vid_t> bfs_queue;
+  BucketQueue pq;
+  Bisection trial;
+
+  std::size_t memory_bytes() const {
+    return bfs_queue.capacity() * sizeof(vid_t) +
+           trial.side.capacity() * sizeof(part_t);
+  }
+};
 
 /// One GGP bisection: grows side 0 until its weight reaches `target0`.
 /// Disconnected graphs are handled by re-seeding in an untouched component.
@@ -33,6 +48,20 @@ Bisection gggp_grow_once(const Graph& g, vwt_t target0, Rng& rng);
 
 /// Best of `trials` GGGP bisections (smallest cut).  `trial_cuts` as above.
 Bisection gggp_bisect(const Graph& g, vwt_t target0, int trials, Rng& rng,
+                      std::vector<ewt_t>* trial_cuts = nullptr);
+
+/// Allocation-free forms: scratch comes from `ws` and the result lands in
+/// `out`/`best`, whose buffers are recycled across calls.  Identical RNG
+/// draws and byte-identical results to the forms above (which wrap these).
+void ggp_grow_into(const Graph& g, vwt_t target0, Rng& rng, GrowScratch& ws,
+                   Bisection& out);
+void ggp_bisect_into(const Graph& g, vwt_t target0, int trials, Rng& rng,
+                     GrowScratch& ws, Bisection& best,
+                     std::vector<ewt_t>* trial_cuts = nullptr);
+void gggp_grow_into(const Graph& g, vwt_t target0, Rng& rng, GrowScratch& ws,
+                    Bisection& out);
+void gggp_bisect_into(const Graph& g, vwt_t target0, int trials, Rng& rng,
+                      GrowScratch& ws, Bisection& best,
                       std::vector<ewt_t>* trial_cuts = nullptr);
 
 }  // namespace mgp

@@ -7,8 +7,17 @@ namespace mgp {
 
 Bisection split_at_weighted_median(const Graph& g, std::span<const double> values,
                                    vwt_t target0) {
+  std::vector<vid_t> order;
+  Bisection out;
+  split_at_weighted_median_into(g, values, target0, order, out);
+  return out;
+}
+
+void split_at_weighted_median_into(const Graph& g, std::span<const double> values,
+                                   vwt_t target0, std::vector<vid_t>& order,
+                                   Bisection& out) {
   const vid_t n = g.num_vertices();
-  std::vector<vid_t> order(static_cast<std::size_t>(n));
+  order.resize(static_cast<std::size_t>(n));
   std::iota(order.begin(), order.end(), vid_t{0});
   std::sort(order.begin(), order.end(), [&](vid_t a, vid_t b) {
     double va = values[static_cast<std::size_t>(a)];
@@ -17,14 +26,14 @@ Bisection split_at_weighted_median(const Graph& g, std::span<const double> value
     return a < b;  // deterministic tie-break
   });
 
-  std::vector<part_t> side(static_cast<std::size_t>(n), 1);
+  out.side.assign(static_cast<std::size_t>(n), 1);
   vwt_t grown = 0;
   for (vid_t v : order) {
     if (grown >= target0) break;
-    side[static_cast<std::size_t>(v)] = 0;
+    out.side[static_cast<std::size_t>(v)] = 0;
     grown += g.vertex_weight(v);
   }
-  return make_bisection(g, std::move(side));
+  refresh_bisection(g, out);
 }
 
 Bisection spectral_bisect(const Graph& g, vwt_t target0,

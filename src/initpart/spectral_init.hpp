@@ -27,4 +27,12 @@ Bisection spectral_bisect(const Graph& g, vwt_t target0,
 Bisection split_at_weighted_median(const Graph& g, std::span<const double> values,
                                    vwt_t target0);
 
+/// Allocation-free form: the sort order comes from `order_scratch` and the
+/// result lands in `out`, both caller-owned and reused.  Byte-identical to
+/// the form above (which wraps this).  The eigensolve itself still
+/// allocates — only the split is workspace-managed.
+void split_at_weighted_median_into(const Graph& g, std::span<const double> values,
+                                   vwt_t target0, std::vector<vid_t>& order_scratch,
+                                   Bisection& out);
+
 }  // namespace mgp

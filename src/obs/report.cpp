@@ -196,6 +196,9 @@ Obs::PipelineMetrics::PipelineMetrics(MetricsRegistry& reg)
       kl_early_exits(reg.counter("kl.early_exits")),
       queue_peak(reg.max_gauge("kl.queue_peak")),
       shrink_pct(reg.histogram("coarsen.shrink_pct",
-                               {50, 55, 60, 65, 70, 75, 80, 85, 90, 95})) {}
+                               {50, 55, 60, 65, 70, 75, 80, 85, 90, 95})),
+      arena_bytes_peak(reg.max_gauge("arena.bytes_peak")),
+      arena_reuse_hits(reg.counter("arena.reuse_hits")),
+      arena_workspaces(reg.counter("arena.workspaces")) {}
 
 }  // namespace mgp::obs

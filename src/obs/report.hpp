@@ -137,6 +137,9 @@ struct Obs {
     MetricsRegistry::Id kl_early_exits;    ///< counter: window-terminated passes
     MetricsRegistry::Id queue_peak;        ///< max gauge: bucket-queue occupancy
     MetricsRegistry::Id shrink_pct;        ///< histogram: coarse/fine * 100 per level
+    MetricsRegistry::Id arena_bytes_peak;  ///< max gauge: workspace footprint peak
+    MetricsRegistry::Id arena_reuse_hits;  ///< counter: warm workspace checkouts
+    MetricsRegistry::Id arena_workspaces;  ///< counter: workspaces constructed
     explicit PipelineMetrics(MetricsRegistry& reg);
   } pipeline;
 

@@ -10,16 +10,7 @@
 namespace mgp {
 namespace {
 
-/// Workspace reused across passes of one kl_refine call.
-struct Workspace {
-  std::vector<ewt_t> ed;        // external degree: edge weight to other side
-  std::vector<ewt_t> id;        // internal degree: edge weight to own side
-  std::vector<char> locked;     // moved this pass
-  BucketQueue queue[2];         // per-side gain queues
-  std::vector<vid_t> moves;     // move log for undo
-};
-
-ewt_t gain_of(const Workspace& ws, vid_t v) {
+ewt_t gain_of(const KlWorkspace& ws, vid_t v) {
   return ws.ed[static_cast<std::size_t>(v)] - ws.id[static_cast<std::size_t>(v)];
 }
 
@@ -39,7 +30,8 @@ vid_t count_boundary_vertices(const Graph& g, std::span<const part_t> side) {
 }
 
 KlStats kl_refine(const Graph& g, Bisection& b, vwt_t target0, const KlOptions& opts,
-                  Rng& rng, std::vector<obs::KlPassReport>* pass_log) {
+                  Rng& rng, std::vector<obs::KlPassReport>* pass_log,
+                  KlWorkspace* ext_ws) {
   const vid_t n = g.num_vertices();
   KlStats stats;
   if (n == 0) return stats;
@@ -53,7 +45,8 @@ KlStats kl_refine(const Graph& g, Bisection& b, vwt_t target0, const KlOptions& 
   const vwt_t slack =
       static_cast<vwt_t>(opts.weight_slack_factor * static_cast<double>(max_vwgt));
 
-  Workspace ws;
+  KlWorkspace local_ws;
+  KlWorkspace& ws = ext_ws ? *ext_ws : local_ws;
   ws.ed.resize(static_cast<std::size_t>(n));
   ws.id.resize(static_cast<std::size_t>(n));
   ws.locked.resize(static_cast<std::size_t>(n));
@@ -89,8 +82,8 @@ KlStats kl_refine(const Graph& g, Bisection& b, vwt_t target0, const KlOptions& 
 
     // Insert in random order so bucket LIFO ties break randomly (the paper's
     // algorithms are randomized end to end).
-    std::vector<vid_t> order = rng.permutation(n);
-    for (vid_t v : order) {
+    rng.permutation_into(n, ws.order);
+    for (vid_t v : ws.order) {
       if (opts.boundary_only && ws.ed[static_cast<std::size_t>(v)] == 0) continue;
       ws.queue[b.side[static_cast<std::size_t>(v)]].insert(v, gain_of(ws, v));
       ++stats.insertions;

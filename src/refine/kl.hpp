@@ -18,9 +18,30 @@
 
 #include "initpart/bisection_state.hpp"
 #include "obs/report.hpp"
+#include "support/bucket_queue.hpp"
 #include "support/rng.hpp"
 
 namespace mgp {
+
+/// Reusable scratch of one kl_refine call: gain bookkeeping, the per-side
+/// FM bucket queues, the move log for undo, and the random insertion order.
+/// Pass a warm one to kl_refine for an allocation-free inner loop; every
+/// field is fully re-initialised per pass, so a reused workspace behaves
+/// exactly like a fresh one.
+struct KlWorkspace {
+  std::vector<ewt_t> ed;        ///< external degree: edge weight to other side
+  std::vector<ewt_t> id;        ///< internal degree: edge weight to own side
+  std::vector<char> locked;     ///< moved this pass
+  BucketQueue queue[2];         ///< per-side gain queues
+  std::vector<vid_t> moves;     ///< move log for undo
+  std::vector<vid_t> order;     ///< random insertion order
+
+  std::size_t memory_bytes() const {
+    return ed.capacity() * sizeof(ewt_t) + id.capacity() * sizeof(ewt_t) +
+           locked.capacity() + moves.capacity() * sizeof(vid_t) +
+           order.capacity() * sizeof(vid_t);
+  }
+};
 
 struct KlOptions {
   /// Stop a pass after this many consecutive non-improving moves (§3.3's x).
@@ -58,8 +79,13 @@ struct KlStats {
 /// When `pass_log` is non-null, one obs::KlPassReport per executed pass is
 /// appended (moves / rollbacks / early-exit / bucket-queue peak occupancy).
 /// Logging is passive — it draws no randomness and cannot change the result.
+///
+/// When `ws` is non-null its buffers are used as the call's scratch (and
+/// retained for the next call); a null `ws` uses a call-local workspace.
+/// Results are byte-identical either way.
 KlStats kl_refine(const Graph& g, Bisection& b, vwt_t target0, const KlOptions& opts,
-                  Rng& rng, std::vector<obs::KlPassReport>* pass_log = nullptr);
+                  Rng& rng, std::vector<obs::KlPassReport>* pass_log = nullptr,
+                  KlWorkspace* ws = nullptr);
 
 /// Number of boundary vertices (vertices with at least one cut edge).
 vid_t count_boundary_vertices(const Graph& g, std::span<const part_t> side);

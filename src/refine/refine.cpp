@@ -17,7 +17,7 @@ std::string to_string(RefinePolicy p) {
 KlStats refine_bisection(const Graph& g, Bisection& b, vwt_t target0,
                          RefinePolicy policy, vid_t original_n, Rng& rng,
                          const KlOptions& base_opts,
-                         std::vector<obs::KlPassReport>* pass_log) {
+                         std::vector<obs::KlPassReport>* pass_log, KlWorkspace* ws) {
   KlOptions opts = base_opts;
   switch (policy) {
     case RefinePolicy::kNone:
@@ -51,7 +51,7 @@ KlStats refine_bisection(const Graph& g, Bisection& b, vwt_t target0,
       break;
     }
   }
-  return kl_refine(g, b, target0, opts, rng, pass_log);
+  return kl_refine(g, b, target0, opts, rng, pass_log, ws);
 }
 
 }  // namespace mgp

@@ -30,9 +30,13 @@ std::string to_string(RefinePolicy p);
 ///
 /// `pass_log`, when non-null, collects one obs::KlPassReport per KL pass
 /// (see kl_refine); passive, never perturbs the result.
+///
+/// `ws`, when non-null, supplies the KL engine's scratch buffers (reused
+/// across calls; byte-identical results either way — see kl_refine).
 KlStats refine_bisection(const Graph& g, Bisection& b, vwt_t target0,
                          RefinePolicy policy, vid_t original_n, Rng& rng,
                          const KlOptions& base_opts = {},
-                         std::vector<obs::KlPassReport>* pass_log = nullptr);
+                         std::vector<obs::KlPassReport>* pass_log = nullptr,
+                         KlWorkspace* ws = nullptr);
 
 }  // namespace mgp

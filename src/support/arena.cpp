@@ -1,0 +1,77 @@
+#include "support/arena.hpp"
+
+#include <algorithm>
+
+namespace mgp {
+
+void* ScratchArena::alloc_bytes(std::size_t bytes, std::size_t align) {
+  // Keep every handout maximally aligned so interleaved element types never
+  // see a misaligned pointer; the padding is charged to the epoch.
+  const std::size_t step = (bytes + alignof(std::max_align_t) - 1) &
+                           ~(alignof(std::max_align_t) - 1);
+  (void)align;  // subsumed by max_align_t rounding
+  void* p;
+  if (cur_ < chunks_.size() && off_ + step <= chunks_[cur_].size) {
+    p = chunks_[cur_].data.get() + off_;
+    off_ += step;
+  } else {
+    p = alloc_slow(step);
+  }
+  used_ += step;
+  peak_ = std::max(peak_, used_);
+  return p;
+}
+
+void* ScratchArena::alloc_slow(std::size_t bytes) {
+  // Advance to the next chunk that fits; append a fresh one when none does.
+  // Growth doubles the last chunk so the number of chunks per epoch is
+  // logarithmic even under adversarial request sequences.
+  while (cur_ + 1 < chunks_.size()) {
+    ++cur_;
+    off_ = 0;
+    if (bytes <= chunks_[cur_].size) {
+      off_ = bytes;
+      return chunks_[cur_].data.get();
+    }
+  }
+  std::size_t size = chunks_.empty() ? kMinChunk : chunks_.back().size * 2;
+  size = std::max(size, bytes);
+  Chunk c;
+  c.data = std::make_unique<std::byte[]>(size);
+  c.size = size;
+  ++chunk_allocs_;
+  chunks_.push_back(std::move(c));
+  cur_ = chunks_.size() - 1;
+  off_ = bytes;
+  return chunks_[cur_].data.get();
+}
+
+void ScratchArena::reset() {
+  if (chunks_.size() > 1) {
+    // The last epoch fragmented across chunks: coalesce into one chunk
+    // covering the peak, so future epochs bump a single region.
+    const std::size_t size = std::max(peak_, kMinChunk);
+    chunks_.clear();
+    Chunk c;
+    c.data = std::make_unique<std::byte[]>(size);
+    c.size = size;
+    ++chunk_allocs_;
+    chunks_.push_back(std::move(c));
+  }
+  cur_ = 0;
+  off_ = 0;
+  used_ = 0;
+}
+
+void ScratchArena::release() {
+  chunks_.clear();
+  cur_ = off_ = used_ = 0;
+}
+
+std::size_t ScratchArena::bytes_reserved() const {
+  std::size_t total = 0;
+  for (const Chunk& c : chunks_) total += c.size;
+  return total;
+}
+
+}  // namespace mgp

@@ -1,0 +1,86 @@
+// Bump-allocated scratch arena with high-water-mark reuse.
+//
+// The multilevel ladder's hot path needs many short-lived, size-bounded
+// buffers (scatter tables, visit orders, move logs) whose lifetimes nest
+// inside a single kernel invocation.  Allocating them per call is pure
+// allocator traffic — Sanders & Schulz attribute a large constant-factor
+// share of a multilevel partitioner's runtime to exactly this churn — so the
+// arena hands out typed spans from pooled chunks instead:
+//
+//   * alloc<T>(n) bumps a pointer; no heap activity once the arena has
+//     grown to its high-water mark;
+//   * reset() rewinds to empty while keeping the memory, so the next kernel
+//     call reuses the same bytes (and the same cache lines);
+//   * after a reset that observed more than one chunk, the arena coalesces
+//     into a single chunk sized to the peak — the steady state is one chunk
+//     and zero mallocs, which the allocation-guard tests assert.
+//
+// The arena is single-threaded by design: each BisectWorkspace (see
+// support/workspace.hpp) owns one, and workspaces are checked out by one
+// worker at a time.  Only trivially-destructible element types are allowed;
+// spans are uninitialized and valid until the next reset().
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+namespace mgp {
+
+class ScratchArena {
+ public:
+  ScratchArena() = default;
+  ScratchArena(const ScratchArena&) = delete;
+  ScratchArena& operator=(const ScratchArena&) = delete;
+
+  /// Uninitialized span of n elements, aligned for T.  Valid until reset().
+  template <typename T>
+  std::span<T> alloc(std::size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena memory is never destructed");
+    void* p = alloc_bytes(n * sizeof(T), alignof(T));
+    return {static_cast<T*>(p), n};
+  }
+
+  /// Rewinds to empty, keeping capacity.  If the last epoch spilled into
+  /// more than one chunk, the chunks are replaced by a single one sized to
+  /// the high-water mark (one allocation now, none afterwards).
+  void reset();
+
+  /// Drops all memory (capacity included).  Stats survive.
+  void release();
+
+  /// Bytes handed out since the last reset().
+  std::size_t bytes_used() const { return used_; }
+  /// Largest bytes_used() ever observed (the high-water mark).
+  std::size_t bytes_peak() const { return peak_; }
+  /// Total bytes currently reserved across chunks.
+  std::size_t bytes_reserved() const;
+  /// Number of chunk mallocs performed over the arena's lifetime.  Constant
+  /// once warm — the allocation-regression tests watch this via the global
+  /// counting allocator.
+  std::size_t chunk_allocs() const { return chunk_allocs_; }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+  };
+
+  void* alloc_bytes(std::size_t bytes, std::size_t align);
+  /// Moves to a chunk that fits `bytes`, allocating one if needed.
+  void* alloc_slow(std::size_t bytes);
+
+  static constexpr std::size_t kMinChunk = 1 << 14;  // 16 KiB floor
+
+  std::vector<Chunk> chunks_;
+  std::size_t cur_ = 0;      // chunk being bumped
+  std::size_t off_ = 0;      // offset into chunks_[cur_]
+  std::size_t used_ = 0;     // bytes handed out this epoch (incl. padding)
+  std::size_t peak_ = 0;
+  std::size_t chunk_allocs_ = 0;
+};
+
+}  // namespace mgp

@@ -61,10 +61,15 @@ double Rng::next_double() {
 Rng Rng::split() { return Rng(next_u64()); }
 
 std::vector<vid_t> Rng::permutation(vid_t n) {
-  std::vector<vid_t> perm(static_cast<std::size_t>(n));
-  std::iota(perm.begin(), perm.end(), vid_t{0});
-  shuffle(std::span<vid_t>(perm));
+  std::vector<vid_t> perm;
+  permutation_into(n, perm);
   return perm;
+}
+
+void Rng::permutation_into(vid_t n, std::vector<vid_t>& out) {
+  out.resize(static_cast<std::size_t>(n));
+  std::iota(out.begin(), out.end(), vid_t{0});
+  shuffle(std::span<vid_t>(out));
 }
 
 }  // namespace mgp

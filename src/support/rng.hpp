@@ -51,6 +51,11 @@ class Rng {
   /// Convenience: a random permutation of 0..n-1.
   std::vector<vid_t> permutation(vid_t n);
 
+  /// As permutation(), but into a caller-owned buffer (resized to n; no
+  /// allocation once its capacity has warmed).  Draws the identical RNG
+  /// stream, so the two forms are interchangeable byte for byte.
+  void permutation_into(vid_t n, std::vector<vid_t>& out);
+
  private:
   std::uint64_t s_[4];
 };

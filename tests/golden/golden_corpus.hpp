@@ -1,0 +1,63 @@
+#pragma once
+
+// Shared definition of the golden regression corpus: six generator-family
+// graphs partitioned with the paper-default pipeline at pinned seeds.  Both
+// the diffing test (tests/integration/golden_test.cpp) and the refresh tool
+// (tests/golden/golden_refresh.cpp) include this header, so the corpus can
+// only ever be defined in one place.
+//
+// Regenerate the pinned file with scripts/refresh_golden.sh after any
+// *intentional* behavioural change; an unintentional diff is a regression.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/kway.hpp"
+#include "graph/generators.hpp"
+
+namespace mgp::golden {
+
+struct GoldenEntry {
+  std::string name;
+  part_t k;
+  std::uint64_t seed;
+  Graph (*build)();
+};
+
+inline std::vector<GoldenEntry> corpus() {
+  return {
+      {"fem2d_tri_40x40", 8, 4242, [] { return fem2d_tri(40, 40, 7); }},
+      {"grid3d_27_8x8x8", 8, 4242, [] { return grid3d_27(8, 8, 8); }},
+      {"power_grid_2000", 8, 4242, [] { return power_grid(2000, 3); }},
+      {"circuit_1500", 8, 4242, [] { return circuit(1500, 11); }},
+      {"finan_24x24", 8, 4242, [] { return finan(24, 24, 5); }},
+      {"random_geo_1500", 8, 4242, [] { return random_geometric(1500, 6.0, 9); }},
+  };
+}
+
+struct GoldenResult {
+  ewt_t cut;
+  std::uint64_t part_hash;
+};
+
+/// FNV-1a over the label sequence: any single relabelled vertex changes it.
+inline std::uint64_t fnv1a64(std::span<const part_t> part) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (part_t p : part) {
+    h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(p));
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+inline GoldenResult run_entry(const GoldenEntry& e) {
+  const Graph g = e.build();
+  const MultilevelConfig cfg;  // paper defaults: HEM + GGGP + BKLGR, 1 thread
+  Rng rng(e.seed);
+  const KwayResult r = kway_partition(g, e.k, cfg, rng);
+  return {r.edge_cut, fnv1a64(r.part)};
+}
+
+}  // namespace mgp::golden

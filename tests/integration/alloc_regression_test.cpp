@@ -1,0 +1,152 @@
+// Zero-allocation regression tests for the workspace-threaded hot path.
+//
+// Each test warms a workspace by running a kernel a few times, then asserts
+// that a further identical run performs *zero* heap allocations (counted by
+// the global allocator replacement in tests/support/alloc_guard.cpp).  The
+// guarded runs reuse the warm-up's RNG seed so buffer sizes repeat exactly;
+// the point is steady-state behaviour, not randomness.
+//
+// These tests pin down the tentpole guarantee of the workspace subsystem:
+// once warm, HEM matching + contraction, GGGP initial partitioning, and the
+// BKLGR refiner's inner loops never touch the heap.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "coarsen/contract.hpp"
+#include "core/multilevel.hpp"
+#include "graph/generators.hpp"
+#include "initpart/graph_grow.hpp"
+#include "refine/refine.hpp"
+#include "support/alloc_guard.hpp"
+#include "support/workspace.hpp"
+
+namespace mgp {
+namespace {
+
+using ::mgp::testing::AllocGuard;
+
+TEST(AllocGuardTest, FixtureCountsAllocations) {
+  ASSERT_TRUE(::mgp::testing::counting_allocator_active());
+  AllocGuard guard;
+  EXPECT_EQ(guard.allocations(), 0u);
+  {
+    std::vector<int> v(1024, 7);
+    EXPECT_GE(guard.allocations(), 1u);
+    EXPECT_GE(guard.bytes(), 1024 * sizeof(int));
+  }
+  EXPECT_GE(guard.deallocations(), 1u);
+}
+
+TEST(AllocRegressionTest, HemContractSteadyStateIsAllocationFree) {
+  const Graph g = grid2d(64, 64);
+  BisectWorkspace ws;
+  ws.levels.push_back(std::make_unique<Contraction>());
+  ws.levels.push_back(std::make_unique<Contraction>());
+
+  // Two coarsening steps per run, as in the real ladder: HEM on the input
+  // graph, then HEM on its contraction (with the accumulated cewgt).
+  auto run = [&]() {
+    Rng rng(2024);
+    compute_matching(g, MatchingScheme::kHeavyEdge, {}, rng, ws.match,
+                     ws.match_order);
+    contract_into(g, ws.match, {}, nullptr, ws.contract, ws.arena, *ws.levels[0]);
+    const Graph& c1 = ws.levels[0]->coarse;
+    compute_matching(c1, MatchingScheme::kHeavyEdge, ws.levels[0]->cewgt, rng,
+                     ws.match, ws.match_order);
+    contract_into(c1, ws.match, ws.levels[0]->cewgt, nullptr, ws.contract,
+                  ws.arena, *ws.levels[1]);
+  };
+
+  run();  // warm the buffers
+  run();  // let the arena coalesce after its first reset
+
+  AllocGuard guard;
+  run();
+  EXPECT_EQ(guard.allocations(), 0u)
+      << "HEM+contract allocated in steady state (" << guard.bytes() << " bytes)";
+  EXPECT_GT(ws.levels[1]->coarse.num_vertices(), 0);
+}
+
+TEST(AllocRegressionTest, GggpSteadyStateIsAllocationFree) {
+  const Graph g = grid2d(16, 16);  // coarsest-graph scale
+  const vwt_t target0 = g.total_vertex_weight() / 2;
+  GrowScratch ws;
+  Bisection best;
+
+  auto run = [&]() {
+    Rng rng(99);
+    gggp_bisect_into(g, target0, /*trials=*/5, rng, ws, best, nullptr);
+  };
+
+  run();
+  run();
+
+  AllocGuard guard;
+  run();
+  EXPECT_EQ(guard.allocations(), 0u)
+      << "GGGP allocated in steady state (" << guard.bytes() << " bytes)";
+  EXPECT_EQ(best.side.size(), static_cast<std::size_t>(g.num_vertices()));
+}
+
+TEST(AllocRegressionTest, BklgrSteadyStateIsAllocationFree) {
+  const Graph g = grid2d(32, 32);
+  const vid_t n = g.num_vertices();
+  const vwt_t target0 = g.total_vertex_weight() / 2;
+  KlWorkspace ws;
+  Bisection b;
+  b.side.assign(static_cast<std::size_t>(n), 0);
+
+  // Re-create the same starting labelling before every run (in place).
+  auto relabel = [&]() {
+    for (vid_t v = 0; v < n; ++v) {
+      b.side[static_cast<std::size_t>(v)] = v < n / 2 ? 0 : 1;
+    }
+    refresh_bisection(g, b);
+  };
+
+  auto run = [&]() {
+    relabel();
+    Rng rng(5);
+    refine_bisection(g, b, target0, RefinePolicy::kBKLGR, n, rng, {}, nullptr,
+                     &ws);
+  };
+
+  run();
+  run();
+
+  AllocGuard guard;
+  run();
+  EXPECT_EQ(guard.allocations(), 0u)
+      << "BKLGR allocated in steady state (" << guard.bytes() << " bytes)";
+}
+
+TEST(AllocRegressionTest, MultilevelBisectSteadyStateIsBounded) {
+  // The full bisection is documented to allocate O(1) per call once warm
+  // (the returned labelling plus one trial-buffer regrowth) — not zero, but
+  // far from the O(levels) of the workspace-less path.
+  const Graph g = grid2d(48, 48);
+  const vwt_t target0 = g.total_vertex_weight() / 2;
+  const MultilevelConfig cfg;  // HEM + GGGP + BKLGR, sequential
+  BisectWorkspace ws;
+
+  auto run = [&]() {
+    Rng rng(12345);
+    return multilevel_bisect(g, target0, cfg, rng, nullptr, nullptr, nullptr, &ws);
+  };
+
+  run();
+  run();
+
+  AllocGuard guard;
+  BisectResult r = run();
+  EXPECT_LE(guard.allocations(), 8u)
+      << "multilevel_bisect steady state should allocate O(1), got "
+      << guard.allocations();
+  EXPECT_EQ(r.bisection.side.size(), static_cast<std::size_t>(g.num_vertices()));
+}
+
+}  // namespace
+}  // namespace mgp

@@ -1,0 +1,118 @@
+// Degenerate-graph battery: every matcher × initial partitioner × refiner
+// combination run over pathological inputs.  These tests assert survival
+// and structural invariants (labels in range, cut consistent, every vertex
+// labelled) — not cut quality, which is meaningless here.
+//
+// The graphs cover the edge cases the pipeline's loops are most likely to
+// mishandle: nothing to coarsen (isolated vertices), nothing to bisect
+// (n <= 1), a single dominant hub (star), maximal density (K16), gain
+// arithmetic degeneracy (all-zero edge weights), and multi-component
+// re-seeding (fully disconnected).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/kway.hpp"
+#include "graph/generators.hpp"
+
+namespace mgp {
+namespace {
+
+struct DegenerateCase {
+  std::string name;
+  Graph graph;
+};
+
+/// Path 0-1-...-7 whose edges all weigh zero.  Violates validate()'s
+/// positive-weight rule on purpose: contraction, gain tracking, and cut
+/// accounting must still not crash or corrupt state when every gain is 0.
+Graph zero_weight_path() {
+  const vid_t n = 8;
+  std::vector<eid_t> xadj(static_cast<std::size_t>(n) + 1, 0);
+  std::vector<vid_t> adjncy;
+  std::vector<ewt_t> adjwgt;
+  for (vid_t v = 0; v < n; ++v) {
+    if (v > 0) {
+      adjncy.push_back(v - 1);
+      adjwgt.push_back(0);
+    }
+    if (v + 1 < n) {
+      adjncy.push_back(v + 1);
+      adjwgt.push_back(0);
+    }
+    xadj[static_cast<std::size_t>(v) + 1] = static_cast<eid_t>(adjncy.size());
+  }
+  std::vector<vwt_t> vwgt(static_cast<std::size_t>(n), 1);
+  return Graph(std::move(xadj), std::move(adjncy), std::move(vwgt),
+               std::move(adjwgt));
+}
+
+std::vector<DegenerateCase> degenerate_cases() {
+  std::vector<DegenerateCase> cases;
+  cases.push_back({"empty", empty_graph(0)});
+  cases.push_back({"single_vertex", empty_graph(1)});
+  cases.push_back({"two_isolated", empty_graph(2)});
+  cases.push_back({"star16", star_graph(16)});
+  cases.push_back({"complete16", complete_graph(16)});
+  cases.push_back({"zero_weight_edges", zero_weight_path()});
+  cases.push_back({"disconnected8", empty_graph(8)});
+  return cases;
+}
+
+/// Structural invariants of a k-way result; returns "" when consistent.
+std::string check_partition(const Graph& g, const KwayResult& r, part_t k) {
+  if (r.part.size() != static_cast<std::size_t>(g.num_vertices())) {
+    return "part size mismatch";
+  }
+  for (std::size_t v = 0; v < r.part.size(); ++v) {
+    if (r.part[v] < 0 || r.part[v] >= k) {
+      return "label out of range at vertex " + std::to_string(v);
+    }
+  }
+  if (r.edge_cut != compute_kway_cut(g, r.part)) return "cached cut inconsistent";
+  return "";
+}
+
+class DegenerateGraphTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DegenerateGraphTest, EveryPipelineComboSurvives) {
+  const DegenerateCase c = degenerate_cases()[static_cast<std::size_t>(GetParam())];
+  const MatchingScheme matchers[] = {
+      MatchingScheme::kRandom, MatchingScheme::kHeavyEdge,
+      MatchingScheme::kLightEdge, MatchingScheme::kHeavyClique};
+  const InitPartScheme initparts[] = {InitPartScheme::kGGP, InitPartScheme::kGGGP,
+                                      InitPartScheme::kSpectral};
+  const RefinePolicy refiners[] = {RefinePolicy::kNone,  RefinePolicy::kGR,
+                                   RefinePolicy::kKLR,   RefinePolicy::kBGR,
+                                   RefinePolicy::kBKLR,  RefinePolicy::kBKLGR};
+
+  for (MatchingScheme m : matchers) {
+    for (InitPartScheme ip : initparts) {
+      for (RefinePolicy rp : refiners) {
+        for (part_t k : {part_t{2}, part_t{5}}) {
+          MultilevelConfig cfg;
+          cfg.matching = m;
+          cfg.initpart = ip;
+          cfg.refine = rp;
+          cfg.coarsen_to = 2;  // force coarsening even on tiny graphs
+          SCOPED_TRACE(c.name + " " + to_string(m) + "+" + to_string(ip) + "+" +
+                       to_string(rp) + " k=" + std::to_string(k));
+          Rng rng(31337);
+          KwayResult r = kway_partition(c.graph, k, cfg, rng);
+          EXPECT_EQ(check_partition(c.graph, r, k), "");
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCases, DegenerateGraphTest, ::testing::Range(0, 7),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return degenerate_cases()
+                               [static_cast<std::size_t>(info.param)].name;
+                         });
+
+}  // namespace
+}  // namespace mgp

@@ -1,0 +1,86 @@
+// Golden regression corpus: re-runs the pinned generator-family graphs and
+// diffs cut + partition hash against tests/golden/golden_cuts.txt.  Any
+// behavioural drift in matching, contraction, initial partitioning, or
+// refinement shows up here even if quality-style tests still pass.
+//
+// After an *intentional* algorithm change, regenerate the file with
+// scripts/refresh_golden.sh and review the diff like any other code change.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "golden/golden_corpus.hpp"
+
+#ifndef MGP_GOLDEN_FILE
+#error "MGP_GOLDEN_FILE must be defined to the pinned golden_cuts.txt path"
+#endif
+
+namespace mgp {
+namespace {
+
+struct PinnedEntry {
+  part_t k = 0;
+  std::uint64_t seed = 0;
+  ewt_t cut = 0;
+  std::uint64_t part_hash = 0;
+};
+
+std::map<std::string, PinnedEntry> load_pinned(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.is_open()) << "cannot open golden file: " << path;
+  std::map<std::string, PinnedEntry> pinned;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ss(line);
+    std::string name;
+    long long k = 0, cut = 0;
+    unsigned long long seed = 0;
+    std::string hash_hex;
+    ss >> name >> k >> seed >> cut >> hash_hex;
+    EXPECT_FALSE(ss.fail()) << "malformed golden line: " << line;
+    PinnedEntry e;
+    e.k = static_cast<part_t>(k);
+    e.seed = seed;
+    e.cut = static_cast<ewt_t>(cut);
+    e.part_hash = std::stoull(hash_hex, nullptr, 16);
+    pinned[name] = e;
+  }
+  return pinned;
+}
+
+TEST(GoldenCorpusTest, PinnedFileCoversExactlyTheCorpus) {
+  const auto pinned = load_pinned(MGP_GOLDEN_FILE);
+  const auto entries = golden::corpus();
+  EXPECT_EQ(pinned.size(), entries.size())
+      << "golden file and corpus definition disagree — rerun "
+         "scripts/refresh_golden.sh";
+  for (const golden::GoldenEntry& e : entries) {
+    EXPECT_TRUE(pinned.count(e.name)) << "missing golden entry: " << e.name;
+  }
+}
+
+TEST(GoldenCorpusTest, CutsAndPartitionHashesMatchPinnedValues) {
+  const auto pinned = load_pinned(MGP_GOLDEN_FILE);
+  for (const golden::GoldenEntry& e : golden::corpus()) {
+    auto it = pinned.find(e.name);
+    ASSERT_NE(it, pinned.end()) << e.name;
+    ASSERT_EQ(it->second.k, e.k) << e.name;
+    ASSERT_EQ(it->second.seed, e.seed) << e.name;
+    const golden::GoldenResult r = golden::run_entry(e);
+    EXPECT_EQ(r.cut, it->second.cut)
+        << e.name << ": cut drifted from pinned value. If intentional, rerun "
+        << "scripts/refresh_golden.sh and commit the diff.";
+    EXPECT_EQ(r.part_hash, it->second.part_hash)
+        << e.name << ": partition labelling drifted from pinned value. If "
+        << "intentional, rerun scripts/refresh_golden.sh and commit the diff.";
+  }
+}
+
+}  // namespace
+}  // namespace mgp

@@ -1,0 +1,58 @@
+// Global allocation counting for the zero-allocation regression tests.
+//
+// Linking the companion alloc_guard.cpp into a binary replaces the global
+// operator new/delete with counting wrappers around malloc/free.  AllocGuard
+// then measures the number of heap allocations across a scope:
+//
+//   warm_up_the_kernel();
+//   mgp::testing::AllocGuard guard;
+//   run_the_kernel_again();
+//   EXPECT_EQ(guard.allocations(), 0u);
+//
+// The counters are process-wide atomics, so guard scopes must not race with
+// allocating threads they don't mean to count (the regression tests run the
+// serial kernels single-threaded).  Link this fixture only into binaries
+// that want it — it changes the global allocator for the whole process.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mgp::testing {
+
+/// Total operator-new calls since process start.
+std::uint64_t allocation_count();
+/// Total operator-delete calls since process start.
+std::uint64_t deallocation_count();
+/// Total bytes requested from operator new since process start.
+std::uint64_t allocated_bytes();
+
+/// True when the counting allocator is linked in (alloc_guard.cpp sets it).
+/// Tests assert this to fail loudly if the fixture silently fell out of the
+/// link line.
+bool counting_allocator_active();
+
+/// Scope-delta reader over the global counters.
+class AllocGuard {
+ public:
+  AllocGuard()
+      : start_allocs_(allocation_count()),
+        start_deallocs_(deallocation_count()),
+        start_bytes_(allocated_bytes()) {}
+
+  /// Allocations since construction.
+  std::uint64_t allocations() const { return allocation_count() - start_allocs_; }
+  /// Deallocations since construction.
+  std::uint64_t deallocations() const {
+    return deallocation_count() - start_deallocs_;
+  }
+  /// Bytes requested since construction.
+  std::uint64_t bytes() const { return allocated_bytes() - start_bytes_; }
+
+ private:
+  std::uint64_t start_allocs_;
+  std::uint64_t start_deallocs_;
+  std::uint64_t start_bytes_;
+};
+
+}  // namespace mgp::testing
