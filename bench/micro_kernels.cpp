@@ -18,13 +18,16 @@
 #include "coarsen/matching.hpp"
 #include "coarsen/parallel_matching.hpp"
 #include "graph/generators.hpp"
+#include "initpart/bisection_state.hpp"
 #include "initpart/graph_grow.hpp"
 #include "obs/trace.hpp"
+#include "refine/parallel_refine.hpp"
 #include "spectral/laplacian.hpp"
 #include "support/alloc_guard.hpp"
 #include "support/arena.hpp"
 #include "support/bucket_queue.hpp"
 #include "support/rng.hpp"
+#include "support/thread_pool.hpp"
 #include "support/timer.hpp"
 
 namespace {
@@ -116,6 +119,65 @@ void BM_ParallelMatching(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * g.num_arcs());
 }
 BENCHMARK(BM_ParallelMatching)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_ParallelRefine(benchmark::State& state) {
+  // Round-synchronous propose/commit boundary refinement; the partition is
+  // byte-identical across thread counts, so the Arg sweep prices pure
+  // parallel speedup on a fixed workload.
+  const Graph& g = bench_graph();
+  const vid_t n = g.num_vertices();
+  const vwt_t target0 = g.total_vertex_weight() / 2;
+  ThreadPool pool(static_cast<int>(state.range(0)));
+  KlWorkspace ws;
+  Bisection b;
+  b.side.assign(static_cast<std::size_t>(n), 0);
+  Rng seed_rng(11);
+  std::vector<part_t> start(static_cast<std::size_t>(n));
+  for (auto& s : start) s = static_cast<part_t>(seed_rng.next_below(2));
+  ewt_t cut = 0;
+  for (auto _ : state) {
+    b.side = start;
+    refresh_bisection(g, b);
+    parallel_bgr_refine(g, b, target0, {}, pool, nullptr, &ws);
+    cut = b.cut;
+    benchmark::DoNotOptimize(b.cut);
+  }
+  state.counters["final_cut"] = static_cast<double>(cut);
+  state.SetItemsProcessed(state.iterations() * g.num_arcs());
+}
+BENCHMARK(BM_ParallelRefine)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_ParallelRefineWorkspace(benchmark::State& state) {
+  // Steady-state allocation audit of the parallel refiner.  A one-worker
+  // pool runs the propose sweeps inline (no task futures), so any counted
+  // allocation is a workspace-reuse bug in the refiner itself.
+  const Graph& g = bench_graph();
+  const vid_t n = g.num_vertices();
+  const vwt_t target0 = g.total_vertex_weight() / 2;
+  ThreadPool pool(1);
+  KlWorkspace ws;
+  Bisection b;
+  b.side.assign(static_cast<std::size_t>(n), 0);
+  Rng seed_rng(11);
+  std::vector<part_t> start(static_cast<std::size_t>(n));
+  for (auto& s : start) s = static_cast<part_t>(seed_rng.next_below(2));
+  auto run = [&]() {
+    b.side = start;
+    refresh_bisection(g, b);
+    parallel_bgr_refine(g, b, target0, {}, pool, nullptr, &ws);
+  };
+  run();  // warm the buffers
+  run();
+  mgp::testing::AllocGuard guard;
+  run();
+  state.counters["steady_allocs"] = static_cast<double>(guard.allocations());
+  for (auto _ : state) {
+    run();
+    benchmark::DoNotOptimize(b.cut);
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_arcs());
+}
+BENCHMARK(BM_ParallelRefineWorkspace);
 
 void BM_Contract(benchmark::State& state) {
   const Graph& g = bench_graph();

@@ -10,6 +10,8 @@
 //   --direct                      direct k-way instead of recursive bisection
 //   --trials=N                    best-of-N partitions       (1)
 //   --seed=S                      RNG seed                   (1995)
+//   --threads=N                   pool workers; 0 = hardware (1)
+//   --report=FILE                 structured JSON run report (obs/report)
 //   -o FILE                       write the part vector (one id per line)
 #include <cstdio>
 #include <cstdlib>
@@ -22,6 +24,7 @@
 #include "graph/io.hpp"
 #include "graph/partition_io.hpp"
 #include "metrics/partition_metrics.hpp"
+#include "obs/report.hpp"
 #include "support/timer.hpp"
 
 using namespace mgp;
@@ -33,7 +36,7 @@ int usage(const char* argv0) {
                "usage: %s <graph-file(.graph|.mtx)|--demo> <k> [options] [-o out]\n"
                "  --matching=rm|hem|lem|hcm  --init=ggp|gggp|sbp\n"
                "  --refine=none|gr|klr|bgr|bklr|bklgr  --direct\n"
-               "  --trials=N  --seed=S\n",
+               "  --trials=N  --seed=S  --threads=N  --report=FILE\n",
                argv0);
   return 2;
 }
@@ -81,6 +84,7 @@ int main(int argc, char** argv) {
   int trials = 1;
   std::uint64_t seed = 1995;
   std::string out_path;
+  std::string report_path;
 
   for (int i = 3; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -97,6 +101,11 @@ int main(int argc, char** argv) {
       if (trials < 1) return usage(argv[0]);
     } else if (arg.rfind("--seed=", 0) == 0) {
       seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      cfg.threads = std::atoi(arg.c_str() + 10);
+      if (cfg.threads < 0) return usage(argv[0]);
+    } else if (arg.rfind("--report=", 0) == 0) {
+      report_path = arg.substr(9);
     } else if (arg == "-o" && i + 1 < argc) {
       out_path = argv[++i];
     } else {
@@ -135,6 +144,9 @@ int main(int argc, char** argv) {
               direct ? " (direct k-way)" : "", trials,
               static_cast<unsigned long long>(seed));
 
+  obs::Obs ob;
+  if (!report_path.empty()) cfg.obs = &ob;
+
   Rng rng(seed);
   Timer t;
   KwayResult r;
@@ -165,6 +177,21 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "error: %s\n", e.what());
       return 1;
     }
+  }
+
+  if (!report_path.empty()) {
+    ob.report.tool = "partition_file";
+    ob.report.scheme = describe(cfg);
+    ob.report.k = k;
+    ob.report.threads = cfg.resolved_threads();
+    ob.report.seed = seed;
+    const obs::MetricsSnapshot snap = ob.metrics.snapshot();
+    if (!ob.report.write_json_file(report_path, &snap)) {
+      std::fprintf(stderr, "error: could not write report to %s\n",
+                   report_path.c_str());
+      return 1;
+    }
+    std::printf("run report written to %s\n", report_path.c_str());
   }
   return 0;
 }

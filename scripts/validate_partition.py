@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Validate a partition vector produced by examples/partition_file -o.
+
+Stdlib-only checks, used by the CI cli-smoke job:
+
+  * the file has exactly one label per vertex of the companion graph
+    (vertex count parsed from the METIS .graph header);
+  * every label lies in [0, k);
+  * every part is non-empty;
+  * the partition is balanced: max part size / ceil(n / k) <= the bound
+    given by --imbalance (default 1.5 — generous, because the tools balance
+    by vertex *weight* with a slack proportional to the largest vertex).
+
+Usage:
+    scripts/validate_partition.py PART_FILE GRAPH_FILE K [--imbalance=X]
+
+Exit code 0 when the partition validates, 1 with messages otherwise.
+"""
+
+import math
+import sys
+from pathlib import Path
+
+
+def read_graph_header(path):
+    """Returns (num_vertices, num_edges) from a METIS .graph header."""
+    with open(path) as f:
+        for line in f:
+            line = line.split("%")[0].strip()
+            if line:
+                fields = line.split()
+                return int(fields[0]), int(fields[1])
+    raise ValueError(f"{path}: no header line")
+
+
+def main(argv):
+    if len(argv) < 4:
+        print(__doc__, file=sys.stderr)
+        return 2
+    part_path, graph_path = Path(argv[1]), Path(argv[2])
+    k = int(argv[3])
+    max_imbalance = 1.5
+    for arg in argv[4:]:
+        if arg.startswith("--imbalance="):
+            max_imbalance = float(arg.split("=", 1)[1])
+        else:
+            print(f"unknown option: {arg}", file=sys.stderr)
+            return 2
+
+    n, _ = read_graph_header(graph_path)
+    labels = []
+    for i, line in enumerate(part_path.read_text().split()):
+        labels.append(int(line))
+
+    errors = []
+    if len(labels) != n:
+        errors.append(f"{len(labels)} labels for {n} vertices")
+    sizes = [0] * k
+    for i, p in enumerate(labels):
+        if 0 <= p < k:
+            sizes[p] += 1
+        else:
+            errors.append(f"vertex {i}: label {p} outside [0, {k})")
+            if len(errors) > 10:
+                break
+    if not errors:
+        for p, size in enumerate(sizes):
+            if size == 0:
+                errors.append(f"part {p} is empty")
+        ideal = math.ceil(n / k)
+        imbalance = max(sizes) / ideal
+        if imbalance > max_imbalance:
+            errors.append(
+                f"imbalance {imbalance:.3f} > bound {max_imbalance} "
+                f"(part sizes {sizes})")
+
+    if errors:
+        for e in errors:
+            print(f"FAIL {part_path}: {e}", file=sys.stderr)
+        return 1
+    print(f"OK {part_path}: n={n}, k={k}, part sizes {sizes}, "
+          f"imbalance {max(sizes) / math.ceil(n / k):.3f}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

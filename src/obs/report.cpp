@@ -195,6 +195,8 @@ Obs::PipelineMetrics::PipelineMetrics(MetricsRegistry& reg)
       kl_insertions(reg.counter("kl.insertions")),
       kl_early_exits(reg.counter("kl.early_exits")),
       queue_peak(reg.max_gauge("kl.queue_peak")),
+      refine_parallel_rounds(reg.counter("refine.parallel_rounds")),
+      refine_conflict_rejects(reg.counter("refine.conflict_rejects")),
       shrink_pct(reg.histogram("coarsen.shrink_pct",
                                {50, 55, 60, 65, 70, 75, 80, 85, 90, 95})),
       arena_bytes_peak(reg.max_gauge("arena.bytes_peak")),

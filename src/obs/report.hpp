@@ -136,6 +136,8 @@ struct Obs {
     MetricsRegistry::Id kl_insertions;     ///< counter: queue insertions
     MetricsRegistry::Id kl_early_exits;    ///< counter: window-terminated passes
     MetricsRegistry::Id queue_peak;        ///< max gauge: bucket-queue occupancy
+    MetricsRegistry::Id refine_parallel_rounds;   ///< counter: propose/commit rounds
+    MetricsRegistry::Id refine_conflict_rejects;  ///< counter: stale proposals rejected
     MetricsRegistry::Id shrink_pct;        ///< histogram: coarse/fine * 100 per level
     MetricsRegistry::Id arena_bytes_peak;  ///< max gauge: workspace footprint peak
     MetricsRegistry::Id arena_reuse_hits;  ///< counter: warm workspace checkouts

@@ -28,6 +28,10 @@ namespace mgp {
 /// Pass a warm one to kl_refine for an allocation-free inner loop; every
 /// field is fully re-initialised per pass, so a reused workspace behaves
 /// exactly like a fresh one.
+///
+/// The parallel refiner (refine/parallel_refine.*) shares the gain tables
+/// and lock bits and adds its per-chunk proposal table, so one warm
+/// workspace serves both refinement paths allocation-free.
 struct KlWorkspace {
   std::vector<ewt_t> ed;        ///< external degree: edge weight to other side
   std::vector<ewt_t> id;        ///< internal degree: edge weight to own side
@@ -35,11 +39,14 @@ struct KlWorkspace {
   BucketQueue queue[2];         ///< per-side gain queues
   std::vector<vid_t> moves;     ///< move log for undo
   std::vector<vid_t> order;     ///< random insertion order
+  std::vector<vid_t> cand;        ///< parallel refiner: per-chunk proposal slots
+  std::vector<vid_t> cand_count;  ///< parallel refiner: per-chunk proposal counts
 
   std::size_t memory_bytes() const {
     return ed.capacity() * sizeof(ewt_t) + id.capacity() * sizeof(ewt_t) +
            locked.capacity() + moves.capacity() * sizeof(vid_t) +
-           order.capacity() * sizeof(vid_t);
+           order.capacity() * sizeof(vid_t) + cand.capacity() * sizeof(vid_t) +
+           cand_count.capacity() * sizeof(vid_t);
   }
 };
 
@@ -59,6 +66,14 @@ struct KlOptions {
   /// BKLGR's switch rule (§3.3): run multi-pass BKLR while the boundary is
   /// smaller than this fraction of the original graph, else single-pass BGR.
   double bklgr_boundary_fraction = 0.02;
+  /// Parallel refinement auto-selection: with a thread pool attached, the
+  /// greedy boundary leg (BGR, and BKLGR's large-boundary leg) switches to
+  /// the propose/commit parallel refiner once the boundary has at least
+  /// this many vertices (below it, sequential KL is faster than a fork).
+  /// 0 forces the parallel refiner whenever a pool is attached.  The
+  /// decision depends only on the partition, never on the pool size, so
+  /// partitions stay byte-identical across pool sizes.
+  vid_t parallel_boundary_min = 2048;
 };
 
 struct KlStats {
@@ -71,6 +86,12 @@ struct KlStats {
   vid_t insertions = 0;
   /// Edge-cut improvement achieved.
   ewt_t cut_reduction = 0;
+  /// Parallel refiner only: propose/commit rounds executed (0 on the
+  /// sequential path).
+  int parallel_rounds = 0;
+  /// Parallel refiner only: proposals rejected at commit re-validation
+  /// (their gain went stale or the balance headroom was taken).
+  vid_t conflict_rejects = 0;
 };
 
 /// Refines `b` in place.  `target0` is side 0's desired vertex weight.

@@ -1,0 +1,180 @@
+#include "refine/parallel_refine.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "obs/trace.hpp"
+
+namespace mgp {
+namespace {
+
+/// Shard count for the propose sweeps.  Fixed — chunk boundaries must be a
+/// pure function of |V| so the concatenated proposal list (and with it the
+/// commit order) is identical for every pool size.  More chunks than pool
+/// threads just queue; 16 keeps every machine size busy without slicing the
+/// scan too thin.
+constexpr int kProposeChunks = 16;
+
+/// Safety cap on propose/commit rounds.  Termination is already guaranteed
+/// (every commit locks its vertex), but the tail rounds harvest next to
+/// nothing; the cap bounds the worst case deterministically.
+constexpr int kMaxRounds = 64;
+
+}  // namespace
+
+KlStats parallel_bgr_refine(const Graph& g, Bisection& b, vwt_t target0,
+                            const KlOptions& opts, ThreadPool& pool,
+                            std::vector<obs::KlPassReport>* pass_log,
+                            KlWorkspace* ext_ws) {
+  const vid_t n = g.num_vertices();
+  KlStats stats;
+  stats.passes = 1;
+  if (n == 0) return stats;
+  obs::Span span("refine.parallel");
+  span.arg("n", n);
+
+  KlWorkspace local_ws;
+  KlWorkspace& ws = ext_ws ? *ext_ws : local_ws;
+  ws.ed.resize(static_cast<std::size_t>(n));
+  ws.id.resize(static_cast<std::size_t>(n));
+  ws.locked.resize(static_cast<std::size_t>(n));
+  const vid_t step = (n + kProposeChunks - 1) / kProposeChunks;
+  ws.cand.resize(static_cast<std::size_t>(step) * kProposeChunks);
+  ws.cand_count.resize(kProposeChunks);
+
+  // --- Gain initialisation (parallel O(|E|)).  Each chunk writes only its
+  // own ed/id range and reads the labelling, which is frozen until commit.
+  std::array<vwt_t, kProposeChunks> chunk_max_vwgt{};
+  pool.parallel_for_chunks(n, kProposeChunks, [&](int c, vid_t begin, vid_t end) {
+    vwt_t mx = 0;
+    for (vid_t u = begin; u < end; ++u) {
+      ewt_t ed = 0, id = 0;
+      auto nbrs = g.neighbors(u);
+      auto wgts = g.edge_weights(u);
+      const part_t su = b.side[static_cast<std::size_t>(u)];
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        if (b.side[static_cast<std::size_t>(nbrs[i])] == su) {
+          id += wgts[i];
+        } else {
+          ed += wgts[i];
+        }
+      }
+      ws.ed[static_cast<std::size_t>(u)] = ed;
+      ws.id[static_cast<std::size_t>(u)] = id;
+      mx = std::max(mx, g.vertex_weight(u));
+    }
+    chunk_max_vwgt[static_cast<std::size_t>(c)] = mx;
+  });
+  vwt_t max_vwgt = 0;
+  for (vwt_t mx : chunk_max_vwgt) max_vwgt = std::max(max_vwgt, mx);
+  std::fill(ws.locked.begin(), ws.locked.end(), char{0});
+
+  // KL's accept bound: a side may never exceed max(entry weight, target +
+  // slack).  Re-validated against the committed weights at every commit.
+  const vwt_t total = g.total_vertex_weight();
+  const vwt_t target[2] = {target0, total - target0};
+  const vwt_t slack =
+      static_cast<vwt_t>(opts.weight_slack_factor * static_cast<double>(max_vwgt));
+  const vwt_t limit[2] = {
+      std::max(b.part_weight[0], target[0] + slack),
+      std::max(b.part_weight[1], target[1] + slack),
+  };
+
+  const ewt_t cut_at_entry = b.cut;
+  for (int round = 0; round < kMaxRounds; ++round) {
+    ++stats.parallel_rounds;
+    const ewt_t round_start_cut = b.cut;
+    const vid_t rejects_before = stats.conflict_rejects;
+
+    // --- Propose: per-vertex predicate over frozen gain tables; chunks
+    // write disjoint slots, so the sweep is race-free and its result is
+    // independent of scheduling.
+    {
+      obs::Span propose_span("refine.propose");
+      pool.parallel_for_chunks(n, kProposeChunks, [&](int c, vid_t begin, vid_t end) {
+        vid_t cnt = 0;
+        vid_t* slot = ws.cand.data() + static_cast<std::size_t>(c) * step;
+        for (vid_t u = begin; u < end; ++u) {
+          const std::size_t uu = static_cast<std::size_t>(u);
+          if (ws.locked[uu]) continue;
+          if (ws.ed[uu] == 0) continue;           // interior vertex
+          if (ws.ed[uu] - ws.id[uu] <= 0) continue;  // non-positive gain
+          slot[cnt++] = u;
+        }
+        ws.cand_count[static_cast<std::size_t>(c)] = cnt;
+      });
+    }
+
+    vid_t proposals = 0;
+    for (vid_t c : ws.cand_count) proposals += c;
+    stats.moves_attempted += proposals;
+    stats.insertions += proposals;
+
+    // --- Commit: one deterministic ascending-vertex pass.  Earlier commits
+    // may have absorbed a proposal's gain or taken its balance headroom, so
+    // every move is re-validated against the committed state before it
+    // applies; stale proposals count as conflict rejects.
+    vid_t committed = 0;
+    {
+      obs::Span commit_span("refine.commit");
+      for (int c = 0; c < kProposeChunks; ++c) {
+        const vid_t* slot = ws.cand.data() + static_cast<std::size_t>(c) * step;
+        const vid_t cnt = ws.cand_count[static_cast<std::size_t>(c)];
+        for (vid_t i = 0; i < cnt; ++i) {
+          const vid_t v = slot[i];
+          const std::size_t vv = static_cast<std::size_t>(v);
+          const ewt_t gain = ws.ed[vv] - ws.id[vv];
+          const part_t from = b.side[vv];
+          const part_t to = 1 - from;
+          const vwt_t wv = g.vertex_weight(v);
+          if (ws.ed[vv] == 0 || gain <= 0 || b.part_weight[to] + wv > limit[to]) {
+            ++stats.conflict_rejects;
+            continue;
+          }
+          b.side[vv] = to;
+          b.part_weight[from] -= wv;
+          b.part_weight[to] += wv;
+          b.cut -= gain;
+          ws.locked[vv] = 1;
+          std::swap(ws.ed[vv], ws.id[vv]);
+          ++committed;
+          auto nbrs = g.neighbors(v);
+          auto wgts = g.edge_weights(v);
+          for (std::size_t j = 0; j < nbrs.size(); ++j) {
+            const std::size_t uu = static_cast<std::size_t>(nbrs[j]);
+            const ewt_t w = wgts[j];
+            if (b.side[uu] == to) {
+              ws.ed[uu] -= w;
+              ws.id[uu] += w;
+            } else {
+              ws.ed[uu] += w;
+              ws.id[uu] -= w;
+            }
+          }
+        }
+      }
+    }
+    stats.swapped += committed;
+
+    if (pass_log) {
+      obs::KlPassReport rep;
+      rep.pass = stats.parallel_rounds;
+      rep.moves_attempted = proposals;
+      rep.moves_kept = committed;
+      rep.moves_undone = stats.conflict_rejects - rejects_before;
+      rep.insertions = proposals;
+      rep.cut_before = round_start_cut;
+      rep.cut_after = b.cut;
+      rep.early_exit = false;
+      rep.queue_peak = proposals;
+      pass_log->push_back(rep);
+    }
+
+    if (committed == 0) break;  // no proposal survived: a local minimum
+  }
+
+  stats.cut_reduction = cut_at_entry - b.cut;
+  return stats;
+}
+
+}  // namespace mgp

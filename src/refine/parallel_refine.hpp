@@ -1,0 +1,64 @@
+// Deterministic parallel greedy boundary refinement (extension).
+//
+// §1: "the Kernighan-Lin heuristic used in the refinement phase is very
+// difficult to speedup in parallel computers."  The serial obstacle is the
+// *priority order*: KL moves one highest-gain vertex at a time, and every
+// move reshuffles its neighbours' gains.  The greedy boundary leg (BGR, and
+// BKLGR once the boundary has grown past its switch point) does not need
+// that order — it only harvests positive-gain boundary moves — so it admits
+// the same round-synchronous propose/commit scheme this repo already uses
+// for byte-identical parallel HEM (coarsen/parallel_matching.*):
+//
+//   repeat:  (1) PROPOSE — shard the vertex range into *fixed* chunks
+//                (a pure function of |V|, never of the pool size) and, in
+//                parallel, collect every unlocked boundary vertex with
+//                positive gain into its chunk's slot of the proposal table;
+//            (2) COMMIT — walk the proposals in ascending vertex order on
+//                one thread, re-validate each gain and the balance bound
+//                against the *committed* state, and apply the survivors
+//                (locking them; a vertex moves at most once per call);
+//   until a round commits nothing.
+//
+// Determinism: the proposal predicate is per-vertex (it reads only the
+// gain tables, which are frozen during a propose sweep), so the proposal
+// *set* is independent of chunk scheduling; fixed contiguous chunks read
+// back in chunk order make the commit order ascending-by-vertex-id; and the
+// commit pass is sequential.  No randomness is drawn.  Partitions are
+// therefore byte-identical across pool sizes — a 1-thread pool runs the
+// identical algorithm inline.  Cut strictly decreases with every committed
+// move and vertices lock permanently, so rounds terminate.
+//
+// This is the propose/commit design of Sanders & Schulz and Holtgrewe et
+// al. (PAPERS.md) specialised to two-way greedy refinement; DESIGN.md §8
+// carries the full argument.
+#pragma once
+
+#include <vector>
+
+#include "refine/kl.hpp"
+#include "support/thread_pool.hpp"
+
+namespace mgp {
+
+/// Parallel greedy boundary refinement of `b` in place (the BGR leg).
+/// `target0` is side 0's desired vertex weight; the balance rule is KL's
+/// (a side never exceeds max(its entry weight, target + slack)).
+///
+/// Draws no randomness.  Byte-identical result for every pool size,
+/// including 1 (inline execution of the same rounds).
+///
+/// When `pass_log` is non-null, one obs::KlPassReport per round is appended
+/// (proposals / commits / conflict rejects); passive, never perturbs the
+/// result.  When `ws` is non-null its buffers serve as the call's scratch
+/// (reused across calls; a warm workspace makes the call allocation-free).
+///
+/// Stats mapping: passes = 1 (the call is one greedy boundary pass:
+/// every vertex moves at most once), parallel_rounds = propose/commit
+/// rounds, moves_attempted/insertions = proposals, swapped = commits,
+/// conflict_rejects = proposals rejected at commit re-validation.
+KlStats parallel_bgr_refine(const Graph& g, Bisection& b, vwt_t target0,
+                            const KlOptions& opts, ThreadPool& pool,
+                            std::vector<obs::KlPassReport>* pass_log = nullptr,
+                            KlWorkspace* ws = nullptr);
+
+}  // namespace mgp

@@ -1,5 +1,7 @@
 #include "refine/refine.hpp"
 
+#include "refine/parallel_refine.hpp"
+
 namespace mgp {
 
 std::string to_string(RefinePolicy p) {
@@ -14,10 +16,23 @@ std::string to_string(RefinePolicy p) {
   return "?";
 }
 
+namespace {
+
+/// The parallel propose/commit refiner replaces the greedy boundary leg
+/// when a pool is attached and the boundary is big enough to amortise the
+/// fork.  Both inputs are pure functions of the partition, never of the
+/// pool size, so the selection itself is deterministic across pool sizes.
+bool use_parallel_greedy(ThreadPool* pool, vid_t boundary, const KlOptions& opts) {
+  return pool != nullptr && boundary >= opts.parallel_boundary_min;
+}
+
+}  // namespace
+
 KlStats refine_bisection(const Graph& g, Bisection& b, vwt_t target0,
                          RefinePolicy policy, vid_t original_n, Rng& rng,
                          const KlOptions& base_opts,
-                         std::vector<obs::KlPassReport>* pass_log, KlWorkspace* ws) {
+                         std::vector<obs::KlPassReport>* pass_log, KlWorkspace* ws,
+                         ThreadPool* pool) {
   KlOptions opts = base_opts;
   switch (policy) {
     case RefinePolicy::kNone:
@@ -30,10 +45,15 @@ KlStats refine_bisection(const Graph& g, Bisection& b, vwt_t target0,
       opts.boundary_only = false;
       opts.single_pass = false;
       break;
-    case RefinePolicy::kBGR:
+    case RefinePolicy::kBGR: {
+      if (pool != nullptr &&
+          use_parallel_greedy(pool, count_boundary_vertices(g, b.side), base_opts)) {
+        return parallel_bgr_refine(g, b, target0, base_opts, *pool, pass_log, ws);
+      }
       opts.boundary_only = true;
       opts.single_pass = true;
       break;
+    }
     case RefinePolicy::kBKLR:
       opts.boundary_only = true;
       opts.single_pass = false;
@@ -46,6 +66,11 @@ KlStats refine_bisection(const Graph& g, Bisection& b, vwt_t target0,
       const bool small_boundary =
           static_cast<double>(boundary) <
           base_opts.bklgr_boundary_fraction * static_cast<double>(original_n);
+      // The greedy (large-boundary) leg is exactly where refinement cost
+      // peaks and where the propose/commit scheme applies.
+      if (!small_boundary && use_parallel_greedy(pool, boundary, base_opts)) {
+        return parallel_bgr_refine(g, b, target0, base_opts, *pool, pass_log, ws);
+      }
       opts.boundary_only = true;
       opts.single_pass = !small_boundary;
       break;

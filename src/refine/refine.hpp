@@ -17,6 +17,8 @@
 
 namespace mgp {
 
+class ThreadPool;
+
 enum class RefinePolicy { kNone, kGR, kKLR, kBGR, kBKLR, kBKLGR };
 
 /// Paper mnemonic ("GR", "BKLGR", ...).
@@ -33,10 +35,17 @@ std::string to_string(RefinePolicy p);
 ///
 /// `ws`, when non-null, supplies the KL engine's scratch buffers (reused
 /// across calls; byte-identical results either way — see kl_refine).
+///
+/// `pool`, when non-null, lets the greedy boundary leg (BGR, and BKLGR's
+/// large-boundary leg) run as the deterministic parallel propose/commit
+/// refiner once the boundary reaches base_opts.parallel_boundary_min
+/// vertices (refine/parallel_refine.*).  The selection depends only on the
+/// partition, so results are byte-identical across pool sizes; a null pool
+/// keeps today's exact sequential path.
 KlStats refine_bisection(const Graph& g, Bisection& b, vwt_t target0,
                          RefinePolicy policy, vid_t original_n, Rng& rng,
                          const KlOptions& base_opts = {},
                          std::vector<obs::KlPassReport>* pass_log = nullptr,
-                         KlWorkspace* ws = nullptr);
+                         KlWorkspace* ws = nullptr, ThreadPool* pool = nullptr);
 
 }  // namespace mgp

@@ -19,8 +19,10 @@
 #include "core/multilevel.hpp"
 #include "graph/generators.hpp"
 #include "initpart/graph_grow.hpp"
+#include "refine/parallel_refine.hpp"
 #include "refine/refine.hpp"
 #include "support/alloc_guard.hpp"
+#include "support/thread_pool.hpp"
 #include "support/workspace.hpp"
 
 namespace mgp {
@@ -121,6 +123,40 @@ TEST(AllocRegressionTest, BklgrSteadyStateIsAllocationFree) {
   run();
   EXPECT_EQ(guard.allocations(), 0u)
       << "BKLGR allocated in steady state (" << guard.bytes() << " bytes)";
+}
+
+TEST(AllocRegressionTest, ParallelBgrSteadyStateIsAllocationFree) {
+  // The parallel refiner shares the KlWorkspace zero-allocation guarantee.
+  // A one-worker pool executes parallel_for_chunks inline (no task futures),
+  // so the only possible allocations are the refiner's own buffers — which
+  // must all live in the warm workspace.
+  const Graph g = grid2d(40, 40);
+  const vid_t n = g.num_vertices();
+  const vwt_t target0 = g.total_vertex_weight() / 2;
+  ThreadPool pool(1);
+  KlWorkspace ws;
+  Bisection b;
+  b.side.assign(static_cast<std::size_t>(n), 0);
+
+  auto relabel = [&]() {
+    for (vid_t v = 0; v < n; ++v) {
+      b.side[static_cast<std::size_t>(v)] = (v / 40 + v % 40) % 2;
+    }
+    refresh_bisection(g, b);
+  };
+
+  auto run = [&]() {
+    relabel();
+    parallel_bgr_refine(g, b, target0, {}, pool, nullptr, &ws);
+  };
+
+  run();
+  run();
+
+  AllocGuard guard;
+  run();
+  EXPECT_EQ(guard.allocations(), 0u)
+      << "parallel BGR allocated in steady state (" << guard.bytes() << " bytes)";
 }
 
 TEST(AllocRegressionTest, MultilevelBisectSteadyStateIsBounded) {

@@ -86,6 +86,66 @@ INSTANTIATE_TEST_SUITE_P(
              to_string(std::get<1>(info.param));
     });
 
+TEST(PipelineDeterminismTest, ParallelRefinerByteIdenticalAcrossPoolSizes) {
+  // Force the propose/commit parallel refiner onto every refined level
+  // (threshold 0: any boundary qualifies whenever a pool is attached) and
+  // assert the whole-pipeline guarantee still holds: partitions are a pure
+  // function of the seed for every pool size, for both greedy-leg policies
+  // and for all matching schemes.
+  for (RefinePolicy refine : {RefinePolicy::kBGR, RefinePolicy::kBKLGR}) {
+    for (MatchingScheme scheme :
+         {MatchingScheme::kRandom, MatchingScheme::kHeavyEdge}) {
+      MultilevelConfig cfg;
+      cfg.matching = scheme;
+      cfg.refine = refine;
+      cfg.kl.parallel_boundary_min = 0;
+      for (const auto& [name, g] : family_graphs()) {
+        std::vector<part_t> reference;
+        for (int threads : kPoolSizes) {
+          ThreadPool pool(threads);
+          Rng rng(1234);
+          KwayResult r = kway_partition(g, 8, cfg, rng, nullptr, &pool);
+          ASSERT_EQ(check_partition(g, r.part, 8), "") << name << " t=" << threads;
+          if (threads == kPoolSizes[0]) {
+            reference = r.part;
+          } else {
+            ASSERT_EQ(r.part, reference)
+                << "parallel-refined partition differs: " << name
+                << " scheme=" << to_string(scheme) << " refine=" << to_string(refine)
+                << " threads=" << threads;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(PipelineDeterminismTest, ParallelRefinerUnaffectedByObsCollection) {
+  // The determinism contract composes: obs collection must not perturb the
+  // parallel refiner's rounds either.
+  Graph g = fem2d_tri(48, 48, 3);
+  MultilevelConfig cfg;
+  cfg.kl.parallel_boundary_min = 0;
+  std::vector<part_t> reference;
+  for (int threads : kPoolSizes) {
+    ThreadPool pool(threads);
+    Rng rng(555);
+    KwayResult plain = kway_partition(g, 8, cfg, rng, nullptr, &pool);
+    if (reference.empty()) reference = plain.part;
+    ASSERT_EQ(plain.part, reference) << "t=" << threads;
+
+    obs::Obs ob;
+    MultilevelConfig with_obs = cfg;
+    with_obs.obs = &ob;
+    Rng obs_rng(555);
+    KwayResult traced = kway_partition(g, 8, with_obs, obs_rng, nullptr, &pool);
+    ASSERT_EQ(traced.part, reference) << "obs run diverged, t=" << threads;
+    // The parallel refiner actually ran and its counters are populated.
+    EXPECT_GT(ob.metrics.snapshot().counter_value("refine.parallel_rounds"), 0)
+        << "t=" << threads;
+  }
+}
+
 TEST(PipelineDeterminismTest, ConfigThreadsMatchesExplicitPool) {
   // cfg.threads = t must run exactly the algorithms an explicit pool runs,
   // so user-visible partitions are invariant across every threads > 1.

@@ -23,6 +23,7 @@
 #include "coarsen/parallel_matching.hpp"
 #include "graph/generators.hpp"
 #include "initpart/bisection_state.hpp"
+#include "refine/parallel_refine.hpp"
 #include "refine/refine.hpp"
 #include "support/thread_pool.hpp"
 
@@ -184,6 +185,71 @@ TEST(InvariantsTest, RefinersNeverWorsenCutNorViolateBalanceBound) {
               << tag << ": balance bound violated on side " << s;
         }
       }
+    }
+  }
+}
+
+TEST(InvariantsTest, ParallelRefinerInvariantsUnderConcurrency) {
+  // The parallel propose/commit refiner obeys the same contract as the KL
+  // engine — the cut never worsens and no side exceeds max(its entry
+  // weight, target + slack) — and its per-round accounting (checked under
+  // TSan: propose sweeps run on real pool workers) chains exactly: each
+  // round's cut_after is the next round's cut_before, kept+rejected =
+  // attempted, and the kept total equals the number of changed labels.
+  ThreadPool pool(4);
+  const KlOptions opts;
+  for (const auto& [name, g] : random_graphs(37)) {
+    const vwt_t total = g.total_vertex_weight();
+    const vwt_t target0 = total / 2;
+    vwt_t max_vwgt = 0;
+    for (vid_t v = 0; v < g.num_vertices(); ++v) {
+      max_vwgt = std::max(max_vwgt, g.vertex_weight(v));
+    }
+    const vwt_t slack =
+        static_cast<vwt_t>(opts.weight_slack_factor * static_cast<double>(max_vwgt));
+
+    for (std::uint64_t bseed : {2u, 12u}) {
+      Rng brng(bseed);
+      std::vector<part_t> side(static_cast<std::size_t>(g.num_vertices()));
+      for (auto& s : side) s = static_cast<part_t>(brng.next_below(2));
+      Bisection b = make_bisection(g, std::move(side));
+      const ewt_t cut_before = b.cut;
+      const vwt_t w_before[2] = {b.part_weight[0], b.part_weight[1]};
+      const std::vector<part_t> side_before = b.side;
+
+      std::vector<obs::KlPassReport> log;
+      KlStats stats = parallel_bgr_refine(g, b, target0, opts, pool, &log);
+
+      const std::string tag = name + "/parallelBGR";
+      ASSERT_EQ(check_bisection(g, b), "") << tag;
+      EXPECT_LE(b.cut, cut_before) << tag << ": refiner worsened the cut";
+      EXPECT_EQ(cut_before - b.cut, stats.cut_reduction) << tag;
+      const vwt_t target[2] = {target0, total - target0};
+      for (int s = 0; s < 2; ++s) {
+        EXPECT_LE(b.part_weight[s], std::max(w_before[s], target[s] + slack))
+            << tag << ": balance bound violated on side " << s;
+      }
+
+      vid_t moved = 0;
+      for (std::size_t i = 0; i < side_before.size(); ++i) {
+        moved += side_before[i] != b.side[i] ? 1 : 0;
+      }
+      EXPECT_EQ(moved, stats.swapped) << tag << ": a vertex moved twice";
+
+      ASSERT_EQ(static_cast<int>(log.size()), stats.parallel_rounds) << tag;
+      ewt_t cut = cut_before;
+      std::int64_t kept = 0, attempted = 0;
+      for (const obs::KlPassReport& rep : log) {
+        EXPECT_EQ(rep.cut_before, cut) << tag;
+        EXPECT_LE(rep.cut_after, rep.cut_before) << tag;
+        EXPECT_EQ(rep.moves_attempted, rep.moves_kept + rep.moves_undone) << tag;
+        cut = rep.cut_after;
+        kept += rep.moves_kept;
+        attempted += rep.moves_attempted;
+      }
+      EXPECT_EQ(cut, b.cut) << tag;
+      EXPECT_EQ(kept, stats.swapped) << tag;
+      EXPECT_EQ(attempted, stats.moves_attempted) << tag;
     }
   }
 }

@@ -1,0 +1,223 @@
+// Unit tests for the deterministic parallel greedy boundary refiner
+// (refine/parallel_refine.*): pool-size invariance, the KL invariants
+// (monotone cut, balance bound), move-at-most-once semantics, round
+// accounting, and the refine_bisection auto-selection rules.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "initpart/bisection_state.hpp"
+#include "refine/parallel_refine.hpp"
+#include "refine/refine.hpp"
+#include "support/thread_pool.hpp"
+
+namespace mgp {
+namespace {
+
+Bisection random_bisection(const Graph& g, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<part_t> side(static_cast<std::size_t>(g.num_vertices()));
+  for (auto& s : side) s = static_cast<part_t>(rng.next_below(2));
+  return make_bisection(g, std::move(side));
+}
+
+vid_t count_diff(const std::vector<part_t>& a, const std::vector<part_t>& b) {
+  vid_t diff = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) diff += a[i] != b[i] ? 1 : 0;
+  return diff;
+}
+
+TEST(ParallelRefineTest, ByteIdenticalAcrossPoolSizes) {
+  const Graph g = fem2d_tri(40, 40, 5);
+  const vwt_t target0 = g.total_vertex_weight() / 2;
+  const Bisection start = random_bisection(g, 11);
+
+  Bisection reference;
+  KlStats ref_stats;
+  std::vector<obs::KlPassReport> ref_log;
+  for (int threads : {1, 2, 4, 8}) {
+    ThreadPool pool(threads);
+    Bisection b = start;
+    std::vector<obs::KlPassReport> log;
+    KlStats stats = parallel_bgr_refine(g, b, target0, {}, pool, &log);
+    ASSERT_EQ(check_bisection(g, b), "") << "threads=" << threads;
+    if (threads == 1) {
+      reference = b;
+      ref_stats = stats;
+      ref_log = log;
+      EXPECT_GT(stats.swapped, 0);  // a random start must be improvable
+      continue;
+    }
+    EXPECT_EQ(b.side, reference.side) << "threads=" << threads;
+    EXPECT_EQ(b.cut, reference.cut) << "threads=" << threads;
+    EXPECT_EQ(stats.swapped, ref_stats.swapped) << "threads=" << threads;
+    EXPECT_EQ(stats.parallel_rounds, ref_stats.parallel_rounds)
+        << "threads=" << threads;
+    EXPECT_EQ(stats.conflict_rejects, ref_stats.conflict_rejects)
+        << "threads=" << threads;
+    // The per-round report is part of the determinism contract too.
+    ASSERT_EQ(log.size(), ref_log.size()) << "threads=" << threads;
+    for (std::size_t i = 0; i < log.size(); ++i) {
+      EXPECT_EQ(log[i].moves_attempted, ref_log[i].moves_attempted);
+      EXPECT_EQ(log[i].moves_kept, ref_log[i].moves_kept);
+      EXPECT_EQ(log[i].cut_after, ref_log[i].cut_after);
+    }
+  }
+}
+
+TEST(ParallelRefineTest, NeverWorsensCutAndRespectsBalanceBound) {
+  ThreadPool pool(4);
+  const KlOptions opts;
+  for (std::uint64_t seed : {1u, 7u, 23u}) {
+    for (const auto& [name, g] :
+         {std::pair<std::string, Graph>{"fem2d", fem2d_tri(24, 24, seed)},
+          std::pair<std::string, Graph>{"power", power_grid(900, seed + 1)},
+          std::pair<std::string, Graph>{"circuit", circuit(700, seed + 2)}}) {
+      const vwt_t total = g.total_vertex_weight();
+      const vwt_t target0 = total / 2;
+      vwt_t max_vwgt = 0;
+      for (vid_t v = 0; v < g.num_vertices(); ++v) {
+        max_vwgt = std::max(max_vwgt, g.vertex_weight(v));
+      }
+      const vwt_t slack = static_cast<vwt_t>(opts.weight_slack_factor *
+                                             static_cast<double>(max_vwgt));
+
+      Bisection b = random_bisection(g, seed * 13 + 5);
+      const ewt_t cut_before = b.cut;
+      const vwt_t w_before[2] = {b.part_weight[0], b.part_weight[1]};
+      const std::vector<part_t> side_before = b.side;
+
+      KlStats stats = parallel_bgr_refine(g, b, target0, opts, pool);
+
+      ASSERT_EQ(check_bisection(g, b), "") << name;
+      EXPECT_LE(b.cut, cut_before) << name << ": refiner worsened the cut";
+      EXPECT_EQ(cut_before - b.cut, stats.cut_reduction) << name;
+      const vwt_t target[2] = {target0, total - target0};
+      for (int s = 0; s < 2; ++s) {
+        EXPECT_LE(b.part_weight[s], std::max(w_before[s], target[s] + slack))
+            << name << ": balance bound violated on side " << s;
+      }
+      // Move-at-most-once: every changed label is exactly one kept move.
+      EXPECT_EQ(count_diff(side_before, b.side), stats.swapped) << name;
+    }
+  }
+}
+
+TEST(ParallelRefineTest, RoundAccountingIsConsistent) {
+  const Graph g = fem2d_tri(32, 32, 3);
+  const vwt_t target0 = g.total_vertex_weight() / 2;
+  Bisection b = random_bisection(g, 77);
+  const ewt_t cut_before = b.cut;
+
+  ThreadPool pool(4);
+  std::vector<obs::KlPassReport> log;
+  KlStats stats = parallel_bgr_refine(g, b, target0, {}, pool, &log);
+
+  ASSERT_EQ(static_cast<int>(log.size()), stats.parallel_rounds);
+  EXPECT_EQ(stats.passes, 1);
+  std::int64_t kept = 0, attempted = 0, rejected = 0;
+  ewt_t cut = cut_before;
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    EXPECT_EQ(log[i].pass, static_cast<int>(i) + 1);
+    EXPECT_EQ(log[i].cut_before, cut);
+    EXPECT_LE(log[i].cut_after, log[i].cut_before);
+    EXPECT_EQ(log[i].moves_attempted, log[i].moves_kept + log[i].moves_undone);
+    cut = log[i].cut_after;
+    kept += log[i].moves_kept;
+    attempted += log[i].moves_attempted;
+    rejected += log[i].moves_undone;
+  }
+  EXPECT_EQ(cut, b.cut);
+  EXPECT_EQ(kept, stats.swapped);
+  EXPECT_EQ(attempted, stats.moves_attempted);
+  EXPECT_EQ(rejected, stats.conflict_rejects);
+  // The final round commits nothing (that is the termination certificate),
+  // unless the round cap fired first.
+  ASSERT_FALSE(log.empty());
+  EXPECT_EQ(log.back().moves_kept, 0);
+}
+
+TEST(ParallelRefineTest, DegenerateInputs) {
+  ThreadPool pool(4);
+  // Empty graph: no work, no crash.
+  Graph empty;
+  Bisection be;
+  KlStats s = parallel_bgr_refine(empty, be, 0, {}, pool);
+  EXPECT_EQ(s.swapped, 0);
+
+  // A perfectly split disconnected graph has no boundary: one round, no
+  // proposals, nothing moves.
+  Graph g = grid2d(8, 8);  // single component; split it along a clean seam
+  std::vector<part_t> side(static_cast<std::size_t>(g.num_vertices()));
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    side[static_cast<std::size_t>(v)] = v < g.num_vertices() / 2 ? 0 : 1;
+  }
+  Bisection b = make_bisection(g, side);
+  const ewt_t cut_before = b.cut;
+  KlStats s2 = parallel_bgr_refine(g, b, g.total_vertex_weight() / 2, {}, pool);
+  EXPECT_LE(b.cut, cut_before);
+  EXPECT_EQ(check_bisection(g, b), "");
+  EXPECT_GE(s2.parallel_rounds, 1);
+}
+
+TEST(ParallelRefineTest, DispatchUsesParallelPathAboveThreshold) {
+  const Graph g = fem2d_tri(36, 36, 9);
+  const vwt_t target0 = g.total_vertex_weight() / 2;
+  const Bisection start = random_bisection(g, 42);
+  ThreadPool pool(4);
+
+  // Forced on (threshold 0): refine_bisection must reproduce the direct
+  // call bit for bit and leave the RNG untouched (the parallel refiner
+  // draws no randomness).
+  KlOptions forced;
+  forced.parallel_boundary_min = 0;
+  Bisection direct = start;
+  KlStats direct_stats = parallel_bgr_refine(g, direct, target0, forced, pool);
+  for (RefinePolicy policy : {RefinePolicy::kBGR, RefinePolicy::kBKLGR}) {
+    Bisection b = start;
+    Rng rng(123);
+    KlStats s = refine_bisection(g, b, target0, policy, g.num_vertices(), rng,
+                                 forced, nullptr, nullptr, &pool);
+    EXPECT_EQ(b.side, direct.side) << to_string(policy);
+    EXPECT_EQ(b.cut, direct.cut) << to_string(policy);
+    EXPECT_EQ(s.parallel_rounds, direct_stats.parallel_rounds) << to_string(policy);
+    EXPECT_EQ(rng.next_u64(), Rng(123).next_u64())
+        << to_string(policy) << ": parallel path must not draw randomness";
+  }
+
+  // Forced off (threshold beyond |V|): with or without a pool,
+  // refine_bisection is the sequential engine, bit for bit.
+  KlOptions off;
+  off.parallel_boundary_min = g.num_vertices() + 1;
+  for (RefinePolicy policy : {RefinePolicy::kBGR, RefinePolicy::kBKLGR}) {
+    Bisection seq = start;
+    Rng rng_seq(7);
+    refine_bisection(g, seq, target0, policy, g.num_vertices(), rng_seq, off);
+    Bisection pooled = start;
+    Rng rng_pool(7);
+    refine_bisection(g, pooled, target0, policy, g.num_vertices(), rng_pool, off,
+                     nullptr, nullptr, &pool);
+    EXPECT_EQ(pooled.side, seq.side) << to_string(policy);
+    EXPECT_EQ(rng_pool.next_u64(), rng_seq.next_u64()) << to_string(policy);
+  }
+}
+
+TEST(ParallelRefineTest, WarmWorkspaceIsByteIdenticalToFresh) {
+  const Graph g = fem2d_tri(28, 28, 2);
+  const vwt_t target0 = g.total_vertex_weight() / 2;
+  ThreadPool pool(2);
+  KlWorkspace ws;
+  Bisection warm_ref;
+  for (int run = 0; run < 3; ++run) {
+    Bisection fresh = random_bisection(g, 31);
+    Bisection warm = fresh;
+    parallel_bgr_refine(g, fresh, target0, {}, pool);
+    parallel_bgr_refine(g, warm, target0, {}, pool, nullptr, &ws);
+    ASSERT_EQ(warm.side, fresh.side) << "run " << run;
+    ASSERT_EQ(warm.cut, fresh.cut) << "run " << run;
+  }
+}
+
+}  // namespace
+}  // namespace mgp
