@@ -198,7 +198,12 @@ BisectResult multilevel_bisect(const Graph& g, vwt_t target0,
           ob->metrics.add(ob->pipeline.refine_conflict_rejects, s.conflict_rejects);
         }
         for (const obs::KlPassReport& p : pass_log) {
-          ob->metrics.add(ob->pipeline.kl_rollbacks, p.moves_undone);
+          // Parallel propose/commit rounds log commit-time conflict rejects
+          // in moves_undone; those are already counted by
+          // refine.conflict_rejects above and are not KL undo rollbacks.
+          if (s.parallel_rounds == 0) {
+            ob->metrics.add(ob->pipeline.kl_rollbacks, p.moves_undone);
+          }
           if (p.early_exit) ob->metrics.add(ob->pipeline.kl_early_exits);
           ob->metrics.record_max(ob->pipeline.queue_peak, p.queue_peak);
         }

@@ -33,7 +33,9 @@ struct KlPassReport {
   int pass = 0;                      ///< 1-based index within the kl_refine call
   std::int64_t moves_attempted = 0;  ///< moves executed, including later-undone
   std::int64_t moves_kept = 0;       ///< best-prefix moves that survived undo
-  std::int64_t moves_undone = 0;     ///< trailing rollback length
+  std::int64_t moves_undone = 0;     ///< trailing rollback length (sequential
+                                     ///< KL); commit-time conflict rejects
+                                     ///< for parallel propose/commit rounds
   std::int64_t insertions = 0;       ///< gain-queue insertions this pass
   std::int64_t cut_before = 0;
   std::int64_t cut_after = 0;

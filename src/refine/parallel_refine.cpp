@@ -41,6 +41,11 @@ KlStats parallel_bgr_refine(const Graph& g, Bisection& b, vwt_t target0,
   const vid_t step = (n + kProposeChunks - 1) / kProposeChunks;
   ws.cand.resize(static_cast<std::size_t>(step) * kProposeChunks);
   ws.cand_count.resize(kProposeChunks);
+  // A warm workspace may arrive from a larger graph.  Chunks that are empty
+  // here (c * step >= n, which happens for small n) are never visited by
+  // parallel_for_chunks, so stale counts from the previous graph would feed
+  // out-of-range vertex ids to the commit pass — zero them all up front.
+  std::fill(ws.cand_count.begin(), ws.cand_count.end(), vid_t{0});
 
   // --- Gain initialisation (parallel O(|E|)).  Each chunk writes only its
   // own ed/id range and reads the labelling, which is frozen until commit.

@@ -40,8 +40,12 @@ std::string to_string(RefinePolicy p);
 /// large-boundary leg) run as the deterministic parallel propose/commit
 /// refiner once the boundary reaches base_opts.parallel_boundary_min
 /// vertices (refine/parallel_refine.*).  The selection depends only on the
-/// partition, so results are byte-identical across pool sizes; a null pool
-/// keeps today's exact sequential path.
+/// partition, so results are byte-identical across pool sizes — and ANY
+/// attached pool selects it, including a 1-thread pool (which runs the
+/// propose/commit algorithm inline).  Only a null pool keeps the exact
+/// sequential KL/BGR engine; equivalence between the two refiners is not a
+/// contract.  kway_partition attaches a pool only when
+/// cfg.resolved_threads() > 1, so cfg.threads == 1 stays sequential.
 KlStats refine_bisection(const Graph& g, Bisection& b, vwt_t target0,
                          RefinePolicy policy, vid_t original_n, Rng& rng,
                          const KlOptions& base_opts = {},

@@ -203,6 +203,39 @@ TEST(ParallelRefineTest, DispatchUsesParallelPathAboveThreshold) {
   }
 }
 
+TEST(ParallelRefineTest, WarmWorkspaceFromLargerGraphIsSafeOnSmallGraph) {
+  // Regression: with 16 fixed propose chunks, a graph with n <= 225 has
+  // step * 16 > n, so trailing chunks are empty and parallel_for_chunks
+  // never runs their bodies.  A workspace still warm from a larger graph
+  // must not leak its old cand_count entries into the commit pass (stale
+  // candidate ids can be >= n — out-of-bounds).
+  ThreadPool pool(4);
+  KlWorkspace ws;
+  {
+    // Populate every chunk's count with something large.
+    const Graph big = fem2d_tri(40, 40, 5);
+    Bisection b = random_bisection(big, 11);
+    parallel_bgr_refine(big, b, big.total_vertex_weight() / 2, {}, pool, nullptr,
+                        &ws);
+  }
+  const Graph small = grid2d(7, 7);  // n = 49: chunks 13..15 are empty
+  ASSERT_LE(small.num_vertices(), 225);
+  const vwt_t target0 = small.total_vertex_weight() / 2;
+  const Bisection start = random_bisection(small, 3);
+
+  Bisection fresh = start;
+  KlStats fresh_stats = parallel_bgr_refine(small, fresh, target0, {}, pool);
+  Bisection warm = start;
+  KlStats warm_stats =
+      parallel_bgr_refine(small, warm, target0, {}, pool, nullptr, &ws);
+
+  ASSERT_EQ(check_bisection(small, warm), "");
+  EXPECT_EQ(warm.side, fresh.side);
+  EXPECT_EQ(warm.cut, fresh.cut);
+  EXPECT_EQ(warm_stats.swapped, fresh_stats.swapped);
+  EXPECT_EQ(warm_stats.conflict_rejects, fresh_stats.conflict_rejects);
+}
+
 TEST(ParallelRefineTest, WarmWorkspaceIsByteIdenticalToFresh) {
   const Graph g = fem2d_tri(28, 28, 2);
   const vwt_t target0 = g.total_vertex_weight() / 2;
