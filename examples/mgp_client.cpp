@@ -1,0 +1,168 @@
+// Client CLI of the partitioning service.
+//
+//   $ ./mgp_client --socket=/tmp/mgp.sock graph.graph 8 -o out.part
+//   $ ./mgp_client --port=7095 --stats
+//
+// Options mirror partition_file's where they exist, and the defaults are
+// identical, so for the same graph, k, and seed the two tools produce the
+// same partition bytes — one computed in-process, one over the wire.
+//
+//   --socket=PATH | --port=N      where the server listens
+//   --matching=rm|hem|lem|hcm     coarsening scheme          (hem)
+//   --init=ggp|gggp|sbp           coarsest-graph partitioner (gggp)
+//   --refine=none|gr|klr|bgr|bklr|bklgr   refinement policy  (bklgr)
+//   --seed=S                      RNG seed                   (1995)
+//   --deadline-ms=N               per-request budget; 0 = none
+//   --stats                       print the server's /stats JSON and exit
+//   -o FILE                       write the part vector (one id per line)
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "graph/io.hpp"
+#include "graph/partition_io.hpp"
+#include "server/client.hpp"
+
+using namespace mgp;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s (--socket=PATH | --port=N) [--stats] "
+               "[<graph(.graph|.mtx)> <k>] [options] [-o out]\n"
+               "  --matching=rm|hem|lem|hcm  --init=ggp|gggp|sbp\n"
+               "  --refine=none|gr|klr|bgr|bklr|bklgr\n"
+               "  --seed=S  --deadline-ms=N\n",
+               argv0);
+  return 2;
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool parse_matching(const std::string& v, MatchingScheme& out) {
+  if (v == "rm") out = MatchingScheme::kRandom;
+  else if (v == "hem") out = MatchingScheme::kHeavyEdge;
+  else if (v == "lem") out = MatchingScheme::kLightEdge;
+  else if (v == "hcm") out = MatchingScheme::kHeavyClique;
+  else return false;
+  return true;
+}
+
+bool parse_init(const std::string& v, InitPartScheme& out) {
+  if (v == "ggp") out = InitPartScheme::kGGP;
+  else if (v == "gggp") out = InitPartScheme::kGGGP;
+  else if (v == "sbp") out = InitPartScheme::kSpectral;
+  else return false;
+  return true;
+}
+
+bool parse_refine(const std::string& v, RefinePolicy& out) {
+  if (v == "none") out = RefinePolicy::kNone;
+  else if (v == "gr") out = RefinePolicy::kGR;
+  else if (v == "klr") out = RefinePolicy::kKLR;
+  else if (v == "bgr") out = RefinePolicy::kBGR;
+  else if (v == "bklr") out = RefinePolicy::kBKLR;
+  else if (v == "bklgr") out = RefinePolicy::kBKLGR;
+  else return false;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path;
+  std::uint16_t port = 0;
+  bool have_listen = false, want_stats = false;
+  server::RequestOptions opts;
+  std::string graph_path, out_path;
+  part_t k = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--socket=", 0) == 0) {
+      socket_path = arg.substr(9);
+      have_listen = !socket_path.empty();
+    } else if (arg.rfind("--port=", 0) == 0) {
+      port = static_cast<std::uint16_t>(std::atoi(arg.c_str() + 7));
+      have_listen = true;
+    } else if (arg == "--stats") {
+      want_stats = true;
+    } else if (arg.rfind("--matching=", 0) == 0) {
+      if (!parse_matching(arg.substr(11), opts.matching)) return usage(argv[0]);
+    } else if (arg.rfind("--init=", 0) == 0) {
+      if (!parse_init(arg.substr(7), opts.initpart)) return usage(argv[0]);
+    } else if (arg.rfind("--refine=", 0) == 0) {
+      if (!parse_refine(arg.substr(9), opts.refine)) return usage(argv[0]);
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      opts.seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else if (arg.rfind("--deadline-ms=", 0) == 0) {
+      opts.deadline_ms = std::strtoull(arg.c_str() + 14, nullptr, 10);
+    } else if (arg == "-o" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (graph_path.empty()) {
+      graph_path = arg;
+    } else if (k == 0) {
+      k = static_cast<part_t>(std::atoi(arg.c_str()));
+      if (k < 1) return usage(argv[0]);
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      return usage(argv[0]);
+    }
+  }
+  if (!have_listen || (!want_stats && (graph_path.empty() || k < 1))) {
+    return usage(argv[0]);
+  }
+
+  std::string err;
+  server::Client client = socket_path.empty()
+                              ? server::Client::connect_tcp("127.0.0.1", port, err)
+                              : server::Client::connect_unix(socket_path, err);
+  if (!client.connected()) {
+    std::fprintf(stderr, "error: %s\n", err.c_str());
+    return 1;
+  }
+
+  if (want_stats) {
+    std::string json;
+    if (!client.stats(json, err)) {
+      std::fprintf(stderr, "error: %s\n", err.c_str());
+      return 1;
+    }
+    std::printf("%s\n", json.c_str());
+    return 0;
+  }
+
+  Graph g;
+  try {
+    g = ends_with(graph_path, ".mtx") ? read_matrix_market_file(graph_path)
+                                      : read_metis_graph_file(graph_path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error loading graph: %s\n", e.what());
+    return 1;
+  }
+  opts.k = k;
+
+  server::PartitionOutcome r = client.partition(g, opts);
+  if (!r.ok()) {
+    std::fprintf(stderr, "error: %s (%s)\n",
+                 std::string(server::to_string(r.status)).c_str(), r.error.c_str());
+    return 1;
+  }
+  std::printf("%d-way: edge-cut %lld%s\n", k, static_cast<long long>(r.edge_cut),
+              r.cache_hit ? " (cache hit)" : "");
+  if (!out_path.empty()) {
+    try {
+      write_partition_file(out_path, r.part);
+      std::printf("partition vector written to %s\n", out_path.c_str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Partitioning service daemon (DESIGN.md §9, README "Running the server").
+//
+//   $ ./mgp_server --socket=/tmp/mgp.sock [options]
+//   $ ./mgp_server --port=7095 [options]
+//
+// Options:
+//   --socket=PATH       listen on a Unix-domain socket
+//   --port=N            listen on 127.0.0.1:N (0 = ephemeral, printed)
+//   --workers=N         worker threads                     (2)
+//   --queue=N           admission queue capacity           (16)
+//   --cache=N           result cache entries               (64)
+//
+// SIGTERM/SIGINT drain the server: accepted work is finished and answered,
+// then every thread exits and the socket file is unlinked.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "server/server.hpp"
+
+namespace {
+
+mgp::server::Server* g_server = nullptr;
+
+void handle_stop_signal(int) {
+  // request_stop is one pipe write + a lock-free store: async-signal-safe.
+  if (g_server != nullptr) g_server->request_stop();
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s (--socket=PATH | --port=N) [--workers=N] [--queue=N] "
+               "[--cache=N]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  mgp::server::ServerConfig cfg;
+  bool have_listen = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--socket=", 0) == 0) {
+      cfg.unix_path = arg.substr(9);
+      have_listen = !cfg.unix_path.empty();
+    } else if (arg.rfind("--port=", 0) == 0) {
+      cfg.tcp_port = static_cast<std::uint16_t>(std::atoi(arg.c_str() + 7));
+      have_listen = true;
+    } else if (arg.rfind("--workers=", 0) == 0) {
+      cfg.num_workers = std::atoi(arg.c_str() + 10);
+      if (cfg.num_workers < 1) return usage(argv[0]);
+    } else if (arg.rfind("--queue=", 0) == 0) {
+      cfg.queue_capacity = static_cast<std::size_t>(std::atoll(arg.c_str() + 8));
+      if (cfg.queue_capacity < 1) return usage(argv[0]);
+    } else if (arg.rfind("--cache=", 0) == 0) {
+      cfg.cache_capacity = static_cast<std::size_t>(std::atoll(arg.c_str() + 8));
+      if (cfg.cache_capacity < 1) return usage(argv[0]);
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      return usage(argv[0]);
+    }
+  }
+  if (!have_listen) return usage(argv[0]);
+
+  mgp::server::Server server(cfg);
+  g_server = &server;
+  std::signal(SIGTERM, handle_stop_signal);
+  std::signal(SIGINT, handle_stop_signal);
+
+  std::string err;
+  if (!server.start(err)) {
+    std::fprintf(stderr, "error: %s\n", err.c_str());
+    return 1;
+  }
+  if (!cfg.unix_path.empty()) {
+    std::printf("mgp_server listening on %s (%d workers, queue %zu, cache %zu)\n",
+                cfg.unix_path.c_str(), cfg.num_workers, cfg.queue_capacity,
+                cfg.cache_capacity);
+  } else {
+    std::printf("mgp_server listening on 127.0.0.1:%u (%d workers, queue %zu, "
+                "cache %zu)\n",
+                server.tcp_port(), cfg.num_workers, cfg.queue_capacity,
+                cfg.cache_capacity);
+  }
+  std::fflush(stdout);
+
+  server.join();  // returns after SIGTERM/SIGINT + drain
+  std::printf("mgp_server: drained and stopped\n");
+  g_server = nullptr;
+  return 0;
+}

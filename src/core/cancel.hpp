@@ -1,0 +1,72 @@
+// Cooperative cancellation for long-running partitioning calls.
+//
+// The partitioning pipeline is a batch algorithm; the server (src/server/)
+// turns it into a service with per-request deadlines.  A CancelToken is the
+// bridge: the caller arms it (explicit cancel() or a steady-clock deadline),
+// threads it through MultilevelConfig::cancel, and multilevel_bisect polls
+// it at level boundaries — once per coarsening step, once before initial
+// partitioning, once per uncoarsening level.  That granularity keeps the
+// check off the per-vertex hot paths while bounding the overrun of an
+// expired request to a single level's work.
+//
+// An expired token makes the pipeline throw CancelledError, which unwinds
+// through the recursive-bisection tree (core/kway.cpp is exception-safe
+// under fork/join: a throwing subproblem still joins its sibling before
+// propagating).  A token that never expires is never observable: the check
+// draws no randomness and alters no control flow, so partitions stay
+// byte-identical with or without a token attached.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+
+namespace mgp {
+
+/// Thrown by pipeline code when its CancelToken expires mid-run.
+class CancelledError : public std::runtime_error {
+ public:
+  CancelledError() : std::runtime_error("operation cancelled") {}
+};
+
+/// Shared cancellation state: an explicit flag plus an optional deadline.
+/// cancel() may be called from any thread; expired() is safe to poll
+/// concurrently.  Reusable: reset() re-arms a warm token (the server keeps
+/// one per connection slot).
+struct CancelToken {
+  /// Requests cancellation (checked at the next level boundary).
+  void cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  /// Arms an absolute steady-clock deadline.  The release store pairs with
+  /// expired()'s acquire load so a concurrently polling thread never reads a
+  /// half-written time point.
+  void set_deadline(std::chrono::steady_clock::time_point tp) {
+    deadline_ = tp;
+    has_deadline_.store(true, std::memory_order_release);
+  }
+
+  /// Clears both the flag and the deadline.
+  void reset() {
+    cancelled_.store(false, std::memory_order_relaxed);
+    has_deadline_.store(false, std::memory_order_relaxed);
+  }
+
+  /// True once cancel() was called or the deadline has passed.
+  bool expired() const {
+    if (cancelled_.load(std::memory_order_relaxed)) return true;
+    return has_deadline_.load(std::memory_order_acquire) &&
+           std::chrono::steady_clock::now() > deadline_;
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  std::atomic<bool> has_deadline_{false};
+  std::chrono::steady_clock::time_point deadline_{};
+};
+
+/// Pipeline-side check: throws CancelledError when `token` (if any) expired.
+inline void throw_if_cancelled(const CancelToken* token) {
+  if (token && token->expired()) throw CancelledError();
+}
+
+}  // namespace mgp

@@ -14,6 +14,8 @@ namespace obs {
 struct Obs;
 }
 
+struct CancelToken;
+
 /// Coarsest-graph partitioning algorithms of §3.2.
 enum class InitPartScheme { kGGP, kGGGP, kSpectral };
 
@@ -55,6 +57,14 @@ struct MultilevelConfig {
   // determinism suite).  Tracing spans are controlled separately by
   // obs::trace_start()/trace_stop() plus the MGP_OBS compile switch.
   obs::Obs* obs = nullptr;
+
+  // Cooperative cancellation (core/cancel.hpp): when non-null, the pipeline
+  // polls the token at level boundaries and throws CancelledError once it
+  // expires — how the server (src/server/) enforces per-request deadlines.
+  // Non-owning; must outlive the call.  A token that never expires cannot
+  // change results: the check draws no randomness and alters no control
+  // flow, so partitions are byte-identical with or without one attached.
+  const CancelToken* cancel = nullptr;
 
   // Phase 3: refinement during uncoarsening.
   RefinePolicy refine = RefinePolicy::kBKLGR;

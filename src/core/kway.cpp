@@ -92,13 +92,26 @@ void recurse(const Graph& g, std::span<const vid_t> to_global, part_t k,
       g.num_vertices() >= kSpawnThresholdVertices) {
     // Fork side 0 to the pool, recurse on side 1 here, join with helping
     // (the waiting thread executes other queued subproblems meanwhile).
+    // Exception safety: the forked child borrows this frame's subgraphs, so
+    // a throw from the inline side (e.g. CancelledError from an expired
+    // deadline) must still join the fork before unwinding.
     std::future<void> fut = ctx.pool->submit([&]() {
       recurse(sub[0].graph, global_ids[0], child_k[0], child_base[0],
               child_path[0], ctx);
     });
-    recurse(sub[1].graph, global_ids[1], child_k[1], child_base[1],
-            child_path[1], ctx);
-    ctx.pool->wait_help(fut);
+    std::exception_ptr inline_error;
+    try {
+      recurse(sub[1].graph, global_ids[1], child_k[1], child_base[1],
+              child_path[1], ctx);
+    } catch (...) {
+      inline_error = std::current_exception();
+    }
+    try {
+      ctx.pool->wait_help(fut);
+    } catch (...) {
+      if (!inline_error) inline_error = std::current_exception();
+    }
+    if (inline_error) std::rethrow_exception(inline_error);
   } else {
     for (part_t s = 0; s < 2; ++s) {
       recurse(sub[s].graph, global_ids[s], child_k[s], child_base[s],
@@ -202,6 +215,117 @@ KwayResult kway_partition_best_of(const Graph& g, part_t k,
     if (t == 0 || r.edge_cut < best.edge_cut) best = std::move(r);
   }
   return best;
+}
+
+namespace {
+
+/// Shared state of one kway_partition_into recursion.
+struct RbScratchContext {
+  const MultilevelConfig& cfg;
+  std::vector<part_t>& out_part;
+  std::uint64_t root_seed;
+  KwayScratch& scratch;
+  BisectWorkspace* ws;  ///< one workspace, reused by every subproblem
+};
+
+/// Sequential analogue of recurse() over pooled frame storage: identical
+/// control flow, degenerate handling, and per-subproblem seeds, so the
+/// resulting labelling is byte-identical to recursive_bisection's.  Sides
+/// are descended one after the other, which lets both reuse the same frame
+/// slot: by the time side 1 is extracted, side 0's subtree has completed.
+void recurse_with_scratch(const Graph& g, std::span<const vid_t> to_global, part_t k,
+                          part_t part_base, std::uint64_t path, std::size_t depth,
+                          const RbScratchContext& ctx) {
+  if (k <= 1 || g.num_vertices() == 0) {
+    for (vid_t v = 0; v < g.num_vertices(); ++v) {
+      ctx.out_part[static_cast<std::size_t>(to_global[static_cast<std::size_t>(v)])] =
+          part_base;
+    }
+    return;
+  }
+  if (g.num_vertices() <= k) {
+    for (vid_t v = 0; v < g.num_vertices(); ++v) {
+      ctx.out_part[static_cast<std::size_t>(to_global[static_cast<std::size_t>(v)])] =
+          part_base + (v % k);
+    }
+    return;
+  }
+
+  obs::Span span("bisect.subproblem");
+  span.arg("path", static_cast<std::int64_t>(path));
+  span.arg("n", g.num_vertices());
+
+  const part_t k0 = (k + 1) / 2;
+  const part_t k1 = k - k0;
+  const vwt_t total = g.total_vertex_weight();
+  const vwt_t target0 =
+      static_cast<vwt_t>((static_cast<long double>(total) * k0) / k + 0.5L);
+
+  KwayScratch::Frame& fr = ctx.scratch.frame(depth);
+  Rng rng(subproblem_seed(ctx.root_seed, path));
+  multilevel_bisect_into(g, target0, ctx.cfg, rng, fr.bisection, nullptr, nullptr,
+                         nullptr, ctx.ws);
+  assert(fr.bisection.side.size() == static_cast<std::size_t>(g.num_vertices()));
+
+  const std::uint64_t child_path[2] = {2 * path, 2 * path + 1};
+  const part_t child_k[2] = {k0, k1};
+  const part_t child_base[2] = {part_base, part_base + k0};
+
+  for (part_t s = 0; s < 2; ++s) {
+    extract_where_into(g, fr.bisection.side, s, fr.extract_scratch,
+                       fr.local_to_global, fr.sub);
+    fr.global_ids.resize(fr.local_to_global.size());
+    for (std::size_t i = 0; i < fr.local_to_global.size(); ++i) {
+      fr.global_ids[i] =
+          to_global[static_cast<std::size_t>(fr.local_to_global[i])];
+    }
+    recurse_with_scratch(fr.sub, fr.global_ids, child_k[s], child_base[s],
+                         child_path[s], depth + 1, ctx);
+  }
+}
+
+}  // namespace
+
+KwayScratch::Frame& KwayScratch::frame(std::size_t depth) {
+  while (frames_.size() <= depth) {
+    frames_.push_back(std::make_unique<Frame>());
+  }
+  return *frames_[depth];
+}
+
+std::size_t KwayScratch::memory_bytes() const {
+  std::size_t total = identity_.capacity() * sizeof(vid_t);
+  total += frames_.capacity() * sizeof(std::unique_ptr<Frame>);
+  for (const auto& fr : frames_) {
+    if (!fr) continue;
+    total += fr->bisection.side.capacity() * sizeof(part_t);
+    total += fr->sub.memory_bytes();
+    total += fr->local_to_global.capacity() * sizeof(vid_t);
+    total += fr->global_ids.capacity() * sizeof(vid_t);
+    total += fr->extract_scratch.capacity() * sizeof(vid_t);
+  }
+  return total;
+}
+
+ewt_t kway_partition_into(const Graph& g, part_t k, const MultilevelConfig& cfg,
+                          Rng& rng, KwayScratch& scratch, BisectWorkspace* ws,
+                          std::vector<part_t>& out_part) {
+  assert(k >= 1);
+  obs::Span span("kway_partition");
+  span.arg("k", k);
+  span.arg("n", g.num_vertices());
+
+  out_part.assign(static_cast<std::size_t>(g.num_vertices()), 0);
+  scratch.identity_.resize(static_cast<std::size_t>(g.num_vertices()));
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    scratch.identity_[static_cast<std::size_t>(v)] = v;
+  }
+  // Same single draw as recursive_bisection: everything below is a pure
+  // function of it, so the two drivers are interchangeable byte for byte.
+  const std::uint64_t root_seed = rng.next_u64();
+  RbScratchContext ctx{cfg, out_part, root_seed, scratch, ws};
+  recurse_with_scratch(g, scratch.identity_, k, 0, /*path=*/1, /*depth=*/0, ctx);
+  return compute_kway_cut(g, out_part);
 }
 
 ewt_t compute_kway_cut(const Graph& g, std::span<const part_t> part) {

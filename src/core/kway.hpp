@@ -18,6 +18,7 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "core/config.hpp"
@@ -28,6 +29,8 @@
 #include "support/timer.hpp"
 
 namespace mgp {
+
+struct BisectWorkspace;
 
 /// A 2-way partitioner: bisect `g` so side 0 holds ~`target0` vertex weight.
 /// May be invoked concurrently from several pool workers (on distinct
@@ -64,6 +67,58 @@ KwayResult kway_partition(const Graph& g, part_t k, const MultilevelConfig& cfg,
 
 /// Edge-cut of an arbitrary k-way labelling.
 ewt_t compute_kway_cut(const Graph& g, std::span<const part_t> part);
+
+/// Reusable scratch for kway_partition_into's sequential recursion: one
+/// frame per recursion depth holding the subproblem's bisection buffer,
+/// the side being descended into (its CSR storage recycled in place), and
+/// the local→global id maps.  Sequential DFS touches one frame per depth at
+/// a time, so ceil(log2 k) frames cover the whole tree; all of them warm to
+/// their subproblem's high-water size on the first request and are reused
+/// verbatim afterwards.
+class KwayScratch {
+ public:
+  KwayScratch() = default;
+  KwayScratch(const KwayScratch&) = delete;
+  KwayScratch& operator=(const KwayScratch&) = delete;
+
+  /// Heap bytes currently reserved (capacity, not size).
+  std::size_t memory_bytes() const;
+
+  /// One recursion depth's buffers.  unique_ptr keeps addresses stable while
+  /// frames_ grows: a child frame's recursion borrows spans of its parent's
+  /// buffers.
+  struct Frame {
+    Bisection bisection;
+    Graph sub;                           ///< rebuilt in place per side visit
+    std::vector<vid_t> local_to_global;  ///< sub's ids in the parent graph
+    std::vector<vid_t> global_ids;       ///< sub's ids in the *root* graph
+    std::vector<vid_t> extract_scratch;  ///< global→local table
+  };
+
+  /// Frame for `depth`, created on first use.
+  Frame& frame(std::size_t depth);
+
+ private:
+  friend ewt_t kway_partition_into(const Graph&, part_t, const MultilevelConfig&,
+                                   Rng&, KwayScratch&, BisectWorkspace*,
+                                   std::vector<part_t>&);
+  std::vector<std::unique_ptr<Frame>> frames_;
+  std::vector<vid_t> identity_;  ///< root-level local→global map
+};
+
+/// k-way partition into caller-owned storage — the long-lived caller's
+/// (server's) entry point.  Byte-identical to kway_partition with the same
+/// (graph, k, cfg, rng state): it draws the same single u64 to seed the
+/// per-subproblem streams and runs the same sequential recursion.  Always
+/// sequential (cfg.threads is ignored; concurrency belongs to the caller,
+/// one request per worker).  Labels are written into `out_part` and the
+/// edge-cut returned.  With warm `scratch`, `ws`, and `out_part`, the call
+/// performs zero heap allocations (asserted by the server's alloc-guard
+/// regression test).  Honors cfg.cancel at every level boundary by
+/// throwing CancelledError.
+ewt_t kway_partition_into(const Graph& g, part_t k, const MultilevelConfig& cfg,
+                          Rng& rng, KwayScratch& scratch, BisectWorkspace* ws,
+                          std::vector<part_t>& out_part);
 
 /// Best of `trials` independent k-way partitions (smallest edge-cut).  The
 /// paper notes multiple trials are how randomized partitioners (geometric

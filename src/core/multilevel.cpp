@@ -5,6 +5,7 @@
 
 #include "coarsen/contract.hpp"
 #include "coarsen/parallel_matching.hpp"
+#include "core/cancel.hpp"
 #include "initpart/graph_grow.hpp"
 #include "initpart/spectral_init.hpp"
 #include "obs/report.hpp"
@@ -43,12 +44,27 @@ BisectResult multilevel_bisect(const Graph& g, vwt_t target0,
                                const MultilevelConfig& cfg, Rng& rng,
                                PhaseTimers* timers, ThreadPool* pool,
                                obs::PhaseMetrics* phase_metrics,
-                               BisectWorkspace* ext_ws) {
+                               BisectWorkspace* ws) {
+  BisectResult out;
+  const BisectStats stats = multilevel_bisect_into(g, target0, cfg, rng, out.bisection,
+                                                   timers, pool, phase_metrics, ws);
+  out.levels = stats.levels;
+  out.coarsest_n = stats.coarsest_n;
+  out.refine_stats = stats.refine_stats;
+  return out;
+}
+
+BisectStats multilevel_bisect_into(const Graph& g, vwt_t target0,
+                                   const MultilevelConfig& cfg, Rng& rng,
+                                   Bisection& out_b, PhaseTimers* timers,
+                                   ThreadPool* pool, obs::PhaseMetrics* phase_metrics,
+                                   BisectWorkspace* ext_ws) {
   obs::Span bisect_span("bisect");
   bisect_span.arg("n", g.num_vertices());
+  throw_if_cancelled(cfg.cancel);
 
   PhaseTimers pt;  // forwarded to timers / phase_metrics on exit
-  BisectResult out;
+  BisectStats out;
 
   // Workspace-less callers get a call-local one: same code path throughout,
   // just without cross-call buffer reuse.
@@ -84,6 +100,7 @@ BisectResult multilevel_bisect(const Graph& g, vwt_t target0,
     const Graph* cur = &g;
     std::span<const ewt_t> cewgt;  // empty at level 0
     while (cur->num_vertices() > cfg.coarsen_to) {
+      throw_if_cancelled(cfg.cancel);
       obs::Span level_span("coarsen");
       level_span.arg("level", static_cast<std::int64_t>(num_levels));
       level_span.arg("n", cur->num_vertices());
@@ -143,7 +160,8 @@ BisectResult multilevel_bisect(const Graph& g, vwt_t target0,
   }
 
   // ---- Initial partitioning phase. ----------------------------------------
-  Bisection b;
+  throw_if_cancelled(cfg.cancel);
+  Bisection& b = out_b;
   {
     ScopedPhase phase(pt, PhaseTimers::kInitPart);
     obs::Span span("initpart");
@@ -161,6 +179,7 @@ BisectResult multilevel_bisect(const Graph& g, vwt_t target0,
   const vid_t original_n = g.num_vertices();
   // Level index of `b`'s graph counts down: num_levels .. 0, where 0 is g.
   for (std::size_t li = num_levels + 1; li-- > 0;) {
+    throw_if_cancelled(cfg.cancel);
     const Graph& level_graph = (li == 0) ? g : ws.levels[li - 1]->coarse;
 
     const bool refine_here =
@@ -241,6 +260,16 @@ BisectResult multilevel_bisect(const Graph& g, vwt_t target0,
     std::swap(b.side, ws.proj);
   }
 
+  // The ladder's swaps migrate capacity between the caller's side buffer and
+  // ws.proj with level-count parity, so which physical buffer ends up where
+  // depends on this call's shape.  Equalize the pair on exit: both settle at
+  // the running max, and no later call — whatever its shape or order in a
+  // request stream — can inherit a too-small buffer and be forced to regrow
+  // (the server's zero-allocation steady state relies on this).
+  const std::size_t side_cap = std::max(b.side.capacity(), ws.proj.capacity());
+  b.side.reserve(side_cap);
+  ws.proj.reserve(side_cap);
+
   if (ob) ob->metrics.add(ob->pipeline.bisections);
   if (report) {
     rep.final_cut = b.cut;
@@ -248,7 +277,6 @@ BisectResult multilevel_bisect(const Graph& g, vwt_t target0,
     ob->report.add_bisection(std::move(rep));
   }
 
-  out.bisection = std::move(b);
   if (timers) {
     for (int p = 0; p < PhaseTimers::kNumPhases; ++p) {
       timers->add(static_cast<PhaseTimers::Phase>(p),

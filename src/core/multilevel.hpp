@@ -20,6 +20,14 @@ struct BisectResult {
   KlStats refine_stats;   ///< summed over all levels
 };
 
+/// BisectResult without the labelling — what multilevel_bisect_into returns
+/// when the caller owns the output Bisection.
+struct BisectStats {
+  int levels = 0;
+  vid_t coarsest_n = 0;
+  KlStats refine_stats;
+};
+
 /// Bisects g so that side 0's vertex weight approaches `target0`.
 ///
 /// If `timers` is non-null, phase times accumulate into it using the
@@ -54,5 +62,22 @@ BisectResult multilevel_bisect(const Graph& g, vwt_t target0,
                                ThreadPool* pool = nullptr,
                                obs::PhaseMetrics* phase_metrics = nullptr,
                                BisectWorkspace* ws = nullptr);
+
+/// As multilevel_bisect, but the labelling is written into the caller-owned
+/// `out` (fully overwritten; its capacity is reused, so a warm Bisection
+/// makes the call's one residual allocation disappear — the entry point the
+/// allocation-free k-way driver and the server's steady state build on).
+/// Draws the identical RNG stream as multilevel_bisect: the two forms are
+/// byte-for-byte interchangeable.
+///
+/// If cfg.cancel is non-null and expires, throws CancelledError from the
+/// next level boundary; `out` is then unspecified but remains a valid
+/// (reusable) buffer.
+BisectStats multilevel_bisect_into(const Graph& g, vwt_t target0,
+                                   const MultilevelConfig& cfg, Rng& rng,
+                                   Bisection& out, PhaseTimers* timers = nullptr,
+                                   ThreadPool* pool = nullptr,
+                                   obs::PhaseMetrics* phase_metrics = nullptr,
+                                   BisectWorkspace* ws = nullptr);
 
 }  // namespace mgp

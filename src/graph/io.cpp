@@ -1,6 +1,7 @@
 #include "graph/io.hpp"
 
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -9,6 +10,12 @@
 
 namespace mgp {
 namespace {
+
+/// Hard ceilings for untrusted input.  Vertex ids must fit vid_t; weights
+/// get headroom below int64 so level-by-level accumulation (contraction
+/// sums weights) cannot reach signed overflow even after ~20 doublings.
+constexpr long long kMaxVertices = std::numeric_limits<vid_t>::max();
+constexpr long long kMaxWeight = 1LL << 40;
 
 [[noreturn]] void fail(std::size_t line, const std::string& what) {
   std::ostringstream os;
@@ -36,11 +43,20 @@ Graph read_metis_graph(std::istream& in) {
   if (!next_data_line(in, line, line_no)) fail(line_no, "empty file");
   std::istringstream header(line);
   long long n = 0, m = 0;
-  std::string fmt = "0";
+  std::string fmt;
   header >> n >> m;
   if (!header) fail(line_no, "expected '<n> <m> [fmt]' header");
-  if (!(header >> fmt)) fmt = "000";
+  if (header >> fmt) {
+    std::string extra;
+    if (header >> extra) fail(line_no, "unexpected token after the fmt field");
+  } else {
+    fmt = "000";
+  }
   if (n < 0 || m < 0) fail(line_no, "negative size in header");
+  if (n > kMaxVertices) fail(line_no, "vertex count exceeds the 32-bit limit");
+  if (fmt.size() > 3 || fmt.find_first_not_of("01") != std::string::npos) {
+    fail(line_no, "malformed fmt field (expected up to three 0/1 digits)");
+  }
   while (fmt.size() < 3) fmt.insert(fmt.begin(), '0');
   const bool has_vsize = fmt[fmt.size() - 3] == '1';
   const bool has_vwgt = fmt[fmt.size() - 2] == '1';
@@ -48,32 +64,43 @@ Graph read_metis_graph(std::istream& in) {
   if (has_vsize) fail(line_no, "vertex sizes (fmt=1xx) are not supported");
 
   GraphBuilder b(static_cast<vid_t>(n));
+  bool hit_eof = false;
   for (long long u = 0; u < n; ++u) {
     if (!next_data_line(in, line, line_no)) {
       // Trailing isolated vertices may legitimately have no line in some
       // writers; treat missing lines as isolated only at EOF.
+      hit_eof = true;
       break;
     }
     std::istringstream row(line);
     if (has_vwgt) {
       long long w;
-      if (!(row >> w)) fail(line_no, "missing vertex weight");
+      if (!(row >> w)) fail(line_no, "missing or non-numeric vertex weight");
       if (w < 0) fail(line_no, "negative vertex weight");
+      if (w > kMaxWeight) fail(line_no, "vertex weight too large");
       b.set_vertex_weight(static_cast<vid_t>(u), static_cast<vwt_t>(w));
     }
     long long v;
     while (row >> v) {
       if (v < 1 || v > n) fail(line_no, "neighbour id out of range");
+      if (v - 1 == u) fail(line_no, "self-loop");
       long long w = 1;
       if (has_ewgt) {
-        if (!(row >> w)) fail(line_no, "missing edge weight");
+        if (!(row >> w)) fail(line_no, "missing or non-numeric edge weight");
         if (w <= 0) fail(line_no, "non-positive edge weight");
+        if (w > kMaxWeight) fail(line_no, "edge weight too large");
       }
       // Add each undirected edge once (from its smaller endpoint) to avoid
       // double-accumulating weights; format repeats each edge in both rows.
       if (u < v - 1) b.add_edge(static_cast<vid_t>(u), static_cast<vid_t>(v - 1),
                                 static_cast<ewt_t>(w));
     }
+    // The extraction loop above ends either at end-of-line or on a token
+    // that is not a number; only the former is well-formed.
+    if (!row.eof()) fail(line_no, "non-numeric token in adjacency list");
+  }
+  if (!hit_eof && next_data_line(in, line, line_no)) {
+    fail(line_no, "more vertex lines than the header's vertex count");
   }
   Graph g = std::move(b).build();
   if (g.num_edges() != static_cast<eid_t>(m)) {
@@ -134,6 +161,9 @@ Graph read_matrix_market(std::istream& in) {
     if (line.find("coordinate") == std::string::npos) {
       fail(line_no, "only coordinate MatrixMarket files are supported");
     }
+    if (line.find("complex") != std::string::npos) {
+      fail(line_no, "complex MatrixMarket files are not supported");
+    }
   } else {
     // No banner: treat the first line as data by rewinding via re-parse.
     in.seekg(0);
@@ -145,6 +175,11 @@ Graph read_matrix_market(std::istream& in) {
   szl >> rows >> cols >> nnz;
   if (!szl || rows <= 0 || cols <= 0 || nnz < 0) fail(line_no, "bad size line");
   if (rows != cols) fail(line_no, "matrix must be square to define a graph");
+  if (rows > kMaxVertices) fail(line_no, "dimension exceeds the 32-bit limit");
+  {
+    std::string extra;
+    if (szl >> extra) fail(line_no, "unexpected token after the size line");
+  }
 
   GraphBuilder b(static_cast<vid_t>(rows));
   for (long long k = 0; k < nnz; ++k) {
@@ -154,7 +189,14 @@ Graph read_matrix_market(std::istream& in) {
     double val = 1.0;
     ent >> i >> j;
     if (!ent) fail(line_no, "bad entry line");
-    if (!pattern) ent >> val;  // value ignored; pattern defines the graph
+    if (!pattern) {
+      // Value ignored (the pattern defines the graph), but a present token
+      // must at least parse as a number; a missing one is tolerated since
+      // some writers emit pattern-style lines under a real banner.
+      if (!(ent >> val) && !ent.eof()) fail(line_no, "non-numeric value");
+    }
+    std::string extra;
+    if (ent >> extra) fail(line_no, "trailing token on entry line");
     if (i < 1 || i > rows || j < 1 || j > cols) fail(line_no, "index out of range");
     if (i != j) {
       vid_t u = static_cast<vid_t>(i - 1), v = static_cast<vid_t>(j - 1);
@@ -167,6 +209,9 @@ Graph read_matrix_market(std::istream& in) {
       // weight >= 1 and we reset weights to 1 afterwards.
       b.add_edge(u, v, 1);
     }
+  }
+  if (next_data_line(in, line, line_no)) {
+    fail(line_no, "more entries than the size line declared");
   }
   Graph g = std::move(b).build();
   // Normalise accumulated duplicate weights back to unit weights.

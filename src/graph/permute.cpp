@@ -59,6 +59,54 @@ Subgraph extract_where(const Graph& g, std::span<const part_t> labels, part_t wh
   return extract_subgraph(g, sel);
 }
 
+void extract_where_into(const Graph& g, std::span<const part_t> labels, part_t which,
+                        std::vector<vid_t>& scratch,
+                        std::vector<vid_t>& local_to_global, Graph& out) {
+  const vid_t n = g.num_vertices();
+  local_to_global.clear();
+  scratch.assign(static_cast<std::size_t>(n), kInvalidVid);
+  for (vid_t v = 0; v < n; ++v) {
+    if (labels[static_cast<std::size_t>(v)] == which) {
+      scratch[static_cast<std::size_t>(v)] =
+          static_cast<vid_t>(local_to_global.size());
+      local_to_global.push_back(v);
+    }
+  }
+
+  const std::size_t sn = local_to_global.size();
+  Graph::Storage st = out.take_storage();
+  st.xadj.assign(sn + 1, 0);
+  st.vwgt.resize(sn);
+  // Pass 1: count surviving arcs (mirrors extract_subgraph).
+  for (std::size_t i = 0; i < sn; ++i) {
+    vid_t u = local_to_global[i];
+    st.vwgt[i] = g.vertex_weight(u);
+    eid_t cnt = 0;
+    for (vid_t v : g.neighbors(u)) {
+      if (scratch[static_cast<std::size_t>(v)] != kInvalidVid) ++cnt;
+    }
+    st.xadj[i + 1] = st.xadj[i] + cnt;
+  }
+  st.adjncy.resize(static_cast<std::size_t>(st.xadj[sn]));
+  st.adjwgt.resize(static_cast<std::size_t>(st.xadj[sn]));
+  // Pass 2: fill.
+  for (std::size_t i = 0; i < sn; ++i) {
+    vid_t u = local_to_global[i];
+    auto nbrs = g.neighbors(u);
+    auto wgts = g.edge_weights(u);
+    eid_t pos = st.xadj[i];
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+      vid_t lv = scratch[static_cast<std::size_t>(nbrs[k])];
+      if (lv == kInvalidVid) continue;
+      st.adjncy[static_cast<std::size_t>(pos)] = lv;
+      st.adjwgt[static_cast<std::size_t>(pos)] = wgts[k];
+      ++pos;
+    }
+  }
+  out = Graph(std::move(st.xadj), std::move(st.adjncy), std::move(st.vwgt),
+              std::move(st.adjwgt));
+}
+
 Graph permute_graph(const Graph& g, std::span<const vid_t> new_to_old) {
   const vid_t n = g.num_vertices();
   if (static_cast<vid_t>(new_to_old.size()) != n || !is_permutation(new_to_old)) {

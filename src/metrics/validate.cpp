@@ -1,0 +1,56 @@
+#include "metrics/validate.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace mgp {
+
+PartitionValidation validate_partition(std::span<const part_t> part, vid_t n,
+                                       part_t k, double max_imbalance) {
+  PartitionValidation out;
+  if (k < 1) {
+    out.errors.push_back("k must be >= 1");
+    return out;
+  }
+  if (part.size() != static_cast<std::size_t>(n)) {
+    std::ostringstream os;
+    os << part.size() << " labels for " << n << " vertices";
+    out.errors.push_back(os.str());
+  }
+  out.part_sizes.assign(static_cast<std::size_t>(k), 0);
+  // Mirror the script: cap the out-of-range spam, count in-range labels.
+  constexpr std::size_t kMaxErrors = 11;
+  for (std::size_t v = 0; v < part.size(); ++v) {
+    const part_t p = part[v];
+    if (p >= 0 && p < k) {
+      ++out.part_sizes[static_cast<std::size_t>(p)];
+    } else {
+      std::ostringstream os;
+      os << "vertex " << v << ": label " << p << " outside [0, " << k << ")";
+      out.errors.push_back(os.str());
+      if (out.errors.size() > kMaxErrors) break;
+    }
+  }
+  if (out.errors.empty()) {
+    for (part_t p = 0; p < k; ++p) {
+      if (out.part_sizes[static_cast<std::size_t>(p)] == 0) {
+        std::ostringstream os;
+        os << "part " << p << " is empty";
+        out.errors.push_back(os.str());
+      }
+    }
+    const vid_t ideal = (n + k - 1) / k;  // ceil(n / k)
+    const vid_t largest = *std::max_element(out.part_sizes.begin(), out.part_sizes.end());
+    out.imbalance =
+        ideal > 0 ? static_cast<double>(largest) / static_cast<double>(ideal) : 0.0;
+    if (out.imbalance > max_imbalance) {
+      std::ostringstream os;
+      os << "imbalance " << out.imbalance << " > bound " << max_imbalance;
+      out.errors.push_back(os.str());
+    }
+  }
+  out.valid = out.errors.empty();
+  return out;
+}
+
+}  // namespace mgp

@@ -1,0 +1,33 @@
+// Native partition validation — the C++ twin of
+// scripts/validate_partition.py, so in-process tests and the server can
+// check a labelling without shelling out.  Same four checks, same
+// count-based imbalance definition (max part size / ceil(n/k)), so the two
+// validators accept and reject exactly the same partitions.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "support/types.hpp"
+
+namespace mgp {
+
+struct PartitionValidation {
+  bool valid = false;
+  std::vector<std::string> errors;   ///< empty iff valid
+  std::vector<vid_t> part_sizes;     ///< size k (vertex counts, not weights)
+  double imbalance = 0.0;            ///< max part size / ceil(n / k)
+};
+
+/// Validates a k-way labelling of n vertices:
+///   * part.size() == n;
+///   * every label in [0, k);
+///   * every part non-empty;
+///   * max part size / ceil(n / k) <= max_imbalance.
+/// The default bound matches the script's (generous: the tools balance by
+/// vertex weight with slack proportional to the largest vertex).
+PartitionValidation validate_partition(std::span<const part_t> part, vid_t n,
+                                       part_t k, double max_imbalance = 1.5);
+
+}  // namespace mgp

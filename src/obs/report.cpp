@@ -125,6 +125,10 @@ void write_metrics(JsonWriter& w, const MetricsSnapshot& snap) {
 
 }  // namespace
 
+void write_metrics_json(JsonWriter& w, const MetricsSnapshot& snap) {
+  write_metrics(w, snap);
+}
+
 void RunReport::write_json(std::ostream& os, const MetricsSnapshot* metrics) const {
   // Copy under the lock, then serialize lock-free.
   std::vector<BisectionReport> bis;

@@ -28,6 +28,12 @@
 
 namespace mgp::obs {
 
+class JsonWriter;
+
+/// Serializes a metrics snapshot as one JSON object (the RunReport's
+/// "metrics" member; also the body of the server's /stats response).
+void write_metrics_json(JsonWriter& w, const MetricsSnapshot& snap);
+
 /// One Kernighan-Lin pass (refine/kl.cpp fills this when asked).
 struct KlPassReport {
   int pass = 0;                      ///< 1-based index within the kl_refine call

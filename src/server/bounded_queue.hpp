@@ -1,0 +1,80 @@
+// Bounded MPMC queue: the server's admission-control point.
+//
+// Fixed-capacity ring buffer under one mutex.  Producers never block:
+// try_push fails when the ring is full, and the caller turns that into an
+// OVERLOADED response — backpressure surfaces at the protocol layer instead
+// of as unbounded memory growth or a hung client.  Consumers block in pop()
+// until an item or close(); after close() the remaining items still drain
+// (pop returns them before signalling end-of-stream), which is what lets
+// shutdown finish queued work before the workers exit.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace mgp::server {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity)
+      : ring_(capacity > 0 ? capacity : 1), capacity_(capacity > 0 ? capacity : 1) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// False when full or closed (never blocks).
+  bool try_push(T&& item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || size_ == capacity_) return false;
+      ring_[(head_ + size_) % capacity_] = std::move(item);
+      ++size_;
+    }
+    ready_.notify_one();
+    return true;
+  }
+
+  /// Next item, blocking while the queue is empty and open.  nullopt once
+  /// the queue is closed *and* drained.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    ready_.wait(lock, [this] { return size_ > 0 || closed_; });
+    if (size_ == 0) return std::nullopt;
+    T item = std::move(ring_[head_]);
+    head_ = (head_ + 1) % capacity_;
+    --size_;
+    return item;
+  }
+
+  /// Rejects future pushes and wakes blocked consumers.  Idempotent.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    ready_.notify_all();
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return size_;
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable ready_;
+  std::vector<T> ring_;
+  std::size_t capacity_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace mgp::server

@@ -1,0 +1,95 @@
+#include "server/client.hpp"
+
+namespace mgp::server {
+namespace {
+
+constexpr std::size_t kMaxReplyBytes = std::size_t{1} << 30;
+
+std::uint32_t label_at(std::span<const std::uint8_t> labels, std::size_t i) {
+  const std::uint8_t* p = labels.data() + 4 * i;
+  return static_cast<std::uint32_t>(p[0]) | (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+}  // namespace
+
+Client Client::connect_unix(const std::string& path, std::string& err) {
+  Fd fd = server::connect_unix(path, err);
+  return fd.valid() ? Client(std::move(fd)) : Client();
+}
+
+Client Client::connect_tcp(const std::string& host, std::uint16_t port,
+                           std::string& err) {
+  Fd fd = server::connect_tcp(host, port, err);
+  return fd.valid() ? Client(std::move(fd)) : Client();
+}
+
+PartitionOutcome Client::partition(const Graph& g, const RequestOptions& opts) {
+  PartitionOutcome out;
+  if (!fd_.valid()) {
+    out.error = "not connected";
+    return out;
+  }
+  encode_partition_request(g, opts, request_);
+  if (!write_frame(fd_.get(), MsgType::kPartitionRequest, request_)) {
+    out.error = "send failed (connection lost)";
+    return out;
+  }
+  FrameHeader header;
+  if (read_frame(fd_.get(), header, reply_, kMaxReplyBytes) != ReadFrameResult::kOk) {
+    out.error = "no response (connection lost)";
+    return out;
+  }
+  switch (header.type) {
+    case MsgType::kPartitionResponse: {
+      PartitionResponseView view;
+      if (!decode_partition_response(reply_, view)) {
+        out.error = "malformed partition response";
+        return out;
+      }
+      out.status = Status::kOk;
+      out.edge_cut = view.edge_cut;
+      out.cache_hit = view.cache_hit;
+      out.part.resize(static_cast<std::size_t>(view.n));
+      for (std::size_t i = 0; i < out.part.size(); ++i) {
+        out.part[i] = static_cast<part_t>(label_at(view.labels, i));
+      }
+      return out;
+    }
+    case MsgType::kErrorResponse: {
+      if (!decode_error_response(reply_, out.status, out.error)) {
+        out.error = "malformed error response";
+        out.status = Status::kInternal;
+      }
+      return out;
+    }
+    default:
+      out.error = "unexpected response type";
+      return out;
+  }
+}
+
+bool Client::stats(std::string& json_out, std::string& err) {
+  if (!fd_.valid()) {
+    err = "not connected";
+    return false;
+  }
+  if (!write_frame(fd_.get(), MsgType::kStatsRequest, {})) {
+    err = "send failed (connection lost)";
+    return false;
+  }
+  FrameHeader header;
+  if (read_frame(fd_.get(), header, reply_, kMaxReplyBytes) != ReadFrameResult::kOk) {
+    err = "no response (connection lost)";
+    return false;
+  }
+  if (header.type != MsgType::kStatsResponse ||
+      !decode_stats_response(reply_, json_out)) {
+    err = "malformed stats response";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace mgp::server

@@ -1,0 +1,60 @@
+// Client library of the partitioning service.
+//
+// One Client owns one connection and speaks the lockstep request/response
+// protocol of server/protocol.hpp: partition() sends a PartitionRequest and
+// blocks for the matching response; stats() fetches the server's metrics
+// snapshot.  Request options default to the paper configuration and the
+// CLI's default seed, so an option-free call returns bytes identical to
+// `partition_file <graph> <k>` run offline.
+//
+// Not thread-safe: one Client per thread (connections are cheap; the server
+// multiplexes many).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "server/net.hpp"
+#include "server/protocol.hpp"
+
+namespace mgp::server {
+
+/// Outcome of one partition() call.
+struct PartitionOutcome {
+  Status status = Status::kInternal;
+  std::vector<part_t> part;  ///< filled iff status == kOk
+  ewt_t edge_cut = 0;
+  bool cache_hit = false;
+  std::string error;  ///< server/transport message when status != kOk
+  bool ok() const { return status == Status::kOk; }
+};
+
+class Client {
+ public:
+  Client() = default;
+
+  /// Invalid client + `err` on failure.
+  static Client connect_unix(const std::string& path, std::string& err);
+  static Client connect_tcp(const std::string& host, std::uint16_t port,
+                            std::string& err);
+
+  bool connected() const { return fd_.valid(); }
+
+  /// Partitions `g` remotely.  Transport failures surface as kInternal with
+  /// an explanatory message; the connection is then dead.
+  PartitionOutcome partition(const Graph& g, const RequestOptions& opts);
+
+  /// Fetches the server's /stats JSON.  False + `err` on failure.
+  bool stats(std::string& json_out, std::string& err);
+
+ private:
+  explicit Client(Fd fd) : fd_(std::move(fd)) {}
+
+  Fd fd_;
+  std::vector<std::uint8_t> request_;  ///< reused wire buffers
+  std::vector<std::uint8_t> reply_;
+};
+
+}  // namespace mgp::server

@@ -1,0 +1,118 @@
+#include "server/handler.hpp"
+
+#include <exception>
+
+#include "obs/trace.hpp"
+#include "support/rng.hpp"
+
+namespace mgp::server {
+
+ServerMetrics::ServerMetrics(obs::MetricsRegistry& reg)
+    : requests_total(reg.counter("server.requests")),
+      responses_ok(reg.counter("server.responses_ok")),
+      cache_hits(reg.counter("server.cache_hits")),
+      cache_misses(reg.counter("server.cache_misses")),
+      rejected_overloaded(reg.counter("server.rejected_overloaded")),
+      deadline_expired(reg.counter("server.deadline_expired")),
+      bad_requests(reg.counter("server.bad_requests")),
+      connections_total(reg.counter("server.connections")),
+      queue_depth_peak(reg.max_gauge("server.queue_depth_peak")) {}
+
+RequestHandler::RequestHandler(WorkspacePool& pool, ResultCache& cache,
+                               obs::MetricsRegistry& reg, const ServerMetrics& ids)
+    : pool_(pool), cache_(cache), reg_(reg), ids_(ids) {}
+
+void RequestHandler::handle(std::span<const std::uint8_t> payload,
+                            std::chrono::steady_clock::time_point arrival,
+                            std::vector<std::uint8_t>& frame_out) {
+  obs::Span span("server.handle");
+  reg_.add(ids_.requests_total);
+
+  RequestHead head;
+  err_.clear();
+  Status st = decode_request_head(payload, head, err_);
+  if (st != Status::kOk) {
+    reg_.add(ids_.bad_requests);
+    write_error_frame(st, err_, frame_out);
+    return;
+  }
+  const auto k = static_cast<part_t>(head.k);
+
+  // Cache identity is computed over the wire bytes, so a hit skips even
+  // graph decoding.
+  const CacheKey key = cache_key_of(payload);
+  if (cache_.lookup(key, part_, cut_)) {
+    reg_.add(ids_.cache_hits);
+    reg_.add(ids_.responses_ok);
+    write_response_frame(k, /*cache_hit=*/true, frame_out);
+    return;
+  }
+  reg_.add(ids_.cache_misses);
+
+  cancel_.reset();
+  if (head.deadline_ms > 0) {
+    cancel_.set_deadline(arrival + std::chrono::milliseconds(head.deadline_ms));
+    if (cancel_.expired()) {  // budget burned while the request sat queued
+      reg_.add(ids_.deadline_expired);
+      write_error_frame(Status::kDeadlineExceeded,
+                        "deadline expired before partitioning started", frame_out);
+      return;
+    }
+  }
+
+  st = decode_request_graph(payload, head, graph_, err_);
+  if (st != Status::kOk) {
+    reg_.add(ids_.bad_requests);
+    write_error_frame(st, err_, frame_out);
+    return;
+  }
+
+  MultilevelConfig cfg = config_from_head(head);
+  if (head.deadline_ms > 0) cfg.cancel = &cancel_;
+  // Exactly the offline driver's draw order: Rng(seed) and a single
+  // next_u64 inside kway_partition_into, so the response bytes match
+  // `partition_file --seed=S` for the same graph and scheme.
+  Rng rng(head.seed);
+  try {
+    WorkspacePool::Lease lease = pool_.checkout();
+    cut_ = kway_partition_into(graph_, k, cfg, rng, scratch_, lease.get(), part_);
+  } catch (const CancelledError&) {
+    reg_.add(ids_.deadline_expired);
+    write_error_frame(Status::kDeadlineExceeded,
+                      "deadline expired during partitioning", frame_out);
+    return;
+  } catch (const std::exception& e) {
+    write_error_frame(Status::kInternal, e.what(), frame_out);
+    return;
+  }
+
+  cache_.insert(key, part_, cut_);
+  reg_.add(ids_.responses_ok);
+  write_response_frame(k, /*cache_hit=*/false, frame_out);
+}
+
+void RequestHandler::write_error_frame(Status status, std::string_view message,
+                                       std::vector<std::uint8_t>& frame_out) {
+  encode_error_response(status, message, body_);
+  frame_out.clear();
+  frame_out.resize(kFrameHeaderBytes);
+  FrameHeader h;
+  h.type = MsgType::kErrorResponse;
+  h.payload_len = static_cast<std::uint32_t>(body_.size());
+  encode_frame_header(h, frame_out.data());
+  frame_out.insert(frame_out.end(), body_.begin(), body_.end());
+}
+
+void RequestHandler::write_response_frame(part_t k, bool cache_hit,
+                                          std::vector<std::uint8_t>& frame_out) {
+  encode_partition_response(part_, k, cut_, cache_hit, body_);
+  frame_out.clear();
+  frame_out.resize(kFrameHeaderBytes);
+  FrameHeader h;
+  h.type = MsgType::kPartitionResponse;
+  h.payload_len = static_cast<std::uint32_t>(body_.size());
+  encode_frame_header(h, frame_out.data());
+  frame_out.insert(frame_out.end(), body_.begin(), body_.end());
+}
+
+}  // namespace mgp::server

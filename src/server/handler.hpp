@@ -1,0 +1,84 @@
+// Per-worker request handling: decode → cache → partition → encode.
+//
+// One RequestHandler belongs to one worker thread and owns every buffer a
+// request needs — the decoded graph (CSR storage recycled request to
+// request), the recursion scratch of kway_partition_into, the labelling,
+// and the outgoing frame.  After the first few requests have warmed those
+// capacities, handling a request of no-larger size performs zero heap
+// allocations on the compute path (asserted by tests/server/
+// server_alloc_test.cpp); the shared WorkspacePool supplies the bisection
+// workspace the same way it does for the offline driver.
+//
+// Determinism: the handler runs the exact offline pipeline (same config
+// mapping, same single root-seed draw), so a response's bytes equal the
+// offline CLI's for the same (graph, k, seed, config) — regardless of which
+// worker ran it, what the cache held, or how requests interleaved.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/cancel.hpp"
+#include "core/kway.hpp"
+#include "obs/metrics.hpp"
+#include "server/protocol.hpp"
+#include "server/result_cache.hpp"
+#include "support/workspace.hpp"
+
+namespace mgp::server {
+
+/// Pre-registered server metrics (hot paths never intern names).
+struct ServerMetrics {
+  obs::MetricsRegistry::Id requests_total;      ///< counter: partition requests seen
+  obs::MetricsRegistry::Id responses_ok;        ///< counter: successful partitions
+  obs::MetricsRegistry::Id cache_hits;          ///< counter
+  obs::MetricsRegistry::Id cache_misses;        ///< counter
+  obs::MetricsRegistry::Id rejected_overloaded; ///< counter: queue-full rejects
+  obs::MetricsRegistry::Id deadline_expired;    ///< counter: budget ran out
+  obs::MetricsRegistry::Id bad_requests;        ///< counter: malformed payloads
+  obs::MetricsRegistry::Id connections_total;   ///< counter: accepted sockets
+  obs::MetricsRegistry::Id queue_depth_peak;    ///< max gauge: admission queue
+  explicit ServerMetrics(obs::MetricsRegistry& reg);
+};
+
+class RequestHandler {
+ public:
+  RequestHandler(WorkspacePool& pool, ResultCache& cache, obs::MetricsRegistry& reg,
+                 const ServerMetrics& ids);
+
+  RequestHandler(const RequestHandler&) = delete;
+  RequestHandler& operator=(const RequestHandler&) = delete;
+
+  /// Handles one PartitionRequest payload and writes a complete response
+  /// frame (header + payload) into `frame_out`.  `arrival` anchors the
+  /// request's deadline_ms budget; a request that expired while queued is
+  /// answered DEADLINE_EXCEEDED without touching the pipeline.
+  void handle(std::span<const std::uint8_t> payload,
+              std::chrono::steady_clock::time_point arrival,
+              std::vector<std::uint8_t>& frame_out);
+
+ private:
+  void write_error_frame(Status status, std::string_view message,
+                         std::vector<std::uint8_t>& frame_out);
+  void write_response_frame(part_t k, bool cache_hit,
+                            std::vector<std::uint8_t>& frame_out);
+
+  WorkspacePool& pool_;
+  ResultCache& cache_;
+  obs::MetricsRegistry& reg_;
+  const ServerMetrics& ids_;
+
+  // Warm per-worker state (the zero-allocation steady state).
+  Graph graph_;
+  KwayScratch scratch_;
+  std::vector<part_t> part_;
+  ewt_t cut_ = 0;
+  std::vector<std::uint8_t> body_;  ///< response payload scratch
+  CancelToken cancel_;
+  std::string err_;
+};
+
+}  // namespace mgp::server

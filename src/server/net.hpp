@@ -1,0 +1,83 @@
+// Thin POSIX socket layer for the partitioning service.
+//
+// Wraps exactly what the server and client need — RAII file descriptors,
+// Unix-domain and loopback-TCP listen/connect, retrying whole-buffer
+// send/recv, and framed I/O on top of server/protocol.hpp — so the rest of
+// src/server/ never touches errno or raw syscalls.  Writes use MSG_NOSIGNAL
+// (a peer that vanished surfaces as an error return, never SIGPIPE) and
+// every call retries EINTR.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "server/protocol.hpp"
+
+namespace mgp::server {
+
+/// Move-only owner of a file descriptor.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  Fd(Fd&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = std::exchange(other.fd_, -1);
+    }
+    return *this;
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+  ~Fd() { reset(); }
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int release() { return std::exchange(fd_, -1); }
+  void reset();  ///< closes (EINTR-safe) and clears
+
+ private:
+  int fd_ = -1;
+};
+
+/// Listening Unix-domain socket at `path` (unlinked first if stale).
+/// Invalid Fd + `err` on failure.
+Fd listen_unix(const std::string& path, std::string& err);
+
+/// Listening TCP socket on 127.0.0.1:`port` (0 = ephemeral).
+Fd listen_tcp(std::uint16_t port, std::string& err);
+
+/// The locally-bound TCP port of a socket (resolves ephemeral binds).
+std::uint16_t local_port(int fd);
+
+Fd connect_unix(const std::string& path, std::string& err);
+Fd connect_tcp(const std::string& host, std::uint16_t port, std::string& err);
+
+/// Sends the whole buffer.  False on any unrecoverable error.
+bool send_all(int fd, const void* data, std::size_t len);
+
+/// Receives exactly `len` bytes.  False on EOF or error.
+bool recv_all(int fd, void* data, std::size_t len);
+
+enum class ReadFrameResult {
+  kOk,
+  kEof,       ///< clean close before a header arrived
+  kError,     ///< transport error (mid-frame EOF included)
+  kBadFrame,  ///< bad magic or payload above the caller's limit
+};
+
+/// Reads one frame: header into `header`, payload into `payload` (resized;
+/// capacity reused across calls).  Frames above `max_payload` poison the
+/// stream (no resync is attempted) and return kBadFrame.
+ReadFrameResult read_frame(int fd, FrameHeader& header,
+                           std::vector<std::uint8_t>& payload,
+                           std::size_t max_payload);
+
+/// Writes header + payload as one frame.
+bool write_frame(int fd, MsgType type, std::span<const std::uint8_t> payload);
+
+}  // namespace mgp::server

@@ -1,0 +1,304 @@
+#include "server/protocol.hpp"
+
+#include <cstring>
+#include <limits>
+
+namespace mgp::server {
+namespace {
+
+// Little-endian scalar access.  memcpy keeps it alignment-safe; the
+// byte-order fixups compile away on little-endian targets.
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) | (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+std::string_view to_string(Status s) {
+  switch (s) {
+    case Status::kOk:
+      return "OK";
+    case Status::kBadRequest:
+      return "BAD_REQUEST";
+    case Status::kUnsupportedVersion:
+      return "UNSUPPORTED_VERSION";
+    case Status::kOverloaded:
+      return "OVERLOADED";
+    case Status::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
+    case Status::kShuttingDown:
+      return "SHUTTING_DOWN";
+    case Status::kInternal:
+      return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+void encode_frame_header(const FrameHeader& h, std::uint8_t* out) {
+  for (int i = 0; i < 4; ++i) out[i] = static_cast<std::uint8_t>(h.magic >> (8 * i));
+  out[4] = h.version;
+  out[5] = static_cast<std::uint8_t>(h.type);
+  out[6] = 0;
+  out[7] = 0;
+  for (int i = 0; i < 4; ++i) {
+    out[8 + i] = static_cast<std::uint8_t>(h.payload_len >> (8 * i));
+  }
+}
+
+bool decode_frame_header(std::span<const std::uint8_t> bytes, FrameHeader& out) {
+  if (bytes.size() < kFrameHeaderBytes) return false;
+  out.magic = get_u32(bytes.data());
+  out.version = bytes[4];
+  out.type = static_cast<MsgType>(bytes[5]);
+  out.payload_len = get_u32(bytes.data() + 8);
+  return out.magic == kMagic;
+}
+
+Status decode_request_head(std::span<const std::uint8_t> payload, RequestHead& out,
+                           std::string& err) {
+  if (payload.size() < kRequestHeadBytes) {
+    err = "request payload shorter than the fixed head";
+    return Status::kBadRequest;
+  }
+  const std::uint8_t* p = payload.data();
+  out.k = get_u32(p);
+  out.seed = get_u64(p + 4);
+  out.matching = p[12];
+  out.initpart = p[13];
+  out.refine = p[14];
+  out.coarsen_to = get_u32(p + 16);
+  out.deadline_ms = get_u64(p + 20);
+  out.n = get_u64(p + 28);
+  out.arcs = get_u64(p + 36);
+
+  if (out.k < 1) {
+    err = "k must be >= 1";
+    return Status::kBadRequest;
+  }
+  if (out.k > static_cast<std::uint32_t>(std::numeric_limits<part_t>::max())) {
+    err = "k out of range";
+    return Status::kBadRequest;
+  }
+  if (out.matching > static_cast<std::uint8_t>(MatchingScheme::kHeavyClique)) {
+    err = "unknown matching scheme";
+    return Status::kBadRequest;
+  }
+  if (out.initpart > static_cast<std::uint8_t>(InitPartScheme::kSpectral)) {
+    err = "unknown initial-partitioning scheme";
+    return Status::kBadRequest;
+  }
+  if (out.refine > static_cast<std::uint8_t>(RefinePolicy::kBKLGR)) {
+    err = "unknown refinement policy";
+    return Status::kBadRequest;
+  }
+  if (out.n > static_cast<std::uint64_t>(std::numeric_limits<vid_t>::max())) {
+    err = "vertex count exceeds vid_t";
+    return Status::kBadRequest;
+  }
+  if (out.coarsen_to < 1 ||
+      out.coarsen_to > static_cast<std::uint32_t>(std::numeric_limits<vid_t>::max())) {
+    err = "coarsen_to out of range";
+    return Status::kBadRequest;
+  }
+  // arcs is bounded by the payload length check below (each arc costs 12
+  // bytes on the wire), so an absurd value cannot drive allocations.
+  const std::uint64_t expect = kRequestHeadBytes + 8 * (out.n + 1) + 4 * out.arcs +
+                               8 * out.n + 8 * out.arcs;
+  if (payload.size() != expect) {
+    err = "payload length does not match the declared graph dimensions";
+    return Status::kBadRequest;
+  }
+  return Status::kOk;
+}
+
+Status decode_request_graph(std::span<const std::uint8_t> payload,
+                            const RequestHead& head, Graph& g, std::string& err) {
+  const std::size_t n = static_cast<std::size_t>(head.n);
+  const std::size_t arcs = static_cast<std::size_t>(head.arcs);
+  const std::uint8_t* p = payload.data() + kRequestHeadBytes;
+
+  Graph::Storage st = g.take_storage();
+  st.xadj.resize(n + 1);
+  st.adjncy.resize(arcs);
+  st.vwgt.resize(n);
+  st.adjwgt.resize(arcs);
+
+  for (std::size_t i = 0; i <= n; ++i, p += 8) {
+    const std::uint64_t x = get_u64(p);
+    if (x > head.arcs) {
+      err = "xadj entry exceeds the arc count";
+      return Status::kBadRequest;
+    }
+    st.xadj[i] = static_cast<eid_t>(x);
+    if (i > 0 && st.xadj[i] < st.xadj[i - 1]) {
+      err = "xadj not non-decreasing";
+      return Status::kBadRequest;
+    }
+  }
+  if (st.xadj[0] != 0 || static_cast<std::uint64_t>(st.xadj[n]) != head.arcs) {
+    err = "xadj endpoints inconsistent with the arc count";
+    return Status::kBadRequest;
+  }
+  for (std::size_t i = 0; i < arcs; ++i, p += 4) {
+    const std::uint32_t v = get_u32(p);
+    if (v >= head.n) {
+      err = "adjacency endpoint out of range";
+      return Status::kBadRequest;
+    }
+    st.adjncy[i] = static_cast<vid_t>(v);
+  }
+  for (std::size_t i = 0; i < n; ++i, p += 8) {
+    const auto w = static_cast<vwt_t>(get_u64(p));
+    if (w < 0) {
+      err = "negative vertex weight";
+      return Status::kBadRequest;
+    }
+    st.vwgt[i] = w;
+  }
+  for (std::size_t i = 0; i < arcs; ++i, p += 8) {
+    const auto w = static_cast<ewt_t>(get_u64(p));
+    if (w <= 0) {
+      err = "edge weight must be positive";
+      return Status::kBadRequest;
+    }
+    st.adjwgt[i] = w;
+  }
+  g = Graph(std::move(st.xadj), std::move(st.adjncy), std::move(st.vwgt),
+            std::move(st.adjwgt));
+  return Status::kOk;
+}
+
+MultilevelConfig config_from_head(const RequestHead& head) {
+  MultilevelConfig cfg;
+  cfg.matching = static_cast<MatchingScheme>(head.matching);
+  cfg.initpart = static_cast<InitPartScheme>(head.initpart);
+  cfg.refine = static_cast<RefinePolicy>(head.refine);
+  cfg.coarsen_to = static_cast<vid_t>(head.coarsen_to);
+  cfg.threads = 1;
+  return cfg;
+}
+
+void encode_partition_request(const Graph& g, const RequestOptions& opts,
+                              std::vector<std::uint8_t>& out) {
+  out.clear();
+  const auto n = static_cast<std::uint64_t>(g.num_vertices());
+  const auto arcs = static_cast<std::uint64_t>(g.num_arcs());
+  out.reserve(kRequestHeadBytes + 8 * (n + 1) + 4 * arcs + 8 * n + 8 * arcs);
+  put_u32(out, static_cast<std::uint32_t>(opts.k));
+  put_u64(out, opts.seed);
+  out.push_back(static_cast<std::uint8_t>(opts.matching));
+  out.push_back(static_cast<std::uint8_t>(opts.initpart));
+  out.push_back(static_cast<std::uint8_t>(opts.refine));
+  out.push_back(0);
+  put_u32(out, static_cast<std::uint32_t>(opts.coarsen_to));
+  put_u64(out, opts.deadline_ms);
+  put_u64(out, n);
+  put_u64(out, arcs);
+  for (eid_t x : g.xadj()) put_u64(out, static_cast<std::uint64_t>(x));
+  for (vid_t v : g.adjncy()) put_u32(out, static_cast<std::uint32_t>(v));
+  for (vwt_t w : g.vwgt()) put_u64(out, static_cast<std::uint64_t>(w));
+  for (ewt_t w : g.adjwgt()) put_u64(out, static_cast<std::uint64_t>(w));
+}
+
+void encode_partition_response(std::span<const part_t> part, part_t k, ewt_t edge_cut,
+                               bool cache_hit, std::vector<std::uint8_t>& out) {
+  out.clear();
+  out.reserve(24 + 4 * part.size());
+  put_u32(out, static_cast<std::uint32_t>(k));
+  put_u64(out, static_cast<std::uint64_t>(edge_cut));
+  out.push_back(cache_hit ? 1 : 0);
+  out.push_back(0);
+  put_u16(out, 0);
+  put_u64(out, static_cast<std::uint64_t>(part.size()));
+  for (part_t pt : part) put_u32(out, static_cast<std::uint32_t>(pt));
+}
+
+bool decode_partition_response(std::span<const std::uint8_t> payload,
+                               PartitionResponseView& out) {
+  if (payload.size() < 24) return false;
+  const std::uint8_t* p = payload.data();
+  out.k = static_cast<part_t>(get_u32(p));
+  out.edge_cut = static_cast<ewt_t>(get_u64(p + 4));
+  out.cache_hit = p[12] != 0;
+  out.n = get_u64(p + 16);
+  if (payload.size() != 24 + 4 * out.n) return false;
+  out.labels = payload.subspan(24);
+  return true;
+}
+
+void encode_error_response(Status status, std::string_view message,
+                           std::vector<std::uint8_t>& out) {
+  out.clear();
+  out.reserve(8 + message.size());
+  out.push_back(static_cast<std::uint8_t>(status));
+  out.push_back(0);
+  put_u16(out, 0);
+  put_u32(out, static_cast<std::uint32_t>(message.size()));
+  out.insert(out.end(), message.begin(), message.end());
+}
+
+bool decode_error_response(std::span<const std::uint8_t> payload, Status& status,
+                           std::string& message) {
+  if (payload.size() < 8) return false;
+  status = static_cast<Status>(payload[0]);
+  const std::uint32_t len = get_u32(payload.data() + 4);
+  if (payload.size() != 8 + static_cast<std::size_t>(len)) return false;
+  message.assign(reinterpret_cast<const char*>(payload.data() + 8), len);
+  return true;
+}
+
+void encode_stats_response(std::string_view json, std::vector<std::uint8_t>& out) {
+  out.clear();
+  out.reserve(4 + json.size());
+  put_u32(out, static_cast<std::uint32_t>(json.size()));
+  out.insert(out.end(), json.begin(), json.end());
+}
+
+bool decode_stats_response(std::span<const std::uint8_t> payload, std::string& json) {
+  if (payload.size() < 4) return false;
+  const std::uint32_t len = get_u32(payload.data());
+  if (payload.size() != 4 + static_cast<std::size_t>(len)) return false;
+  json.assign(reinterpret_cast<const char*>(payload.data() + 4), len);
+  return true;
+}
+
+std::uint64_t fnv1a64(std::span<const std::uint8_t> bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::uint8_t b : bytes) {
+    h ^= b;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+CacheKey cache_key_of(std::span<const std::uint8_t> payload) {
+  CacheKey key;
+  if (payload.size() >= kRequestHeadBytes) {
+    key.config_digest = fnv1a64(payload.subspan(0, kConfigDigestBytes));
+    key.graph_fp = fnv1a64(payload.subspan(kGraphRegionOffset));
+  }
+  return key;
+}
+
+}  // namespace mgp::server

@@ -1,0 +1,177 @@
+// Wire protocol of the partitioning service (DESIGN.md §9).
+//
+// Length-prefixed binary frames over a stream socket, little-endian
+// throughout, no external serialization dependency.  Every frame is a
+// 12-byte header followed by `payload_len` payload bytes:
+//
+//   offset  size  field
+//        0     4  magic        0x3150474D ("MGP1")
+//        4     1  version      kProtocolVersion
+//        5     1  type         MsgType
+//        6     2  reserved     0
+//        8     4  payload_len  bytes that follow
+//
+// A PartitionRequest payload is a fixed 44-byte head followed by the CSR
+// arrays of the graph:
+//
+//   offset  size      field
+//        0     4      k            number of parts (u32)
+//        4     8      seed         RNG seed (u64)
+//       12     1      matching     MatchingScheme as u8
+//       13     1      initpart     InitPartScheme as u8
+//       14     1      refine       RefinePolicy as u8
+//       15     1      reserved     0
+//       16     4      coarsen_to   coarsening threshold (u32)
+//       20     8      deadline_ms  per-request budget; 0 = none (u64)
+//       28     8      n            vertices (u64)
+//       36     8      arcs         adjacency slots = xadj[n] (u64)
+//       44  8(n+1)    xadj         u64 each
+//        +  4*arcs    adjncy       u32 each
+//        +    8*n     vwgt         i64 each
+//        +  8*arcs    adjwgt       i64 each
+//
+// Cache identity: the graph fingerprint is FNV-1a over bytes [28, end) —
+// the n/arcs head plus all four arrays — and the config digest is FNV-1a
+// over bytes [0, 20).  The deadline sits between the two regions exactly so
+// it never reaches the cache key: the same (graph, k, seed, scheme) hits
+// the cache regardless of the caller's latency budget.
+//
+// Versioning: bumping any layout bumps kProtocolVersion; a server answers a
+// frame with an unknown version with kUnsupportedVersion and keeps the
+// connection usable (the header is version-independent by construction).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/config.hpp"
+#include "graph/csr.hpp"
+
+namespace mgp::server {
+
+inline constexpr std::uint32_t kMagic = 0x3150474DU;  // "MGP1"
+inline constexpr std::uint8_t kProtocolVersion = 1;
+inline constexpr std::size_t kFrameHeaderBytes = 12;
+inline constexpr std::size_t kRequestHeadBytes = 44;
+/// Bytes [0, kConfigDigestBytes) of a request are the config-digest region.
+inline constexpr std::size_t kConfigDigestBytes = 20;
+/// The graph fingerprint covers bytes [kGraphRegionOffset, payload end).
+inline constexpr std::size_t kGraphRegionOffset = 28;
+
+enum class MsgType : std::uint8_t {
+  kPartitionRequest = 1,
+  kStatsRequest = 2,
+  kPartitionResponse = 3,
+  kStatsResponse = 4,
+  kErrorResponse = 5,
+};
+
+/// Result codes carried by ErrorResponse frames (and client outcomes).
+enum class Status : std::uint8_t {
+  kOk = 0,
+  kBadRequest = 1,          ///< malformed payload, bad enum, invalid graph
+  kUnsupportedVersion = 2,  ///< frame version != kProtocolVersion
+  kOverloaded = 3,          ///< admission queue full; retry later
+  kDeadlineExceeded = 4,    ///< budget expired (queued or mid-partition)
+  kShuttingDown = 5,        ///< server draining; connection closing
+  kInternal = 6,            ///< unexpected server-side failure
+};
+
+std::string_view to_string(Status s);
+
+struct FrameHeader {
+  std::uint32_t magic = kMagic;
+  std::uint8_t version = kProtocolVersion;
+  MsgType type = MsgType::kErrorResponse;
+  std::uint32_t payload_len = 0;
+};
+
+/// Serializes `h` into 12 bytes at `out` (caller sizes the buffer).
+void encode_frame_header(const FrameHeader& h, std::uint8_t* out);
+/// Parses 12 bytes.  False iff the magic does not match (other fields are
+/// reported as-is for the caller to judge).
+bool decode_frame_header(std::span<const std::uint8_t> bytes, FrameHeader& out);
+
+/// Fixed head of a PartitionRequest (everything before the CSR arrays).
+struct RequestHead {
+  std::uint32_t k = 2;
+  std::uint64_t seed = 0;
+  std::uint8_t matching = 0;
+  std::uint8_t initpart = 0;
+  std::uint8_t refine = 0;
+  std::uint32_t coarsen_to = 100;
+  std::uint64_t deadline_ms = 0;
+  std::uint64_t n = 0;
+  std::uint64_t arcs = 0;
+};
+
+/// Parses and validates the head: sizes coherent with the payload length,
+/// enums in range, k >= 1.  On failure returns kBadRequest and fills `err`.
+Status decode_request_head(std::span<const std::uint8_t> payload, RequestHead& out,
+                           std::string& err);
+
+/// Decodes the CSR arrays into `g`, recycling g's storage (zero allocation
+/// once capacities have warmed).  Validates xadj monotonicity/consistency,
+/// endpoint ranges, non-negative vertex weights, and positive edge weights;
+/// symmetry is the client's contract (checking it would cost O(E log d) per
+/// request).  On failure returns kBadRequest, fills `err`, leaves g empty.
+Status decode_request_graph(std::span<const std::uint8_t> payload,
+                            const RequestHead& head, Graph& g, std::string& err);
+
+/// Maps a validated head onto the pipeline configuration (threads = 1: the
+/// server parallelizes across requests, not inside one).
+MultilevelConfig config_from_head(const RequestHead& head);
+
+/// Builds a full PartitionRequest payload (head + CSR arrays) into `out`
+/// (cleared first; capacity reused).
+struct RequestOptions {
+  part_t k = 2;
+  std::uint64_t seed = 1995;  ///< the CLI's default seed (examples/)
+  MatchingScheme matching = MatchingScheme::kHeavyEdge;
+  InitPartScheme initpart = InitPartScheme::kGGGP;
+  RefinePolicy refine = RefinePolicy::kBKLGR;
+  vid_t coarsen_to = 100;
+  std::uint64_t deadline_ms = 0;  ///< 0 = no deadline
+};
+void encode_partition_request(const Graph& g, const RequestOptions& opts,
+                              std::vector<std::uint8_t>& out);
+
+/// PartitionResponse payload: u32 k, i64 edge_cut, u8 cache_hit, 3 reserved
+/// bytes, u64 n, then u32 per vertex label.
+void encode_partition_response(std::span<const part_t> part, part_t k, ewt_t edge_cut,
+                               bool cache_hit, std::vector<std::uint8_t>& out);
+struct PartitionResponseView {
+  part_t k = 0;
+  ewt_t edge_cut = 0;
+  bool cache_hit = false;
+  std::uint64_t n = 0;
+  std::span<const std::uint8_t> labels;  ///< u32 little-endian each
+};
+bool decode_partition_response(std::span<const std::uint8_t> payload,
+                               PartitionResponseView& out);
+
+/// ErrorResponse payload: u8 status, 3 reserved bytes, u32 length, message.
+void encode_error_response(Status status, std::string_view message,
+                           std::vector<std::uint8_t>& out);
+bool decode_error_response(std::span<const std::uint8_t> payload, Status& status,
+                           std::string& message);
+
+/// StatsResponse payload: u32 length, JSON bytes.
+void encode_stats_response(std::string_view json, std::vector<std::uint8_t>& out);
+bool decode_stats_response(std::span<const std::uint8_t> payload, std::string& json);
+
+/// FNV-1a 64-bit over `bytes`.
+std::uint64_t fnv1a64(std::span<const std::uint8_t> bytes);
+
+/// Cache identity of a request payload (see the layout comment above).
+struct CacheKey {
+  std::uint64_t graph_fp = 0;
+  std::uint64_t config_digest = 0;
+  friend bool operator==(const CacheKey&, const CacheKey&) = default;
+};
+CacheKey cache_key_of(std::span<const std::uint8_t> payload);
+
+}  // namespace mgp::server

@@ -1,0 +1,130 @@
+// kway_partition_into (the server's warm-buffer entry point) and
+// cooperative cancellation at level boundaries.
+//
+// The contract under test: the _into variant is byte-identical to
+// kway_partition for every (graph, k, seed) — scratch reuse, workspace
+// injection, and earlier calls with other shapes must never leak into a
+// result — and a CancelToken aborts the pipeline with CancelledError while
+// an unexpired token is unobservable.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <vector>
+
+#include "core/cancel.hpp"
+#include "core/kway.hpp"
+#include "graph/generators.hpp"
+#include "support/rng.hpp"
+#include "support/workspace.hpp"
+
+namespace mgp {
+namespace {
+
+TEST(KwayIntoTest, MatchesKwayPartition) {
+  const Graph g = fem2d_tri(20, 20, 4);
+  MultilevelConfig cfg;
+  KwayScratch scratch;
+  std::vector<part_t> part;
+  for (part_t k : {part_t{2}, part_t{3}, part_t{5}, part_t{8}}) {
+    for (std::uint64_t seed : {1ULL, 7ULL, 1995ULL}) {
+      Rng r1(seed), r2(seed);
+      KwayResult expect = kway_partition(g, k, cfg, r1);
+      ewt_t cut = kway_partition_into(g, k, cfg, r2, scratch, nullptr, part);
+      EXPECT_EQ(part, expect.part) << "k=" << k << " seed=" << seed;
+      EXPECT_EQ(cut, expect.edge_cut) << "k=" << k << " seed=" << seed;
+    }
+  }
+}
+
+TEST(KwayIntoTest, ScratchCarriesNoStateAcrossShapes) {
+  // A big run, then a smaller graph, then the big run again: the third call
+  // must reproduce the first bit for bit despite the warm (and now
+  // differently-sized) scratch.
+  const Graph big = grid2d(30, 30);
+  const Graph small = grid2d(7, 5);
+  MultilevelConfig cfg;
+  KwayScratch scratch;
+  std::vector<part_t> part;
+
+  Rng r1(42);
+  ewt_t first = kway_partition_into(big, 8, cfg, r1, scratch, nullptr, part);
+  std::vector<part_t> first_part = part;
+
+  Rng r2(9);
+  kway_partition_into(small, 3, cfg, r2, scratch, nullptr, part);
+
+  Rng r3(42);
+  ewt_t third = kway_partition_into(big, 8, cfg, r3, scratch, nullptr, part);
+  EXPECT_EQ(part, first_part);
+  EXPECT_EQ(third, first);
+}
+
+TEST(KwayIntoTest, WorkspaceInjectionDoesNotChangeResults) {
+  const Graph g = fem2d_tri(15, 15, 6);
+  MultilevelConfig cfg;
+  KwayScratch s1, s2;
+  std::vector<part_t> p1, p2;
+  BisectWorkspace ws;
+  Rng r1(5), r2(5);
+  ewt_t c1 = kway_partition_into(g, 6, cfg, r1, s1, nullptr, p1);
+  ewt_t c2 = kway_partition_into(g, 6, cfg, r2, s2, &ws, p2);
+  EXPECT_EQ(p1, p2);
+  EXPECT_EQ(c1, c2);
+}
+
+TEST(KwayCancelTest, PreCancelledTokenAborts) {
+  const Graph g = grid2d(20, 20);
+  CancelToken token;
+  token.cancel();
+  MultilevelConfig cfg;
+  cfg.cancel = &token;
+  Rng rng(1);
+  EXPECT_THROW(kway_partition(g, 4, cfg, rng), CancelledError);
+
+  KwayScratch scratch;
+  std::vector<part_t> part;
+  Rng rng2(1);
+  EXPECT_THROW(kway_partition_into(g, 4, cfg, rng2, scratch, nullptr, part),
+               CancelledError);
+}
+
+TEST(KwayCancelTest, PassedDeadlineAborts) {
+  const Graph g = grid2d(20, 20);
+  CancelToken token;
+  token.set_deadline(std::chrono::steady_clock::now() -
+                     std::chrono::milliseconds(1));
+  MultilevelConfig cfg;
+  cfg.cancel = &token;
+  Rng rng(1);
+  EXPECT_THROW(kway_partition(g, 4, cfg, rng), CancelledError);
+}
+
+TEST(KwayCancelTest, UnexpiredTokenIsUnobservable) {
+  const Graph g = fem2d_tri(18, 18, 5);
+  CancelToken token;
+  token.set_deadline(std::chrono::steady_clock::now() + std::chrono::hours(1));
+  MultilevelConfig plain, timed;
+  timed.cancel = &token;
+  Rng r1(13), r2(13);
+  KwayResult a = kway_partition(g, 6, plain, r1);
+  KwayResult b = kway_partition(g, 6, timed, r2);
+  EXPECT_EQ(a.part, b.part);
+  EXPECT_EQ(a.edge_cut, b.edge_cut);
+}
+
+TEST(KwayCancelTest, TokenResetRearms) {
+  const Graph g = grid2d(12, 12);
+  CancelToken token;
+  token.cancel();
+  EXPECT_TRUE(token.expired());
+  token.reset();
+  EXPECT_FALSE(token.expired());
+  MultilevelConfig cfg;
+  cfg.cancel = &token;
+  Rng rng(2);
+  KwayResult res = kway_partition(g, 4, cfg, rng);  // must run to completion
+  EXPECT_EQ(res.part.size(), static_cast<std::size_t>(g.num_vertices()));
+}
+
+}  // namespace
+}  // namespace mgp

@@ -1,0 +1,133 @@
+// Malformed-input battery for the graph readers (graph/io.cpp).
+//
+// Every rejection here used to be accepted silently (garbage neighbours,
+// self-loops, truncated rows) or crash later in the pipeline; the reader
+// now fails fast with a line-numbered message.  The acceptance cases pin
+// down the deliberate tolerances: trailing isolated vertices at EOF and
+// value-less entries under a non-pattern MatrixMarket banner.
+#include "graph/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace mgp {
+namespace {
+
+Graph parse_metis(const std::string& text) {
+  std::istringstream in(text);
+  return read_metis_graph(in);
+}
+
+Graph parse_mtx(const std::string& text) {
+  std::istringstream in(text);
+  return read_matrix_market(in);
+}
+
+void expect_metis_rejected(const std::string& text, const std::string& why) {
+  EXPECT_THROW(parse_metis(text), std::runtime_error) << why;
+}
+
+void expect_mtx_rejected(const std::string& text, const std::string& why) {
+  EXPECT_THROW(parse_mtx(text), std::runtime_error) << why;
+}
+
+TEST(MetisMalformedTest, HeaderErrors) {
+  expect_metis_rejected("", "empty file");
+  expect_metis_rejected("% only comments\n", "comment-only file");
+  expect_metis_rejected("x 3\n", "non-numeric vertex count");
+  expect_metis_rejected("3\n", "missing edge count");
+  expect_metis_rejected("-1 0\n", "negative vertex count");
+  expect_metis_rejected("3 -2\n", "negative edge count");
+  expect_metis_rejected("3 2 011 9\n2\n1 3\n2\n", "token after the fmt field");
+  expect_metis_rejected("3 2 21\n2\n1 3\n2\n", "fmt digit outside 0/1");
+  expect_metis_rejected("3 2 0011\n2\n1 3\n2\n", "fmt longer than three digits");
+  expect_metis_rejected("3 2 100\n2\n1 3\n2\n", "vertex sizes unsupported");
+  expect_metis_rejected("5000000000 0\n", "vertex count above the 32-bit limit");
+}
+
+TEST(MetisMalformedTest, AdjacencyErrors) {
+  expect_metis_rejected("2 1\n0\n1\n", "neighbour id 0 (ids are 1-based)");
+  expect_metis_rejected("2 1\n3\n1\n", "neighbour id beyond n");
+  expect_metis_rejected("2 1\n1\n2\n", "self-loop");
+  expect_metis_rejected("2 1\n2 x\n1\n", "non-numeric token in adjacency");
+  expect_metis_rejected("2 1\n2\n1\n1\n", "more vertex lines than the header");
+  expect_metis_rejected("2 5\n2\n1\n", "edge count mismatch");
+}
+
+TEST(MetisMalformedTest, WeightErrors) {
+  expect_metis_rejected("2 1 10\nx 2\n1 1\n", "non-numeric vertex weight");
+  expect_metis_rejected("2 1 10\n-1 2\n1 1\n", "negative vertex weight");
+  expect_metis_rejected("2 1 10\n1099511627777 2\n1 1\n", "vertex weight too large");
+  expect_metis_rejected("2 1 1\n2 0\n1 0\n", "zero edge weight");
+  expect_metis_rejected("2 1 1\n2 -3\n1 -3\n", "negative edge weight");
+  expect_metis_rejected("2 1 1\n2\n1 5\n", "missing edge weight");
+  expect_metis_rejected("2 1 1\n2 1099511627777\n1 1099511627777\n",
+                        "edge weight too large");
+}
+
+TEST(MetisMalformedTest, ToleratesTrailingIsolatedVerticesAtEof) {
+  // Some writers omit lines for trailing isolated vertices entirely.
+  Graph g = parse_metis("3 1\n2\n1\n");
+  EXPECT_EQ(g.num_vertices(), 3);
+  EXPECT_EQ(g.num_edges(), 1);
+  EXPECT_EQ(g.degree(2), 0);
+}
+
+TEST(MetisMalformedTest, ErrorMessagesCarryTheLineNumber) {
+  try {
+    parse_metis("3 2\n2\n1 3\nbad\n");
+    FAIL() << "expected a parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 4"), std::string::npos) << e.what();
+  }
+}
+
+TEST(MatrixMarketMalformedTest, BannerAndSizeErrors) {
+  expect_mtx_rejected("", "empty file");
+  expect_mtx_rejected("%%MatrixMarket matrix array real general\n2 2\n1\n1\n1\n1\n",
+                      "non-coordinate banner");
+  expect_mtx_rejected(
+      "%%MatrixMarket matrix coordinate complex general\n2 2 1\n1 2 1 0\n",
+      "complex banner");
+  expect_mtx_rejected("%%MatrixMarket matrix coordinate real general\n",
+                      "missing size line");
+  expect_mtx_rejected("%%MatrixMarket matrix coordinate real general\n2 x 1\n",
+                      "non-numeric size line");
+  expect_mtx_rejected("%%MatrixMarket matrix coordinate real general\n2 2 1 7\n1 2 1\n",
+                      "token after the size line");
+  expect_mtx_rejected("2 3 1\n1 2 1\n", "non-square matrix");
+  expect_mtx_rejected("0 0 0\n", "zero dimension");
+}
+
+TEST(MatrixMarketMalformedTest, EntryErrors) {
+  expect_mtx_rejected("2 2 1\n1 3 1\n", "column index out of range");
+  expect_mtx_rejected("2 2 1\n3 1 1\n", "row index out of range");
+  expect_mtx_rejected("2 2 1\n0 1 1\n", "index 0 (ids are 1-based)");
+  expect_mtx_rejected("2 2 1\nx 1 1\n", "non-numeric index");
+  expect_mtx_rejected("%%MatrixMarket matrix coordinate real general\n2 2 1\n1 2 x\n",
+                      "non-numeric value");
+  expect_mtx_rejected("2 2 1\n1 2 1 9\n", "trailing token on an entry line");
+  expect_mtx_rejected("2 2 3\n1 2 1\n", "fewer entries than declared");
+  expect_mtx_rejected("2 2 1\n1 2 1\n2 1 1\n", "more entries than declared");
+}
+
+TEST(MatrixMarketMalformedTest, ToleratesValueLessEntriesUnderRealBanner) {
+  // Pattern-style lines under a real banner appear in the wild.
+  Graph g =
+      parse_mtx("%%MatrixMarket matrix coordinate real general\n2 2 1\n1 2\n");
+  EXPECT_EQ(g.num_vertices(), 2);
+  EXPECT_EQ(g.num_edges(), 1);
+}
+
+TEST(MatrixMarketMalformedTest, PatternBannerStillParses) {
+  Graph g = parse_mtx(
+      "%%MatrixMarket matrix coordinate pattern symmetric\n3 3 2\n2 1\n3 2\n");
+  EXPECT_EQ(g.num_vertices(), 3);
+  EXPECT_EQ(g.num_edges(), 2);
+}
+
+}  // namespace
+}  // namespace mgp

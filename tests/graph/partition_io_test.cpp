@@ -6,6 +6,7 @@
 
 #include "core/kway.hpp"
 #include "graph/generators.hpp"
+#include "metrics/validate.hpp"
 #include "support/rng.hpp"
 
 namespace mgp {
@@ -55,6 +56,21 @@ TEST(PartitionIoTest, FileRoundTrip) {
   write_partition_file(path, part);
   EXPECT_EQ(read_partition_file(path, 5, 2), part);
   EXPECT_THROW(read_partition_file("/nonexistent/x.part", 5), std::runtime_error);
+}
+
+TEST(PartitionIoTest, PipelineRoundTripThroughFileValidates) {
+  // End to end: partition -> write -> read -> byte-equal, and the native
+  // validator (the twin of scripts/validate_partition.py) accepts it.
+  Graph g = fem2d_tri(18, 18, 5);
+  MultilevelConfig cfg;
+  Rng rng(11);
+  KwayResult res = kway_partition(g, 6, cfg, rng);
+  const std::string path = ::testing::TempDir() + "/mgp_pipeline_roundtrip.part";
+  write_partition_file(path, res.part);
+  std::vector<part_t> back = read_partition_file(path, g.num_vertices(), 6);
+  EXPECT_EQ(back, res.part);
+  PartitionValidation v = validate_partition(back, g.num_vertices(), 6);
+  EXPECT_TRUE(v.valid) << (v.errors.empty() ? "" : v.errors.front());
 }
 
 TEST(KwayBestOfTest, NotWorseThanSingleTrial) {

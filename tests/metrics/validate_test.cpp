@@ -1,0 +1,84 @@
+// Native partition validator (metrics/validate.cpp) — the C++ twin of
+// scripts/validate_partition.py must accept and reject the same inputs.
+#include "metrics/validate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/kway.hpp"
+#include "graph/generators.hpp"
+#include "support/rng.hpp"
+
+namespace mgp {
+namespace {
+
+TEST(ValidatePartitionTest, AcceptsBalancedPartition) {
+  std::vector<part_t> part = {0, 1, 0, 1};
+  PartitionValidation v = validate_partition(part, 4, 2);
+  EXPECT_TRUE(v.valid);
+  EXPECT_TRUE(v.errors.empty());
+  ASSERT_EQ(v.part_sizes.size(), 2u);
+  EXPECT_EQ(v.part_sizes[0], 2);
+  EXPECT_EQ(v.part_sizes[1], 2);
+  EXPECT_DOUBLE_EQ(v.imbalance, 1.0);
+}
+
+TEST(ValidatePartitionTest, RejectsSizeMismatch) {
+  std::vector<part_t> part = {0, 1, 0};
+  EXPECT_FALSE(validate_partition(part, 4, 2).valid);
+}
+
+TEST(ValidatePartitionTest, RejectsOutOfRangeLabels) {
+  std::vector<part_t> low = {0, -1, 1, 0};
+  EXPECT_FALSE(validate_partition(low, 4, 2).valid);
+  std::vector<part_t> high = {0, 2, 1, 0};
+  EXPECT_FALSE(validate_partition(high, 4, 2).valid);
+}
+
+TEST(ValidatePartitionTest, CapsOutOfRangeErrorSpam) {
+  // Mirror the script: report the first handful, then stop.
+  std::vector<part_t> part(40, 99);
+  PartitionValidation v = validate_partition(part, 40, 2);
+  EXPECT_FALSE(v.valid);
+  EXPECT_LE(v.errors.size(), 12u);
+}
+
+TEST(ValidatePartitionTest, RejectsEmptyPart) {
+  std::vector<part_t> part = {0, 0, 0, 0};
+  PartitionValidation v = validate_partition(part, 4, 2);
+  EXPECT_FALSE(v.valid);
+  ASSERT_FALSE(v.errors.empty());
+  EXPECT_NE(v.errors.front().find("empty"), std::string::npos);
+}
+
+TEST(ValidatePartitionTest, RejectsExcessImbalance) {
+  // Sizes {4, 1, 1}, ideal ceil(6/3) = 2 -> imbalance 2.0 > 1.5.
+  std::vector<part_t> part = {0, 0, 0, 0, 1, 2};
+  PartitionValidation v = validate_partition(part, 6, 3);
+  EXPECT_FALSE(v.valid);
+  EXPECT_DOUBLE_EQ(v.imbalance, 2.0);
+}
+
+TEST(ValidatePartitionTest, ImbalanceBoundIsConfigurable) {
+  std::vector<part_t> part = {0, 0, 0, 0, 1, 2};
+  EXPECT_TRUE(validate_partition(part, 6, 3, /*max_imbalance=*/2.0).valid);
+}
+
+TEST(ValidatePartitionTest, RejectsBadK) {
+  std::vector<part_t> part = {0};
+  EXPECT_FALSE(validate_partition(part, 1, 0).valid);
+}
+
+TEST(ValidatePartitionTest, AcceptsPipelineOutput) {
+  Graph g = fem2d_tri(20, 20, 4);
+  MultilevelConfig cfg;
+  Rng rng(3);
+  KwayResult res = kway_partition(g, 8, cfg, rng);
+  PartitionValidation v = validate_partition(res.part, g.num_vertices(), 8);
+  EXPECT_TRUE(v.valid) << (v.errors.empty() ? "" : v.errors.front());
+  EXPECT_GE(v.imbalance, 1.0);
+}
+
+}  // namespace
+}  // namespace mgp

@@ -1,0 +1,91 @@
+// BoundedQueue semantics: non-blocking admission, FIFO order, and the
+// drain-after-close contract the server's shutdown sequence relies on.
+#include "server/bounded_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace mgp::server {
+namespace {
+
+TEST(BoundedQueueTest, TryPushFailsWhenFull) {
+  BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_FALSE(q.try_push(3));  // never blocks: admission control
+  EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(BoundedQueueTest, FifoOrder) {
+  BoundedQueue<int> q(4);
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(q.try_push(int(i)));
+  for (int i = 0; i < 4; ++i) {
+    auto v = q.pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+}
+
+TEST(BoundedQueueTest, PopBlocksUntilPush) {
+  BoundedQueue<int> q(1);
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    ASSERT_TRUE(q.try_push(42));
+  });
+  auto v = q.pop();  // must wait for the producer, not spin-fail
+  producer.join();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(BoundedQueueTest, CloseDrainsBacklogThenReturnsEmpty) {
+  BoundedQueue<int> q(4);
+  ASSERT_TRUE(q.try_push(7));
+  ASSERT_TRUE(q.try_push(8));
+  q.close();
+  // The shutdown contract: queued work is still handed out after close...
+  auto a = q.pop();
+  auto b = q.pop();
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(*a, 7);
+  EXPECT_EQ(*b, 8);
+  // ...and only then does pop() report exhaustion.
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(BoundedQueueTest, TryPushAfterCloseFails) {
+  BoundedQueue<int> q(4);
+  q.close();
+  EXPECT_FALSE(q.try_push(1));
+}
+
+TEST(BoundedQueueTest, CloseWakesBlockedConsumers) {
+  BoundedQueue<int> q(1);
+  std::vector<std::thread> consumers;
+  std::atomic<int> finished{0};
+  for (int i = 0; i < 3; ++i) {
+    consumers.emplace_back([&] {
+      while (q.pop().has_value()) {
+      }
+      finished.fetch_add(1);
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  q.close();
+  for (auto& t : consumers) t.join();
+  EXPECT_EQ(finished.load(), 3);
+}
+
+TEST(BoundedQueueTest, MoveOnlyPayloads) {
+  BoundedQueue<std::unique_ptr<int>> q(2);
+  EXPECT_TRUE(q.try_push(std::make_unique<int>(5)));
+  auto v = q.pop();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(**v, 5);
+}
+
+}  // namespace
+}  // namespace mgp::server

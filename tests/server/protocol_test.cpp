@@ -1,0 +1,260 @@
+// Wire-format unit tests: frame header codec, request encode/decode
+// roundtrips, payload validation, response codecs, and the cache-key
+// contract (deadline excluded by construction).
+#include "server/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "graph/generators.hpp"
+
+namespace mgp::server {
+namespace {
+
+std::vector<std::uint8_t> encode_request(const Graph& g, const RequestOptions& opts) {
+  std::vector<std::uint8_t> out;
+  encode_partition_request(g, opts, out);
+  return out;
+}
+
+TEST(FrameHeaderTest, RoundTrip) {
+  FrameHeader h;
+  h.type = MsgType::kPartitionRequest;
+  h.payload_len = 12345;
+  std::uint8_t buf[kFrameHeaderBytes];
+  encode_frame_header(h, buf);
+  FrameHeader back;
+  ASSERT_TRUE(decode_frame_header(buf, back));
+  EXPECT_EQ(back.magic, kMagic);
+  EXPECT_EQ(back.version, kProtocolVersion);
+  EXPECT_EQ(back.type, MsgType::kPartitionRequest);
+  EXPECT_EQ(back.payload_len, 12345u);
+}
+
+TEST(FrameHeaderTest, RejectsBadMagic) {
+  FrameHeader h;
+  std::uint8_t buf[kFrameHeaderBytes];
+  encode_frame_header(h, buf);
+  buf[0] ^= 0xFF;
+  FrameHeader back;
+  EXPECT_FALSE(decode_frame_header(buf, back));
+}
+
+TEST(RequestCodecTest, HeadRoundTrip) {
+  Graph g = grid2d(6, 6);
+  RequestOptions opts;
+  opts.k = 7;
+  opts.seed = 0xDEADBEEFCAFEULL;
+  opts.matching = MatchingScheme::kRandom;
+  opts.initpart = InitPartScheme::kGGP;
+  opts.refine = RefinePolicy::kKLR;
+  opts.coarsen_to = 42;
+  opts.deadline_ms = 900;
+  std::vector<std::uint8_t> payload = encode_request(g, opts);
+
+  RequestHead head;
+  std::string err;
+  ASSERT_EQ(decode_request_head(payload, head, err), Status::kOk) << err;
+  EXPECT_EQ(head.k, 7u);
+  EXPECT_EQ(head.seed, 0xDEADBEEFCAFEULL);
+  EXPECT_EQ(head.matching, static_cast<std::uint8_t>(MatchingScheme::kRandom));
+  EXPECT_EQ(head.initpart, static_cast<std::uint8_t>(InitPartScheme::kGGP));
+  EXPECT_EQ(head.refine, static_cast<std::uint8_t>(RefinePolicy::kKLR));
+  EXPECT_EQ(head.coarsen_to, 42u);
+  EXPECT_EQ(head.deadline_ms, 900u);
+  EXPECT_EQ(head.n, static_cast<std::uint64_t>(g.num_vertices()));
+  EXPECT_EQ(head.arcs, static_cast<std::uint64_t>(g.xadj().back()));
+}
+
+TEST(RequestCodecTest, GraphRoundTrip) {
+  Graph g = fem2d_tri(8, 8, 3);
+  std::vector<std::uint8_t> payload = encode_request(g, RequestOptions{});
+
+  RequestHead head;
+  std::string err;
+  ASSERT_EQ(decode_request_head(payload, head, err), Status::kOk) << err;
+  Graph back;
+  ASSERT_EQ(decode_request_graph(payload, head, back, err), Status::kOk) << err;
+
+  ASSERT_EQ(back.num_vertices(), g.num_vertices());
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(back.vertex_weight(v), g.vertex_weight(v));
+  }
+  for (std::size_t i = 0; i < g.xadj().size(); ++i) {
+    ASSERT_EQ(back.xadj()[i], g.xadj()[i]);
+  }
+  for (std::size_t i = 0; i < g.adjncy().size(); ++i) {
+    ASSERT_EQ(back.adjncy()[i], g.adjncy()[i]);
+    ASSERT_EQ(back.adjwgt()[i], g.adjwgt()[i]);
+  }
+}
+
+TEST(RequestCodecTest, ConfigFromHeadMapsSchemes) {
+  Graph g = grid2d(4, 4);
+  RequestOptions opts;
+  opts.matching = MatchingScheme::kHeavyClique;
+  opts.initpart = InitPartScheme::kSpectral;
+  opts.refine = RefinePolicy::kBGR;
+  opts.coarsen_to = 33;
+  std::vector<std::uint8_t> payload = encode_request(g, opts);
+  RequestHead head;
+  std::string err;
+  ASSERT_EQ(decode_request_head(payload, head, err), Status::kOk) << err;
+  MultilevelConfig cfg = config_from_head(head);
+  EXPECT_EQ(cfg.matching, MatchingScheme::kHeavyClique);
+  EXPECT_EQ(cfg.initpart, InitPartScheme::kSpectral);
+  EXPECT_EQ(cfg.refine, RefinePolicy::kBGR);
+  EXPECT_EQ(cfg.coarsen_to, 33);
+  EXPECT_EQ(cfg.threads, 1);  // the server parallelizes across requests
+}
+
+TEST(RequestCodecTest, RejectsTruncatedHead) {
+  Graph g = grid2d(4, 4);
+  std::vector<std::uint8_t> payload = encode_request(g, RequestOptions{});
+  payload.resize(kRequestHeadBytes - 1);
+  RequestHead head;
+  std::string err;
+  EXPECT_EQ(decode_request_head(payload, head, err), Status::kBadRequest);
+  EXPECT_FALSE(err.empty());
+}
+
+TEST(RequestCodecTest, RejectsLengthMismatch) {
+  Graph g = grid2d(4, 4);
+  std::vector<std::uint8_t> payload = encode_request(g, RequestOptions{});
+  payload.pop_back();  // arrays no longer match the declared n/arcs
+  RequestHead head;
+  std::string err;
+  EXPECT_EQ(decode_request_head(payload, head, err), Status::kBadRequest);
+}
+
+TEST(RequestCodecTest, RejectsZeroK) {
+  Graph g = grid2d(4, 4);
+  std::vector<std::uint8_t> payload = encode_request(g, RequestOptions{});
+  payload[0] = payload[1] = payload[2] = payload[3] = 0;  // k = 0
+  RequestHead head;
+  std::string err;
+  EXPECT_EQ(decode_request_head(payload, head, err), Status::kBadRequest);
+}
+
+TEST(RequestCodecTest, RejectsBadSchemeEnums) {
+  Graph g = grid2d(4, 4);
+  for (std::size_t off : {std::size_t{12}, std::size_t{13}, std::size_t{14}}) {
+    std::vector<std::uint8_t> payload = encode_request(g, RequestOptions{});
+    payload[off] = 0xEE;
+    RequestHead head;
+    std::string err;
+    EXPECT_EQ(decode_request_head(payload, head, err), Status::kBadRequest)
+        << "scheme byte at offset " << off;
+  }
+}
+
+TEST(RequestCodecTest, RejectsNonMonotoneXadj) {
+  Graph g = grid2d(4, 4);
+  std::vector<std::uint8_t> payload = encode_request(g, RequestOptions{});
+  // xadj[1] (u64 little-endian at kRequestHeadBytes + 8) -> huge value.
+  payload[kRequestHeadBytes + 8 + 7] = 0x7F;
+  RequestHead head;
+  std::string err;
+  ASSERT_EQ(decode_request_head(payload, head, err), Status::kOk) << err;
+  Graph back;
+  EXPECT_EQ(decode_request_graph(payload, head, back, err), Status::kBadRequest);
+}
+
+TEST(RequestCodecTest, RejectsNeighbourOutOfRange) {
+  Graph g = grid2d(4, 4);
+  std::vector<std::uint8_t> payload = encode_request(g, RequestOptions{});
+  const std::size_t adjncy_off =
+      kRequestHeadBytes + 8 * (static_cast<std::size_t>(g.num_vertices()) + 1);
+  std::memset(payload.data() + adjncy_off, 0xFF, 4);  // adjncy[0] = huge
+  RequestHead head;
+  std::string err;
+  ASSERT_EQ(decode_request_head(payload, head, err), Status::kOk) << err;
+  Graph back;
+  EXPECT_EQ(decode_request_graph(payload, head, back, err), Status::kBadRequest);
+}
+
+TEST(RequestCodecTest, RejectsNonPositiveEdgeWeight) {
+  Graph g = grid2d(4, 4);
+  std::vector<std::uint8_t> payload = encode_request(g, RequestOptions{});
+  const std::size_t n = static_cast<std::size_t>(g.num_vertices());
+  const std::size_t arcs = static_cast<std::size_t>(g.xadj().back());
+  const std::size_t adjwgt_off = kRequestHeadBytes + 8 * (n + 1) + 4 * arcs + 8 * n;
+  std::memset(payload.data() + adjwgt_off, 0, 8);  // adjwgt[0] = 0
+  RequestHead head;
+  std::string err;
+  ASSERT_EQ(decode_request_head(payload, head, err), Status::kOk) << err;
+  Graph back;
+  EXPECT_EQ(decode_request_graph(payload, head, back, err), Status::kBadRequest);
+}
+
+TEST(CacheKeyTest, DeadlineNeverReachesTheKey) {
+  Graph g = grid2d(5, 5);
+  RequestOptions a, b;
+  a.deadline_ms = 0;
+  b.deadline_ms = 123456;
+  EXPECT_EQ(cache_key_of(encode_request(g, a)), cache_key_of(encode_request(g, b)));
+}
+
+TEST(CacheKeyTest, SeedAndSchemeChangeTheDigestOnly) {
+  Graph g = grid2d(5, 5);
+  RequestOptions base, reseeded;
+  reseeded.seed = base.seed + 1;
+  const CacheKey ka = cache_key_of(encode_request(g, base));
+  const CacheKey kb = cache_key_of(encode_request(g, reseeded));
+  EXPECT_EQ(ka.graph_fp, kb.graph_fp);
+  EXPECT_NE(ka.config_digest, kb.config_digest);
+}
+
+TEST(CacheKeyTest, GraphChangesTheFingerprint) {
+  const CacheKey ka = cache_key_of(encode_request(grid2d(5, 5), RequestOptions{}));
+  const CacheKey kb = cache_key_of(encode_request(grid2d(5, 6), RequestOptions{}));
+  EXPECT_NE(ka.graph_fp, kb.graph_fp);
+}
+
+TEST(ResponseCodecTest, PartitionRoundTrip) {
+  std::vector<part_t> part = {0, 3, 1, 2, 2, 0, 1, 3};
+  std::vector<std::uint8_t> payload;
+  encode_partition_response(part, 4, 77, /*cache_hit=*/true, payload);
+  PartitionResponseView view;
+  ASSERT_TRUE(decode_partition_response(payload, view));
+  EXPECT_EQ(view.k, 4);
+  EXPECT_EQ(view.edge_cut, 77);
+  EXPECT_TRUE(view.cache_hit);
+  ASSERT_EQ(view.n, part.size());
+  ASSERT_EQ(view.labels.size(), 4 * part.size());
+  for (std::size_t v = 0; v < part.size(); ++v) {
+    std::uint32_t label = 0;
+    std::memcpy(&label, view.labels.data() + 4 * v, 4);
+    EXPECT_EQ(static_cast<part_t>(label), part[v]);
+  }
+}
+
+TEST(ResponseCodecTest, ErrorRoundTrip) {
+  std::vector<std::uint8_t> payload;
+  encode_error_response(Status::kOverloaded, "queue full", payload);
+  Status st = Status::kOk;
+  std::string msg;
+  ASSERT_TRUE(decode_error_response(payload, st, msg));
+  EXPECT_EQ(st, Status::kOverloaded);
+  EXPECT_EQ(msg, "queue full");
+}
+
+TEST(ResponseCodecTest, StatsRoundTrip) {
+  std::vector<std::uint8_t> payload;
+  encode_stats_response("{\"x\":1}", payload);
+  std::string json;
+  ASSERT_TRUE(decode_stats_response(payload, json));
+  EXPECT_EQ(json, "{\"x\":1}");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int s = 0; s <= 6; ++s) {
+    EXPECT_FALSE(to_string(static_cast<Status>(s)).empty());
+  }
+}
+
+}  // namespace
+}  // namespace mgp::server

@@ -1,0 +1,125 @@
+// ResultCache semantics: hit/miss accounting, LRU eviction order,
+// re-insert refresh, and byte-exact copies into caller buffers.
+#include "server/result_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace mgp::server {
+namespace {
+
+CacheKey key_of(std::uint64_t fp, std::uint64_t digest) {
+  CacheKey k;
+  k.graph_fp = fp;
+  k.config_digest = digest;
+  return k;
+}
+
+TEST(ResultCacheTest, MissThenInsertThenHit) {
+  ResultCache cache(4);
+  std::vector<part_t> out;
+  ewt_t cut = -1;
+  EXPECT_FALSE(cache.lookup(key_of(1, 1), out, cut));
+
+  std::vector<part_t> part = {0, 1, 1, 0, 2};
+  cache.insert(key_of(1, 1), part, 9);
+  ASSERT_TRUE(cache.lookup(key_of(1, 1), out, cut));
+  EXPECT_EQ(out, part);
+  EXPECT_EQ(cut, 9);
+
+  ResultCache::Stats s = cache.stats();
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.insertions, 1u);
+  EXPECT_EQ(s.evictions, 0u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ResultCacheTest, KeysDifferingInEitherHalfMiss) {
+  ResultCache cache(4);
+  std::vector<part_t> part = {0, 1};
+  cache.insert(key_of(1, 1), part, 0);
+  std::vector<part_t> out;
+  ewt_t cut = 0;
+  EXPECT_FALSE(cache.lookup(key_of(2, 1), out, cut));  // other graph
+  EXPECT_FALSE(cache.lookup(key_of(1, 2), out, cut));  // other config
+}
+
+TEST(ResultCacheTest, EvictsLeastRecentlyUsed) {
+  ResultCache cache(2);
+  std::vector<part_t> pa = {0}, pb = {1}, pc = {2};
+  cache.insert(key_of(1, 0), pa, 1);
+  cache.insert(key_of(2, 0), pb, 2);
+
+  std::vector<part_t> out;
+  ewt_t cut = 0;
+  ASSERT_TRUE(cache.lookup(key_of(1, 0), out, cut));  // refresh A
+
+  cache.insert(key_of(3, 0), pc, 3);  // evicts B, the LRU entry
+  EXPECT_FALSE(cache.lookup(key_of(2, 0), out, cut));
+  ASSERT_TRUE(cache.lookup(key_of(1, 0), out, cut));
+  EXPECT_EQ(out, pa);
+  ASSERT_TRUE(cache.lookup(key_of(3, 0), out, cut));
+  EXPECT_EQ(out, pc);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(ResultCacheTest, ReinsertOnlyRefreshesRecency) {
+  ResultCache cache(2);
+  std::vector<part_t> pa = {0}, pb = {1}, pc = {2};
+  cache.insert(key_of(1, 0), pa, 1);
+  cache.insert(key_of(2, 0), pb, 2);
+  // Deterministic pipeline: same key carries the same bytes, so a re-insert
+  // must not duplicate the entry — only refresh it.
+  cache.insert(key_of(1, 0), pa, 1);
+  EXPECT_EQ(cache.stats().insertions, 2u);
+  EXPECT_EQ(cache.size(), 2u);
+
+  cache.insert(key_of(3, 0), pc, 3);  // now B is LRU, not A
+  std::vector<part_t> out;
+  ewt_t cut = 0;
+  EXPECT_FALSE(cache.lookup(key_of(2, 0), out, cut));
+  EXPECT_TRUE(cache.lookup(key_of(1, 0), out, cut));
+}
+
+TEST(ResultCacheTest, RecyclingPreservesBytes) {
+  // Hammer a capacity-1 cache: every insert recycles the previous entry's
+  // node and buffer; the returned bytes must always be the latest insert's.
+  ResultCache cache(1);
+  std::vector<part_t> out;
+  ewt_t cut = 0;
+  for (int i = 0; i < 32; ++i) {
+    std::vector<part_t> part(static_cast<std::size_t>(8 + (i % 3)),
+                             static_cast<part_t>(i));
+    cache.insert(key_of(static_cast<std::uint64_t>(i), 7), part, i);
+    ASSERT_TRUE(cache.lookup(key_of(static_cast<std::uint64_t>(i), 7), out, cut));
+    EXPECT_EQ(out, part);
+    EXPECT_EQ(cut, i);
+    EXPECT_EQ(cache.size(), 1u);
+  }
+  EXPECT_EQ(cache.stats().evictions, 31u);
+}
+
+TEST(ResultCacheTest, LookupOverwritesCallerBuffer) {
+  ResultCache cache(2);
+  std::vector<part_t> part = {5, 6};
+  cache.insert(key_of(1, 1), part, 4);
+  std::vector<part_t> out(100, -1);  // stale, larger than the entry
+  ewt_t cut = 0;
+  ASSERT_TRUE(cache.lookup(key_of(1, 1), out, cut));
+  EXPECT_EQ(out, part);
+}
+
+TEST(ResultCacheTest, CapacityClampedToOne) {
+  ResultCache cache(0);
+  std::vector<part_t> part = {1};
+  cache.insert(key_of(1, 1), part, 0);
+  std::vector<part_t> out;
+  ewt_t cut = 0;
+  EXPECT_TRUE(cache.lookup(key_of(1, 1), out, cut));
+}
+
+}  // namespace
+}  // namespace mgp::server

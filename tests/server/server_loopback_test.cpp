@@ -1,0 +1,343 @@
+// End-to-end service tests over real sockets: an in-process Server plus
+// Client connections on a Unix-domain (and TCP loopback) transport.
+//
+// The load-bearing assertion is byte-identity: a partition computed through
+// the server — any concurrency, any queue interleaving, any cache state —
+// equals what the offline pipeline produces for the same (graph, k, seed,
+// config).  Around it sit the service-behaviour contracts: cache hits on
+// repeats, OVERLOADED instead of hangs when the admission queue is full,
+// DEADLINE_EXCEEDED for expired budgets (with the worker released), error
+// answers for malformed frames, and a clean drain on shutdown.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <semaphore>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/kway.hpp"
+#include "graph/generators.hpp"
+#include "server/client.hpp"
+#include "server/net.hpp"
+#include "server/server.hpp"
+#include "support/rng.hpp"
+
+namespace mgp::server {
+namespace {
+
+std::string socket_path(const std::string& name) {
+  return ::testing::TempDir() + "/mgp_" + name + ".sock";
+}
+
+/// The configuration RequestOptions defaults map to (see config_from_head).
+MultilevelConfig offline_cfg() {
+  MultilevelConfig cfg;
+  cfg.matching = MatchingScheme::kHeavyEdge;
+  cfg.initpart = InitPartScheme::kGGGP;
+  cfg.refine = RefinePolicy::kBKLGR;
+  cfg.coarsen_to = 100;
+  cfg.threads = 1;
+  return cfg;
+}
+
+KwayResult offline(const Graph& g, part_t k, std::uint64_t seed) {
+  Rng rng(seed);
+  return kway_partition(g, k, offline_cfg(), rng);
+}
+
+/// Stops and joins the server even when an assertion unwinds the test.
+class ServerGuard {
+ public:
+  explicit ServerGuard(Server& s) : s_(s) {}
+  ~ServerGuard() {
+    s_.request_stop();
+    s_.join();
+  }
+
+ private:
+  Server& s_;
+};
+
+TEST(ServerLoopbackTest, ConcurrentClientsMatchOfflinePipeline) {
+  ServerConfig cfg;
+  cfg.unix_path = socket_path("concurrent");
+  cfg.num_workers = 4;
+  Server server(cfg);
+  std::string err;
+  ASSERT_TRUE(server.start(err)) << err;
+  ServerGuard guard(server);
+
+  const Graph g = grid2d(40, 40);
+  constexpr int kClients = 8;
+  constexpr part_t kParts = 8;
+  std::vector<PartitionOutcome> outcomes(kClients);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kClients; ++i) {
+    threads.emplace_back([&, i] {
+      std::string cerr_msg;
+      Client client = Client::connect_unix(cfg.unix_path, cerr_msg);
+      if (!client.connected()) return;
+      RequestOptions opts;
+      opts.k = kParts;
+      opts.seed = 100 + static_cast<std::uint64_t>(i);
+      outcomes[static_cast<std::size_t>(i)] = client.partition(g, opts);
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  for (int i = 0; i < kClients; ++i) {
+    const PartitionOutcome& out = outcomes[static_cast<std::size_t>(i)];
+    ASSERT_TRUE(out.ok()) << "client " << i << ": " << out.error;
+    const KwayResult expect = offline(g, kParts, 100 + static_cast<std::uint64_t>(i));
+    EXPECT_EQ(out.part, expect.part) << "seed " << 100 + i;
+    EXPECT_EQ(out.edge_cut, expect.edge_cut);
+  }
+}
+
+TEST(ServerLoopbackTest, RepeatRequestIsServedFromCache) {
+  ServerConfig cfg;
+  cfg.unix_path = socket_path("cache");
+  Server server(cfg);
+  std::string err;
+  ASSERT_TRUE(server.start(err)) << err;
+  ServerGuard guard(server);
+
+  const Graph g = fem2d_tri(20, 20, 4);
+  std::string cerr_msg;
+  Client client = Client::connect_unix(cfg.unix_path, cerr_msg);
+  ASSERT_TRUE(client.connected()) << cerr_msg;
+
+  RequestOptions opts;
+  opts.k = 4;
+  PartitionOutcome first = client.partition(g, opts);
+  ASSERT_TRUE(first.ok()) << first.error;
+  EXPECT_FALSE(first.cache_hit);
+
+  PartitionOutcome second = client.partition(g, opts);
+  ASSERT_TRUE(second.ok()) << second.error;
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(second.part, first.part);
+  EXPECT_EQ(second.edge_cut, first.edge_cut);
+
+  // A different deadline must not change the cache identity...
+  opts.deadline_ms = 60000;
+  PartitionOutcome third = client.partition(g, opts);
+  ASSERT_TRUE(third.ok()) << third.error;
+  EXPECT_TRUE(third.cache_hit);
+  // ...while a different seed must.
+  opts.deadline_ms = 0;
+  opts.seed += 1;
+  PartitionOutcome fourth = client.partition(g, opts);
+  ASSERT_TRUE(fourth.ok()) << fourth.error;
+  EXPECT_FALSE(fourth.cache_hit);
+
+  EXPECT_EQ(server.metrics().snapshot().counter_value("server.cache_hits"), 2);
+  EXPECT_EQ(server.cache().stats().hits, 2u);
+}
+
+TEST(ServerLoopbackTest, FullQueueAnswersOverloadedWithoutHanging) {
+  std::counting_semaphore<8> entered(0);  // worker reached the dequeue hook
+  std::counting_semaphore<8> hold(0);     // permits for the hook to proceed
+  ServerConfig cfg;
+  cfg.unix_path = socket_path("overload");
+  cfg.num_workers = 1;
+  cfg.queue_capacity = 1;
+  cfg.test_on_dequeue = [&] {
+    entered.release();
+    hold.acquire();
+  };
+  Server server(cfg);
+  std::string err;
+  ASSERT_TRUE(server.start(err)) << err;
+  ServerGuard guard(server);
+
+  const Graph g = grid2d(16, 16);
+  RequestOptions opts;
+  opts.k = 2;
+
+  // Request A occupies the only worker (held inside the hook)...
+  PartitionOutcome a_out, b_out;
+  std::thread a([&] {
+    std::string e;
+    Client c = Client::connect_unix(cfg.unix_path, e);
+    if (c.connected()) a_out = c.partition(g, opts);
+  });
+  entered.acquire();
+
+  // ...request B takes the single queue slot...
+  std::thread b([&] {
+    std::string e;
+    Client c = Client::connect_unix(cfg.unix_path, e);
+    if (c.connected()) b_out = c.partition(g, opts);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  // ...so request C must be rejected inline, not left hanging.
+  std::string e;
+  Client c = Client::connect_unix(cfg.unix_path, e);
+  ASSERT_TRUE(c.connected()) << e;
+  PartitionOutcome c_out = c.partition(g, opts);
+
+  hold.release(4);  // let everything drain before asserting
+  a.join();
+  b.join();
+
+  EXPECT_TRUE(a_out.ok()) << a_out.error;
+  // B and C race for the queue slot; exactly one of them computed and the
+  // other was turned away at admission.
+  const bool b_won = b_out.ok() && c_out.status == Status::kOverloaded;
+  const bool c_won = c_out.ok() && b_out.status == Status::kOverloaded;
+  EXPECT_TRUE(b_won || c_won) << "B: " << to_string(b_out.status)
+                              << ", C: " << to_string(c_out.status);
+  EXPECT_EQ(server.metrics().snapshot().counter_value("server.rejected_overloaded"),
+            1);
+}
+
+TEST(ServerLoopbackTest, ExpiredDeadlineReleasesTheWorker) {
+  ServerConfig cfg;
+  cfg.unix_path = socket_path("deadline");
+  cfg.num_workers = 1;
+  cfg.test_on_dequeue = [] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  };
+  Server server(cfg);
+  std::string err;
+  ASSERT_TRUE(server.start(err)) << err;
+  ServerGuard guard(server);
+
+  const Graph g = grid2d(16, 16);
+  std::string cerr_msg;
+  Client client = Client::connect_unix(cfg.unix_path, cerr_msg);
+  ASSERT_TRUE(client.connected()) << cerr_msg;
+
+  RequestOptions opts;
+  opts.k = 2;
+  opts.deadline_ms = 5;  // burned while the request waits in the hook
+  PartitionOutcome expired = client.partition(g, opts);
+  EXPECT_EQ(expired.status, Status::kDeadlineExceeded);
+  EXPECT_FALSE(expired.error.empty());
+
+  // The worker survived the expiry and serves the next request normally.
+  opts.deadline_ms = 0;
+  PartitionOutcome ok = client.partition(g, opts);
+  ASSERT_TRUE(ok.ok()) << ok.error;
+  EXPECT_EQ(ok.part, offline(g, 2, opts.seed).part);
+  EXPECT_EQ(server.metrics().snapshot().counter_value("server.deadline_expired"), 1);
+}
+
+TEST(ServerLoopbackTest, MalformedPayloadAnswersBadRequest) {
+  ServerConfig cfg;
+  cfg.unix_path = socket_path("badreq");
+  Server server(cfg);
+  std::string err;
+  ASSERT_TRUE(server.start(err)) << err;
+  ServerGuard guard(server);
+
+  Fd fd = connect_unix(cfg.unix_path, err);
+  ASSERT_TRUE(fd.valid()) << err;
+  const std::uint8_t garbage[10] = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  ASSERT_TRUE(write_frame(fd.get(), MsgType::kPartitionRequest, garbage));
+
+  FrameHeader h;
+  std::vector<std::uint8_t> payload;
+  ASSERT_EQ(read_frame(fd.get(), h, payload, 1 << 20), ReadFrameResult::kOk);
+  ASSERT_EQ(h.type, MsgType::kErrorResponse);
+  Status st = Status::kOk;
+  std::string msg;
+  ASSERT_TRUE(decode_error_response(payload, st, msg));
+  EXPECT_EQ(st, Status::kBadRequest);
+
+  // An unknown message type is answered, not ignored, on the same socket.
+  ASSERT_TRUE(write_frame(fd.get(), static_cast<MsgType>(77), {}));
+  ASSERT_EQ(read_frame(fd.get(), h, payload, 1 << 20), ReadFrameResult::kOk);
+  ASSERT_TRUE(decode_error_response(payload, st, msg));
+  EXPECT_EQ(st, Status::kBadRequest);
+}
+
+TEST(ServerLoopbackTest, UnknownVersionAnswersUnsupportedVersion) {
+  ServerConfig cfg;
+  cfg.unix_path = socket_path("version");
+  Server server(cfg);
+  std::string err;
+  ASSERT_TRUE(server.start(err)) << err;
+  ServerGuard guard(server);
+
+  Fd fd = connect_unix(cfg.unix_path, err);
+  ASSERT_TRUE(fd.valid()) << err;
+  std::uint8_t header[kFrameHeaderBytes];
+  FrameHeader h;
+  h.type = MsgType::kPartitionRequest;
+  h.payload_len = 0;
+  encode_frame_header(h, header);
+  header[4] = 9;  // a future protocol version
+  ASSERT_TRUE(send_all(fd.get(), header, sizeof(header)));
+
+  std::vector<std::uint8_t> payload;
+  ASSERT_EQ(read_frame(fd.get(), h, payload, 1 << 20), ReadFrameResult::kOk);
+  Status st = Status::kOk;
+  std::string msg;
+  ASSERT_TRUE(decode_error_response(payload, st, msg));
+  EXPECT_EQ(st, Status::kUnsupportedVersion);
+}
+
+TEST(ServerLoopbackTest, StatsReportServerCounters) {
+  ServerConfig cfg;
+  cfg.unix_path = socket_path("stats");
+  Server server(cfg);
+  std::string err;
+  ASSERT_TRUE(server.start(err)) << err;
+  ServerGuard guard(server);
+
+  std::string cerr_msg;
+  Client client = Client::connect_unix(cfg.unix_path, cerr_msg);
+  ASSERT_TRUE(client.connected()) << cerr_msg;
+  RequestOptions opts;
+  opts.k = 2;
+  ASSERT_TRUE(client.partition(grid2d(10, 10), opts).ok());
+
+  std::string json;
+  ASSERT_TRUE(client.stats(json, cerr_msg)) << cerr_msg;
+  EXPECT_NE(json.find("server.requests"), std::string::npos);
+  EXPECT_NE(json.find("\"cache\""), std::string::npos);
+  EXPECT_NE(json.find("\"queue\""), std::string::npos);
+}
+
+TEST(ServerLoopbackTest, TcpTransportMatchesOffline) {
+  ServerConfig cfg;
+  cfg.tcp_port = 0;  // ephemeral
+  Server server(cfg);
+  std::string err;
+  ASSERT_TRUE(server.start(err)) << err;
+  ServerGuard guard(server);
+  ASSERT_NE(server.tcp_port(), 0);
+
+  std::string cerr_msg;
+  Client client = Client::connect_tcp("127.0.0.1", server.tcp_port(), cerr_msg);
+  ASSERT_TRUE(client.connected()) << cerr_msg;
+  const Graph g = fem2d_tri(15, 15, 6);
+  RequestOptions opts;
+  opts.k = 6;
+  PartitionOutcome out = client.partition(g, opts);
+  ASSERT_TRUE(out.ok()) << out.error;
+  EXPECT_EQ(out.part, offline(g, 6, opts.seed).part);
+}
+
+TEST(ServerLoopbackTest, ShutdownUnlinksTheSocketFile) {
+  ServerConfig cfg;
+  cfg.unix_path = socket_path("shutdown");
+  {
+    Server server(cfg);
+    std::string err;
+    ASSERT_TRUE(server.start(err)) << err;
+    EXPECT_EQ(::access(cfg.unix_path.c_str(), F_OK), 0);
+    server.request_stop();
+    server.join();
+  }
+  EXPECT_NE(::access(cfg.unix_path.c_str(), F_OK), 0);
+}
+
+}  // namespace
+}  // namespace mgp::server

@@ -1,0 +1,83 @@
+// WorkspacePool under concurrency: leases are exclusive, returns recycle,
+// and the pool never creates more workspaces than the peak concurrency.
+// Run under TSan by the sanitizer CI job (the pool is the server's shared
+// per-request workspace source).
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "support/workspace.hpp"
+
+namespace mgp {
+namespace {
+
+TEST(WorkspacePoolTest, ReusesReturnedWorkspace) {
+  WorkspacePool pool;
+  BisectWorkspace* first = nullptr;
+  {
+    WorkspacePool::Lease lease = pool.checkout();
+    first = lease.get();
+    ASSERT_NE(first, nullptr);
+  }
+  {
+    WorkspacePool::Lease lease = pool.checkout();
+    EXPECT_EQ(lease.get(), first);  // warm free list, not a fresh workspace
+  }
+  WorkspacePool::Stats s = pool.stats();
+  EXPECT_EQ(s.checkouts, 2u);
+  EXPECT_EQ(s.created, 1u);
+  EXPECT_EQ(s.reuse_hits, 1u);
+}
+
+TEST(WorkspacePoolTest, ConcurrentLeasesAreExclusive) {
+  WorkspacePool pool;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 200;
+
+  std::mutex mu;
+  std::set<BisectWorkspace*> active;
+  bool overlap = false;
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        WorkspacePool::Lease lease = pool.checkout();
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          if (!active.insert(lease.get()).second) overlap = true;
+        }
+        // Touch the workspace the way a real borrower would.
+        lease->match_order.assign(64, 0);
+        lease->proj.assign(64, 0);
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          active.erase(lease.get());
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_FALSE(overlap) << "two live leases shared a workspace";
+  WorkspacePool::Stats s = pool.stats();
+  EXPECT_EQ(s.checkouts, static_cast<std::size_t>(kThreads) * kIters);
+  EXPECT_GE(s.created, 1u);
+  EXPECT_LE(s.created, static_cast<std::size_t>(kThreads));
+  EXPECT_EQ(s.reuse_hits, s.checkouts - s.created);
+}
+
+TEST(WorkspacePoolTest, TracksPeakReservedBytes) {
+  WorkspacePool pool;
+  {
+    WorkspacePool::Lease lease = pool.checkout();
+    lease->proj.reserve(4096);
+  }
+  EXPECT_GE(pool.stats().bytes_peak, 4096 * sizeof(part_t));
+}
+
+}  // namespace
+}  // namespace mgp
