@@ -93,14 +93,7 @@ void RequestHandler::handle(std::span<const std::uint8_t> payload,
 
 void RequestHandler::write_error_frame(Status status, std::string_view message,
                                        std::vector<std::uint8_t>& frame_out) {
-  encode_error_response(status, message, body_);
-  frame_out.clear();
-  frame_out.resize(kFrameHeaderBytes);
-  FrameHeader h;
-  h.type = MsgType::kErrorResponse;
-  h.payload_len = static_cast<std::uint32_t>(body_.size());
-  encode_frame_header(h, frame_out.data());
-  frame_out.insert(frame_out.end(), body_.begin(), body_.end());
+  encode_error_frame(status, message, frame_out);
 }
 
 void RequestHandler::write_response_frame(part_t k, bool cache_hit,

@@ -121,8 +121,20 @@ Status decode_request_head(std::span<const std::uint8_t> payload, RequestHead& o
     err = "coarsen_to out of range";
     return Status::kBadRequest;
   }
-  // arcs is bounded by the payload length check below (each arc costs 12
-  // bytes on the wire), so an absurd value cannot drive allocations.
+  if (out.deadline_ms > kMaxDeadlineMs) {
+    err = "deadline_ms above the accepted ceiling";
+    return Status::kBadRequest;
+  }
+  // Bound n and arcs by what the payload could possibly carry *before* any
+  // size arithmetic: a vertex costs 16 payload bytes (xadj + vwgt), an arc
+  // 12 (adjncy + adjwgt).  Unbounded u64 dimensions would let the expected-
+  // length products below wrap mod 2^64 (e.g. arcs = 2^62 makes 12*arcs
+  // vanish), sneaking an absurd resize past the exact-length check.
+  const std::uint64_t budget = payload.size() - kRequestHeadBytes;
+  if (out.n > budget / 16 || out.arcs > budget / 12) {
+    err = "declared graph dimensions exceed the payload length";
+    return Status::kBadRequest;
+  }
   const std::uint64_t expect = kRequestHeadBytes + 8 * (out.n + 1) + 4 * out.arcs +
                                8 * out.n + 8 * out.arcs;
   if (payload.size() != expect) {
@@ -258,6 +270,21 @@ void encode_error_response(Status status, std::string_view message,
   out.insert(out.end(), message.begin(), message.end());
 }
 
+void encode_error_frame(Status status, std::string_view message,
+                        std::vector<std::uint8_t>& out) {
+  out.clear();
+  out.resize(kFrameHeaderBytes);
+  FrameHeader h;
+  h.type = MsgType::kErrorResponse;
+  h.payload_len = static_cast<std::uint32_t>(8 + message.size());
+  encode_frame_header(h, out.data());
+  out.push_back(static_cast<std::uint8_t>(status));
+  out.push_back(0);
+  put_u16(out, 0);
+  put_u32(out, static_cast<std::uint32_t>(message.size()));
+  out.insert(out.end(), message.begin(), message.end());
+}
+
 bool decode_error_response(std::span<const std::uint8_t> payload, Status& status,
                            std::string& message) {
   if (payload.size() < 8) return false;
@@ -297,6 +324,8 @@ CacheKey cache_key_of(std::span<const std::uint8_t> payload) {
   if (payload.size() >= kRequestHeadBytes) {
     key.config_digest = fnv1a64(payload.subspan(0, kConfigDigestBytes));
     key.graph_fp = fnv1a64(payload.subspan(kGraphRegionOffset));
+    key.k = get_u32(payload.data());
+    key.n = get_u64(payload.data() + kGraphRegionOffset);
   }
   return key;
 }

@@ -22,7 +22,8 @@
 //       14     1      refine       RefinePolicy as u8
 //       15     1      reserved     0
 //       16     4      coarsen_to   coarsening threshold (u32)
-//       20     8      deadline_ms  per-request budget; 0 = none (u64)
+//       20     8      deadline_ms  per-request budget; 0 = none, at most
+//                                  kMaxDeadlineMs (u64)
 //       28     8      n            vertices (u64)
 //       36     8      arcs         adjacency slots = xadj[n] (u64)
 //       44  8(n+1)    xadj         u64 each
@@ -34,7 +35,13 @@
 // the n/arcs head plus all four arrays — and the config digest is FNV-1a
 // over bytes [0, 20).  The deadline sits between the two regions exactly so
 // it never reaches the cache key: the same (graph, k, seed, scheme) hits
-// the cache regardless of the caller's latency budget.
+// the cache regardless of the caller's latency budget.  The key also pins
+// the exact n and k, so even a colliding payload can never be served a
+// partition with the wrong label count or part count.  FNV-1a is not
+// collision-resistant, however: clients sharing one server are assumed to
+// be mutually trusted (a client able to engineer a full 128-bit collision
+// could poison the cache for the others).  Deployments with untrusted
+// tenants should run one server instance per tenant.
 //
 // Versioning: bumping any layout bumps kProtocolVersion; a server answers a
 // frame with an unknown version with kUnsupportedVersion and keeps the
@@ -60,6 +67,10 @@ inline constexpr std::size_t kRequestHeadBytes = 44;
 inline constexpr std::size_t kConfigDigestBytes = 20;
 /// The graph fingerprint covers bytes [kGraphRegionOffset, payload end).
 inline constexpr std::size_t kGraphRegionOffset = 28;
+/// Largest accepted deadline_ms (24 h).  A cap keeps the arrival +
+/// milliseconds arithmetic far away from chrono's int64 overflow; anything
+/// above it is a client bug and is answered kBadRequest.
+inline constexpr std::uint64_t kMaxDeadlineMs = 24ull * 60 * 60 * 1000;
 
 enum class MsgType : std::uint8_t {
   kPartitionRequest = 1,
@@ -156,6 +167,10 @@ bool decode_partition_response(std::span<const std::uint8_t> payload,
 /// ErrorResponse payload: u8 status, 3 reserved bytes, u32 length, message.
 void encode_error_response(Status status, std::string_view message,
                            std::vector<std::uint8_t>& out);
+/// A complete ErrorResponse *frame* (header + payload) into `out` (cleared
+/// first; capacity reused).
+void encode_error_frame(Status status, std::string_view message,
+                        std::vector<std::uint8_t>& out);
 bool decode_error_response(std::span<const std::uint8_t> payload, Status& status,
                            std::string& message);
 
@@ -167,9 +182,14 @@ bool decode_stats_response(std::span<const std::uint8_t> payload, std::string& j
 std::uint64_t fnv1a64(std::span<const std::uint8_t> bytes);
 
 /// Cache identity of a request payload (see the layout comment above).
+/// Besides the two digests it carries the exact vertex and part counts, so
+/// a fingerprint collision can never hand a requester a labelling of the
+/// wrong size or part count (see the trust note in the header comment).
 struct CacheKey {
   std::uint64_t graph_fp = 0;
   std::uint64_t config_digest = 0;
+  std::uint64_t n = 0;   ///< declared vertex count, matched exactly
+  std::uint32_t k = 0;   ///< requested part count, matched exactly
   friend bool operator==(const CacheKey&, const CacheKey&) = default;
 };
 CacheKey cache_key_of(std::span<const std::uint8_t> payload);

@@ -3,10 +3,12 @@
 // The key pairs an FNV-1a fingerprint of the request's graph bytes with a
 // digest of its (k, seed, scheme, coarsen_to) configuration — exactly the
 // inputs the partition is a deterministic function of (the deadline is
-// deliberately outside the digest; see server/protocol.hpp).  A hit
-// therefore returns bytes identical to what a fresh computation would
-// produce, so cache state can never change observable results, only
-// latency.
+// deliberately outside the digest; see server/protocol.hpp) — plus the
+// exact vertex and part counts, so a fingerprint collision can never serve
+// a labelling of the wrong shape.  A hit therefore returns bytes identical
+// to what a fresh computation would produce, so cache state can never
+// change observable results, only latency.  See protocol.hpp for the trust
+// assumption behind the non-cryptographic fingerprint.
 //
 // lookup() copies the labelling into a caller-owned buffer: the caller's
 // warm vector makes the hit path allocation-free, and no reference into the
@@ -57,8 +59,9 @@ class ResultCache {
     std::size_t operator()(const CacheKey& k) const {
       // The fingerprint is already FNV-mixed; one multiply decorrelates the
       // two halves before folding.
-      return static_cast<std::size_t>(k.graph_fp ^
-                                      (k.config_digest * 0x9e3779b97f4a7c15ULL));
+      std::uint64_t h = k.graph_fp ^ (k.config_digest * 0x9e3779b97f4a7c15ULL);
+      h ^= (k.n + (static_cast<std::uint64_t>(k.k) << 32)) * 0xff51afd7ed558ccdULL;
+      return static_cast<std::size_t>(h);
     }
   };
   struct Entry {

@@ -69,17 +69,22 @@ void Server::join() {
   if (!started_ || joined_) return;
   joined_ = true;
   if (accept_thread_.joinable()) accept_thread_.join();
-  // Drain: half-close every connection so its reader sees EOF once the
+  // Drain: half-close every live connection so its reader sees EOF once the
   // in-flight request stream ends; responses already queued still go out.
+  std::vector<std::thread> tail;
   {
     std::lock_guard<std::mutex> lock(conns_mu_);
-    for (const auto& weak : connections_) {
-      if (std::shared_ptr<Connection> c = weak.lock()) {
+    tail.reserve(conns_.size());
+    for (auto& [id, slot] : conns_) {
+      if (std::shared_ptr<Connection> c = slot.conn.lock()) {
         ::shutdown(c->fd.get(), SHUT_RD);
       }
+      tail.push_back(std::move(slot.thread));
     }
+    conns_.clear();
+    finished_conns_.clear();
   }
-  for (std::thread& t : conn_threads_) {
+  for (std::thread& t : tail) {
     if (t.joinable()) t.join();
   }
   queue_.close();  // workers finish the backlog, then exit
@@ -109,12 +114,45 @@ void Server::accept_loop() {
 
     obs::Span span("server.accept");
     registry_.add(ids_.connections_total);
+    reap_finished_connections();  // churn must not accumulate dead threads
     auto conn = std::make_shared<Connection>(Fd(cfd));
     std::lock_guard<std::mutex> lock(conns_mu_);
-    connections_.push_back(conn);
-    conn_threads_.emplace_back(
-        [this, conn = std::move(conn)]() mutable { connection_loop(std::move(conn)); });
+    const std::uint64_t id = next_conn_id_++;
+    ConnSlot& slot = conns_[id];
+    slot.conn = conn;
+    // The announcement below waits on conns_mu_, so the slot's thread
+    // member is fully assigned before the id can appear in finished_conns_.
+    slot.thread = std::thread([this, id, conn = std::move(conn)]() mutable {
+      connection_loop(std::move(conn));
+      std::lock_guard<std::mutex> fin_lock(conns_mu_);
+      finished_conns_.push_back(id);
+    });
   }
+}
+
+void Server::reap_finished_connections() {
+  std::vector<std::thread> done;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    done.reserve(finished_conns_.size());
+    for (std::uint64_t id : finished_conns_) {
+      auto it = conns_.find(id);
+      if (it == conns_.end()) continue;  // already drained by join()
+      done.push_back(std::move(it->second.thread));
+      conns_.erase(it);
+    }
+    finished_conns_.clear();
+  }
+  // Joins outside the lock: each thread announced itself as its final
+  // statement, so these complete immediately and never touch conns_mu_.
+  for (std::thread& t : done) {
+    if (t.joinable()) t.join();
+  }
+}
+
+std::size_t Server::connection_slots() const {
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  return conns_.size();
 }
 
 void Server::connection_loop(std::shared_ptr<Connection> conn) {
@@ -168,8 +206,19 @@ void Server::worker_loop() {
   RequestHandler handler(wpool_, cache_, registry_, ids_);
   std::vector<std::uint8_t> frame;
   while (std::optional<Job> job = queue_.pop()) {
-    if (cfg_.test_on_dequeue) cfg_.test_on_dequeue();
-    handler.handle(job->payload, job->arrival, frame);
+    // Exception barrier: a throw escaping a thread is std::terminate, so
+    // nothing a single request does may leave this try — the handler maps
+    // partitioning failures itself, but decode resizes, cache insertion
+    // under memory pressure, or a test hook can still throw.  The client
+    // gets INTERNAL and the worker lives on.
+    try {
+      if (cfg_.test_on_dequeue) cfg_.test_on_dequeue();
+      handler.handle(job->payload, job->arrival, frame);
+    } catch (const std::exception& e) {
+      encode_error_frame(Status::kInternal, e.what(), frame);
+    } catch (...) {
+      encode_error_frame(Status::kInternal, "unexpected worker failure", frame);
+    }
     std::lock_guard<std::mutex> lock(job->conn->write_mu);
     send_all(job->conn->fd.get(), frame.data(), frame.size());
   }

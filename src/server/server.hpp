@@ -39,6 +39,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "obs/metrics.hpp"
@@ -94,6 +95,11 @@ class Server {
   obs::MetricsRegistry& metrics() { return registry_; }
   const ResultCache& cache() const { return cache_; }
 
+  /// Connection slots currently tracked: live connections plus finished
+  /// threads not yet reaped.  Test hook for the reaping logic — a long-
+  /// lived server churning short connections must keep this bounded.
+  std::size_t connection_slots() const;
+
  private:
   struct Connection {
     explicit Connection(Fd f) : fd(std::move(f)) {}
@@ -106,9 +112,22 @@ class Server {
     std::chrono::steady_clock::time_point arrival;
   };
 
+  /// One tracked connection: its thread plus a weak handle for the drain
+  /// half-close.  Slots live in conns_ until the thread finishes and a
+  /// later accept (or join()) reaps it.
+  struct ConnSlot {
+    std::thread thread;
+    std::weak_ptr<Connection> conn;
+  };
+
   void accept_loop();
   void connection_loop(std::shared_ptr<Connection> conn);
   void worker_loop();
+  /// Joins and erases every connection whose thread has announced itself
+  /// finished.  Called from the accept loop on each new connection, so a
+  /// daemon serving many short connections never accumulates dead thread
+  /// handles (only the final tail waits for join()).
+  void reap_finished_connections();
   void write_inline_error(Connection& conn, Status status, std::string_view message,
                           std::vector<std::uint8_t>& scratch);
   void write_stats(Connection& conn, std::vector<std::uint8_t>& scratch);
@@ -129,9 +148,11 @@ class Server {
 
   std::thread accept_thread_;
   std::vector<std::thread> worker_threads_;
-  std::mutex conns_mu_;
-  std::vector<std::weak_ptr<Connection>> connections_;
-  std::vector<std::thread> conn_threads_;
+  mutable std::mutex conns_mu_;
+  std::uint64_t next_conn_id_ = 0;
+  std::unordered_map<std::uint64_t, ConnSlot> conns_;
+  /// Ids whose connection_loop has returned; their threads are join-ready.
+  std::vector<std::uint64_t> finished_conns_;
 };
 
 }  // namespace mgp::server

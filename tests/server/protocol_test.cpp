@@ -130,6 +130,46 @@ TEST(RequestCodecTest, RejectsLengthMismatch) {
   EXPECT_EQ(decode_request_head(payload, head, err), Status::kBadRequest);
 }
 
+TEST(RequestCodecTest, RejectsArcCountThatWrapsTheLengthCheck) {
+  // n = 0, arcs = 2^62: naively, 4*arcs + 8*arcs == 12 * 2^62 wraps to 0
+  // mod 2^64, so the expected-length arithmetic would match this tiny
+  // payload and the decoder would attempt a 2^62-element resize.  The
+  // dimension bound must reject it before any size arithmetic.
+  std::vector<std::uint8_t> payload(kRequestHeadBytes + 8, 0);
+  payload[0] = 2;           // k = 2
+  payload[16] = 100;        // coarsen_to = 100
+  payload[36 + 7] = 0x40;   // arcs = 1 << 62 (little-endian u64 at 36)
+  RequestHead head;
+  std::string err;
+  EXPECT_EQ(decode_request_head(payload, head, err), Status::kBadRequest);
+  EXPECT_FALSE(err.empty());
+}
+
+TEST(RequestCodecTest, RejectsVertexCountBeyondThePayload) {
+  std::vector<std::uint8_t> payload(kRequestHeadBytes, 0);
+  payload[0] = 2;                          // k = 2
+  payload[16] = 100;                       // coarsen_to = 100
+  payload[28] = 0xE8;
+  payload[29] = 0x03;                      // n = 1000, but zero array bytes
+  RequestHead head;
+  std::string err;
+  EXPECT_EQ(decode_request_head(payload, head, err), Status::kBadRequest);
+}
+
+TEST(RequestCodecTest, DeadlineCeilingIsEnforced) {
+  Graph g = grid2d(4, 4);
+  RequestOptions opts;
+  opts.deadline_ms = kMaxDeadlineMs + 1;  // would wrap chrono arithmetic
+  RequestHead head;
+  std::string err;
+  EXPECT_EQ(decode_request_head(encode_request(g, opts), head, err),
+            Status::kBadRequest);
+  opts.deadline_ms = kMaxDeadlineMs;  // the ceiling itself is accepted
+  EXPECT_EQ(decode_request_head(encode_request(g, opts), head, err), Status::kOk)
+      << err;
+  EXPECT_EQ(head.deadline_ms, kMaxDeadlineMs);
+}
+
 TEST(RequestCodecTest, RejectsZeroK) {
   Graph g = grid2d(4, 4);
   std::vector<std::uint8_t> payload = encode_request(g, RequestOptions{});
@@ -214,6 +254,17 @@ TEST(CacheKeyTest, GraphChangesTheFingerprint) {
   EXPECT_NE(ka.graph_fp, kb.graph_fp);
 }
 
+TEST(CacheKeyTest, KeyPinsExactVertexAndPartCounts) {
+  // The digests are non-cryptographic; the key carries n and k verbatim so
+  // even a colliding forgery cannot be served a wrong-shaped labelling.
+  Graph g = grid2d(5, 5);
+  RequestOptions opts;
+  opts.k = 7;
+  const CacheKey key = cache_key_of(encode_request(g, opts));
+  EXPECT_EQ(key.n, 25u);
+  EXPECT_EQ(key.k, 7u);
+}
+
 TEST(ResponseCodecTest, PartitionRoundTrip) {
   std::vector<part_t> part = {0, 3, 1, 2, 2, 0, 1, 3};
   std::vector<std::uint8_t> payload;
@@ -240,6 +291,21 @@ TEST(ResponseCodecTest, ErrorRoundTrip) {
   ASSERT_TRUE(decode_error_response(payload, st, msg));
   EXPECT_EQ(st, Status::kOverloaded);
   EXPECT_EQ(msg, "queue full");
+}
+
+TEST(ResponseCodecTest, ErrorFrameRoundTrip) {
+  std::vector<std::uint8_t> frame;
+  encode_error_frame(Status::kInternal, "boom", frame);
+  FrameHeader h;
+  ASSERT_TRUE(decode_frame_header(frame, h));
+  EXPECT_EQ(h.type, MsgType::kErrorResponse);
+  ASSERT_EQ(frame.size(), kFrameHeaderBytes + h.payload_len);
+  Status st = Status::kOk;
+  std::string msg;
+  ASSERT_TRUE(decode_error_response(
+      std::span<const std::uint8_t>(frame).subspan(kFrameHeaderBytes), st, msg));
+  EXPECT_EQ(st, Status::kInternal);
+  EXPECT_EQ(msg, "boom");
 }
 
 TEST(ResponseCodecTest, StatsRoundTrip) {
