@@ -12,6 +12,10 @@
 //   --init=ggp|gggp|sbp           coarsest-graph partitioner (gggp)
 //   --refine=none|gr|klr|bgr|bklr|bklgr   refinement policy  (bklgr)
 //   --seed=S                      RNG seed                   (1995)
+//   --direct                      force direct k-way (matches
+//                                 partition_file --direct byte for byte)
+//   --rb                          force recursive bisection even when the
+//                                 server's auto threshold would go direct
 //   --deadline-ms=N               per-request budget; 0 = none
 //   --stats                       print the server's /stats JSON and exit
 //   -o FILE                       write the part vector (one id per line)
@@ -34,7 +38,7 @@ int usage(const char* argv0) {
                "[<graph(.graph|.mtx)> <k>] [options] [-o out]\n"
                "  --matching=rm|hem|lem|hcm  --init=ggp|gggp|sbp\n"
                "  --refine=none|gr|klr|bgr|bklr|bklgr\n"
-               "  --seed=S  --deadline-ms=N\n",
+               "  --seed=S  --deadline-ms=N  --direct  --rb\n",
                argv0);
   return 2;
 }
@@ -100,6 +104,10 @@ int main(int argc, char** argv) {
       if (!parse_refine(arg.substr(9), opts.refine)) return usage(argv[0]);
     } else if (arg.rfind("--seed=", 0) == 0) {
       opts.seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else if (arg == "--direct") {
+      opts.kway_mode = server::KwayMode::kDirect;
+    } else if (arg == "--rb") {
+      opts.kway_mode = server::KwayMode::kRecursiveBisection;
     } else if (arg.rfind("--deadline-ms=", 0) == 0) {
       opts.deadline_ms = std::strtoull(arg.c_str() + 14, nullptr, 10);
     } else if (arg == "-o" && i + 1 < argc) {

@@ -9,6 +9,7 @@
 //   --workers=N         worker threads                     (2)
 //   --queue=N           admission queue capacity           (16)
 //   --cache=N           result cache entries               (64)
+//   --direct-min-k=N    auto requests use direct k-way for k >= N (64)
 //
 // SIGTERM/SIGINT drain the server: accepted work is finished and answered,
 // then every thread exits and the socket file is unlinked.
@@ -32,7 +33,7 @@ void handle_stop_signal(int) {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s (--socket=PATH | --port=N) [--workers=N] [--queue=N] "
-               "[--cache=N]\n",
+               "[--cache=N] [--direct-min-k=N]\n",
                argv0);
   return 2;
 }
@@ -59,6 +60,9 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--cache=", 0) == 0) {
       cfg.cache_capacity = static_cast<std::size_t>(std::atoll(arg.c_str() + 8));
       if (cfg.cache_capacity < 1) return usage(argv[0]);
+    } else if (arg.rfind("--direct-min-k=", 0) == 0) {
+      cfg.direct_min_k = std::atoi(arg.c_str() + 15);
+      if (cfg.direct_min_k < 2) return usage(argv[0]);
     } else {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       return usage(argv[0]);

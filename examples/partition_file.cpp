@@ -152,8 +152,7 @@ int main(int argc, char** argv) {
   KwayResult r;
   if (direct) {
     KwayDirectConfig dcfg;
-    dcfg.matching = cfg.matching;
-    dcfg.initial = cfg;
+    dcfg.base = cfg;
     r = kway_partition_direct(g, k, dcfg, rng);
     for (int extra = 1; extra < trials; ++extra) {
       KwayResult r2 = kway_partition_direct(g, k, dcfg, rng);

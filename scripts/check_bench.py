@@ -6,13 +6,15 @@ auto-detected:
 
   * google-benchmark JSON (micro_kernels --benchmark_out): entries under
     "benchmarks", keyed by "name", with optional "counters";
-  * bench_parallel's arena JSON: entries under "rows", keyed by "threads",
-    plus the "sequential" baseline object.
+  * the repo's own row JSON (bench_parallel, figK_kway_direct): entries
+    under "rows", keyed by "threads" (thread sweeps) or "k" (k sweeps),
+    plus an optional "sequential" baseline object.
 
 What is gated (machine-independent by design, so a laptop-generated
 baseline holds on CI runners):
 
-  * quality metrics — "cut", "final_cut", "cut_vs_seq" — within
+  * quality metrics — "cut", "final_cut", "cut_vs_seq", "cut_rb",
+    "cut_vs_rb" — within
     --cut-tolerance (default 1%) of the baseline; the partitions are
     deterministic for a pinned seed/scale/threads environment, so these
     should normally match exactly;
@@ -42,11 +44,12 @@ import json
 import sys
 from pathlib import Path
 
-CUT_METRICS = ("cut", "final_cut", "cut_vs_seq")
+CUT_METRICS = ("cut", "final_cut", "cut_vs_seq", "cut_rb", "cut_vs_rb")
 COUNTER_METRICS = ("steady_allocs", "allocations")
 ALLOC_FACTOR = 3.0  # bound for nonzero allocation-count baselines
 RATIO_METRICS = ("speedup_vs_1t",)
-TIME_METRICS = ("real_time", "cpu_time", "coarsen_seconds", "kway_seconds")
+TIME_METRICS = ("real_time", "cpu_time", "coarsen_seconds", "kway_seconds",
+                "rb_seconds", "direct_seconds")
 
 
 def load_entries(path):
@@ -72,8 +75,10 @@ def load_entries(path):
         return "google-benchmark", entries
     if "rows" in data:
         for row in data["rows"]:
-            key = f"threads={row['threads']}"
-            entries[key] = {k: v for k, v in row.items() if k != "threads"}
+            # bench_parallel sweeps thread counts; figK_kway_direct sweeps k.
+            axis = "threads" if "threads" in row else "k"
+            key = f"{axis}={row[axis]}"
+            entries[key] = {k: v for k, v in row.items() if k != axis}
         if "sequential" in data:
             entries["sequential"] = dict(data["sequential"])
         return data.get("bench", "rows"), entries

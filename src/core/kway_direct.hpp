@@ -4,45 +4,117 @@
 // V-cycles).  Its successor line of work (Karypis & Kumar's k-way METIS)
 // coarsens *once*, partitions the coarsest graph into k parts, and refines
 // the k-way partition directly during a single uncoarsening sweep — the
-// obvious "future work" of this paper, implemented here:
+// obvious "future work" of this paper, implemented here as a first-class
+// production path:
 //
-//   * coarsening: HEM (or any scheme), stopping at max(coarsen_to, c*k)
-//     vertices so the coarsest graph can hold k parts;
+//   * coarsening: HEM (or any scheme), stopping at max(coarsen_to_floor,
+//     coarse_vertices_per_part * k) vertices so the coarsest graph can hold
+//     k parts; with a pool attached, HEM runs the deterministic parallel
+//     propose/commit matcher (coarsen/parallel_matching.*);
 //   * initial partitioning: recursive bisection (the paper's algorithm) on
-//     the tiny coarsest graph;
-//   * refinement: greedy k-way refinement — random-order passes over
-//     boundary vertices, moving each to the neighbouring part with the
-//     largest positive gain subject to a balance ceiling.
+//     the tiny coarsest graph, always via the sequential kway_partition_into
+//     recursion so the draw order is independent of the pool;
+//   * refinement: deterministic parallel k-way propose/commit refinement
+//     (refine/kway_refine.*) at every level of the single uncoarsening
+//     sweep, honouring a per-part balance ceiling and a uniform minimum
+//     part-weight floor.
 //
+// Cancellation (cfg.base.cancel) is honoured at every level boundary.
 // bench/figK_kway_direct measures the payoff: one coarsening instead of
 // k-1 of them, so run time grows far more slowly with k at comparable cut.
 #pragma once
 
+#include <memory>
+#include <vector>
+
+#include "coarsen/contract.hpp"
 #include "core/config.hpp"
 #include "core/kway.hpp"
+#include "refine/kway_refine.hpp"
 #include "support/rng.hpp"
 #include "support/timer.hpp"
 
 namespace mgp {
 
 struct KwayDirectConfig {
-  MatchingScheme matching = MatchingScheme::kHeavyEdge;
+  /// Single source of truth for the pipeline knobs the direct path shares
+  /// with recursive bisection: matching scheme, initial-partition schemes,
+  /// thread count, obs sink, and cancellation token.  The former separate
+  /// `initial` MultilevelConfig duplicated these fields and could silently
+  /// disagree with the outer config; initial_config() now *derives* the
+  /// coarsest-graph recursive-bisection config from `base`, so there is
+  /// nothing left to contradict.
+  MultilevelConfig base;
+
   /// The coarsest graph keeps at least this many vertices per part.
-  vid_t coarse_vertices_per_part = 8;
+  vid_t coarse_vertices_per_part = 16;
   vid_t coarsen_to_floor = 100;
   double min_shrink_factor = 0.95;
-  /// Config for the recursive-bisection initial partition of the coarsest.
-  MultilevelConfig initial;
-  /// Greedy k-way refinement passes per level (stops early on no gain).
+  /// Unlock passes of k-way refinement per level (each pass runs
+  /// propose/commit rounds to quiescence; stops early on no gain).
   int max_refine_passes = 8;
-  /// Allowed part weight: ceil(total/k) * (1 + imbalance) + max vertex wt.
+  /// Allowed part weight: (total/k) * (1 + imbalance) + the level's max
+  /// vertex weight (recomputed per level of the uncoarsening sweep).
   double imbalance = 0.03;
+
+  /// Config for the recursive-bisection initial partition of the coarsest
+  /// graph, derived from `base` (sequential: the initial partition always
+  /// runs the one-thread recursion regardless of base.threads, so the draw
+  /// order — and with it the partition — is independent of the pool).
+  MultilevelConfig initial_config() const;
+
+  /// Rejects nonsense knob values (and k < 1) with std::invalid_argument.
+  /// Called by the drivers on entry.
+  void validate(part_t k) const;
 };
 
-/// One-shot multilevel k-way partitioning.
+/// Reusable state for kway_partition_direct_into: the direct path's own
+/// coarsening ladder (separate from BisectWorkspace::levels, which the
+/// initial partition's sub-bisections recycle for *their* ladders), the
+/// sequential recursion scratch for the coarsest-graph initial partition,
+/// the k-way refiner's tables, the incrementally-maintained part weights,
+/// and the projection ping-pong buffer.  Default-constructed empty; warms
+/// to the request's high-water size on first use.
+struct KwayDirectWorkspace {
+  /// One slot per coarsening level; unique_ptr keeps each Contraction's
+  /// address stable while the vector grows (the ladder holds a pointer into
+  /// the previous level's coarse graph).
+  std::vector<std::unique_ptr<Contraction>> levels;
+  KwayScratch init_scratch;
+  KwayRefineWorkspace refine;
+  std::vector<vwt_t> pwgts;  ///< k: maintained incrementally, never rescanned
+  std::vector<part_t> proj;  ///< projection ping-pong buffer
+
+  /// Heap bytes currently reserved (capacity, not size).
+  std::size_t bytes_reserved() const;
+};
+
+/// Direct k-way partition into caller-owned storage — the long-lived
+/// caller's (server's) entry point.  Labels are written into `out_part` and
+/// the edge-cut returned.  With warm `dws`, `ws`, and `out_part`, the call
+/// performs zero steady-state heap allocations (asserted by the alloc-guard
+/// regression tests).  `ws` lends the matching/contraction/arena scratch
+/// and serves the initial partition's sub-bisections; pass null for a
+/// call-local one.  Honours cfg.base.cancel at every level boundary by
+/// throwing CancelledError.  Draws no randomness beyond the sequential
+/// matcher's stream and the initial partition's single root-seed u64, so
+/// the result is byte-identical across pool sizes (including no pool when
+/// the matching draws are unaffected, i.e. the sequential path).
+ewt_t kway_partition_direct_into(const Graph& g, part_t k,
+                                 const KwayDirectConfig& cfg, Rng& rng,
+                                 KwayDirectWorkspace& dws, BisectWorkspace* ws,
+                                 std::vector<part_t>& out_part,
+                                 PhaseTimers* timers = nullptr,
+                                 ThreadPool* pool = nullptr);
+
+/// One-shot multilevel k-way partitioning.  Byte-identical to
+/// kway_partition_direct_into with the same (graph, k, cfg, rng state) and
+/// pool.  With no `pool` and cfg.base.resolved_threads() > 1, a pool of
+/// that size is created for the call.
 KwayResult kway_partition_direct(const Graph& g, part_t k,
                                  const KwayDirectConfig& cfg, Rng& rng,
-                                 PhaseTimers* timers = nullptr);
+                                 PhaseTimers* timers = nullptr,
+                                 ThreadPool* pool = nullptr);
 
 struct KwayRefineStats {
   int passes = 0;
@@ -50,10 +122,13 @@ struct KwayRefineStats {
   ewt_t cut_reduction = 0;
 };
 
-/// Greedy k-way refinement of an existing labelling, in place.  Exposed for
-/// tests and for refining partitions from any source.
-/// `min_part_weight` stops moves that would shrink a part below the floor
-/// (so refinement can never empty a part); pass 0 to disable.
+/// Sequential greedy k-way refinement of an existing labelling, in place.
+/// Exposed for tests and for refining partitions from any source; the
+/// production sweep uses kway_parallel_refine (refine/kway_refine.*).
+/// Part weights are tracked incrementally across the whole call (computed
+/// once on entry, updated per move).  `min_part_weight` stops moves that
+/// would shrink a part below the floor — enforced uniformly for every k,
+/// 2 included, so refinement can never empty a part; pass 0 to disable.
 KwayRefineStats kway_greedy_refine(const Graph& g, std::span<part_t> part, part_t k,
                                    vwt_t max_part_weight, vwt_t min_part_weight,
                                    int max_passes, Rng& rng);

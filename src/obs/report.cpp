@@ -201,6 +201,9 @@ Obs::PipelineMetrics::PipelineMetrics(MetricsRegistry& reg)
       queue_peak(reg.max_gauge("kl.queue_peak")),
       refine_parallel_rounds(reg.counter("refine.parallel_rounds")),
       refine_conflict_rejects(reg.counter("refine.conflict_rejects")),
+      kway_direct_levels(reg.counter("kway.direct.levels")),
+      kway_rounds(reg.counter("refine.kway_rounds")),
+      kway_conflict_rejects(reg.counter("refine.kway_conflict_rejects")),
       shrink_pct(reg.histogram("coarsen.shrink_pct",
                                {50, 55, 60, 65, 70, 75, 80, 85, 90, 95})),
       arena_bytes_peak(reg.max_gauge("arena.bytes_peak")),

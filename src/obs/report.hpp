@@ -146,6 +146,9 @@ struct Obs {
     MetricsRegistry::Id queue_peak;        ///< max gauge: bucket-queue occupancy
     MetricsRegistry::Id refine_parallel_rounds;   ///< counter: propose/commit rounds
     MetricsRegistry::Id refine_conflict_rejects;  ///< counter: stale proposals rejected
+    MetricsRegistry::Id kway_direct_levels;       ///< counter: direct-kway ladder levels
+    MetricsRegistry::Id kway_rounds;              ///< counter: k-way refine rounds
+    MetricsRegistry::Id kway_conflict_rejects;    ///< counter: k-way stale rejects
     MetricsRegistry::Id shrink_pct;        ///< histogram: coarse/fine * 100 per level
     MetricsRegistry::Id arena_bytes_peak;  ///< max gauge: workspace footprint peak
     MetricsRegistry::Id arena_reuse_hits;  ///< counter: warm workspace checkouts

@@ -1,0 +1,360 @@
+#include "refine/kway_refine.hpp"
+
+#include <algorithm>
+
+#include "obs/trace.hpp"
+
+namespace mgp {
+namespace {
+
+/// Shard count for the propose sweeps.  Fixed — chunk boundaries must be a
+/// pure function of |V| so the concatenated proposal list (and with it the
+/// commit order) is identical for every pool size.  Matches the 2-way
+/// refiner's shard count (refine/parallel_refine.cpp).
+constexpr int kProposeChunks = 16;
+
+/// Safety cap on propose/commit rounds per pass.  Termination is already
+/// guaranteed (every commit locks its vertex for the rest of the pass), but
+/// the tail rounds harvest next to nothing; the cap bounds the worst case
+/// deterministically.
+constexpr int kMaxRounds = 64;
+
+/// Runs `body(c, begin, end)` over the same fixed chunk decomposition with
+/// or without a pool: ThreadPool::parallel_for_chunks and the inline loop
+/// compute identical boundaries, so the refiner's per-chunk proposal slots —
+/// and therefore the commit order — do not depend on whether a pool exists.
+template <typename Fn>
+void for_chunks(vid_t n, ThreadPool* pool, Fn&& body) {
+  if (n <= 0) return;
+  if (pool) {
+    pool->parallel_for_chunks(n, kProposeChunks, body);
+    return;
+  }
+  const vid_t step = (n + kProposeChunks - 1) / kProposeChunks;
+  for (int c = 0; c < kProposeChunks; ++c) {
+    const vid_t begin = std::min<vid_t>(n, static_cast<vid_t>(c) * step);
+    const vid_t end = std::min<vid_t>(n, begin + step);
+    if (begin >= end) break;
+    body(c, begin, end);
+  }
+}
+
+std::size_t vec_bytes(const auto& v) {
+  return v.capacity() * sizeof(typename std::decay_t<decltype(v)>::value_type);
+}
+
+}  // namespace
+
+std::size_t KwayRefineWorkspace::bytes_reserved() const {
+  return vec_bytes(frozen_pwgts) + vec_bytes(conn) + vec_bytes(touched) +
+         vec_bytes(cand) + vec_bytes(cand_to) + vec_bytes(cand_count) +
+         vec_bytes(locked) + vec_bytes(bal);
+}
+
+KwayRefineResult kway_parallel_refine(const Graph& g, std::span<part_t> part,
+                                      part_t k, std::span<vwt_t> pwgts,
+                                      vwt_t max_part_weight,
+                                      vwt_t min_part_weight, int max_passes,
+                                      ThreadPool* pool,
+                                      KwayRefineWorkspace& ws) {
+  KwayRefineResult res;
+  const vid_t n = g.num_vertices();
+  if (n == 0 || k <= 1) return res;
+  obs::Span span("refine.kway");
+  span.arg("n", n);
+  span.arg("k", k);
+
+  const std::size_t kk = static_cast<std::size_t>(k);
+  const vid_t step = (n + kProposeChunks - 1) / kProposeChunks;
+  ws.frozen_pwgts.resize(kk);
+  // Chunk c's connectivity scratch lives at conn[c*k, (c+1)*k); slot
+  // kProposeChunks is the sequential commit pass's own scratch.  Both are
+  // zeroed between vertices via the touched lists, so only a fresh (cold or
+  // regrown) workspace needs the explicit fill.
+  const std::size_t conn_size = static_cast<std::size_t>(kProposeChunks + 1) * kk;
+  if (ws.conn.size() < conn_size) {
+    ws.conn.assign(conn_size, 0);
+    ws.touched.resize(conn_size);
+  }
+  ws.cand.resize(static_cast<std::size_t>(step) * kProposeChunks);
+  ws.cand_to.resize(static_cast<std::size_t>(step) * kProposeChunks);
+  ws.cand_count.resize(kProposeChunks);
+  ws.locked.resize(static_cast<std::size_t>(n));
+  // A warm workspace may arrive from a larger graph.  Chunks that are empty
+  // here (c * step >= n) are never visited by the chunk loop, so stale
+  // counts from the previous graph would feed out-of-range vertex ids to
+  // the commit pass — zero them all up front.
+  std::fill(ws.cand_count.begin(), ws.cand_count.end(), vid_t{0});
+
+  for (int pass = 0; pass < max_passes; ++pass) {
+    ++res.passes;
+    std::fill(ws.locked.begin(), ws.locked.end(), char{0});
+    vid_t pass_moves = 0;
+
+    for (int round = 0; round < kMaxRounds; ++round) {
+      ++res.rounds;
+      std::copy(pwgts.begin(), pwgts.end(), ws.frozen_pwgts.begin());
+
+      // --- Propose: each chunk scans its fixed vertex range against the
+      // labelling and part weights frozen at round start, writing its
+      // candidates into a disjoint slot — race-free, and the proposal set
+      // is independent of scheduling.
+      {
+        obs::Span propose_span("refine.kway.propose");
+        for_chunks(n, pool, [&](int c, vid_t begin, vid_t end) {
+          ewt_t* conn = ws.conn.data() + static_cast<std::size_t>(c) * kk;
+          part_t* touched = ws.touched.data() + static_cast<std::size_t>(c) * kk;
+          vid_t* cand = ws.cand.data() + static_cast<std::size_t>(c) * step;
+          part_t* cand_to = ws.cand_to.data() + static_cast<std::size_t>(c) * step;
+          vid_t cnt = 0;
+          for (vid_t u = begin; u < end; ++u) {
+            const std::size_t uu = static_cast<std::size_t>(u);
+            if (ws.locked[uu]) continue;
+            const part_t from = part[uu];
+            auto nbrs = g.neighbors(u);
+            auto wgts = g.edge_weights(u);
+            int num_touched = 0;
+            for (std::size_t i = 0; i < nbrs.size(); ++i) {
+              const part_t p = part[static_cast<std::size_t>(nbrs[i])];
+              if (conn[static_cast<std::size_t>(p)] == 0) {
+                touched[num_touched++] = p;
+              }
+              conn[static_cast<std::size_t>(p)] += wgts[i];
+            }
+            const ewt_t internal = conn[static_cast<std::size_t>(from)];
+            const vwt_t wv = g.vertex_weight(u);
+            part_t best = from;
+            ewt_t best_gain = 0;
+            vwt_t best_w = 0;
+            // Source must stay at or above the floor (checked again at
+            // commit against the committed weights).
+            if (ws.frozen_pwgts[static_cast<std::size_t>(from)] - wv >=
+                min_part_weight) {
+              for (int t = 0; t < num_touched; ++t) {
+                const part_t p = touched[t];
+                if (p == from) continue;
+                const vwt_t pw = ws.frozen_pwgts[static_cast<std::size_t>(p)];
+                if (pw + wv > max_part_weight) continue;
+                const ewt_t gain = conn[static_cast<std::size_t>(p)] - internal;
+                if (gain < 0) continue;
+                // Zero-gain moves are admitted only when they strictly
+                // improve balance: the cut never rises and the sum of
+                // squared part weights strictly falls, so (cut, imbalance)
+                // decreases lexicographically and rounds still terminate.
+                if (gain == 0 &&
+                    pw + wv >=
+                        ws.frozen_pwgts[static_cast<std::size_t>(from)]) {
+                  continue;
+                }
+                // Highest gain, then lighter frozen target, then lower part
+                // id: a total order over frozen state, so the chosen target
+                // never depends on the touched list's traversal order.
+                const bool take =
+                    best == from || gain > best_gain ||
+                    (gain == best_gain &&
+                     (pw < best_w || (pw == best_w && p < best)));
+                if (take) {
+                  best = p;
+                  best_gain = gain;
+                  best_w = pw;
+                }
+              }
+            }
+            for (int t = 0; t < num_touched; ++t) {
+              conn[static_cast<std::size_t>(touched[t])] = 0;
+            }
+            if (best != from) {
+              cand[cnt] = u;
+              cand_to[cnt] = best;
+              ++cnt;
+            }
+          }
+          ws.cand_count[static_cast<std::size_t>(c)] = cnt;
+        });
+      }
+
+      vid_t proposals = 0;
+      for (vid_t c : ws.cand_count) proposals += c;
+      res.proposals += proposals;
+
+      // --- Commit: one deterministic ascending-vertex pass.  Earlier
+      // commits may have absorbed a proposal's gain or taken its balance
+      // headroom, so the gain and both weight bounds are recomputed against
+      // the committed state; stale proposals count as conflict rejects.
+      vid_t committed = 0;
+      {
+        obs::Span commit_span("refine.kway.commit");
+        ewt_t* conn =
+            ws.conn.data() + static_cast<std::size_t>(kProposeChunks) * kk;
+        part_t* touched =
+            ws.touched.data() + static_cast<std::size_t>(kProposeChunks) * kk;
+        for (int c = 0; c < kProposeChunks; ++c) {
+          const vid_t* cand = ws.cand.data() + static_cast<std::size_t>(c) * step;
+          const part_t* cand_to =
+              ws.cand_to.data() + static_cast<std::size_t>(c) * step;
+          const vid_t cnt = ws.cand_count[static_cast<std::size_t>(c)];
+          for (vid_t i = 0; i < cnt; ++i) {
+            const vid_t v = cand[i];
+            const std::size_t vv = static_cast<std::size_t>(v);
+            const part_t to = cand_to[i];
+            // v never moved this round (only commits move vertices, and a
+            // commit locks), so `from` still matches the propose sweep.
+            const part_t from = part[vv];
+            auto nbrs = g.neighbors(v);
+            auto wgts = g.edge_weights(v);
+            int num_touched = 0;
+            for (std::size_t j = 0; j < nbrs.size(); ++j) {
+              const part_t p = part[static_cast<std::size_t>(nbrs[j])];
+              if (conn[static_cast<std::size_t>(p)] == 0) {
+                touched[num_touched++] = p;
+              }
+              conn[static_cast<std::size_t>(p)] += wgts[j];
+            }
+            const ewt_t gain = conn[static_cast<std::size_t>(to)] -
+                               conn[static_cast<std::size_t>(from)];
+            for (int t = 0; t < num_touched; ++t) {
+              conn[static_cast<std::size_t>(touched[t])] = 0;
+            }
+            const vwt_t wv = g.vertex_weight(v);
+            // Same admission rule as propose, against the committed weights:
+            // positive gain, or zero gain with strict balance improvement.
+            if (gain < 0 ||
+                (gain == 0 && pwgts[static_cast<std::size_t>(to)] + wv >=
+                                  pwgts[static_cast<std::size_t>(from)]) ||
+                pwgts[static_cast<std::size_t>(to)] + wv > max_part_weight ||
+                pwgts[static_cast<std::size_t>(from)] - wv < min_part_weight) {
+              ++res.conflict_rejects;
+              continue;
+            }
+            part[vv] = to;
+            pwgts[static_cast<std::size_t>(from)] -= wv;
+            pwgts[static_cast<std::size_t>(to)] += wv;
+            ws.locked[vv] = 1;
+            res.cut_reduction += gain;
+            ++committed;
+          }
+        }
+      }
+      res.moves += committed;
+      pass_moves += committed;
+      if (committed == 0) break;  // no proposal survived: a local minimum
+    }
+
+    if (pass_moves == 0) break;  // unlocking found nothing new to harvest
+  }
+  return res;
+}
+
+vid_t kway_balance(const Graph& g, std::span<part_t> part, part_t k,
+                   std::span<vwt_t> pwgts, vwt_t max_part_weight,
+                   vwt_t min_part_weight, KwayRefineWorkspace& ws) {
+  const vid_t n = g.num_vertices();
+  if (n == 0 || k <= 1) return 0;
+
+  const std::size_t kk = static_cast<std::size_t>(k);
+  // Uses (and maintains) the commit slot's zero-invariant conn scratch, so
+  // a workspace warmed by kway_parallel_refine costs nothing extra; only a
+  // cold or regrown one allocates.
+  const std::size_t conn_size = static_cast<std::size_t>(kProposeChunks + 1) * kk;
+  if (ws.conn.size() < conn_size) {
+    ws.conn.assign(conn_size, 0);
+    ws.touched.resize(conn_size);
+  }
+  ewt_t* conn = ws.conn.data() + static_cast<std::size_t>(kProposeChunks) * kk;
+  part_t* touched = ws.touched.data() + static_cast<std::size_t>(kProposeChunks) * kk;
+
+  auto any_overweight = [&]() {
+    for (std::size_t p = 0; p < kk; ++p) {
+      if (pwgts[p] > max_part_weight) return true;
+    }
+    return false;
+  };
+
+  // Best admissible destination for v under the *current* weights: highest
+  // gain, then lighter target, then lower part id.  Every part is a legal
+  // destination (an isolated-from-everywhere target costs gain -internal);
+  // returns (from, 0) when no part has capacity.
+  auto best_move = [&](vid_t v, part_t from, vwt_t wv) {
+    auto nbrs = g.neighbors(v);
+    auto wgts = g.edge_weights(v);
+    int num_touched = 0;
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const part_t p = part[static_cast<std::size_t>(nbrs[i])];
+      if (conn[static_cast<std::size_t>(p)] == 0) touched[num_touched++] = p;
+      conn[static_cast<std::size_t>(p)] += wgts[i];
+    }
+    const ewt_t internal = conn[static_cast<std::size_t>(from)];
+    part_t best = from;
+    ewt_t best_gain = 0;
+    vwt_t best_w = 0;
+    for (part_t p = 0; p < k; ++p) {
+      if (p == from) continue;
+      const vwt_t pw = pwgts[static_cast<std::size_t>(p)];
+      if (pw + wv > max_part_weight) continue;
+      const ewt_t gain = conn[static_cast<std::size_t>(p)] - internal;
+      const bool take = best == from || gain > best_gain ||
+                        (gain == best_gain &&
+                         (pw < best_w || (pw == best_w && p < best)));
+      if (take) {
+        best = p;
+        best_gain = gain;
+        best_w = pw;
+      }
+    }
+    for (int t = 0; t < num_touched; ++t) {
+      conn[static_cast<std::size_t>(touched[t])] = 0;
+    }
+    return std::pair<part_t, ewt_t>{best, best_gain};
+  };
+
+  vid_t total_moves = 0;
+  obs::Span span("refine.kway.balance");
+  // Each accepted move shrinks an overweight part without creating a new
+  // one, so excess weight decreases monotonically; the pass cap only guards
+  // the genuinely infeasible cases (one vertex heavier than the ceiling).
+  for (int pass = 0; pass < 8 && any_overweight(); ++pass) {
+    // Gather every movable vertex of every overweight part with its current
+    // best gain, then drain cheapest-cut-damage first — first-fit by vertex
+    // id would evict whatever happens to come first, which is exactly the
+    // kind of deep-interior vertex whose eviction shreds the cut.
+    ws.bal.clear();
+    for (vid_t v = 0; v < n; ++v) {
+      const part_t from = part[static_cast<std::size_t>(v)];
+      if (pwgts[static_cast<std::size_t>(from)] <= max_part_weight) continue;
+      const vwt_t wv = g.vertex_weight(v);
+      if (pwgts[static_cast<std::size_t>(from)] - wv < min_part_weight) continue;
+      const auto [to, gain] = best_move(v, from, wv);
+      if (to != from) ws.bal.emplace_back(gain, v);
+    }
+    std::sort(ws.bal.begin(), ws.bal.end(),
+              [](const std::pair<ewt_t, vid_t>& a, const std::pair<ewt_t, vid_t>& b) {
+                return a.first != b.first ? a.first > b.first : a.second < b.second;
+              });
+
+    vid_t pass_moves = 0;
+    for (const auto& [gain_est, v] : ws.bal) {
+      const std::size_t vv = static_cast<std::size_t>(v);
+      const part_t from = part[vv];
+      // Earlier applications changed the weights, so re-validate: the
+      // source may already be drained, the estimated target full.  (The
+      // gain estimate only orders the queue; the move itself re-picks.)
+      if (pwgts[static_cast<std::size_t>(from)] <= max_part_weight) continue;
+      const vwt_t wv = g.vertex_weight(v);
+      if (pwgts[static_cast<std::size_t>(from)] - wv < min_part_weight) continue;
+      const auto [to, gain] = best_move(v, from, wv);
+      (void)gain;
+      if (to == from) continue;
+      part[vv] = to;
+      pwgts[static_cast<std::size_t>(from)] -= wv;
+      pwgts[static_cast<std::size_t>(to)] += wv;
+      ++pass_moves;
+      if (!any_overweight()) break;
+    }
+    total_moves += pass_moves;
+    if (pass_moves == 0) break;  // nothing movable: ceiling unreachable
+  }
+  span.arg("moves", total_moves);
+  return total_moves;
+}
+
+}  // namespace mgp

@@ -1,0 +1,99 @@
+// Deterministic parallel k-way refinement (extension).
+//
+// Generalizes the round-synchronous propose/commit scheme of
+// refine/parallel_refine.* from 2 parts to k — the k-way local search of
+// Sanders & Schulz ("Engineering Multilevel Graph Partitioning Algorithms")
+// run under the parallel shape of Holtgrewe et al. (PAPERS.md):
+//
+//   repeat:  (1) PROPOSE — shard the vertex range into *fixed* chunks (a
+//                pure function of |V|, never of the pool size) and, in
+//                parallel, compute each unlocked boundary vertex's best
+//                target part against connectivity tables and part weights
+//                *frozen at round start*; positive-gain candidates land in
+//                their chunk's slot of the proposal table;
+//            (2) COMMIT — walk the proposals in ascending vertex order on
+//                one thread, recompute each gain against the *committed*
+//                labelling, re-check the balance ceiling and floor against
+//                the committed part weights, and apply the survivors
+//                (locking them; a vertex moves at most once per pass);
+//   until a round commits nothing.
+//
+// Candidate selection is per-vertex over frozen state, so the proposal set
+// is independent of chunk scheduling; fixed contiguous chunks read back in
+// chunk order make the commit order ascending-by-vertex-id; the commit pass
+// is sequential; and no randomness is drawn.  Partitions are therefore
+// byte-identical across pool sizes — a null pool runs the identical rounds
+// inline over the identical chunk boundaries.  Every committed move has
+// strictly positive recomputed gain and locks its vertex, so rounds
+// terminate.  DESIGN.md §10 carries the full argument.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "support/thread_pool.hpp"
+
+namespace mgp {
+
+/// Reusable scratch for kway_parallel_refine.  Default-constructed empty;
+/// warms to the (n, k) high-water size on first use, after which calls of
+/// no-larger shape perform zero heap allocations.
+struct KwayRefineWorkspace {
+  std::vector<vwt_t> frozen_pwgts;  ///< k: part weights at round start
+  std::vector<ewt_t> conn;          ///< (chunks+1)*k: per-chunk + commit scratch
+  std::vector<part_t> touched;      ///< (chunks+1)*k: parts seen per vertex
+  std::vector<vid_t> cand;          ///< step*chunks: proposal vertices
+  std::vector<part_t> cand_to;      ///< step*chunks: proposal targets
+  std::vector<vid_t> cand_count;    ///< chunks
+  std::vector<char> locked;         ///< n: move-at-most-once-per-pass locks
+  std::vector<std::pair<ewt_t, vid_t>> bal;  ///< balance candidates (gain, v)
+
+  /// Heap bytes currently reserved (capacity, not size).
+  std::size_t bytes_reserved() const;
+};
+
+struct KwayRefineResult {
+  int passes = 0;             ///< outer unlock passes run
+  int rounds = 0;             ///< propose/commit rounds across all passes
+  vid_t proposals = 0;        ///< candidates emitted by propose sweeps
+  vid_t moves = 0;            ///< commits applied
+  vid_t conflict_rejects = 0; ///< proposals rejected at commit re-validation
+  ewt_t cut_reduction = 0;    ///< total gain of committed moves
+};
+
+/// Parallel k-way refinement of `part` in place.  `pwgts` (size k) must hold
+/// the labelling's current part weights on entry and is maintained
+/// incrementally — never recomputed from scratch.  A move must keep its
+/// target at or below `max_part_weight` and its source at or above
+/// `min_part_weight` (uniformly for every k, 2 included, so refinement can
+/// never empty a part; pass 0 to disable the floor).  `max_passes` bounds
+/// the outer unlock passes; each pass runs propose/commit rounds to
+/// quiescence, and the call stops early once a whole pass commits nothing.
+///
+/// Draws no randomness.  Byte-identical result for every pool size,
+/// including a null `pool` (inline execution of the same rounds).
+KwayRefineResult kway_parallel_refine(const Graph& g, std::span<part_t> part,
+                                      part_t k, std::span<vwt_t> pwgts,
+                                      vwt_t max_part_weight,
+                                      vwt_t min_part_weight, int max_passes,
+                                      ThreadPool* pool,
+                                      KwayRefineWorkspace& ws);
+
+/// Explicit balance phase: refinement only ever makes strictly-positive-gain
+/// moves, so a partition that *arrives* overweight (a lumpy coarsest-level
+/// initial partition, or compounded recursive-bisection slack) would stay
+/// overweight forever.  This drains every part above `max_part_weight` by
+/// moving vertices out of overweight parts, cheapest cut damage first (all
+/// candidates sorted by gain, re-validated at apply time), into the best
+/// part with capacity — accepting negative gains.  A move never pushes its
+/// target above the ceiling, so total excess strictly decreases and the
+/// loop terminates.  Sequential and randomness-free: byte-deterministic
+/// regardless of pool size.  Returns the move count.
+vid_t kway_balance(const Graph& g, std::span<part_t> part, part_t k,
+                   std::span<vwt_t> pwgts, vwt_t max_part_weight,
+                   vwt_t min_part_weight, KwayRefineWorkspace& ws);
+
+}  // namespace mgp

@@ -19,8 +19,9 @@ ServerMetrics::ServerMetrics(obs::MetricsRegistry& reg)
       queue_depth_peak(reg.max_gauge("server.queue_depth_peak")) {}
 
 RequestHandler::RequestHandler(WorkspacePool& pool, ResultCache& cache,
-                               obs::MetricsRegistry& reg, const ServerMetrics& ids)
-    : pool_(pool), cache_(cache), reg_(reg), ids_(ids) {}
+                               obs::MetricsRegistry& reg, const ServerMetrics& ids,
+                               int direct_min_k)
+    : pool_(pool), cache_(cache), reg_(reg), ids_(ids), direct_min_k_(direct_min_k) {}
 
 void RequestHandler::handle(std::span<const std::uint8_t> payload,
                             std::chrono::steady_clock::time_point arrival,
@@ -73,9 +74,24 @@ void RequestHandler::handle(std::span<const std::uint8_t> payload,
   // next_u64 inside kway_partition_into, so the response bytes match
   // `partition_file --seed=S` for the same graph and scheme.
   Rng rng(head.seed);
+  // kAuto picks direct k-way once k is large enough that recursive
+  // bisection's O(log k) ladders dominate; an explicit mode always wins.
+  // Both paths draw from the same single-seed Rng, so either response is
+  // byte-identical to the offline CLI run of the matching scheme.
+  const auto mode = static_cast<KwayMode>(head.kway_mode);
+  const bool use_direct =
+      mode == KwayMode::kDirect ||
+      (mode == KwayMode::kAuto && static_cast<int>(k) >= direct_min_k_);
   try {
     WorkspacePool::Lease lease = pool_.checkout();
-    cut_ = kway_partition_into(graph_, k, cfg, rng, scratch_, lease.get(), part_);
+    if (use_direct) {
+      KwayDirectConfig dcfg;
+      dcfg.base = cfg;
+      cut_ = kway_partition_direct_into(graph_, k, dcfg, rng, direct_ws_,
+                                        lease.get(), part_);
+    } else {
+      cut_ = kway_partition_into(graph_, k, cfg, rng, scratch_, lease.get(), part_);
+    }
   } catch (const CancelledError&) {
     reg_.add(ids_.deadline_expired);
     write_error_frame(Status::kDeadlineExceeded,

@@ -23,6 +23,7 @@
 
 #include "core/cancel.hpp"
 #include "core/kway.hpp"
+#include "core/kway_direct.hpp"
 #include "obs/metrics.hpp"
 #include "server/protocol.hpp"
 #include "server/result_cache.hpp"
@@ -44,10 +45,14 @@ struct ServerMetrics {
   explicit ServerMetrics(obs::MetricsRegistry& reg);
 };
 
+/// Requests with kway_mode = kAuto use direct k-way once k reaches this
+/// many parts (recursive bisection below it); see ServerConfig::direct_min_k.
+inline constexpr int kDefaultDirectMinK = 64;
+
 class RequestHandler {
  public:
   RequestHandler(WorkspacePool& pool, ResultCache& cache, obs::MetricsRegistry& reg,
-                 const ServerMetrics& ids);
+                 const ServerMetrics& ids, int direct_min_k = kDefaultDirectMinK);
 
   RequestHandler(const RequestHandler&) = delete;
   RequestHandler& operator=(const RequestHandler&) = delete;
@@ -70,10 +75,12 @@ class RequestHandler {
   ResultCache& cache_;
   obs::MetricsRegistry& reg_;
   const ServerMetrics& ids_;
+  int direct_min_k_;
 
   // Warm per-worker state (the zero-allocation steady state).
   Graph graph_;
   KwayScratch scratch_;
+  KwayDirectWorkspace direct_ws_;
   std::vector<part_t> part_;
   ewt_t cut_ = 0;
   std::vector<std::uint8_t> body_;  ///< response payload scratch

@@ -87,6 +87,7 @@ Status decode_request_head(std::span<const std::uint8_t> payload, RequestHead& o
   out.matching = p[12];
   out.initpart = p[13];
   out.refine = p[14];
+  out.kway_mode = p[15];
   out.coarsen_to = get_u32(p + 16);
   out.deadline_ms = get_u64(p + 20);
   out.n = get_u64(p + 28);
@@ -110,6 +111,10 @@ Status decode_request_head(std::span<const std::uint8_t> payload, RequestHead& o
   }
   if (out.refine > static_cast<std::uint8_t>(RefinePolicy::kBKLGR)) {
     err = "unknown refinement policy";
+    return Status::kBadRequest;
+  }
+  if (out.kway_mode > static_cast<std::uint8_t>(KwayMode::kDirect)) {
+    err = "unknown kway mode";
     return Status::kBadRequest;
   }
   if (out.n > static_cast<std::uint64_t>(std::numeric_limits<vid_t>::max())) {
@@ -222,7 +227,7 @@ void encode_partition_request(const Graph& g, const RequestOptions& opts,
   out.push_back(static_cast<std::uint8_t>(opts.matching));
   out.push_back(static_cast<std::uint8_t>(opts.initpart));
   out.push_back(static_cast<std::uint8_t>(opts.refine));
-  out.push_back(0);
+  out.push_back(static_cast<std::uint8_t>(opts.kway_mode));
   put_u32(out, static_cast<std::uint32_t>(opts.coarsen_to));
   put_u64(out, opts.deadline_ms);
   put_u64(out, n);

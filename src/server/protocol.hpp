@@ -20,7 +20,10 @@
 //       12     1      matching     MatchingScheme as u8
 //       13     1      initpart     InitPartScheme as u8
 //       14     1      refine       RefinePolicy as u8
-//       15     1      reserved     0
+//       15     1      kway_mode    KwayMode as u8 (0 auto / 1 rb / 2 direct;
+//                                  was reserved-zero, so old clients send
+//                                  kAuto and old servers already digested
+//                                  the byte — no version bump needed)
 //       16     4      coarsen_to   coarsening threshold (u32)
 //       20     8      deadline_ms  per-request budget; 0 = none, at most
 //                                  kMaxDeadlineMs (u64)
@@ -93,6 +96,15 @@ enum class Status : std::uint8_t {
 
 std::string_view to_string(Status s);
 
+/// How the server turns a request into k parts.  Sits inside the config
+/// digest region, so the cache never serves a partition computed under a
+/// different mode.
+enum class KwayMode : std::uint8_t {
+  kAuto = 0,                ///< server decides (direct for k >= its threshold)
+  kRecursiveBisection = 1,  ///< force the paper's recursive bisection
+  kDirect = 2,              ///< force direct k-way (core/kway_direct)
+};
+
 struct FrameHeader {
   std::uint32_t magic = kMagic;
   std::uint8_t version = kProtocolVersion;
@@ -113,6 +125,7 @@ struct RequestHead {
   std::uint8_t matching = 0;
   std::uint8_t initpart = 0;
   std::uint8_t refine = 0;
+  std::uint8_t kway_mode = 0;  ///< KwayMode
   std::uint32_t coarsen_to = 100;
   std::uint64_t deadline_ms = 0;
   std::uint64_t n = 0;
@@ -144,6 +157,7 @@ struct RequestOptions {
   MatchingScheme matching = MatchingScheme::kHeavyEdge;
   InitPartScheme initpart = InitPartScheme::kGGGP;
   RefinePolicy refine = RefinePolicy::kBKLGR;
+  KwayMode kway_mode = KwayMode::kAuto;
   vid_t coarsen_to = 100;
   std::uint64_t deadline_ms = 0;  ///< 0 = no deadline
 };

@@ -62,6 +62,9 @@ struct ServerConfig {
   std::size_t cache_capacity = 64;
   /// Frames above this are rejected before any allocation.
   std::size_t max_payload_bytes = std::size_t{1} << 30;
+  /// Requests with kway_mode = kAuto run direct k-way when k >= this
+  /// (recursive bisection below); explicit request modes always win.
+  int direct_min_k = kDefaultDirectMinK;
   /// Test-only: runs in the worker before each dequeued job is handled
   /// (lets tests hold workers to fill the queue or expire deadlines
   /// deterministically).  Empty in production.

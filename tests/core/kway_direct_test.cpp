@@ -2,8 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <vector>
+
 #include "graph/generators.hpp"
 #include "metrics/partition_metrics.hpp"
+#include "support/thread_pool.hpp"
+#include "support/workspace.hpp"
 
 namespace mgp {
 namespace {
@@ -34,8 +39,10 @@ TEST(KwayDirectTest, CutComparableToRecursiveBisection) {
   KwayResult direct = kway_partition_direct(g, k, direct_cfg, r1);
   KwayResult rb = kway_partition(g, k, rb_cfg, r2);
   // Same quality class: within 35% either way.
-  EXPECT_LT(static_cast<double>(direct.edge_cut), 1.35 * static_cast<double>(rb.edge_cut));
-  EXPECT_LT(static_cast<double>(rb.edge_cut), 1.35 * static_cast<double>(direct.edge_cut));
+  EXPECT_LT(static_cast<double>(direct.edge_cut),
+            1.35 * static_cast<double>(rb.edge_cut));
+  EXPECT_LT(static_cast<double>(rb.edge_cut),
+            1.35 * static_cast<double>(direct.edge_cut));
 }
 
 TEST(KwayDirectTest, GreedyRefineNeverWorsensCut) {
@@ -96,6 +103,103 @@ TEST(KwayDirectTest, DeterministicGivenSeed) {
   KwayResult a = kway_partition_direct(g, 16, cfg, r1);
   KwayResult b = kway_partition_direct(g, 16, cfg, r2);
   EXPECT_EQ(a.part, b.part);
+}
+
+TEST(KwayDirectTest, TwoWayNeverEmptiesAPart) {
+  // Regression: the greedy refiner once applied a min-part floor only for
+  // k > 2, so on a star graph a 2-way direct call could drain one side to
+  // zero (every leaf has positive gain toward the hub's part).  The uniform
+  // floor must keep both parts non-empty.
+  Graph g = star_graph(16);
+  KwayDirectConfig cfg;
+  cfg.coarsen_to_floor = 2;
+  cfg.coarse_vertices_per_part = 1;
+  for (std::uint64_t seed : {1ull, 7ull, 31337ull}) {
+    Rng rng(seed);
+    KwayResult r = kway_partition_direct(g, 2, cfg, rng);
+    ASSERT_EQ(check_partition(g, r.part, 2), "") << "seed=" << seed;
+    std::vector<vwt_t> pwgts(2, 0);
+    for (std::size_t v = 0; v < r.part.size(); ++v) {
+      pwgts[static_cast<std::size_t>(r.part[v])] += g.vwgt()[v];
+    }
+    EXPECT_GT(pwgts[0], 0) << "seed=" << seed;
+    EXPECT_GT(pwgts[1], 0) << "seed=" << seed;
+  }
+}
+
+TEST(KwayDirectTest, ConfigValidationRejectsNonsense) {
+  auto expect_throws = [](KwayDirectConfig cfg, part_t k = 4) {
+    EXPECT_THROW(cfg.validate(k), std::invalid_argument);
+  };
+  expect_throws(KwayDirectConfig{}, 0);  // k < 1
+  {
+    KwayDirectConfig c;
+    c.coarse_vertices_per_part = 0;
+    expect_throws(c);
+  }
+  {
+    KwayDirectConfig c;
+    c.coarsen_to_floor = 0;
+    expect_throws(c);
+  }
+  {
+    KwayDirectConfig c;
+    c.min_shrink_factor = 0.0;
+    expect_throws(c);
+    c.min_shrink_factor = 1.5;
+    expect_throws(c);
+  }
+  {
+    KwayDirectConfig c;
+    c.max_refine_passes = 0;
+    expect_throws(c);
+  }
+  {
+    KwayDirectConfig c;
+    c.imbalance = -0.1;
+    expect_throws(c);
+  }
+  {
+    // The initial-partition config derives from `base`; a contradictory
+    // override (base.coarsen_to = 0) is rejected rather than silently used.
+    KwayDirectConfig c;
+    c.base.coarsen_to = 0;
+    expect_throws(c);
+  }
+  EXPECT_NO_THROW(KwayDirectConfig{}.validate(4));
+}
+
+TEST(KwayDirectTest, IntoMatchesWrapper) {
+  // The workspace-threaded entry point is the wrapper's implementation:
+  // same bytes, warm or cold, with or without a pool.
+  Graph g = fem2d_tri(24, 24, 5);
+  KwayDirectConfig cfg;
+  Rng r1(17);
+  KwayResult wrapped = kway_partition_direct(g, 12, cfg, r1);
+
+  KwayDirectWorkspace dws;
+  BisectWorkspace bws;
+  std::vector<part_t> part;
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    Rng r2(17);
+    const ewt_t cut = kway_partition_direct_into(g, 12, cfg, r2, dws, &bws, part);
+    EXPECT_EQ(cut, wrapped.edge_cut) << "repeat=" << repeat;
+    EXPECT_EQ(part, wrapped.part) << "repeat=" << repeat;
+  }
+
+  // Pooled runs engage parallel HEM, so compare against the pooled wrapper
+  // (cfg.base.threads > 1 makes it build its own pool); any two pool sizes
+  // are byte-identical, so 2 here vs the wrapper's 4 still must match.
+  KwayDirectConfig pooled_cfg = cfg;
+  pooled_cfg.base.threads = 4;
+  Rng r3(17);
+  KwayResult pooled_wrapped = kway_partition_direct(g, 12, pooled_cfg, r3);
+  ThreadPool pool(2);
+  Rng r4(17);
+  const ewt_t pooled =
+      kway_partition_direct_into(g, 12, cfg, r4, dws, &bws, part, nullptr, &pool);
+  EXPECT_EQ(pooled, pooled_wrapped.edge_cut);
+  EXPECT_EQ(part, pooled_wrapped.part);
 }
 
 TEST(KwayDirectTest, KOneTrivial) {

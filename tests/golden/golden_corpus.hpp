@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/kway.hpp"
+#include "core/kway_direct.hpp"
 #include "graph/generators.hpp"
 
 namespace mgp::golden {
@@ -24,6 +25,7 @@ struct GoldenEntry {
   part_t k;
   std::uint64_t seed;
   Graph (*build)();
+  bool direct = false;  ///< direct k-way (core/kway_direct) vs recursive bisection
 };
 
 inline std::vector<GoldenEntry> corpus() {
@@ -34,6 +36,13 @@ inline std::vector<GoldenEntry> corpus() {
       {"circuit_1500", 8, 4242, [] { return circuit(1500, 11); }},
       {"finan_24x24", 8, 4242, [] { return finan(24, 24, 5); }},
       {"random_geo_1500", 8, 4242, [] { return random_geometric(1500, 6.0, 9); }},
+      // Direct k-way rows (default KwayDirectConfig, 1 thread) across the
+      // k range the server's auto threshold spans.
+      {"fem2d_tri_40x40_direct_k4", 4, 4242, [] { return fem2d_tri(40, 40, 7); },
+       true},
+      {"circuit_1500_direct_k8", 8, 4242, [] { return circuit(1500, 11); }, true},
+      {"random_geo_1500_direct_k16", 16, 4242,
+       [] { return random_geometric(1500, 6.0, 9); }, true},
   };
 }
 
@@ -54,8 +63,13 @@ inline std::uint64_t fnv1a64(std::span<const part_t> part) {
 
 inline GoldenResult run_entry(const GoldenEntry& e) {
   const Graph g = e.build();
-  const MultilevelConfig cfg;  // paper defaults: HEM + GGGP + BKLGR, 1 thread
   Rng rng(e.seed);
+  if (e.direct) {
+    const KwayDirectConfig cfg;  // defaults on top of the paper pipeline
+    const KwayResult r = kway_partition_direct(g, e.k, cfg, rng);
+    return {r.edge_cut, fnv1a64(r.part)};
+  }
+  const MultilevelConfig cfg;  // paper defaults: HEM + GGGP + BKLGR, 1 thread
   const KwayResult r = kway_partition(g, e.k, cfg, rng);
   return {r.edge_cut, fnv1a64(r.part)};
 }

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "coarsen/contract.hpp"
+#include "core/kway_direct.hpp"
 #include "core/multilevel.hpp"
 #include "graph/generators.hpp"
 #include "initpart/graph_grow.hpp"
@@ -157,6 +158,36 @@ TEST(AllocRegressionTest, ParallelBgrSteadyStateIsAllocationFree) {
   run();
   EXPECT_EQ(guard.allocations(), 0u)
       << "parallel BGR allocated in steady state (" << guard.bytes() << " bytes)";
+}
+
+TEST(AllocRegressionTest, KwayDirectIntoSteadyStateIsAllocationFree) {
+  // The direct k-way entry point is stricter than multilevel_bisect: once
+  // the KwayDirectWorkspace and BisectWorkspace have warmed (two runs: the
+  // first grows every buffer, the second lets the contraction arena
+  // coalesce), a further identical run touches the heap zero times — the
+  // coarsening ladder, the coarsest initial partition, the k-way refiner's
+  // tables, and the projection ping-pong all live in the workspaces.
+  const Graph g = fem2d_tri(40, 40, 3);
+  const part_t k = 16;
+  KwayDirectConfig cfg;
+  KwayDirectWorkspace dws;
+  BisectWorkspace bws;
+  std::vector<part_t> part;
+
+  auto run = [&]() {
+    Rng rng(2024);
+    return kway_partition_direct_into(g, k, cfg, rng, dws, &bws, part);
+  };
+
+  run();
+  run();
+
+  AllocGuard guard;
+  const ewt_t cut = run();
+  EXPECT_EQ(guard.allocations(), 0u)
+      << "direct k-way allocated in steady state (" << guard.bytes() << " bytes)";
+  EXPECT_GT(cut, 0);
+  EXPECT_EQ(part.size(), static_cast<std::size_t>(g.num_vertices()));
 }
 
 TEST(AllocRegressionTest, MultilevelBisectSteadyStateIsBounded) {

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/kway.hpp"
+#include "core/kway_direct.hpp"
 #include "graph/generators.hpp"
 
 namespace mgp {
@@ -109,6 +110,30 @@ TEST_P(DegenerateGraphTest, EveryPipelineComboSurvives) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllCases, DegenerateGraphTest, ::testing::Range(0, 7),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return degenerate_cases()
+                               [static_cast<std::size_t>(info.param)].name;
+                         });
+
+class DegenerateDirectKwayTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DegenerateDirectKwayTest, DirectKwaySurvives) {
+  // The direct path has its own coarsening ladder, initial k-way partition,
+  // and propose/commit refiner — all of which must survive the same
+  // pathologies, including k far above the vertex count.
+  const DegenerateCase c = degenerate_cases()[static_cast<std::size_t>(GetParam())];
+  for (part_t k : {part_t{2}, part_t{5}, part_t{16}}) {
+    KwayDirectConfig cfg;
+    cfg.coarsen_to_floor = 2;       // force coarsening even on tiny graphs
+    cfg.coarse_vertices_per_part = 1;
+    SCOPED_TRACE(c.name + " k=" + std::to_string(k));
+    Rng rng(31337);
+    KwayResult r = kway_partition_direct(c.graph, k, cfg, rng);
+    EXPECT_EQ(check_partition(c.graph, r, k), "");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCases, DegenerateDirectKwayTest, ::testing::Range(0, 7),
                          [](const ::testing::TestParamInfo<int>& info) {
                            return degenerate_cases()
                                [static_cast<std::size_t>(info.param)].name;

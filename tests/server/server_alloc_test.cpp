@@ -69,6 +69,39 @@ TEST(ServerAllocTest, SteadyStateComputePathIsAllocationFree) {
   }
 }
 
+TEST(ServerAllocTest, DirectModeSteadyStateIsAllocationFree) {
+  // The direct k-way dispatch shares the guarantee: the handler's
+  // KwayDirectWorkspace warms like its recursive-bisection scratch, so a
+  // warm kway_mode=direct request allocates exactly zero times.
+  ASSERT_TRUE(::mgp::testing::counting_allocator_active());
+
+  WorkspacePool pool;
+  ResultCache cache(1);
+  obs::MetricsRegistry reg;
+  ServerMetrics ids(reg);
+  RequestHandler handler(pool, cache, reg, ids);
+
+  const Graph g = grid2d(32, 32);
+  std::vector<std::vector<std::uint8_t>> payloads;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    RequestOptions opts;
+    opts.k = 16;
+    opts.kway_mode = KwayMode::kDirect;
+    opts.seed = seed;
+    encode_partition_request(g, opts, payloads.emplace_back());
+  }
+
+  const auto now = std::chrono::steady_clock::now();
+  std::vector<std::uint8_t> frame;
+  for (int round = 0; round < 2; ++round) {
+    for (const auto& p : payloads) handler.handle(p, now, frame);
+  }
+
+  AllocGuard guard;
+  handler.handle(payloads[1], now, frame);  // evicted: full direct compute
+  EXPECT_EQ(guard.allocations(), 0u);
+}
+
 TEST(ServerAllocTest, ErrorPathsDoNotLeakIntoSteadyState) {
   // Rejecting a malformed payload between well-formed requests must not
   // disturb the warm state (err_ strings may allocate; the next compute

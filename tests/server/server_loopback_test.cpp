@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "core/kway.hpp"
+#include "core/kway_direct.hpp"
 #include "graph/generators.hpp"
 #include "server/client.hpp"
 #include "server/net.hpp"
@@ -47,6 +48,14 @@ MultilevelConfig offline_cfg() {
 KwayResult offline(const Graph& g, part_t k, std::uint64_t seed) {
   Rng rng(seed);
   return kway_partition(g, k, offline_cfg(), rng);
+}
+
+/// The direct-path comparator: what a kDirect request must byte-match.
+KwayResult offline_direct(const Graph& g, part_t k, std::uint64_t seed) {
+  KwayDirectConfig cfg;
+  cfg.base = offline_cfg();
+  Rng rng(seed);
+  return kway_partition_direct(g, k, cfg, rng);
 }
 
 /// Stops and joins the server even when an assertion unwinds the test.
@@ -96,6 +105,154 @@ TEST(ServerLoopbackTest, ConcurrentClientsMatchOfflinePipeline) {
     EXPECT_EQ(out.part, expect.part) << "seed " << 100 + i;
     EXPECT_EQ(out.edge_cut, expect.edge_cut);
   }
+}
+
+TEST(ServerLoopbackTest, DirectModeConcurrentClientsMatchOfflineDirect) {
+  // The kway_mode=direct leg of the byte-identity contract: 8 concurrent
+  // clients forcing direct k-way all get exactly what the offline direct
+  // pipeline computes, regardless of worker/queue interleaving.
+  ServerConfig cfg;
+  cfg.unix_path = socket_path("direct");
+  cfg.num_workers = 4;
+  Server server(cfg);
+  std::string err;
+  ASSERT_TRUE(server.start(err)) << err;
+  ServerGuard guard(server);
+
+  const Graph g = grid2d(40, 40);
+  constexpr int kClients = 8;
+  constexpr part_t kParts = 16;
+  std::vector<PartitionOutcome> outcomes(kClients);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kClients; ++i) {
+    threads.emplace_back([&, i] {
+      std::string cerr_msg;
+      Client client = Client::connect_unix(cfg.unix_path, cerr_msg);
+      if (!client.connected()) return;
+      RequestOptions opts;
+      opts.k = kParts;
+      opts.kway_mode = KwayMode::kDirect;
+      opts.seed = 500 + static_cast<std::uint64_t>(i);
+      outcomes[static_cast<std::size_t>(i)] = client.partition(g, opts);
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  for (int i = 0; i < kClients; ++i) {
+    const PartitionOutcome& out = outcomes[static_cast<std::size_t>(i)];
+    ASSERT_TRUE(out.ok()) << "client " << i << ": " << out.error;
+    const KwayResult expect =
+        offline_direct(g, kParts, 500 + static_cast<std::uint64_t>(i));
+    EXPECT_EQ(out.part, expect.part) << "seed " << 500 + i;
+    EXPECT_EQ(out.edge_cut, expect.edge_cut);
+  }
+}
+
+TEST(ServerLoopbackTest, KwayModeSelectsThePipeline) {
+  // kAuto's threshold routes small k to recursive bisection and large k to
+  // direct; explicit modes override it in both directions.  Each answer is
+  // byte-identical to its offline comparator.
+  ServerConfig cfg;
+  cfg.unix_path = socket_path("kwaymode");
+  cfg.direct_min_k = 8;  // make both auto outcomes reachable with modest k
+  Server server(cfg);
+  std::string err;
+  ASSERT_TRUE(server.start(err)) << err;
+  ServerGuard guard(server);
+
+  const Graph g = fem2d_tri(20, 20, 4);
+  std::string cerr_msg;
+  Client client = Client::connect_unix(cfg.unix_path, cerr_msg);
+  ASSERT_TRUE(client.connected()) << cerr_msg;
+
+  RequestOptions opts;
+  opts.k = 4;  // below the threshold: auto -> recursive bisection
+  PartitionOutcome out = client.partition(g, opts);
+  ASSERT_TRUE(out.ok()) << out.error;
+  EXPECT_EQ(out.part, offline(g, 4, opts.seed).part);
+
+  opts.k = 8;  // at the threshold: auto -> direct
+  out = client.partition(g, opts);
+  ASSERT_TRUE(out.ok()) << out.error;
+  EXPECT_EQ(out.part, offline_direct(g, 8, opts.seed).part);
+
+  opts.kway_mode = KwayMode::kRecursiveBisection;  // explicit override
+  out = client.partition(g, opts);
+  ASSERT_TRUE(out.ok()) << out.error;
+  EXPECT_EQ(out.part, offline(g, 8, opts.seed).part);
+
+  opts.k = 4;
+  opts.kway_mode = KwayMode::kDirect;  // explicit override the other way
+  out = client.partition(g, opts);
+  ASSERT_TRUE(out.ok()) << out.error;
+  EXPECT_EQ(out.part, offline_direct(g, 4, opts.seed).part);
+
+  // The mode sits inside the config digest: the three distinct answers for
+  // k=8 (auto-direct, forced rb) were cache misses, not collisions.
+  EXPECT_EQ(server.cache().stats().hits, 0u);
+}
+
+TEST(ServerLoopbackTest, DirectModeDeadlineExpiryReleasesTheWorker) {
+  // A deadline that expires mid-queue on a direct-mode request must answer
+  // DEADLINE_EXCEEDED and leave the worker able to serve the next direct
+  // request (whose bytes still match offline).
+  ServerConfig cfg;
+  cfg.unix_path = socket_path("directdl");
+  cfg.num_workers = 1;
+  cfg.test_on_dequeue = [] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  };
+  Server server(cfg);
+  std::string err;
+  ASSERT_TRUE(server.start(err)) << err;
+  ServerGuard guard(server);
+
+  const Graph g = grid2d(24, 24);
+  std::string cerr_msg;
+  Client client = Client::connect_unix(cfg.unix_path, cerr_msg);
+  ASSERT_TRUE(client.connected()) << cerr_msg;
+
+  RequestOptions opts;
+  opts.k = 16;
+  opts.kway_mode = KwayMode::kDirect;
+  opts.deadline_ms = 5;  // burned while the request waits in the hook
+  PartitionOutcome expired = client.partition(g, opts);
+  EXPECT_EQ(expired.status, Status::kDeadlineExceeded);
+
+  opts.deadline_ms = 0;
+  PartitionOutcome ok = client.partition(g, opts);
+  ASSERT_TRUE(ok.ok()) << ok.error;
+  EXPECT_EQ(ok.part, offline_direct(g, 16, opts.seed).part);
+  EXPECT_EQ(server.metrics().snapshot().counter_value("server.deadline_expired"), 1);
+}
+
+TEST(ServerLoopbackTest, UnknownKwayModeAnswersBadRequest) {
+  ServerConfig cfg;
+  cfg.unix_path = socket_path("badmode");
+  Server server(cfg);
+  std::string err;
+  ASSERT_TRUE(server.start(err)) << err;
+  ServerGuard guard(server);
+
+  const Graph g = grid2d(8, 8);
+  RequestOptions opts;
+  opts.k = 2;
+  std::vector<std::uint8_t> payload;
+  encode_partition_request(g, opts, payload);
+  payload[15] = 200;  // not a KwayMode
+
+  Fd fd = connect_unix(cfg.unix_path, err);
+  ASSERT_TRUE(fd.valid()) << err;
+  ASSERT_TRUE(write_frame(fd.get(), MsgType::kPartitionRequest, payload));
+  FrameHeader h;
+  std::vector<std::uint8_t> resp;
+  ASSERT_EQ(read_frame(fd.get(), h, resp, 1 << 20), ReadFrameResult::kOk);
+  ASSERT_EQ(h.type, MsgType::kErrorResponse);
+  Status st = Status::kOk;
+  std::string msg;
+  ASSERT_TRUE(decode_error_response(resp, st, msg));
+  EXPECT_EQ(st, Status::kBadRequest);
+  EXPECT_NE(msg.find("kway mode"), std::string::npos) << msg;
 }
 
 TEST(ServerLoopbackTest, RepeatRequestIsServedFromCache) {
