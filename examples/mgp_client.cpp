@@ -18,12 +18,22 @@
 //                                 server's auto threshold would go direct
 //   --deadline-ms=N               per-request budget; 0 = none
 //   --stats                       print the server's /stats JSON and exit
+//   --pin                         pin the graph in the server's GraphStore
+//                                 and print its fingerprint
+//   --delta-script=FILE           pin the graph, then replay the delta
+//                                 script (src/dynamic/delta_script.hpp
+//                                 grammar) batch by batch, chaining
+//                                 fingerprints; -o writes the final
+//                                 labelling — byte-identical to
+//                                 `partition_file --delta-script` offline
 //   -o FILE                       write the part vector (one id per line)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
+#include "dynamic/delta_script.hpp"
 #include "graph/io.hpp"
 #include "graph/partition_io.hpp"
 #include "server/client.hpp"
@@ -38,9 +48,20 @@ int usage(const char* argv0) {
                "[<graph(.graph|.mtx)> <k>] [options] [-o out]\n"
                "  --matching=rm|hem|lem|hcm  --init=ggp|gggp|sbp\n"
                "  --refine=none|gr|klr|bgr|bklr|bklgr\n"
-               "  --seed=S  --deadline-ms=N  --direct  --rb\n",
+               "  --seed=S  --deadline-ms=N  --direct  --rb\n"
+               "  --pin  --delta-script=FILE\n",
                argv0);
   return 2;
+}
+
+const char* reason_name(std::uint8_t reason) {
+  switch (reason) {
+    case 0: return "incremental";
+    case 1: return "no_previous";
+    case 2: return "churn_ratio";
+    case 3: return "quality_bound";
+    default: return "unknown";
+  }
 }
 
 bool ends_with(const std::string& s, const std::string& suffix) {
@@ -81,9 +102,9 @@ bool parse_refine(const std::string& v, RefinePolicy& out) {
 int main(int argc, char** argv) {
   std::string socket_path;
   std::uint16_t port = 0;
-  bool have_listen = false, want_stats = false;
+  bool have_listen = false, want_stats = false, want_pin = false;
   server::RequestOptions opts;
-  std::string graph_path, out_path;
+  std::string graph_path, out_path, delta_path;
   part_t k = 0;
 
   for (int i = 1; i < argc; ++i) {
@@ -96,6 +117,10 @@ int main(int argc, char** argv) {
       have_listen = true;
     } else if (arg == "--stats") {
       want_stats = true;
+    } else if (arg == "--pin") {
+      want_pin = true;
+    } else if (arg.rfind("--delta-script=", 0) == 0) {
+      delta_path = arg.substr(15);
     } else if (arg.rfind("--matching=", 0) == 0) {
       if (!parse_matching(arg.substr(11), opts.matching)) return usage(argv[0]);
     } else if (arg.rfind("--init=", 0) == 0) {
@@ -122,7 +147,11 @@ int main(int argc, char** argv) {
       return usage(argv[0]);
     }
   }
-  if (!have_listen || (!want_stats && (graph_path.empty() || k < 1))) {
+  // --pin alone needs only a graph; --delta-script and plain partitioning
+  // also need k.
+  const bool pin_only = want_pin && delta_path.empty();
+  if (!have_listen ||
+      (!want_stats && (graph_path.empty() || (!pin_only && k < 1)))) {
     return usage(argv[0]);
   }
 
@@ -154,6 +183,59 @@ int main(int argc, char** argv) {
     return 1;
   }
   opts.k = k;
+
+  if (want_pin || !delta_path.empty()) {
+    const server::Client::PinOutcome p = client.pin(g);
+    if (!p.ok()) {
+      std::fprintf(stderr, "error: %s (%s)\n",
+                   std::string(server::to_string(p.status)).c_str(),
+                   p.error.c_str());
+      return 1;
+    }
+    std::printf("pinned: fingerprint %016llx%s\n",
+                static_cast<unsigned long long>(p.fingerprint),
+                p.already_pinned ? " (already pinned)" : "");
+    if (delta_path.empty()) return 0;
+
+    std::vector<dynamic::DeltaBatch> batches;
+    const std::string perr = dynamic::parse_delta_script_file(delta_path, batches);
+    if (!perr.empty()) {
+      std::fprintf(stderr, "error: %s\n", perr.c_str());
+      return 1;
+    }
+
+    std::uint64_t fp = p.fingerprint;
+    server::Client::DeltaOutcome last;
+    for (std::size_t bi = 0; bi < batches.size(); ++bi) {
+      last = client.delta(fp, batches[bi], opts);
+      if (!last.ok()) {
+        std::fprintf(stderr, "error: %s (%s)\n",
+                     std::string(server::to_string(last.status)).c_str(),
+                     last.error.c_str());
+        return 1;
+      }
+      std::printf("delta %zu: %d-way edge-cut %lld [%s%s%s] fingerprint %016llx\n",
+                  bi, k, static_cast<long long>(last.edge_cut),
+                  last.from_scratch ? "scratch:" : "",
+                  reason_name(last.reason), last.cache_hit ? ", cache hit" : "",
+                  static_cast<unsigned long long>(last.fingerprint));
+      fp = last.fingerprint;
+    }
+    if (!out_path.empty()) {
+      if (batches.empty()) {
+        std::fprintf(stderr, "error: delta script has no batches, nothing to write\n");
+        return 1;
+      }
+      try {
+        write_partition_file(out_path, last.part);
+        std::printf("partition vector written to %s\n", out_path.c_str());
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+      }
+    }
+    return 0;
+  }
 
   server::PartitionOutcome r = client.partition(g, opts);
   if (!r.ok()) {

@@ -10,6 +10,7 @@
 //   --queue=N           admission queue capacity           (16)
 //   --cache=N           result cache entries               (64)
 //   --direct-min-k=N    auto requests use direct k-way for k >= N (64)
+//   --store-mb=N        pinned-graph store byte budget in MiB     (256)
 //
 // SIGTERM/SIGINT drain the server: accepted work is finished and answered,
 // then every thread exits and the socket file is unlinked.
@@ -33,7 +34,7 @@ void handle_stop_signal(int) {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s (--socket=PATH | --port=N) [--workers=N] [--queue=N] "
-               "[--cache=N] [--direct-min-k=N]\n",
+               "[--cache=N] [--direct-min-k=N] [--store-mb=N]\n",
                argv0);
   return 2;
 }
@@ -63,6 +64,10 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--direct-min-k=", 0) == 0) {
       cfg.direct_min_k = std::atoi(arg.c_str() + 15);
       if (cfg.direct_min_k < 2) return usage(argv[0]);
+    } else if (arg.rfind("--store-mb=", 0) == 0) {
+      const long long mb = std::atoll(arg.c_str() + 11);
+      if (mb < 1) return usage(argv[0]);
+      cfg.store_max_bytes = static_cast<std::size_t>(mb) << 20;
     } else {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       return usage(argv[0]);

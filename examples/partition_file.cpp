@@ -12,19 +12,32 @@
 //   --seed=S                      RNG seed                   (1995)
 //   --threads=N                   pool workers; 0 = hardware (1)
 //   --report=FILE                 structured JSON run report (obs/report)
+//   --delta-script=FILE           replay a delta script (src/dynamic/
+//                                 delta_script.hpp grammar) through the
+//                                 incremental repartitioner — the offline
+//                                 twin of `mgp_client --delta-script`,
+//                                 byte-identical output for the same
+//                                 graph, k, seed, scheme, and script
 //   -o FILE                       write the part vector (one id per line)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/kway.hpp"
 #include "core/kway_direct.hpp"
+#include "dynamic/delta.hpp"
+#include "dynamic/delta_script.hpp"
+#include "dynamic/incremental.hpp"
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
 #include "graph/partition_io.hpp"
 #include "metrics/partition_metrics.hpp"
 #include "obs/report.hpp"
+#include "support/thread_pool.hpp"
 #include "support/timer.hpp"
 
 using namespace mgp;
@@ -36,7 +49,8 @@ int usage(const char* argv0) {
                "usage: %s <graph-file(.graph|.mtx)|--demo> <k> [options] [-o out]\n"
                "  --matching=rm|hem|lem|hcm  --init=ggp|gggp|sbp\n"
                "  --refine=none|gr|klr|bgr|bklr|bklgr  --direct\n"
-               "  --trials=N  --seed=S  --threads=N  --report=FILE\n",
+               "  --trials=N  --seed=S  --threads=N  --report=FILE\n"
+               "  --delta-script=FILE\n",
                argv0);
   return 2;
 }
@@ -85,6 +99,7 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 1995;
   std::string out_path;
   std::string report_path;
+  std::string delta_path;
 
   for (int i = 3; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -106,6 +121,8 @@ int main(int argc, char** argv) {
       if (cfg.threads < 0) return usage(argv[0]);
     } else if (arg.rfind("--report=", 0) == 0) {
       report_path = arg.substr(9);
+    } else if (arg.rfind("--delta-script=", 0) == 0) {
+      delta_path = arg.substr(15);
     } else if (arg == "-o" && i + 1 < argc) {
       out_path = argv[++i];
     } else {
@@ -146,6 +163,88 @@ int main(int argc, char** argv) {
 
   obs::Obs ob;
   if (!report_path.empty()) cfg.obs = &ob;
+
+  if (!delta_path.empty()) {
+    std::vector<dynamic::DeltaBatch> batches;
+    const std::string perr = dynamic::parse_delta_script_file(delta_path, batches);
+    if (!perr.empty()) {
+      std::fprintf(stderr, "error: %s\n", perr.c_str());
+      return 1;
+    }
+    if (batches.empty()) {
+      std::fprintf(stderr, "error: delta script has no batches\n");
+      return 1;
+    }
+
+    // Exactly the server's per-delta pipeline (threads from --threads; the
+    // result is pool-size-invariant, so the bytes match the server's for
+    // every worker count): patch, then warm-start repartition with default
+    // incremental thresholds.
+    dynamic::IncrementalConfig icfg;
+    icfg.direct.base = cfg;
+    dynamic::LabelState state;
+    dynamic::IncrementalWorkspace iws;
+    dynamic::DeltaScratch scratch;
+    dynamic::DeltaApplyResult res;
+    BisectWorkspace bws;
+    Graph spare;
+    std::unique_ptr<ThreadPool> pool;
+    const int nthreads = cfg.resolved_threads();
+    if (nthreads > 1) pool = std::make_unique<ThreadPool>(nthreads);
+
+    Timer t;
+    for (std::size_t bi = 0; bi < batches.size(); ++bi) {
+      const std::string aerr =
+          dynamic::apply_delta(g, batches[bi], scratch, spare, res);
+      if (!aerr.empty()) {
+        std::fprintf(stderr, "error: batch %zu: %s\n", bi, aerr.c_str());
+        return 1;
+      }
+      std::swap(g, spare);
+      const dynamic::RepartitionResult rr = dynamic::repartition_after_delta(
+          g, k, icfg, seed, state, res.fingerprint, scratch.touched,
+          res.churn_ratio, iws, &bws, pool.get());
+      const char* reason =
+          rr.reason == dynamic::RepartitionResult::Reason::kIncremental
+              ? "incremental"
+          : rr.reason == dynamic::RepartitionResult::Reason::kNoPrevious
+              ? "no_previous"
+          : rr.reason == dynamic::RepartitionResult::Reason::kChurnRatio
+              ? "churn_ratio"
+              : "quality_bound";
+      std::printf("delta %zu: %d-way edge-cut %lld [%s%s] fingerprint %016llx\n",
+                  bi, k, static_cast<long long>(rr.cut),
+                  rr.from_scratch ? "scratch:" : "", reason,
+                  static_cast<unsigned long long>(res.fingerprint));
+    }
+    const double secs = t.seconds();
+    std::printf("replayed %zu batch(es) in %.3f s\n", batches.size(), secs);
+
+    if (!out_path.empty()) {
+      try {
+        write_partition_file(out_path, state.part);
+        std::printf("partition vector written to %s\n", out_path.c_str());
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+      }
+    }
+    if (!report_path.empty()) {
+      ob.report.tool = "partition_file";
+      ob.report.scheme = describe(cfg);
+      ob.report.k = k;
+      ob.report.threads = cfg.resolved_threads();
+      ob.report.seed = seed;
+      const obs::MetricsSnapshot snap = ob.metrics.snapshot();
+      if (!ob.report.write_json_file(report_path, &snap)) {
+        std::fprintf(stderr, "error: could not write report to %s\n",
+                     report_path.c_str());
+        return 1;
+      }
+      std::printf("run report written to %s\n", report_path.c_str());
+    }
+    return 0;
+  }
 
   Rng rng(seed);
   Timer t;

@@ -6,15 +6,16 @@ auto-detected:
 
   * google-benchmark JSON (micro_kernels --benchmark_out): entries under
     "benchmarks", keyed by "name", with optional "counters";
-  * the repo's own row JSON (bench_parallel, figK_kway_direct): entries
-    under "rows", keyed by "threads" (thread sweeps) or "k" (k sweeps),
-    plus an optional "sequential" baseline object.
+  * the repo's own row JSON (bench_parallel, figK_kway_direct,
+    figL_incremental): entries under "rows", keyed by "threads" (thread
+    sweeps), "churn_pct" (churn sweeps) or "k" (k sweeps), plus an
+    optional "sequential" baseline object.
 
 What is gated (machine-independent by design, so a laptop-generated
 baseline holds on CI runners):
 
   * quality metrics — "cut", "final_cut", "cut_vs_seq", "cut_rb",
-    "cut_vs_rb" — within
+    "cut_vs_rb", "cut_scratch", "cut_vs_scratch" — within
     --cut-tolerance (default 1%) of the baseline; the partitions are
     deterministic for a pinned seed/scale/threads environment, so these
     should normally match exactly;
@@ -24,8 +25,8 @@ baseline holds on CI runners):
     counts track the standard library's small-buffer thresholds (which vary
     across toolchains) while still catching a lost workspace-reuse path,
     which inflates counts by orders of magnitude;
-  * ratio metrics — "speedup_vs_1t" — no more than --tolerance below the
-    baseline's ratio.
+  * ratio metrics — "speedup_vs_1t", "speedup_vs_scratch" — no more than
+    --tolerance below the baseline's ratio.
 
 Absolute wall-clock fields (real_time, cpu_time, *_seconds) are reported
 but NOT gated by default: they track the machine, not the code.  Pass
@@ -44,12 +45,14 @@ import json
 import sys
 from pathlib import Path
 
-CUT_METRICS = ("cut", "final_cut", "cut_vs_seq", "cut_rb", "cut_vs_rb")
+CUT_METRICS = ("cut", "final_cut", "cut_vs_seq", "cut_rb", "cut_vs_rb",
+               "cut_scratch", "cut_vs_scratch")
 COUNTER_METRICS = ("steady_allocs", "allocations")
 ALLOC_FACTOR = 3.0  # bound for nonzero allocation-count baselines
-RATIO_METRICS = ("speedup_vs_1t",)
+RATIO_METRICS = ("speedup_vs_1t", "speedup_vs_scratch")
 TIME_METRICS = ("real_time", "cpu_time", "coarsen_seconds", "kway_seconds",
-                "rb_seconds", "direct_seconds")
+                "rb_seconds", "direct_seconds", "incr_seconds",
+                "scratch_seconds")
 
 
 def load_entries(path):
@@ -75,8 +78,14 @@ def load_entries(path):
         return "google-benchmark", entries
     if "rows" in data:
         for row in data["rows"]:
-            # bench_parallel sweeps thread counts; figK_kway_direct sweeps k.
-            axis = "threads" if "threads" in row else "k"
+            # bench_parallel sweeps thread counts, figL_incremental sweeps
+            # churn levels, figK_kway_direct sweeps k.
+            if "threads" in row:
+                axis = "threads"
+            elif "churn_pct" in row:
+                axis = "churn_pct"
+            else:
+                axis = "k"
             key = f"{axis}={row[axis]}"
             entries[key] = {k: v for k, v in row.items() if k != axis}
         if "sequential" in data:

@@ -1,0 +1,91 @@
+#include "dynamic/churn.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <unordered_set>
+
+namespace mgp::dynamic {
+namespace {
+
+std::uint64_t edge_key(vid_t u, vid_t v) {
+  if (u > v) std::swap(u, v);
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(u)) << 32) |
+         static_cast<std::uint32_t>(v);
+}
+
+bool has_edge(const Graph& g, vid_t u, vid_t v) {
+  for (vid_t w : g.neighbors(u)) {
+    if (w == v) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void synth_churn_batch(const Graph& g, double fraction, Rng& rng,
+                       DeltaBatch& out) {
+  out.clear();
+  const vid_t n = g.num_vertices();
+  const eid_t arcs = g.num_arcs();
+  const eid_t m = arcs / 2;
+  if (n < 2 || m == 0) return;
+  fraction = std::clamp(fraction, 0.0, 0.5);
+  const eid_t count = std::min<eid_t>(
+      m, static_cast<eid_t>(std::ceil(fraction * static_cast<double>(m))));
+  if (count == 0) return;
+
+  auto xadj = g.xadj();
+  std::unordered_set<std::uint64_t> chosen;
+  chosen.reserve(static_cast<std::size_t>(count) * 2);
+
+  // Deletions: sample distinct existing edges via random directed-arc slots
+  // (degree-proportional, which is fine — churn should hit dense regions).
+  while (out.edge_del.size() < static_cast<std::size_t>(count)) {
+    const eid_t slot =
+        static_cast<eid_t>(rng.next_below(static_cast<std::uint64_t>(arcs)));
+    const auto it = std::upper_bound(xadj.begin(), xadj.end(), slot);
+    const vid_t u = static_cast<vid_t>((it - xadj.begin()) - 1);
+    const vid_t v = g.adjncy()[static_cast<std::size_t>(slot)];
+    if (!chosen.insert(edge_key(u, v)).second) continue;
+    out.edge_del.push_back({std::min(u, v), std::max(u, v)});
+  }
+
+  // Insertions: rejection-sample distinct non-edges (vs. the source graph,
+  // the deletions above, and earlier insertions).
+  std::unordered_set<std::uint64_t> inserted;
+  inserted.reserve(static_cast<std::size_t>(count) * 2);
+  while (out.edge_ins.size() < static_cast<std::size_t>(count)) {
+    const vid_t u = rng.next_vid(n);
+    const vid_t v = rng.next_vid(n);
+    if (u == v) continue;
+    const std::uint64_t key = edge_key(u, v);
+    if (chosen.count(key) != 0 || inserted.count(key) != 0) continue;
+    if (has_edge(g, u, v)) continue;
+    inserted.insert(key);
+    const ewt_t w = static_cast<ewt_t>(1 + rng.next_below(4));
+    out.edge_ins.push_back({std::min(u, v), std::max(u, v), w});
+  }
+}
+
+void invert_churn_batch(const Graph& g, const DeltaBatch& fwd,
+                        DeltaBatch& out) {
+  assert(fwd.vertex_add.empty() && fwd.vertex_rem.empty() &&
+         fwd.weight_upd.empty());
+  out.clear();
+  for (const EdgeIns& e : fwd.edge_ins) out.edge_del.push_back({e.u, e.v});
+  for (const EdgeDel& e : fwd.edge_del) {
+    ewt_t w = 1;
+    auto nbrs = g.neighbors(e.u);
+    auto wgts = g.edge_weights(e.u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (nbrs[i] == e.v) {
+        w = wgts[i];
+        break;
+      }
+    }
+    out.edge_ins.push_back({e.u, e.v, w});
+  }
+}
+
+}  // namespace mgp::dynamic

@@ -1,0 +1,33 @@
+// Synthetic edge churn for benchmarks and tests.
+//
+// synth_churn_batch builds a DeltaBatch that deletes a fixed fraction of a
+// graph's edges and inserts the same number of fresh non-edges — the
+// standard dynamic-graph workload shape (steady size, churning topology).
+// All choices come from the caller's seeded Rng in a fixed draw order, so a
+// pinned (graph, fraction, seed) triple yields the identical batch on every
+// machine: the determinism suite, the golden corpus, and the figL bench all
+// replay the same streams.
+#pragma once
+
+#include "dynamic/delta.hpp"
+#include "support/rng.hpp"
+
+namespace mgp::dynamic {
+
+/// Fills `out` with a churn batch against `g`: ceil(fraction * |E|) edge
+/// deletions (distinct existing edges) and the same count of insertions
+/// (distinct non-edges, unit-to-small random weights).  `fraction` is
+/// clamped to [0, 0.5].  Allocates freely — generation is a test/bench
+/// concern, only *applying* deltas is allocation-gated.
+void synth_churn_batch(const Graph& g, double fraction, Rng& rng,
+                       DeltaBatch& out);
+
+/// Builds the batch that undoes a pure edge-churn batch `fwd` applied to
+/// `g` (delete what fwd inserted, re-insert what fwd deleted with the
+/// original weights read from `g`).  Applying fwd then the result returns
+/// to `g` exactly — the alloc tests ping-pong between the two states.
+/// `fwd` must contain edge ops only.
+void invert_churn_batch(const Graph& g, const DeltaBatch& fwd,
+                        DeltaBatch& out);
+
+}  // namespace mgp::dynamic

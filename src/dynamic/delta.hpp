@@ -1,0 +1,117 @@
+// Graph deltas: the mutation vocabulary of the incremental-repartitioning
+// subsystem (DESIGN.md §11).
+//
+// ROADMAP item 5 asks for repartitioning in time proportional to the change,
+// not the graph.  The first half of that contract lives here: a DeltaBatch
+// describes a set of mutations (edge insert/delete, vertex add/remove,
+// vertex-weight update) and apply_delta materialises the patched CSR
+// *non-destructively* — the source graph stays intact (it may be pinned in
+// the server's GraphStore and concurrently referenced), and the destination
+// recycles its previous storage so a warm patch performs zero heap
+// allocations.  Only touched adjacency rows are rebuilt; clean rows are
+// copied straight through.
+//
+// Semantics:
+//   * vertex removal is a tombstone: incident edges are dropped and the
+//     vertex weight zeroed, but the id remains, so labellings stay
+//     index-compatible across deltas and ids never shift;
+//   * vertex additions append fresh ids at the end (old_n, old_n+1, ...);
+//   * edge insert/delete maintain symmetry automatically (one op covers
+//     both directions) and are strictly validated — inserting an existing
+//     edge, deleting a missing one, duplicate ops within a batch, ops that
+//     touch a vertex removed by the same batch, self-loops, and
+//     out-of-range ids are all rejected with a message (the server maps
+//     this to BAD_REQUEST).
+//
+// apply_delta draws no randomness and iterates in deterministic orders
+// only, so the patched graph — and its fingerprint — is a pure function of
+// (source graph, batch).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "support/types.hpp"
+
+namespace mgp::dynamic {
+
+struct EdgeIns {
+  vid_t u = 0;
+  vid_t v = 0;
+  ewt_t w = 1;
+};
+
+struct EdgeDel {
+  vid_t u = 0;
+  vid_t v = 0;
+};
+
+struct WeightUpd {
+  vid_t v = 0;
+  vwt_t w = 0;
+};
+
+/// One batch of mutations, applied atomically.  Op application order is
+/// fixed: vertex adds, weight updates, vertex removals, edge deletions,
+/// edge insertions — so a batch may, e.g., add a vertex and connect it.
+struct DeltaBatch {
+  std::vector<EdgeIns> edge_ins;
+  std::vector<EdgeDel> edge_del;
+  std::vector<vwt_t> vertex_add;  ///< weights of appended vertices
+  std::vector<vid_t> vertex_rem;  ///< ids to tombstone
+  std::vector<WeightUpd> weight_upd;
+
+  void clear();
+  bool empty() const;
+  std::size_t num_ops() const;
+};
+
+/// Reusable scratch for apply_delta.  Warms to the high-water (n, ops)
+/// shape; subsequent patches of no-larger shape allocate nothing.
+struct DeltaScratch {
+  std::vector<char> dirty;     ///< new_n: row must be rebuilt
+  std::vector<char> removed;   ///< new_n: tombstoned by this batch
+  std::vector<vid_t> touched;  ///< dirty vertex ids, ascending (frontier seed)
+  std::vector<eid_t> ins_xadj;  ///< new_n+1: per-row insertion offsets
+  std::vector<vid_t> ins_nbr;   ///< 2*|edge_ins|
+  std::vector<ewt_t> ins_w;     ///< 2*|edge_ins|
+  std::vector<eid_t> del_xadj;  ///< new_n+1: per-row deletion offsets
+  std::vector<vid_t> del_nbr;   ///< 2*|edge_del|
+
+  std::size_t bytes_reserved() const;
+};
+
+struct DeltaApplyResult {
+  vid_t old_n = 0;
+  vid_t new_n = 0;
+  /// Directed arc slots inserted plus removed (removals include the arcs
+  /// dropped by tombstoning).  The warm-start fallback threshold compares
+  /// churn_ratio = arcs_changed / max(1, old arcs).
+  eid_t arcs_changed = 0;
+  double churn_ratio = 0.0;
+  /// FNV-1a fingerprint of the patched graph's canonical wire encoding —
+  /// identical to the graph_fp the server's cache key would assign to a
+  /// fresh PARTITION request carrying the patched graph.
+  std::uint64_t fingerprint = 0;
+};
+
+/// FNV-1a 64 fingerprint of a graph's canonical wire encoding (the graph
+/// region of a PARTITION request: n, arcs, xadj, adjncy, vwgt, adjwgt in
+/// little-endian).  Streaming — no buffer is materialised.
+std::uint64_t graph_fingerprint(const Graph& g);
+
+/// Validates `batch` against `src` and materialises the patched graph into
+/// `dst`, recycling dst's existing storage (ping-pong with the source under
+/// the GraphStore's per-entry lock).  Returns "" on success or a
+/// human-readable rejection; on rejection `dst` is left empty and `src` is
+/// untouched either way.  `scratch.touched` is left holding the ascending
+/// ids of every vertex whose adjacency row changed (plus all new vertices)
+/// — the warm-start refinement frontier.
+std::string apply_delta(const Graph& src, const DeltaBatch& batch,
+                        DeltaScratch& scratch, Graph& dst,
+                        DeltaApplyResult& out);
+
+}  // namespace mgp::dynamic

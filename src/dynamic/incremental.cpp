@@ -1,0 +1,186 @@
+#include "dynamic/incremental.hpp"
+
+#include <algorithm>
+
+#include "core/kway.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
+#include "support/rng.hpp"
+
+namespace mgp::dynamic {
+namespace {
+
+std::size_t vec_bytes(const auto& v) {
+  return v.capacity() * sizeof(typename std::decay_t<decltype(v)>::value_type);
+}
+
+/// Full recomputation (also the fallback target).  Re-anchors the quality
+/// estimate at the fresh cut.
+RepartitionResult run_scratch(const Graph& g, part_t k,
+                              const IncrementalConfig& icfg,
+                              std::uint64_t seed, LabelState& state,
+                              RepartitionResult::Reason reason,
+                              IncrementalWorkspace& ws, BisectWorkspace* bws,
+                              ThreadPool* pool) {
+  RepartitionResult res;
+  res.from_scratch = true;
+  res.reason = reason;
+  Rng rng(seed);
+  res.cut = kway_partition_direct_into(g, k, icfg.direct, rng, ws.direct, bws,
+                                       state.part, nullptr, pool);
+  state.cut = res.cut;
+  state.cut_estimate = static_cast<double>(res.cut);
+  return res;
+}
+
+}  // namespace
+
+std::size_t IncrementalWorkspace::bytes_reserved() const {
+  return direct.bytes_reserved() + vec_bytes(pwgts) + vec_bytes(active) +
+         vec_bytes(conn) + vec_bytes(conn_touched);
+}
+
+RepartitionResult repartition_after_delta(
+    const Graph& g, part_t k, const IncrementalConfig& icfg,
+    std::uint64_t seed, LabelState& state, std::uint64_t new_fingerprint,
+    std::span<const vid_t> touched, double churn_ratio,
+    IncrementalWorkspace& ws, BisectWorkspace* bws, ThreadPool* pool) {
+  obs::Obs* ob = icfg.direct.base.obs;
+  const auto finish = [&](RepartitionResult res) {
+    state.fingerprint = new_fingerprint;
+    state.valid = true;
+    if (ob != nullptr) {
+      ob->metrics.add(ob->pipeline.dyn_repartitions);
+      if (res.from_scratch) ob->metrics.add(ob->pipeline.dyn_fallbacks);
+    }
+    return res;
+  };
+  const auto scratch = [&](RepartitionResult::Reason why) {
+    return finish(
+        run_scratch(g, k, icfg, seed, state, why, ws, bws, pool));
+  };
+
+  if (!state.valid || k <= 0) {
+    return scratch(RepartitionResult::Reason::kNoPrevious);
+  }
+  if (churn_ratio > icfg.full_rebuild_ratio) {
+    return scratch(RepartitionResult::Reason::kChurnRatio);
+  }
+
+  obs::Span span("dynamic.repartition");
+  const vid_t n = g.num_vertices();
+  const vid_t old_n = static_cast<vid_t>(state.part.size());
+  if (old_n > n) return scratch(RepartitionResult::Reason::kNoPrevious);
+  span.arg("n", n);
+  span.arg("touched", static_cast<std::int64_t>(touched.size()));
+
+  // --- Project the previous labelling and rebuild part weights (one O(n)
+  // rescan; tombstones weigh 0, so keeping their stale label is free).  A
+  // label out of [0, k) means the state belongs to a different k — refuse.
+  std::vector<part_t>& part = state.part;
+  part.resize(static_cast<std::size_t>(n));
+  const std::size_t kk = static_cast<std::size_t>(k);
+  ws.pwgts.assign(kk, 0);
+  for (vid_t v = 0; v < old_n; ++v) {
+    const part_t p = part[static_cast<std::size_t>(v)];
+    if (p < 0 || p >= k) return scratch(RepartitionResult::Reason::kNoPrevious);
+    ws.pwgts[static_cast<std::size_t>(p)] += g.vertex_weight(v);
+  }
+
+  // --- Place new vertices, ascending id, by cheapest connectivity: the
+  // part holding the most incident edge weight among already-labelled
+  // neighbours (ties to the lower part id); isolated vertices go to the
+  // lightest part.  Ascending order means every neighbour with a smaller
+  // id — old or new — is already labelled.
+  ws.conn.assign(kk, 0);
+  ws.conn_touched.resize(kk);
+  for (vid_t v = old_n; v < n; ++v) {
+    auto nbrs = g.neighbors(v);
+    auto wgts = g.edge_weights(v);
+    int nt = 0;
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const vid_t u = nbrs[i];
+      if (u >= v) continue;  // not yet labelled
+      const part_t p = part[static_cast<std::size_t>(u)];
+      if (ws.conn[static_cast<std::size_t>(p)] == 0) {
+        ws.conn_touched[static_cast<std::size_t>(nt++)] = p;
+      }
+      ws.conn[static_cast<std::size_t>(p)] += wgts[i];
+    }
+    part_t best = -1;
+    if (nt > 0) {
+      ewt_t best_conn = 0;
+      for (int t = 0; t < nt; ++t) {
+        const part_t p = ws.conn_touched[static_cast<std::size_t>(t)];
+        const ewt_t c = ws.conn[static_cast<std::size_t>(p)];
+        if (best == -1 || c > best_conn || (c == best_conn && p < best)) {
+          best = p;
+          best_conn = c;
+        }
+      }
+      for (int t = 0; t < nt; ++t) {
+        ws.conn[static_cast<std::size_t>(ws.conn_touched[
+            static_cast<std::size_t>(t)])] = 0;
+      }
+    } else {
+      for (part_t p = 0; p < k; ++p) {
+        if (best == -1 ||
+            ws.pwgts[static_cast<std::size_t>(p)] <
+                ws.pwgts[static_cast<std::size_t>(best)]) {
+          best = p;
+        }
+      }
+    }
+    part[static_cast<std::size_t>(v)] = best;
+    ws.pwgts[static_cast<std::size_t>(best)] += g.vertex_weight(v);
+  }
+
+  // --- Balance envelope: identical to the direct path's finest level, so
+  // incremental and from-scratch answers live under the same constraint.
+  const vwt_t total = g.total_vertex_weight();
+  vwt_t max_vwgt = 0;
+  for (vid_t v = 0; v < n; ++v) {
+    max_vwgt = std::max(max_vwgt, g.vertex_weight(v));
+  }
+  const vwt_t max_part_weight =
+      static_cast<vwt_t>((static_cast<double>(total) / k) *
+                         (1.0 + icfg.direct.imbalance)) +
+      max_vwgt;
+  const vwt_t min_part_weight = std::max<vwt_t>(1, (total / k) / 2);
+
+  // --- Frontier: the delta's dirty rows plus their neighbours.
+  ws.active.assign(static_cast<std::size_t>(n), 0);
+  for (vid_t v : touched) {
+    ws.active[static_cast<std::size_t>(v)] = 1;
+    for (vid_t u : g.neighbors(v)) ws.active[static_cast<std::size_t>(u)] = 1;
+  }
+
+  kway_balance(g, part, k, ws.pwgts, max_part_weight, min_part_weight,
+               ws.direct.refine);
+  const KwayRefineResult rr = kway_parallel_refine_active(
+      g, part, k, ws.pwgts, max_part_weight, min_part_weight,
+      icfg.refine_passes, pool, ws.direct.refine, {ws.active});
+  if (ob != nullptr) {
+    ob->metrics.add(ob->pipeline.kway_rounds, rr.rounds);
+    ob->metrics.add(ob->pipeline.kway_conflict_rejects, rr.conflict_rejects);
+  }
+
+  RepartitionResult res;
+  res.cut = compute_kway_cut(g, part);
+  res.refine_rounds = rr.rounds;
+
+  // --- Quality gate: the tracked estimate inflates with the churn, and the
+  // incremental answer must stay within quality_bound of it — otherwise
+  // re-anchor with a full rebuild (run_scratch overwrites part/cut).
+  const double inflated = state.cut_estimate * (1.0 + churn_ratio);
+  if (inflated > 0.0 &&
+      static_cast<double>(res.cut) > icfg.quality_bound * inflated) {
+    return scratch(RepartitionResult::Reason::kQualityBound);
+  }
+  state.cut = res.cut;
+  state.cut_estimate = std::max(
+      1.0, std::min(inflated, static_cast<double>(res.cut)));
+  return finish(res);
+}
+
+}  // namespace mgp::dynamic

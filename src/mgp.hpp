@@ -44,6 +44,13 @@
 #include "core/kway_direct.hpp"    // direct multilevel k-way (extension)
 #include "core/chaco_ml.hpp"       // the Chaco-ML baseline
 
+// Dynamic graphs (extension): delta batches, the CSR patcher, and
+// warm-start incremental repartitioning.
+#include "dynamic/delta.hpp"
+#include "dynamic/delta_script.hpp"
+#include "dynamic/churn.hpp"
+#include "dynamic/incremental.hpp"
+
 // Spectral methods (baselines).
 #include "spectral/fiedler.hpp"
 #include "spectral/msb.hpp"        // MSB / MSB-KL

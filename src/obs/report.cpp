@@ -165,6 +165,16 @@ void RunReport::write_json(std::ostream& os, const MetricsSnapshot* metrics) con
   if (metrics) {
     w.key("metrics");
     write_metrics(w, *metrics);
+    // The direct-k-way counters, surfaced as first-class report fields so
+    // consumers need not dig through the raw metrics dump (they are zero —
+    // but present — for recursive-bisection runs).
+    w.key("kway_direct");
+    w.begin_object();
+    w.kv("levels", metrics->counter_value("kway.direct.levels"));
+    w.kv("refine_rounds", metrics->counter_value("refine.kway_rounds"));
+    w.kv("conflict_rejects",
+         metrics->counter_value("refine.kway_conflict_rejects"));
+    w.end_object();
   }
   w.key("bisections");
   w.begin_array();
@@ -208,6 +218,8 @@ Obs::PipelineMetrics::PipelineMetrics(MetricsRegistry& reg)
                                {50, 55, 60, 65, 70, 75, 80, 85, 90, 95})),
       arena_bytes_peak(reg.max_gauge("arena.bytes_peak")),
       arena_reuse_hits(reg.counter("arena.reuse_hits")),
-      arena_workspaces(reg.counter("arena.workspaces")) {}
+      arena_workspaces(reg.counter("arena.workspaces")),
+      dyn_repartitions(reg.counter("dynamic.repartitions")),
+      dyn_fallbacks(reg.counter("dynamic.fallbacks")) {}
 
 }  // namespace mgp::obs

@@ -153,6 +153,9 @@ struct Obs {
     MetricsRegistry::Id arena_bytes_peak;  ///< max gauge: workspace footprint peak
     MetricsRegistry::Id arena_reuse_hits;  ///< counter: warm workspace checkouts
     MetricsRegistry::Id arena_workspaces;  ///< counter: workspaces constructed
+    MetricsRegistry::Id dyn_repartitions;  ///< counter: delta repartitions served
+    MetricsRegistry::Id dyn_fallbacks;     ///< counter: deltas that fell back to
+                                           ///< from-scratch direct k-way
     explicit PipelineMetrics(MetricsRegistry& reg);
   } pipeline;
 

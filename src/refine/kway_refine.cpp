@@ -51,12 +51,19 @@ std::size_t KwayRefineWorkspace::bytes_reserved() const {
          vec_bytes(locked) + vec_bytes(bal);
 }
 
-KwayRefineResult kway_parallel_refine(const Graph& g, std::span<part_t> part,
-                                      part_t k, std::span<vwt_t> pwgts,
-                                      vwt_t max_part_weight,
-                                      vwt_t min_part_weight, int max_passes,
-                                      ThreadPool* pool,
-                                      KwayRefineWorkspace& ws) {
+namespace {
+
+/// Shared body of the full and frontier-restricted refiners.  `active` is
+/// either null (every vertex eligible — the classic refiner, byte-identical
+/// to its pre-mask behaviour) or an n-sized mask; committed moves activate
+/// the moved vertex and its neighbours, growing the frontier.  Activation
+/// happens only in the sequential commit pass, so the active set — like the
+/// labelling — is a pure function of the round history, never of the pool.
+KwayRefineResult kway_refine_impl(const Graph& g, std::span<part_t> part,
+                                  part_t k, std::span<vwt_t> pwgts,
+                                  vwt_t max_part_weight, vwt_t min_part_weight,
+                                  int max_passes, ThreadPool* pool,
+                                  KwayRefineWorkspace& ws, char* active) {
   KwayRefineResult res;
   const vid_t n = g.num_vertices();
   if (n == 0 || k <= 1) return res;
@@ -110,6 +117,7 @@ KwayRefineResult kway_parallel_refine(const Graph& g, std::span<part_t> part,
           for (vid_t u = begin; u < end; ++u) {
             const std::size_t uu = static_cast<std::size_t>(u);
             if (ws.locked[uu]) continue;
+            if (active != nullptr && active[uu] == 0) continue;
             const part_t from = part[uu];
             auto nbrs = g.neighbors(u);
             auto wgts = g.edge_weights(u);
@@ -230,6 +238,12 @@ KwayRefineResult kway_parallel_refine(const Graph& g, std::span<part_t> part,
             pwgts[static_cast<std::size_t>(from)] -= wv;
             pwgts[static_cast<std::size_t>(to)] += wv;
             ws.locked[vv] = 1;
+            if (active != nullptr) {
+              // The move changed every neighbour's connectivity profile:
+              // pull them (and v, for the next pass) into the frontier.
+              active[vv] = 1;
+              for (vid_t nb : nbrs) active[static_cast<std::size_t>(nb)] = 1;
+            }
             res.cut_reduction += gain;
             ++committed;
           }
@@ -243,6 +257,30 @@ KwayRefineResult kway_parallel_refine(const Graph& g, std::span<part_t> part,
     if (pass_moves == 0) break;  // unlocking found nothing new to harvest
   }
   return res;
+}
+
+}  // namespace
+
+KwayRefineResult kway_parallel_refine(const Graph& g, std::span<part_t> part,
+                                      part_t k, std::span<vwt_t> pwgts,
+                                      vwt_t max_part_weight,
+                                      vwt_t min_part_weight, int max_passes,
+                                      ThreadPool* pool,
+                                      KwayRefineWorkspace& ws) {
+  return kway_refine_impl(g, part, k, pwgts, max_part_weight, min_part_weight,
+                          max_passes, pool, ws, nullptr);
+}
+
+KwayRefineResult kway_parallel_refine_active(
+    const Graph& g, std::span<part_t> part, part_t k, std::span<vwt_t> pwgts,
+    vwt_t max_part_weight, vwt_t min_part_weight, int max_passes,
+    ThreadPool* pool, KwayRefineWorkspace& ws, std::span<char> active) {
+  if (active.size() != static_cast<std::size_t>(g.num_vertices())) {
+    return kway_refine_impl(g, part, k, pwgts, max_part_weight,
+                            min_part_weight, max_passes, pool, ws, nullptr);
+  }
+  return kway_refine_impl(g, part, k, pwgts, max_part_weight, min_part_weight,
+                          max_passes, pool, ws, active.data());
 }
 
 vid_t kway_balance(const Graph& g, std::span<part_t> part, part_t k,

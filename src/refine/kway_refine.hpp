@@ -82,6 +82,20 @@ KwayRefineResult kway_parallel_refine(const Graph& g, std::span<part_t> part,
                                       ThreadPool* pool,
                                       KwayRefineWorkspace& ws);
 
+/// Frontier-restricted variant for incremental repartitioning (DESIGN.md
+/// §11): only vertices with `active[v] != 0` are examined by the propose
+/// sweeps, and every committed move activates the moved vertex and its
+/// neighbours — the search grows outward from the seed frontier exactly as
+/// far as it keeps finding improving moves.  Activation happens in the
+/// sequential commit pass, so the mask evolution (and the result) is
+/// byte-identical for every pool size.  `active` must have size n and is
+/// mutated in place; an all-ones mask reproduces kway_parallel_refine byte
+/// for byte (a wrong-sized mask falls back to the unrestricted refiner).
+KwayRefineResult kway_parallel_refine_active(
+    const Graph& g, std::span<part_t> part, part_t k, std::span<vwt_t> pwgts,
+    vwt_t max_part_weight, vwt_t min_part_weight, int max_passes,
+    ThreadPool* pool, KwayRefineWorkspace& ws, std::span<char> active);
+
 /// Explicit balance phase: refinement only ever makes strictly-positive-gain
 /// moves, so a partition that *arrives* overweight (a lumpy coarsest-level
 /// initial partition, or compounded recursive-bisection slack) would stay

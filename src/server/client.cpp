@@ -70,6 +70,97 @@ PartitionOutcome Client::partition(const Graph& g, const RequestOptions& opts) {
   }
 }
 
+Client::PinOutcome Client::pin(const Graph& g) {
+  PinOutcome out;
+  if (!fd_.valid()) {
+    out.error = "not connected";
+    return out;
+  }
+  encode_pin_request(g, request_);
+  if (!write_frame(fd_.get(), MsgType::kPinGraphRequest, request_)) {
+    out.error = "send failed (connection lost)";
+    return out;
+  }
+  FrameHeader header;
+  if (read_frame(fd_.get(), header, reply_, kMaxReplyBytes) != ReadFrameResult::kOk) {
+    out.error = "no response (connection lost)";
+    return out;
+  }
+  switch (header.type) {
+    case MsgType::kPinGraphResponse: {
+      PinResponseView view;
+      if (!decode_pin_response(reply_, view)) {
+        out.error = "malformed pin response";
+        return out;
+      }
+      out.status = Status::kOk;
+      out.fingerprint = view.fingerprint;
+      out.already_pinned = view.already_pinned;
+      return out;
+    }
+    case MsgType::kErrorResponse: {
+      if (!decode_error_response(reply_, out.status, out.error)) {
+        out.error = "malformed error response";
+        out.status = Status::kInternal;
+      }
+      return out;
+    }
+    default:
+      out.error = "unexpected response type";
+      return out;
+  }
+}
+
+Client::DeltaOutcome Client::delta(std::uint64_t fingerprint,
+                                   const dynamic::DeltaBatch& batch,
+                                   const RequestOptions& opts) {
+  DeltaOutcome out;
+  if (!fd_.valid()) {
+    out.error = "not connected";
+    return out;
+  }
+  encode_delta_request(fingerprint, batch, opts, request_);
+  if (!write_frame(fd_.get(), MsgType::kDeltaRequest, request_)) {
+    out.error = "send failed (connection lost)";
+    return out;
+  }
+  FrameHeader header;
+  if (read_frame(fd_.get(), header, reply_, kMaxReplyBytes) != ReadFrameResult::kOk) {
+    out.error = "no response (connection lost)";
+    return out;
+  }
+  switch (header.type) {
+    case MsgType::kDeltaResponse: {
+      DeltaResponseView view;
+      if (!decode_delta_response(reply_, view)) {
+        out.error = "malformed delta response";
+        return out;
+      }
+      out.status = Status::kOk;
+      out.fingerprint = view.fingerprint;
+      out.from_scratch = view.from_scratch;
+      out.reason = view.reason;
+      out.edge_cut = view.body.edge_cut;
+      out.cache_hit = view.body.cache_hit;
+      out.part.resize(static_cast<std::size_t>(view.body.n));
+      for (std::size_t i = 0; i < out.part.size(); ++i) {
+        out.part[i] = static_cast<part_t>(label_at(view.body.labels, i));
+      }
+      return out;
+    }
+    case MsgType::kErrorResponse: {
+      if (!decode_error_response(reply_, out.status, out.error)) {
+        out.error = "malformed error response";
+        out.status = Status::kInternal;
+      }
+      return out;
+    }
+    default:
+      out.error = "unexpected response type";
+      return out;
+  }
+}
+
 bool Client::stats(std::string& json_out, std::string& err) {
   if (!fd_.valid()) {
     err = "not connected";

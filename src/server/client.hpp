@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "dynamic/delta.hpp"
 #include "graph/csr.hpp"
 #include "server/net.hpp"
 #include "server/protocol.hpp"
@@ -45,6 +46,40 @@ class Client {
   /// Partitions `g` remotely.  Transport failures surface as kInternal with
   /// an explanatory message; the connection is then dead.
   PartitionOutcome partition(const Graph& g, const RequestOptions& opts);
+
+  /// Outcome of one pin() call.
+  struct PinOutcome {
+    Status status = Status::kInternal;
+    std::uint64_t fingerprint = 0;  ///< filled iff status == kOk
+    bool already_pinned = false;
+    std::string error;
+    bool ok() const { return status == Status::kOk; }
+  };
+
+  /// Pins `g` in the server's GraphStore; the returned fingerprint names
+  /// the graph in subsequent delta() calls.
+  PinOutcome pin(const Graph& g);
+
+  /// Outcome of one delta() call.
+  struct DeltaOutcome {
+    Status status = Status::kInternal;
+    std::uint64_t fingerprint = 0;  ///< post-delta; use for the next delta()
+    bool from_scratch = false;
+    std::uint8_t reason = 0;  ///< dynamic::RepartitionResult::Reason
+    std::vector<part_t> part;
+    ewt_t edge_cut = 0;
+    bool cache_hit = false;
+    std::string error;
+    bool ok() const { return status == Status::kOk; }
+  };
+
+  /// Applies `batch` to the pinned graph named by `fingerprint` and returns
+  /// the repartitioned labelling.  kNotFound means the fingerprint is
+  /// unknown (never pinned, evicted, or re-keyed) — re-pin and retry.
+  /// opts.k/seed/scheme select the warm-start slot exactly as they key the
+  /// result cache for plain partition requests.
+  DeltaOutcome delta(std::uint64_t fingerprint, const dynamic::DeltaBatch& batch,
+                     const RequestOptions& opts);
 
   /// Fetches the server's /stats JSON.  False + `err` on failure.
   bool stats(std::string& json_out, std::string& err);

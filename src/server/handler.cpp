@@ -1,6 +1,8 @@
 #include "server/handler.hpp"
 
 #include <exception>
+#include <mutex>
+#include <utility>
 
 #include "obs/trace.hpp"
 #include "support/rng.hpp"
@@ -16,12 +18,21 @@ ServerMetrics::ServerMetrics(obs::MetricsRegistry& reg)
       deadline_expired(reg.counter("server.deadline_expired")),
       bad_requests(reg.counter("server.bad_requests")),
       connections_total(reg.counter("server.connections")),
-      queue_depth_peak(reg.max_gauge("server.queue_depth_peak")) {}
+      queue_depth_peak(reg.max_gauge("server.queue_depth_peak")),
+      pins_total(reg.counter("server.pins")),
+      deltas_total(reg.counter("server.deltas")),
+      delta_fallbacks(reg.counter("server.delta_fallbacks")),
+      delta_not_found(reg.counter("server.delta_not_found")) {}
 
 RequestHandler::RequestHandler(WorkspacePool& pool, ResultCache& cache,
                                obs::MetricsRegistry& reg, const ServerMetrics& ids,
-                               int direct_min_k)
-    : pool_(pool), cache_(cache), reg_(reg), ids_(ids), direct_min_k_(direct_min_k) {}
+                               int direct_min_k, dynamic::GraphStore* store)
+    : pool_(pool),
+      cache_(cache),
+      reg_(reg),
+      ids_(ids),
+      direct_min_k_(direct_min_k),
+      store_(store) {}
 
 void RequestHandler::handle(std::span<const std::uint8_t> payload,
                             std::chrono::steady_clock::time_point arrival,
@@ -107,6 +118,197 @@ void RequestHandler::handle(std::span<const std::uint8_t> payload,
   write_response_frame(k, /*cache_hit=*/false, frame_out);
 }
 
+void RequestHandler::handle_pin(std::span<const std::uint8_t> payload,
+                                std::vector<std::uint8_t>& frame_out) {
+  obs::Span span("server.pin");
+  reg_.add(ids_.requests_total);
+  if (store_ == nullptr) {
+    write_error_frame(Status::kInternal, "graph store disabled", frame_out);
+    return;
+  }
+
+  RequestHead head;
+  err_.clear();
+  Status st = decode_pin_request(payload, head, err_);
+  if (st != Status::kOk) {
+    reg_.add(ids_.bad_requests);
+    write_error_frame(st, err_, frame_out);
+    return;
+  }
+
+  // The fingerprint is over the whole payload (the graph region encoding),
+  // so a re-pin of a known graph skips CSR decoding entirely — checkout()
+  // also refreshes the entry's recency.
+  const std::uint64_t fp = fnv1a64(payload);
+  if (dynamic::GraphStore::EntryPtr entry = store_->checkout(fp)) {
+    reg_.add(ids_.pins_total);
+    encode_pin_response(fp, head.n, head.arcs, /*already_pinned=*/true, body_);
+    write_body_frame(MsgType::kPinGraphResponse, frame_out);
+    return;
+  }
+
+  st = decode_pin_graph(payload, head, pin_graph_, err_);
+  if (st != Status::kOk) {
+    reg_.add(ids_.bad_requests);
+    write_error_frame(st, err_, frame_out);
+    return;
+  }
+
+  const dynamic::GraphStore::PinOutcome outcome = store_->pin(pin_graph_, fp);
+  if (!outcome.ok) {
+    reg_.add(ids_.rejected_overloaded);
+    write_error_frame(Status::kOverloaded, "graph store byte budget exhausted",
+                      frame_out);
+    return;
+  }
+  reg_.add(ids_.pins_total);
+  encode_pin_response(fp, head.n, head.arcs, outcome.already_pinned, body_);
+  write_body_frame(MsgType::kPinGraphResponse, frame_out);
+}
+
+void RequestHandler::handle_delta(std::span<const std::uint8_t> payload,
+                                  std::chrono::steady_clock::time_point arrival,
+                                  std::vector<std::uint8_t>& frame_out) {
+  obs::Span span("server.delta");
+  reg_.add(ids_.requests_total);
+  reg_.add(ids_.deltas_total);
+  if (store_ == nullptr) {
+    write_error_frame(Status::kInternal, "graph store disabled", frame_out);
+    return;
+  }
+
+  DeltaHead head;
+  err_.clear();
+  Status st = decode_delta_head(payload, head, err_);
+  if (st != Status::kOk) {
+    reg_.add(ids_.bad_requests);
+    write_error_frame(st, err_, frame_out);
+    return;
+  }
+  const auto k = static_cast<part_t>(head.k);
+
+  cancel_.reset();
+  if (head.deadline_ms > 0) {
+    cancel_.set_deadline(arrival + std::chrono::milliseconds(head.deadline_ms));
+    if (cancel_.expired()) {
+      reg_.add(ids_.deadline_expired);
+      write_error_frame(Status::kDeadlineExceeded,
+                        "deadline expired before repartitioning started",
+                        frame_out);
+      return;
+    }
+  }
+
+  st = decode_delta_ops(payload, head, batch_, err_);
+  if (st != Status::kOk) {
+    reg_.add(ids_.bad_requests);
+    write_error_frame(st, err_, frame_out);
+    return;
+  }
+
+  dynamic::GraphStore::EntryPtr entry = store_->checkout(head.fingerprint);
+  if (entry == nullptr) {
+    reg_.add(ids_.delta_not_found);
+    write_error_frame(Status::kNotFound,
+                      "fingerprint is not pinned (never pinned, or evicted)",
+                      frame_out);
+    return;
+  }
+
+  // Entry lock: serializes patch + repartition against concurrent deltas on
+  // the same graph.  The store lock is NOT held here, so other workers keep
+  // serving other graphs.
+  std::lock_guard<std::mutex> entry_lock(entry->mu);
+  if (entry->fingerprint != head.fingerprint) {
+    // A concurrent delta re-keyed the entry between checkout and lock; the
+    // client's view of the graph is stale.  Re-PIN and retry.
+    reg_.add(ids_.delta_not_found);
+    write_error_frame(Status::kNotFound,
+                      "fingerprint was re-keyed by a concurrent delta",
+                      frame_out);
+    return;
+  }
+
+  // Warm-start slot: config digest over bytes [0, 20) — the same layout a
+  // PartitionRequest digests — plus k.
+  const dynamic::LabelKey lkey{fnv1a64(payload.subspan(0, kConfigDigestBytes)),
+                               head.k};
+
+  // Empty batch with a current labelling: pure cache hit, no patch, no
+  // repartition.
+  if (batch_.empty()) {
+    auto it = entry->labels.find(lkey);
+    if (it != entry->labels.end() && it->second.valid &&
+        it->second.fingerprint == entry->fingerprint) {
+      reg_.add(ids_.cache_hits);
+      reg_.add(ids_.responses_ok);
+      encode_delta_response(entry->fingerprint, /*from_scratch=*/false,
+                            static_cast<std::uint8_t>(
+                                dynamic::RepartitionResult::Reason::kIncremental),
+                            it->second.part, k, it->second.cut,
+                            /*cache_hit=*/true, body_);
+      write_body_frame(MsgType::kDeltaResponse, frame_out);
+      return;
+    }
+  }
+
+  // Patch into the spare graph, then swap — the pre-delta CSR survives in
+  // `spare` so a failed repartition can restore it (failure atomicity: an
+  // entry is never left holding a graph its fingerprint does not name).
+  const std::string patch_err = dynamic::apply_delta(
+      entry->graph, batch_, entry->patch_scratch, entry->spare, apply_);
+  if (!patch_err.empty()) {
+    reg_.add(ids_.bad_requests);
+    write_error_frame(Status::kBadRequest, patch_err, frame_out);
+    return;
+  }
+  std::swap(entry->graph, entry->spare);
+
+  dynamic::LabelState& slot = entry->labels[lkey];
+  if (slot.valid && slot.fingerprint != head.fingerprint) {
+    // The slot labels some other revision of this graph (e.g. the entry was
+    // re-keyed onto an occupant's labelling history) — never warm-start
+    // from it.
+    slot.valid = false;
+  }
+
+  dynamic::IncrementalConfig icfg;
+  icfg.direct.base = config_from_head(head);
+  if (head.deadline_ms > 0) icfg.direct.base.cancel = &cancel_;
+
+  dynamic::RepartitionResult result;
+  try {
+    WorkspacePool::Lease lease = pool_.checkout();
+    result = dynamic::repartition_after_delta(
+        entry->graph, k, icfg, head.seed, slot, apply_.fingerprint,
+        entry->patch_scratch.touched, apply_.churn_ratio, inc_ws_, lease.get(),
+        nullptr);
+  } catch (const CancelledError&) {
+    std::swap(entry->graph, entry->spare);  // restore the pre-delta graph
+    slot.valid = false;  // part may be half-mutated; force scratch next time
+    reg_.add(ids_.deadline_expired);
+    write_error_frame(Status::kDeadlineExceeded,
+                      "deadline expired during repartitioning", frame_out);
+    return;
+  } catch (const std::exception& e) {
+    std::swap(entry->graph, entry->spare);
+    slot.valid = false;
+    write_error_frame(Status::kInternal, e.what(), frame_out);
+    return;
+  }
+
+  // Commit: the entry now answers to the post-delta fingerprint only.
+  entry->fingerprint = apply_.fingerprint;
+  store_->rekey(entry, head.fingerprint, apply_.fingerprint);
+
+  if (result.from_scratch) reg_.add(ids_.delta_fallbacks);
+  reg_.add(ids_.responses_ok);
+  encode_delta_response(apply_.fingerprint, result.from_scratch,
+                        static_cast<std::uint8_t>(result.reason), slot.part, k,
+                        slot.cut, /*cache_hit=*/false, body_);
+  write_body_frame(MsgType::kDeltaResponse, frame_out);
+}
+
 void RequestHandler::write_error_frame(Status status, std::string_view message,
                                        std::vector<std::uint8_t>& frame_out) {
   encode_error_frame(status, message, frame_out);
@@ -119,6 +321,17 @@ void RequestHandler::write_response_frame(part_t k, bool cache_hit,
   frame_out.resize(kFrameHeaderBytes);
   FrameHeader h;
   h.type = MsgType::kPartitionResponse;
+  h.payload_len = static_cast<std::uint32_t>(body_.size());
+  encode_frame_header(h, frame_out.data());
+  frame_out.insert(frame_out.end(), body_.begin(), body_.end());
+}
+
+void RequestHandler::write_body_frame(MsgType type,
+                                      std::vector<std::uint8_t>& frame_out) {
+  frame_out.clear();
+  frame_out.resize(kFrameHeaderBytes);
+  FrameHeader h;
+  h.type = type;
   h.payload_len = static_cast<std::uint32_t>(body_.size());
   encode_frame_header(h, frame_out.data());
   frame_out.insert(frame_out.end(), body_.begin(), body_.end());

@@ -24,6 +24,8 @@
 #include "core/cancel.hpp"
 #include "core/kway.hpp"
 #include "core/kway_direct.hpp"
+#include "dynamic/graph_store.hpp"
+#include "dynamic/incremental.hpp"
 #include "obs/metrics.hpp"
 #include "server/protocol.hpp"
 #include "server/result_cache.hpp"
@@ -42,6 +44,11 @@ struct ServerMetrics {
   obs::MetricsRegistry::Id bad_requests;        ///< counter: malformed payloads
   obs::MetricsRegistry::Id connections_total;   ///< counter: accepted sockets
   obs::MetricsRegistry::Id queue_depth_peak;    ///< max gauge: admission queue
+  obs::MetricsRegistry::Id pins_total;          ///< counter: PIN_GRAPH served
+  obs::MetricsRegistry::Id deltas_total;        ///< counter: DELTA_REPARTITION seen
+  obs::MetricsRegistry::Id delta_fallbacks;     ///< counter: deltas recomputed
+                                                ///< from scratch
+  obs::MetricsRegistry::Id delta_not_found;     ///< counter: unknown fingerprints
   explicit ServerMetrics(obs::MetricsRegistry& reg);
 };
 
@@ -52,7 +59,8 @@ inline constexpr int kDefaultDirectMinK = 64;
 class RequestHandler {
  public:
   RequestHandler(WorkspacePool& pool, ResultCache& cache, obs::MetricsRegistry& reg,
-                 const ServerMetrics& ids, int direct_min_k = kDefaultDirectMinK);
+                 const ServerMetrics& ids, int direct_min_k = kDefaultDirectMinK,
+                 dynamic::GraphStore* store = nullptr);
 
   RequestHandler(const RequestHandler&) = delete;
   RequestHandler& operator=(const RequestHandler&) = delete;
@@ -65,17 +73,33 @@ class RequestHandler {
               std::chrono::steady_clock::time_point arrival,
               std::vector<std::uint8_t>& frame_out);
 
+  /// Handles a PIN_GRAPH payload: validates, decodes, admits the graph to
+  /// the GraphStore (OVERLOADED when the byte budget cannot take it).
+  void handle_pin(std::span<const std::uint8_t> payload,
+                  std::vector<std::uint8_t>& frame_out);
+
+  /// Handles a DELTA_REPARTITION payload against a pinned graph: patch the
+  /// CSR, warm-start (or fall back), re-key the entry to the post-delta
+  /// fingerprint.  NOT_FOUND when the fingerprint is unknown or was re-keyed
+  /// by a concurrent delta; warm deltas are allocation-free end to end.
+  void handle_delta(std::span<const std::uint8_t> payload,
+                    std::chrono::steady_clock::time_point arrival,
+                    std::vector<std::uint8_t>& frame_out);
+
  private:
   void write_error_frame(Status status, std::string_view message,
                          std::vector<std::uint8_t>& frame_out);
   void write_response_frame(part_t k, bool cache_hit,
                             std::vector<std::uint8_t>& frame_out);
+  /// Wraps body_ in a frame of the given type.
+  void write_body_frame(MsgType type, std::vector<std::uint8_t>& frame_out);
 
   WorkspacePool& pool_;
   ResultCache& cache_;
   obs::MetricsRegistry& reg_;
   const ServerMetrics& ids_;
   int direct_min_k_;
+  dynamic::GraphStore* store_;  ///< null = PIN/DELTA answered INTERNAL
 
   // Warm per-worker state (the zero-allocation steady state).
   Graph graph_;
@@ -86,6 +110,11 @@ class RequestHandler {
   std::vector<std::uint8_t> body_;  ///< response payload scratch
   CancelToken cancel_;
   std::string err_;
+  // Dynamic-path warm state.
+  Graph pin_graph_;               ///< PIN decode target
+  dynamic::DeltaBatch batch_;     ///< DELTA op decode target
+  dynamic::DeltaApplyResult apply_;
+  dynamic::IncrementalWorkspace inc_ws_;
 };
 
 }  // namespace mgp::server

@@ -51,6 +51,8 @@ std::string_view to_string(Status s) {
       return "SHUTTING_DOWN";
     case Status::kInternal:
       return "INTERNAL";
+    case Status::kNotFound:
+      return "NOT_FOUND";
   }
   return "UNKNOWN";
 }
@@ -149,11 +151,15 @@ Status decode_request_head(std::span<const std::uint8_t> payload, RequestHead& o
   return Status::kOk;
 }
 
-Status decode_request_graph(std::span<const std::uint8_t> payload,
-                            const RequestHead& head, Graph& g, std::string& err) {
-  const std::size_t n = static_cast<std::size_t>(head.n);
-  const std::size_t arcs = static_cast<std::size_t>(head.arcs);
-  const std::uint8_t* p = payload.data() + kRequestHeadBytes;
+namespace {
+
+/// Shared CSR-array decoder: `p` points at the xadj array of a payload
+/// whose declared dimensions have already been length-validated.
+Status decode_graph_arrays(const std::uint8_t* p, std::uint64_t decl_n,
+                           std::uint64_t decl_arcs, Graph& g,
+                           std::string& err) {
+  const std::size_t n = static_cast<std::size_t>(decl_n);
+  const std::size_t arcs = static_cast<std::size_t>(decl_arcs);
 
   Graph::Storage st = g.take_storage();
   st.xadj.resize(n + 1);
@@ -163,7 +169,7 @@ Status decode_request_graph(std::span<const std::uint8_t> payload,
 
   for (std::size_t i = 0; i <= n; ++i, p += 8) {
     const std::uint64_t x = get_u64(p);
-    if (x > head.arcs) {
+    if (x > decl_arcs) {
       err = "xadj entry exceeds the arc count";
       return Status::kBadRequest;
     }
@@ -173,13 +179,13 @@ Status decode_request_graph(std::span<const std::uint8_t> payload,
       return Status::kBadRequest;
     }
   }
-  if (st.xadj[0] != 0 || static_cast<std::uint64_t>(st.xadj[n]) != head.arcs) {
+  if (st.xadj[0] != 0 || static_cast<std::uint64_t>(st.xadj[n]) != decl_arcs) {
     err = "xadj endpoints inconsistent with the arc count";
     return Status::kBadRequest;
   }
   for (std::size_t i = 0; i < arcs; ++i, p += 4) {
     const std::uint32_t v = get_u32(p);
-    if (v >= head.n) {
+    if (v >= decl_n) {
       err = "adjacency endpoint out of range";
       return Status::kBadRequest;
     }
@@ -204,6 +210,21 @@ Status decode_request_graph(std::span<const std::uint8_t> payload,
   g = Graph(std::move(st.xadj), std::move(st.adjncy), std::move(st.vwgt),
             std::move(st.adjwgt));
   return Status::kOk;
+}
+
+}  // namespace
+
+Status decode_request_graph(std::span<const std::uint8_t> payload,
+                            const RequestHead& head, Graph& g,
+                            std::string& err) {
+  return decode_graph_arrays(payload.data() + kRequestHeadBytes, head.n,
+                             head.arcs, g, err);
+}
+
+Status decode_pin_graph(std::span<const std::uint8_t> payload,
+                        const RequestHead& head, Graph& g, std::string& err) {
+  return decode_graph_arrays(payload.data() + kPinHeadBytes, head.n, head.arcs,
+                             g, err);
 }
 
 MultilevelConfig config_from_head(const RequestHead& head) {
@@ -313,6 +334,280 @@ bool decode_stats_response(std::span<const std::uint8_t> payload, std::string& j
   if (payload.size() != 4 + static_cast<std::size_t>(len)) return false;
   json.assign(reinterpret_cast<const char*>(payload.data() + 4), len);
   return true;
+}
+
+void encode_pin_request(const Graph& g, std::vector<std::uint8_t>& out) {
+  out.clear();
+  const auto n = static_cast<std::uint64_t>(g.num_vertices());
+  const auto arcs = static_cast<std::uint64_t>(g.num_arcs());
+  out.reserve(kPinHeadBytes + 8 * (n + 1) + 4 * arcs + 8 * n + 8 * arcs);
+  put_u64(out, n);
+  put_u64(out, arcs);
+  for (eid_t x : g.xadj()) put_u64(out, static_cast<std::uint64_t>(x));
+  for (vid_t v : g.adjncy()) put_u32(out, static_cast<std::uint32_t>(v));
+  for (vwt_t w : g.vwgt()) put_u64(out, static_cast<std::uint64_t>(w));
+  for (ewt_t w : g.adjwgt()) put_u64(out, static_cast<std::uint64_t>(w));
+}
+
+Status decode_pin_request(std::span<const std::uint8_t> payload,
+                          RequestHead& out, std::string& err) {
+  if (payload.size() < kPinHeadBytes) {
+    err = "pin payload shorter than the fixed head";
+    return Status::kBadRequest;
+  }
+  out.n = get_u64(payload.data());
+  out.arcs = get_u64(payload.data() + 8);
+  if (out.n > static_cast<std::uint64_t>(std::numeric_limits<vid_t>::max())) {
+    err = "vertex count exceeds vid_t";
+    return Status::kBadRequest;
+  }
+  // Same wrap hardening as decode_request_head: bound both dimensions by
+  // the payload before any length products.
+  const std::uint64_t budget = payload.size() - kPinHeadBytes;
+  if (out.n > budget / 16 || out.arcs > budget / 12) {
+    err = "declared graph dimensions exceed the payload length";
+    return Status::kBadRequest;
+  }
+  const std::uint64_t expect =
+      kPinHeadBytes + 8 * (out.n + 1) + 4 * out.arcs + 8 * out.n + 8 * out.arcs;
+  if (payload.size() != expect) {
+    err = "payload length does not match the declared graph dimensions";
+    return Status::kBadRequest;
+  }
+  return Status::kOk;
+}
+
+void encode_pin_response(std::uint64_t fingerprint, std::uint64_t n,
+                         std::uint64_t arcs, bool already_pinned,
+                         std::vector<std::uint8_t>& out) {
+  out.clear();
+  out.reserve(32);
+  put_u64(out, fingerprint);
+  put_u64(out, n);
+  put_u64(out, arcs);
+  out.push_back(already_pinned ? 1 : 0);
+  for (int i = 0; i < 7; ++i) out.push_back(0);
+}
+
+bool decode_pin_response(std::span<const std::uint8_t> payload,
+                         PinResponseView& out) {
+  if (payload.size() != 32) return false;
+  out.fingerprint = get_u64(payload.data());
+  out.n = get_u64(payload.data() + 8);
+  out.arcs = get_u64(payload.data() + 16);
+  out.already_pinned = payload[24] != 0;
+  return true;
+}
+
+Status decode_delta_head(std::span<const std::uint8_t> payload, DeltaHead& out,
+                         std::string& err) {
+  if (payload.size() < kDeltaHeadBytes) {
+    err = "delta payload shorter than the fixed head";
+    return Status::kBadRequest;
+  }
+  const std::uint8_t* p = payload.data();
+  out.k = get_u32(p);
+  out.seed = get_u64(p + 4);
+  out.matching = p[12];
+  out.initpart = p[13];
+  out.refine = p[14];
+  out.kway_mode = p[15];
+  out.coarsen_to = get_u32(p + 16);
+  out.deadline_ms = get_u64(p + 20);
+  out.fingerprint = get_u64(p + 28);
+  out.n_edge_ins = get_u64(p + 36);
+  out.n_edge_del = get_u64(p + 44);
+  out.n_vertex_add = get_u64(p + 52);
+  out.n_vertex_rem = get_u64(p + 60);
+  out.n_weight_upd = get_u64(p + 68);
+
+  if (out.k < 1) {
+    err = "k must be >= 1";
+    return Status::kBadRequest;
+  }
+  if (out.k > static_cast<std::uint32_t>(std::numeric_limits<part_t>::max())) {
+    err = "k out of range";
+    return Status::kBadRequest;
+  }
+  if (out.matching > static_cast<std::uint8_t>(MatchingScheme::kHeavyClique)) {
+    err = "unknown matching scheme";
+    return Status::kBadRequest;
+  }
+  if (out.initpart > static_cast<std::uint8_t>(InitPartScheme::kSpectral)) {
+    err = "unknown initial-partitioning scheme";
+    return Status::kBadRequest;
+  }
+  if (out.refine > static_cast<std::uint8_t>(RefinePolicy::kBKLGR)) {
+    err = "unknown refinement policy";
+    return Status::kBadRequest;
+  }
+  if (out.kway_mode > static_cast<std::uint8_t>(KwayMode::kDirect)) {
+    err = "unknown kway mode";
+    return Status::kBadRequest;
+  }
+  if (out.coarsen_to < 1 ||
+      out.coarsen_to >
+          static_cast<std::uint32_t>(std::numeric_limits<vid_t>::max())) {
+    err = "coarsen_to out of range";
+    return Status::kBadRequest;
+  }
+  if (out.deadline_ms > kMaxDeadlineMs) {
+    err = "deadline_ms above the accepted ceiling";
+    return Status::kBadRequest;
+  }
+  // Bound every op count by what the payload could carry *before* the
+  // exact-length product — the same mod-2^64 wrap hardening as
+  // decode_request_head.
+  const std::uint64_t budget = payload.size() - kDeltaHeadBytes;
+  if (out.n_edge_ins > budget / 16 || out.n_edge_del > budget / 8 ||
+      out.n_vertex_add > budget / 8 || out.n_vertex_rem > budget / 4 ||
+      out.n_weight_upd > budget / 12) {
+    err = "declared op counts exceed the payload length";
+    return Status::kBadRequest;
+  }
+  const std::uint64_t expect = kDeltaHeadBytes + 16 * out.n_edge_ins +
+                               8 * out.n_edge_del + 8 * out.n_vertex_add +
+                               4 * out.n_vertex_rem + 12 * out.n_weight_upd;
+  if (payload.size() != expect) {
+    err = "payload length does not match the declared op counts";
+    return Status::kBadRequest;
+  }
+  return Status::kOk;
+}
+
+Status decode_delta_ops(std::span<const std::uint8_t> payload,
+                        const DeltaHead& head, dynamic::DeltaBatch& out,
+                        std::string& err) {
+  constexpr std::uint32_t kMaxId =
+      static_cast<std::uint32_t>(std::numeric_limits<vid_t>::max());
+  const std::uint8_t* p = payload.data() + kDeltaHeadBytes;
+  out.clear();
+  out.edge_ins.resize(static_cast<std::size_t>(head.n_edge_ins));
+  for (auto& e : out.edge_ins) {
+    const std::uint32_t u = get_u32(p);
+    const std::uint32_t v = get_u32(p + 4);
+    if (u > kMaxId || v > kMaxId) {
+      err = "edge insertion id exceeds vid_t";
+      return Status::kBadRequest;
+    }
+    e = {static_cast<vid_t>(u), static_cast<vid_t>(v),
+         static_cast<ewt_t>(get_u64(p + 8))};
+    p += 16;
+  }
+  out.edge_del.resize(static_cast<std::size_t>(head.n_edge_del));
+  for (auto& e : out.edge_del) {
+    const std::uint32_t u = get_u32(p);
+    const std::uint32_t v = get_u32(p + 4);
+    if (u > kMaxId || v > kMaxId) {
+      err = "edge deletion id exceeds vid_t";
+      return Status::kBadRequest;
+    }
+    e = {static_cast<vid_t>(u), static_cast<vid_t>(v)};
+    p += 8;
+  }
+  out.vertex_add.resize(static_cast<std::size_t>(head.n_vertex_add));
+  for (auto& w : out.vertex_add) {
+    w = static_cast<vwt_t>(get_u64(p));
+    p += 8;
+  }
+  out.vertex_rem.resize(static_cast<std::size_t>(head.n_vertex_rem));
+  for (auto& v : out.vertex_rem) {
+    const std::uint32_t id = get_u32(p);
+    if (id > kMaxId) {
+      err = "vertex removal id exceeds vid_t";
+      return Status::kBadRequest;
+    }
+    v = static_cast<vid_t>(id);
+    p += 4;
+  }
+  out.weight_upd.resize(static_cast<std::size_t>(head.n_weight_upd));
+  for (auto& wu : out.weight_upd) {
+    const std::uint32_t id = get_u32(p);
+    if (id > kMaxId) {
+      err = "weight update id exceeds vid_t";
+      return Status::kBadRequest;
+    }
+    wu = {static_cast<vid_t>(id), static_cast<vwt_t>(get_u64(p + 4))};
+    p += 12;
+  }
+  return Status::kOk;
+}
+
+void encode_delta_request(std::uint64_t fingerprint,
+                          const dynamic::DeltaBatch& batch,
+                          const RequestOptions& opts,
+                          std::vector<std::uint8_t>& out) {
+  out.clear();
+  out.reserve(kDeltaHeadBytes + 16 * batch.edge_ins.size() +
+              8 * batch.edge_del.size() + 8 * batch.vertex_add.size() +
+              4 * batch.vertex_rem.size() + 12 * batch.weight_upd.size());
+  put_u32(out, static_cast<std::uint32_t>(opts.k));
+  put_u64(out, opts.seed);
+  out.push_back(static_cast<std::uint8_t>(opts.matching));
+  out.push_back(static_cast<std::uint8_t>(opts.initpart));
+  out.push_back(static_cast<std::uint8_t>(opts.refine));
+  out.push_back(static_cast<std::uint8_t>(opts.kway_mode));
+  put_u32(out, static_cast<std::uint32_t>(opts.coarsen_to));
+  put_u64(out, opts.deadline_ms);
+  put_u64(out, fingerprint);
+  put_u64(out, static_cast<std::uint64_t>(batch.edge_ins.size()));
+  put_u64(out, static_cast<std::uint64_t>(batch.edge_del.size()));
+  put_u64(out, static_cast<std::uint64_t>(batch.vertex_add.size()));
+  put_u64(out, static_cast<std::uint64_t>(batch.vertex_rem.size()));
+  put_u64(out, static_cast<std::uint64_t>(batch.weight_upd.size()));
+  for (const auto& e : batch.edge_ins) {
+    put_u32(out, static_cast<std::uint32_t>(e.u));
+    put_u32(out, static_cast<std::uint32_t>(e.v));
+    put_u64(out, static_cast<std::uint64_t>(e.w));
+  }
+  for (const auto& e : batch.edge_del) {
+    put_u32(out, static_cast<std::uint32_t>(e.u));
+    put_u32(out, static_cast<std::uint32_t>(e.v));
+  }
+  for (vwt_t w : batch.vertex_add) put_u64(out, static_cast<std::uint64_t>(w));
+  for (vid_t v : batch.vertex_rem) put_u32(out, static_cast<std::uint32_t>(v));
+  for (const auto& wu : batch.weight_upd) {
+    put_u32(out, static_cast<std::uint32_t>(wu.v));
+    put_u64(out, static_cast<std::uint64_t>(wu.w));
+  }
+}
+
+MultilevelConfig config_from_head(const DeltaHead& head) {
+  MultilevelConfig cfg;
+  cfg.matching = static_cast<MatchingScheme>(head.matching);
+  cfg.initpart = static_cast<InitPartScheme>(head.initpart);
+  cfg.refine = static_cast<RefinePolicy>(head.refine);
+  cfg.coarsen_to = static_cast<vid_t>(head.coarsen_to);
+  cfg.threads = 1;
+  return cfg;
+}
+
+void encode_delta_response(std::uint64_t fingerprint, bool from_scratch,
+                           std::uint8_t reason, std::span<const part_t> part,
+                           part_t k, ewt_t edge_cut, bool cache_hit,
+                           std::vector<std::uint8_t>& out) {
+  out.clear();
+  out.reserve(12 + 24 + 4 * part.size());
+  put_u64(out, fingerprint);
+  out.push_back(from_scratch ? 1 : 0);
+  out.push_back(reason);
+  put_u16(out, 0);
+  put_u32(out, static_cast<std::uint32_t>(k));
+  put_u64(out, static_cast<std::uint64_t>(edge_cut));
+  out.push_back(cache_hit ? 1 : 0);
+  out.push_back(0);
+  put_u16(out, 0);
+  put_u64(out, static_cast<std::uint64_t>(part.size()));
+  for (part_t pt : part) put_u32(out, static_cast<std::uint32_t>(pt));
+}
+
+bool decode_delta_response(std::span<const std::uint8_t> payload,
+                           DeltaResponseView& out) {
+  if (payload.size() < 12) return false;
+  out.fingerprint = get_u64(payload.data());
+  out.from_scratch = payload[8] != 0;
+  out.reason = payload[9];
+  return decode_partition_response(payload.subspan(12), out.body);
 }
 
 std::uint64_t fnv1a64(std::span<const std::uint8_t> bytes) {

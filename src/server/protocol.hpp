@@ -58,6 +58,7 @@
 #include <vector>
 
 #include "core/config.hpp"
+#include "dynamic/delta.hpp"
 #include "graph/csr.hpp"
 
 namespace mgp::server {
@@ -81,6 +82,10 @@ enum class MsgType : std::uint8_t {
   kPartitionResponse = 3,
   kStatsResponse = 4,
   kErrorResponse = 5,
+  kPinGraphRequest = 6,   ///< pin a graph in the server's GraphStore
+  kDeltaRequest = 7,      ///< repartition a pinned graph after a delta
+  kPinGraphResponse = 8,
+  kDeltaResponse = 9,
 };
 
 /// Result codes carried by ErrorResponse frames (and client outcomes).
@@ -92,6 +97,9 @@ enum class Status : std::uint8_t {
   kDeadlineExceeded = 4,    ///< budget expired (queued or mid-partition)
   kShuttingDown = 5,        ///< server draining; connection closing
   kInternal = 6,            ///< unexpected server-side failure
+  kNotFound = 7,            ///< DELTA references a fingerprint that is not
+                            ///< pinned (never pinned, evicted, or re-keyed
+                            ///< by a concurrent delta) — re-PIN and retry
 };
 
 std::string_view to_string(Status s);
@@ -191,6 +199,116 @@ bool decode_error_response(std::span<const std::uint8_t> payload, Status& status
 /// StatsResponse payload: u32 length, JSON bytes.
 void encode_stats_response(std::string_view json, std::vector<std::uint8_t>& out);
 bool decode_stats_response(std::span<const std::uint8_t> payload, std::string& json);
+
+// ---------------------------------------------------------------------------
+// Incremental repartitioning (DESIGN.md §11).
+//
+// A PIN_GRAPH payload is *exactly* the graph region of a PartitionRequest —
+// u64 n, u64 arcs, then the four CSR arrays — so the pin fingerprint
+// (FNV-1a over the whole payload) equals the graph_fp that a
+// PartitionRequest carrying the same graph would be cache-keyed under.
+//
+// A DELTA_REPARTITION payload is a fixed 76-byte head followed by the op
+// arrays:
+//
+//   offset  size  field
+//        0    20  identical layout and semantics to a PartitionRequest's
+//                 config-digest region (k, seed, matching, initpart,
+//                 refine, kway_mode, coarsen_to) — FNV-1a over these bytes
+//                 is the digest that keys the warm-start labelling
+//       20     8  deadline_ms (outside the digest, as in PartitionRequest)
+//       28     8  fingerprint of the *pre-delta* pinned graph (u64)
+//       36     8  edge-insert count (u64)      — then counts for the rest:
+//       44     8  edge-delete count
+//       52     8  vertex-add count
+//       60     8  vertex-remove count
+//       68     8  weight-update count
+//       76  16*a  edge inserts   (u32 u, u32 v, u64 w)
+//        +   8*b  edge deletes   (u32 u, u32 v)
+//        +   8*c  vertex adds    (u64 w)
+//        +   4*d  vertex removes (u32 v)
+//        +  12*e  weight updates (u32 v, u64 w)
+// ---------------------------------------------------------------------------
+
+inline constexpr std::size_t kPinHeadBytes = 16;
+inline constexpr std::size_t kDeltaHeadBytes = 76;
+
+/// Builds a PIN_GRAPH payload (the graph region encoding) into `out`.
+void encode_pin_request(const Graph& g, std::vector<std::uint8_t>& out);
+/// Validates a PIN_GRAPH payload's dimensions (fills only out.n/out.arcs).
+Status decode_pin_request(std::span<const std::uint8_t> payload,
+                          RequestHead& out, std::string& err);
+/// Decodes the pinned CSR (same validation as decode_request_graph).
+Status decode_pin_graph(std::span<const std::uint8_t> payload,
+                        const RequestHead& head, Graph& g, std::string& err);
+
+/// PinGraphResponse payload: u64 fingerprint, u64 n, u64 arcs,
+/// u8 already_pinned, 7 reserved bytes.
+struct PinResponseView {
+  std::uint64_t fingerprint = 0;
+  std::uint64_t n = 0;
+  std::uint64_t arcs = 0;
+  bool already_pinned = false;
+};
+void encode_pin_response(std::uint64_t fingerprint, std::uint64_t n,
+                         std::uint64_t arcs, bool already_pinned,
+                         std::vector<std::uint8_t>& out);
+bool decode_pin_response(std::span<const std::uint8_t> payload,
+                         PinResponseView& out);
+
+/// Fixed head of a DELTA_REPARTITION request (layout above).
+struct DeltaHead {
+  std::uint32_t k = 2;
+  std::uint64_t seed = 0;
+  std::uint8_t matching = 0;
+  std::uint8_t initpart = 0;
+  std::uint8_t refine = 0;
+  std::uint8_t kway_mode = 0;
+  std::uint32_t coarsen_to = 100;
+  std::uint64_t deadline_ms = 0;
+  std::uint64_t fingerprint = 0;
+  std::uint64_t n_edge_ins = 0;
+  std::uint64_t n_edge_del = 0;
+  std::uint64_t n_vertex_add = 0;
+  std::uint64_t n_vertex_rem = 0;
+  std::uint64_t n_weight_upd = 0;
+};
+
+/// Parses and validates the delta head: enums in range, op counts bounded
+/// by what the payload can carry (before any length arithmetic, mirroring
+/// decode_request_head's wrap hardening), exact total length.
+Status decode_delta_head(std::span<const std::uint8_t> payload, DeltaHead& out,
+                         std::string& err);
+/// Decodes the op arrays into `out` (cleared first; capacities reused, so a
+/// warm batch decodes with zero allocations).  Ids are validated to fit
+/// vid_t here; graph-semantic validation happens in dynamic::apply_delta.
+Status decode_delta_ops(std::span<const std::uint8_t> payload,
+                        const DeltaHead& head, dynamic::DeltaBatch& out,
+                        std::string& err);
+/// Builds a DELTA_REPARTITION payload.  opts.kway_mode participates in the
+/// digest but the dynamic path always computes direct k-way.
+void encode_delta_request(std::uint64_t fingerprint,
+                          const dynamic::DeltaBatch& batch,
+                          const RequestOptions& opts,
+                          std::vector<std::uint8_t>& out);
+/// Pipeline configuration for a delta request (threads = 1, as always).
+MultilevelConfig config_from_head(const DeltaHead& head);
+
+/// DeltaResponse payload: u64 post-delta fingerprint, u8 from_scratch,
+/// u8 reason (RepartitionResult::Reason), u16 reserved, then a
+/// PartitionResponse body (u32 k, i64 cut, u8 cache_hit, ..., labels).
+struct DeltaResponseView {
+  std::uint64_t fingerprint = 0;
+  bool from_scratch = false;
+  std::uint8_t reason = 0;
+  PartitionResponseView body;
+};
+void encode_delta_response(std::uint64_t fingerprint, bool from_scratch,
+                           std::uint8_t reason, std::span<const part_t> part,
+                           part_t k, ewt_t edge_cut, bool cache_hit,
+                           std::vector<std::uint8_t>& out);
+bool decode_delta_response(std::span<const std::uint8_t> payload,
+                           DeltaResponseView& out);
 
 /// FNV-1a 64-bit over `bytes`.
 std::uint64_t fnv1a64(std::span<const std::uint8_t> bytes);

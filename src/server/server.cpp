@@ -18,6 +18,7 @@ Server::Server(ServerConfig cfg)
     : cfg_(std::move(cfg)),
       ids_(registry_),
       cache_(cfg_.cache_capacity),
+      store_(cfg_.store_max_bytes),
       queue_(cfg_.queue_capacity) {
   // The stop pipe exists from construction so request_stop() is always
   // safe, including from a signal handler installed before start().
@@ -174,14 +175,16 @@ void Server::connection_loop(std::shared_ptr<Connection> conn) {
       case MsgType::kStatsRequest:
         write_stats(*conn, scratch);
         continue;
-      case MsgType::kPartitionRequest: {
+      case MsgType::kPartitionRequest:
+      case MsgType::kPinGraphRequest:
+      case MsgType::kDeltaRequest: {
         if (stopping_.load(std::memory_order_acquire)) {
           write_inline_error(*conn, Status::kShuttingDown, "server is draining",
                              scratch);
           continue;
         }
         obs::Span span("server.queue");
-        Job job{conn, std::move(payload), arrival};
+        Job job{conn, std::move(payload), arrival, header.type};
         if (queue_.try_push(std::move(job))) {
           registry_.record_max(ids_.queue_depth_peak,
                                static_cast<std::int64_t>(queue_.size()));
@@ -203,7 +206,8 @@ void Server::connection_loop(std::shared_ptr<Connection> conn) {
 }
 
 void Server::worker_loop() {
-  RequestHandler handler(wpool_, cache_, registry_, ids_, cfg_.direct_min_k);
+  RequestHandler handler(wpool_, cache_, registry_, ids_, cfg_.direct_min_k,
+                         &store_);
   std::vector<std::uint8_t> frame;
   while (std::optional<Job> job = queue_.pop()) {
     // Exception barrier: a throw escaping a thread is std::terminate, so
@@ -213,7 +217,17 @@ void Server::worker_loop() {
     // gets INTERNAL and the worker lives on.
     try {
       if (cfg_.test_on_dequeue) cfg_.test_on_dequeue();
-      handler.handle(job->payload, job->arrival, frame);
+      switch (job->type) {
+        case MsgType::kPinGraphRequest:
+          handler.handle_pin(job->payload, frame);
+          break;
+        case MsgType::kDeltaRequest:
+          handler.handle_delta(job->payload, job->arrival, frame);
+          break;
+        default:
+          handler.handle(job->payload, job->arrival, frame);
+          break;
+      }
     } catch (const std::exception& e) {
       encode_error_frame(Status::kInternal, e.what(), frame);
     } catch (...) {
@@ -254,6 +268,17 @@ std::string Server::stats_json() const {
   w.kv("insertions", static_cast<std::int64_t>(cs.insertions));
   w.kv("evictions", static_cast<std::int64_t>(cs.evictions));
   w.kv("entries", static_cast<std::int64_t>(cache_.size()));
+  w.end_object();
+  const dynamic::GraphStore::Stats ss = store_.stats();
+  w.key("store");
+  w.begin_object();
+  w.kv("pins", static_cast<std::int64_t>(ss.pins));
+  w.kv("repins", static_cast<std::int64_t>(ss.repins));
+  w.kv("evictions", static_cast<std::int64_t>(ss.evictions));
+  w.kv("rejected", static_cast<std::int64_t>(ss.rejected));
+  w.kv("entries", static_cast<std::int64_t>(ss.entries));
+  w.kv("bytes", static_cast<std::int64_t>(ss.bytes));
+  w.kv("max_bytes", static_cast<std::int64_t>(ss.max_bytes));
   w.end_object();
   w.key("queue");
   w.begin_object();

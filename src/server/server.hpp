@@ -65,6 +65,9 @@ struct ServerConfig {
   /// Requests with kway_mode = kAuto run direct k-way when k >= this
   /// (recursive bisection below); explicit request modes always win.
   int direct_min_k = kDefaultDirectMinK;
+  /// Byte budget of the pinned-graph store (PIN_GRAPH / DELTA_REPARTITION);
+  /// pins past it evict idle LRU entries, then reject with OVERLOADED.
+  std::size_t store_max_bytes = std::size_t{256} << 20;
   /// Test-only: runs in the worker before each dequeued job is handled
   /// (lets tests hold workers to fill the queue or expire deadlines
   /// deterministically).  Empty in production.
@@ -113,6 +116,7 @@ class Server {
     std::shared_ptr<Connection> conn;
     std::vector<std::uint8_t> payload;
     std::chrono::steady_clock::time_point arrival;
+    MsgType type = MsgType::kPartitionRequest;
   };
 
   /// One tracked connection: its thread plus a weak handle for the drain
@@ -140,6 +144,7 @@ class Server {
   ServerMetrics ids_;
   WorkspacePool wpool_;
   ResultCache cache_;
+  dynamic::GraphStore store_;
   BoundedQueue<Job> queue_;
 
   Fd listen_fd_;

@@ -16,6 +16,9 @@
 
 #include "core/kway.hpp"
 #include "core/kway_direct.hpp"
+#include "dynamic/churn.hpp"
+#include "dynamic/delta.hpp"
+#include "dynamic/incremental.hpp"
 #include "graph/generators.hpp"
 
 namespace mgp::golden {
@@ -26,6 +29,11 @@ struct GoldenEntry {
   std::uint64_t seed;
   Graph (*build)();
   bool direct = false;  ///< direct k-way (core/kway_direct) vs recursive bisection
+  // Churn rows replay `churn_batches` synthesized delta batches (fraction
+  // `churn_fraction` of edges each, Rng(seed)-scripted) through the
+  // incremental repartitioner and pin the final labelling + cut.
+  int churn_batches = 0;
+  double churn_fraction = 0.0;
 };
 
 inline std::vector<GoldenEntry> corpus() {
@@ -43,6 +51,15 @@ inline std::vector<GoldenEntry> corpus() {
       {"circuit_1500_direct_k8", 8, 4242, [] { return circuit(1500, 11); }, true},
       {"random_geo_1500_direct_k16", 16, 4242,
        [] { return random_geometric(1500, 6.0, 9); }, true},
+      // Dynamic rows: pinned churn replays through the warm-start
+      // repartitioner (src/dynamic/incremental) — anchor partition, then
+      // 1%-of-edges delta batches, hashing the final labelling.
+      {"circuit_1500_churn_k8", 8, 4242, [] { return circuit(1500, 11); },
+       true, 4, 0.01},
+      {"fem2d_tri_40x40_churn_k4", 4, 4242, [] { return fem2d_tri(40, 40, 7); },
+       true, 4, 0.01},
+      {"random_geo_1500_churn_k16", 16, 4242,
+       [] { return random_geometric(1500, 6.0, 9); }, true, 4, 0.01},
   };
 }
 
@@ -62,6 +79,33 @@ inline std::uint64_t fnv1a64(std::span<const part_t> part) {
 }
 
 inline GoldenResult run_entry(const GoldenEntry& e) {
+  if (e.churn_batches > 0) {
+    Graph g = e.build();
+    Graph spare;
+    dynamic::LabelState state;
+    dynamic::IncrementalWorkspace iws;
+    BisectWorkspace bws;
+    dynamic::DeltaScratch scratch;
+    dynamic::DeltaApplyResult res;
+    dynamic::DeltaBatch batch;
+    const dynamic::IncrementalConfig icfg;  // paper-default base pipeline
+    Rng churn_rng(e.seed);
+    // Anchor: empty batch computes the from-scratch starting labelling.
+    dynamic::repartition_after_delta(g, e.k, icfg, e.seed, state,
+                                     dynamic::graph_fingerprint(g), {}, 0.0,
+                                     iws, &bws, nullptr);
+    for (int bi = 0; bi < e.churn_batches; ++bi) {
+      dynamic::synth_churn_batch(g, e.churn_fraction, churn_rng, batch);
+      if (!dynamic::apply_delta(g, batch, scratch, spare, res).empty()) {
+        return {-1, 0};  // malformed synthesized batch: flag loudly
+      }
+      std::swap(g, spare);
+      dynamic::repartition_after_delta(g, e.k, icfg, e.seed, state,
+                                       res.fingerprint, scratch.touched,
+                                       res.churn_ratio, iws, &bws, nullptr);
+    }
+    return {state.cut, fnv1a64(state.part)};
+  }
   const Graph g = e.build();
   Rng rng(e.seed);
   if (e.direct) {

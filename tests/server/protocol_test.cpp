@@ -317,9 +317,188 @@ TEST(ResponseCodecTest, StatsRoundTrip) {
 }
 
 TEST(StatusTest, AllCodesHaveNames) {
-  for (int s = 0; s <= 6; ++s) {
+  for (int s = 0; s <= 7; ++s) {
     EXPECT_FALSE(to_string(static_cast<Status>(s)).empty());
   }
+  EXPECT_EQ(to_string(Status::kNotFound), "NOT_FOUND");
+}
+
+TEST(PinCodecTest, RoundTripAndFingerprintUnification) {
+  const Graph g = fem2d_tri(10, 10, 3);
+  std::vector<std::uint8_t> payload;
+  encode_pin_request(g, payload);
+
+  RequestHead head;
+  std::string err;
+  ASSERT_EQ(decode_pin_request(payload, head, err), Status::kOk) << err;
+  EXPECT_EQ(head.n, static_cast<std::uint64_t>(g.num_vertices()));
+
+  Graph back;
+  ASSERT_EQ(decode_pin_graph(payload, head, back, err), Status::kOk) << err;
+  EXPECT_EQ(back.validate(), "");
+  EXPECT_EQ(back.num_vertices(), g.num_vertices());
+
+  // The unification contract: the PIN payload is exactly the graph region
+  // of a PartitionRequest, so its hash equals that request's graph_fp.
+  RequestOptions opts;
+  opts.k = 4;
+  const std::vector<std::uint8_t> req = encode_request(g, opts);
+  EXPECT_EQ(fnv1a64(payload), cache_key_of(req).graph_fp);
+}
+
+TEST(PinCodecTest, RejectsTruncatedAndMalformed) {
+  const Graph g = fem2d_tri(6, 6, 3);
+  std::vector<std::uint8_t> payload;
+  encode_pin_request(g, payload);
+  RequestHead head;
+  std::string err;
+
+  std::vector<std::uint8_t> torn(payload.begin(), payload.begin() + 8);
+  EXPECT_EQ(decode_pin_request(torn, head, err), Status::kBadRequest);
+
+  std::vector<std::uint8_t> short_by_one(payload.begin(), payload.end() - 1);
+  EXPECT_EQ(decode_pin_request(short_by_one, head, err), Status::kBadRequest);
+
+  // Vertex count far beyond what the payload can carry (wrap hardening).
+  std::vector<std::uint8_t> huge = payload;
+  for (int i = 0; i < 8; ++i) huge[static_cast<std::size_t>(i)] = 0xFF;
+  EXPECT_EQ(decode_pin_request(huge, head, err), Status::kBadRequest);
+}
+
+TEST(PinCodecTest, PinResponseRoundTrip) {
+  std::vector<std::uint8_t> payload;
+  encode_pin_response(0xDEADBEEFCAFEull, 100, 400, true, payload);
+  PinResponseView view;
+  ASSERT_TRUE(decode_pin_response(payload, view));
+  EXPECT_EQ(view.fingerprint, 0xDEADBEEFCAFEull);
+  EXPECT_EQ(view.n, 100u);
+  EXPECT_EQ(view.arcs, 400u);
+  EXPECT_TRUE(view.already_pinned);
+  std::vector<std::uint8_t> torn(payload.begin(), payload.end() - 1);
+  EXPECT_FALSE(decode_pin_response(torn, view));
+}
+
+dynamic::DeltaBatch sample_batch() {
+  dynamic::DeltaBatch b;
+  b.edge_ins.push_back({1, 7, 3});
+  b.edge_ins.push_back({2, 9, 1});
+  b.edge_del.push_back({0, 1});
+  b.vertex_add.push_back(5);
+  b.vertex_rem.push_back(4);
+  b.weight_upd.push_back({3, 11});
+  return b;
+}
+
+TEST(DeltaCodecTest, RequestRoundTrip) {
+  const dynamic::DeltaBatch batch = sample_batch();
+  RequestOptions opts;
+  opts.k = 16;
+  opts.seed = 777;
+  opts.matching = MatchingScheme::kRandom;
+  opts.coarsen_to = 250;
+  opts.deadline_ms = 1500;
+  std::vector<std::uint8_t> payload;
+  encode_delta_request(0xABCDEF0123ull, batch, opts, payload);
+
+  DeltaHead head;
+  std::string err;
+  ASSERT_EQ(decode_delta_head(payload, head, err), Status::kOk) << err;
+  EXPECT_EQ(head.k, 16u);
+  EXPECT_EQ(head.seed, 777u);
+  EXPECT_EQ(head.fingerprint, 0xABCDEF0123ull);
+  EXPECT_EQ(head.deadline_ms, 1500u);
+  EXPECT_EQ(head.n_edge_ins, 2u);
+  EXPECT_EQ(head.n_edge_del, 1u);
+  EXPECT_EQ(head.n_vertex_add, 1u);
+  EXPECT_EQ(head.n_vertex_rem, 1u);
+  EXPECT_EQ(head.n_weight_upd, 1u);
+
+  dynamic::DeltaBatch back;
+  ASSERT_EQ(decode_delta_ops(payload, head, back, err), Status::kOk) << err;
+  ASSERT_EQ(back.edge_ins.size(), 2u);
+  EXPECT_EQ(back.edge_ins[0].u, 1);
+  EXPECT_EQ(back.edge_ins[0].v, 7);
+  EXPECT_EQ(back.edge_ins[0].w, 3);
+  ASSERT_EQ(back.edge_del.size(), 1u);
+  ASSERT_EQ(back.vertex_add.size(), 1u);
+  EXPECT_EQ(back.vertex_add[0], 5);
+  ASSERT_EQ(back.vertex_rem.size(), 1u);
+  EXPECT_EQ(back.vertex_rem[0], 4);
+  ASSERT_EQ(back.weight_upd.size(), 1u);
+  EXPECT_EQ(back.weight_upd[0].w, 11);
+}
+
+TEST(DeltaCodecTest, DigestRegionMatchesPartitionRequestLayout) {
+  // Bytes [0, 20) of a DELTA payload are byte-identical to the config-digest
+  // region of a PartitionRequest with the same options — the invariant that
+  // lets one digest key both the result cache and the warm-start slots.
+  const Graph g = fem2d_tri(6, 6, 3);
+  RequestOptions opts;
+  opts.k = 12;
+  opts.seed = 31337;
+  opts.refine = RefinePolicy::kKLR;
+  opts.deadline_ms = 900;  // outside the digest in both layouts
+  const std::vector<std::uint8_t> req = encode_request(g, opts);
+  std::vector<std::uint8_t> del;
+  encode_delta_request(1, sample_batch(), opts, del);
+  ASSERT_GE(del.size(), kConfigDigestBytes);
+  EXPECT_EQ(std::memcmp(req.data(), del.data(), kConfigDigestBytes), 0);
+}
+
+TEST(DeltaCodecTest, RejectsMalformedHeads) {
+  std::vector<std::uint8_t> payload;
+  encode_delta_request(1, sample_batch(), RequestOptions{}, payload);
+  DeltaHead head;
+  std::string err;
+
+  std::vector<std::uint8_t> torn(payload.begin(),
+                                 payload.begin() + kDeltaHeadBytes - 1);
+  EXPECT_EQ(decode_delta_head(torn, head, err), Status::kBadRequest);
+
+  std::vector<std::uint8_t> extra = payload;
+  extra.push_back(0);  // exact-length check
+  EXPECT_EQ(decode_delta_head(extra, head, err), Status::kBadRequest);
+
+  // Op count that would wrap the length arithmetic.
+  std::vector<std::uint8_t> wrap = payload;
+  for (std::size_t i = 36; i < 44; ++i) wrap[i] = 0xFF;
+  EXPECT_EQ(decode_delta_head(wrap, head, err), Status::kBadRequest);
+
+  // Bad scheme enum inside the digest region.
+  std::vector<std::uint8_t> bad_enum = payload;
+  bad_enum[12] = 0x7F;
+  EXPECT_EQ(decode_delta_head(bad_enum, head, err), Status::kBadRequest);
+}
+
+TEST(DeltaCodecTest, EmptyBatchRoundTrips) {
+  dynamic::DeltaBatch empty;
+  std::vector<std::uint8_t> payload;
+  encode_delta_request(99, empty, RequestOptions{}, payload);
+  EXPECT_EQ(payload.size(), kDeltaHeadBytes);
+  DeltaHead head;
+  std::string err;
+  ASSERT_EQ(decode_delta_head(payload, head, err), Status::kOk) << err;
+  dynamic::DeltaBatch back;
+  back.edge_ins.push_back({1, 2, 3});  // must be cleared by the decoder
+  ASSERT_EQ(decode_delta_ops(payload, head, back, err), Status::kOk) << err;
+  EXPECT_TRUE(back.empty());
+}
+
+TEST(DeltaCodecTest, DeltaResponseRoundTrip) {
+  const std::vector<part_t> part = {0, 1, 2, 3, 0, 1};
+  std::vector<std::uint8_t> payload;
+  encode_delta_response(0xFEEDull, true, 2, part, 4, 12345, false, payload);
+  DeltaResponseView view;
+  ASSERT_TRUE(decode_delta_response(payload, view));
+  EXPECT_EQ(view.fingerprint, 0xFEEDull);
+  EXPECT_TRUE(view.from_scratch);
+  EXPECT_EQ(view.reason, 2);
+  EXPECT_EQ(view.body.k, 4);
+  EXPECT_EQ(view.body.edge_cut, 12345);
+  EXPECT_FALSE(view.body.cache_hit);
+  ASSERT_EQ(view.body.n, part.size());
+  std::vector<std::uint8_t> torn(payload.begin(), payload.begin() + 11);
+  EXPECT_FALSE(decode_delta_response(torn, view));
 }
 
 }  // namespace

@@ -21,6 +21,9 @@
 
 #include "core/kway.hpp"
 #include "core/kway_direct.hpp"
+#include "dynamic/churn.hpp"
+#include "dynamic/delta.hpp"
+#include "dynamic/incremental.hpp"
 #include "graph/generators.hpp"
 #include "server/client.hpp"
 #include "server/net.hpp"
@@ -549,6 +552,177 @@ TEST(ServerLoopbackTest, TcpTransportMatchesOffline) {
   PartitionOutcome out = client.partition(g, opts);
   ASSERT_TRUE(out.ok()) << out.error;
   EXPECT_EQ(out.part, offline(g, 6, opts.seed).part);
+}
+
+TEST(ServerLoopbackTest, PinDeltaMatchesOfflineTwin) {
+  // The dynamic path's byte-identity contract: a churn sequence replayed
+  // through PIN_GRAPH + DELTA_REPARTITION equals the offline incremental
+  // replay (apply_delta + repartition_after_delta) step for step — same
+  // labellings, same fingerprint chain.
+  ServerConfig cfg;
+  cfg.unix_path = socket_path("pindelta");
+  cfg.num_workers = 4;
+  Server server(cfg);
+  std::string err;
+  ASSERT_TRUE(server.start(err)) << err;
+  ServerGuard guard(server);
+
+  Graph g = circuit(700, 11);
+  constexpr part_t kParts = 8;
+  constexpr std::uint64_t kSeed = 4242;
+
+  // Pre-synthesize the churn script against the evolving offline graph.
+  std::vector<dynamic::DeltaBatch> batches(3);
+  {
+    Graph sim = circuit(700, 11);
+    Rng rng(99);
+    dynamic::DeltaScratch scratch;
+    dynamic::DeltaApplyResult res;
+    Graph spare;
+    for (auto& b : batches) {
+      dynamic::synth_churn_batch(sim, 0.01, rng, b);
+      ASSERT_EQ(dynamic::apply_delta(sim, b, scratch, spare, res), "");
+      std::swap(sim, spare);
+    }
+  }
+
+  Client client = Client::connect_unix(cfg.unix_path, err);
+  ASSERT_TRUE(client.connected()) << err;
+  const Client::PinOutcome pin = client.pin(g);
+  ASSERT_TRUE(pin.ok()) << pin.error;
+  EXPECT_FALSE(pin.already_pinned);
+  EXPECT_EQ(pin.fingerprint, dynamic::graph_fingerprint(g));
+
+  RequestOptions opts;
+  opts.k = kParts;
+  opts.seed = kSeed;
+
+  dynamic::LabelState state;
+  dynamic::IncrementalWorkspace iws;
+  BisectWorkspace bws;
+  dynamic::DeltaScratch scratch;
+  dynamic::DeltaApplyResult res;
+  dynamic::IncrementalConfig icfg;
+  icfg.direct.base = offline_cfg();  // what config_from_head maps defaults to
+  Graph spare;
+
+  std::uint64_t fp = pin.fingerprint;
+  for (std::size_t bi = 0; bi < batches.size(); ++bi) {
+    const Client::DeltaOutcome out = client.delta(fp, batches[bi], opts);
+    ASSERT_TRUE(out.ok()) << out.error;
+
+    ASSERT_EQ(dynamic::apply_delta(g, batches[bi], scratch, spare, res), "");
+    std::swap(g, spare);
+    dynamic::repartition_after_delta(g, kParts, icfg, kSeed, state,
+                                     res.fingerprint, scratch.touched,
+                                     res.churn_ratio, iws, &bws, nullptr);
+
+    ASSERT_EQ(out.fingerprint, res.fingerprint) << "batch " << bi;
+    ASSERT_EQ(out.part, state.part) << "labelling diverged at batch " << bi;
+    ASSERT_EQ(out.edge_cut, state.cut) << "batch " << bi;
+    EXPECT_EQ(out.from_scratch, bi == 0);  // first delta has no previous
+    fp = out.fingerprint;
+  }
+
+  // Re-pin of the final graph reports already_pinned (the entry was
+  // re-keyed to the post-delta fingerprint).
+  const Client::PinOutcome repin = client.pin(g);
+  ASSERT_TRUE(repin.ok()) << repin.error;
+  EXPECT_TRUE(repin.already_pinned);
+  EXPECT_EQ(repin.fingerprint, fp);
+}
+
+TEST(ServerLoopbackTest, DeltaUnknownFingerprintAnswersNotFound) {
+  ServerConfig cfg;
+  cfg.unix_path = socket_path("notfound");
+  Server server(cfg);
+  std::string err;
+  ASSERT_TRUE(server.start(err)) << err;
+  ServerGuard guard(server);
+
+  Client client = Client::connect_unix(cfg.unix_path, err);
+  ASSERT_TRUE(client.connected()) << err;
+
+  dynamic::DeltaBatch batch;
+  batch.edge_ins.push_back({0, 1, 1});
+  RequestOptions opts;
+  opts.k = 4;
+  const Client::DeltaOutcome out = client.delta(0xBADF00Dull, batch, opts);
+  EXPECT_EQ(out.status, Status::kNotFound);
+  EXPECT_FALSE(out.ok());
+  // The connection stays usable afterwards.
+  std::string json;
+  EXPECT_TRUE(client.stats(json, err)) << err;
+  EXPECT_NE(json.find("\"store\""), std::string::npos);
+}
+
+TEST(ServerLoopbackTest, EmptyDeltaBatchHitsTheLabelCache) {
+  ServerConfig cfg;
+  cfg.unix_path = socket_path("labelcache");
+  Server server(cfg);
+  std::string err;
+  ASSERT_TRUE(server.start(err)) << err;
+  ServerGuard guard(server);
+
+  const Graph g = circuit(500, 7);
+  Client client = Client::connect_unix(cfg.unix_path, err);
+  ASSERT_TRUE(client.connected()) << err;
+  const Client::PinOutcome pin = client.pin(g);
+  ASSERT_TRUE(pin.ok()) << pin.error;
+
+  RequestOptions opts;
+  opts.k = 4;
+  opts.seed = 7;
+  dynamic::DeltaBatch empty;
+
+  // First empty delta: no labelling yet, computed from scratch.
+  const Client::DeltaOutcome first = client.delta(pin.fingerprint, empty, opts);
+  ASSERT_TRUE(first.ok()) << first.error;
+  EXPECT_TRUE(first.from_scratch);
+  EXPECT_FALSE(first.cache_hit);
+  EXPECT_EQ(first.fingerprint, pin.fingerprint);  // identity patch
+
+  // Second: served straight from the entry's label slot.
+  const Client::DeltaOutcome second = client.delta(pin.fingerprint, empty, opts);
+  ASSERT_TRUE(second.ok()) << second.error;
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(second.part, first.part);
+  EXPECT_EQ(second.edge_cut, first.edge_cut);
+
+  // A different config digest gets its own slot (no false sharing).
+  opts.seed = 8;
+  const Client::DeltaOutcome other = client.delta(pin.fingerprint, empty, opts);
+  ASSERT_TRUE(other.ok()) << other.error;
+  EXPECT_FALSE(other.cache_hit);
+}
+
+TEST(ServerLoopbackTest, MalformedDeltaAnswersBadRequest) {
+  ServerConfig cfg;
+  cfg.unix_path = socket_path("baddelta");
+  Server server(cfg);
+  std::string err;
+  ASSERT_TRUE(server.start(err)) << err;
+  ServerGuard guard(server);
+
+  const Graph g = circuit(500, 7);
+  Client client = Client::connect_unix(cfg.unix_path, err);
+  ASSERT_TRUE(client.connected()) << err;
+  const Client::PinOutcome pin = client.pin(g);
+  ASSERT_TRUE(pin.ok()) << pin.error;
+
+  dynamic::DeltaBatch batch;
+  batch.edge_ins.push_back({0, 0, 1});  // self-loop: apply_delta rejects
+  RequestOptions opts;
+  opts.k = 4;
+  const Client::DeltaOutcome out = client.delta(pin.fingerprint, batch, opts);
+  EXPECT_EQ(out.status, Status::kBadRequest);
+
+  // The rejected patch must not have corrupted the pinned graph: a good
+  // delta against the same fingerprint still succeeds.
+  dynamic::DeltaBatch good;
+  good.weight_upd.push_back({0, 5});
+  const Client::DeltaOutcome ok = client.delta(pin.fingerprint, good, opts);
+  EXPECT_TRUE(ok.ok()) << ok.error;
 }
 
 TEST(ServerLoopbackTest, ShutdownUnlinksTheSocketFile) {
