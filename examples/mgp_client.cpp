@@ -8,7 +8,8 @@
 // same partition bytes — one computed in-process, one over the wire.
 //
 //   --socket=PATH | --port=N      where the server listens
-//   --matching=rm|hem|lem|hcm     coarsening scheme          (hem)
+//   --matching=rm|hem|lem|hcm     matching heuristic         (hem)
+//   --coarsen=match|ad|nlevel     coarsening strategy        (match)
 //   --init=ggp|gggp|sbp           coarsest-graph partitioner (gggp)
 //   --refine=none|gr|klr|bgr|bklr|bklgr   refinement policy  (bklgr)
 //   --seed=S                      RNG seed                   (1995)
@@ -46,7 +47,8 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s (--socket=PATH | --port=N) [--stats] "
                "[<graph(.graph|.mtx)> <k>] [options] [-o out]\n"
-               "  --matching=rm|hem|lem|hcm  --init=ggp|gggp|sbp\n"
+               "  --matching=rm|hem|lem|hcm  --coarsen=match|ad|nlevel\n"
+               "  --init=ggp|gggp|sbp\n"
                "  --refine=none|gr|klr|bgr|bklr|bklgr\n"
                "  --seed=S  --deadline-ms=N  --direct  --rb\n"
                "  --pin  --delta-script=FILE\n",
@@ -74,6 +76,14 @@ bool parse_matching(const std::string& v, MatchingScheme& out) {
   else if (v == "hem") out = MatchingScheme::kHeavyEdge;
   else if (v == "lem") out = MatchingScheme::kLightEdge;
   else if (v == "hcm") out = MatchingScheme::kHeavyClique;
+  else return false;
+  return true;
+}
+
+bool parse_coarsen(const std::string& v, CoarsenStrategy& out) {
+  if (v == "match") out = CoarsenStrategy::kMatching;
+  else if (v == "ad") out = CoarsenStrategy::kAlgebraicDistance;
+  else if (v == "nlevel") out = CoarsenStrategy::kNLevel;
   else return false;
   return true;
 }
@@ -123,6 +133,8 @@ int main(int argc, char** argv) {
       delta_path = arg.substr(15);
     } else if (arg.rfind("--matching=", 0) == 0) {
       if (!parse_matching(arg.substr(11), opts.matching)) return usage(argv[0]);
+    } else if (arg.rfind("--coarsen=", 0) == 0) {
+      if (!parse_coarsen(arg.substr(10), opts.coarsen_strategy)) return usage(argv[0]);
     } else if (arg.rfind("--init=", 0) == 0) {
       if (!parse_init(arg.substr(7), opts.initpart)) return usage(argv[0]);
     } else if (arg.rfind("--refine=", 0) == 0) {

@@ -4,7 +4,8 @@
 //   $ ./partition_file <graph(.graph|.mtx)|--demo> <k> [options] [-o out.part]
 //
 // Options (defaults = the paper's recommended configuration):
-//   --matching=rm|hem|lem|hcm     coarsening scheme          (hem)
+//   --matching=rm|hem|lem|hcm     matching heuristic         (hem)
+//   --coarsen=match|ad|nlevel     coarsening strategy        (match)
 //   --init=ggp|gggp|sbp           coarsest-graph partitioner (gggp)
 //   --refine=none|gr|klr|bgr|bklr|bklgr   refinement policy  (bklgr)
 //   --direct                      direct k-way instead of recursive bisection
@@ -47,7 +48,8 @@ namespace {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <graph-file(.graph|.mtx)|--demo> <k> [options] [-o out]\n"
-               "  --matching=rm|hem|lem|hcm  --init=ggp|gggp|sbp\n"
+               "  --matching=rm|hem|lem|hcm  --coarsen=match|ad|nlevel\n"
+               "  --init=ggp|gggp|sbp\n"
                "  --refine=none|gr|klr|bgr|bklr|bklgr  --direct\n"
                "  --trials=N  --seed=S  --threads=N  --report=FILE\n"
                "  --delta-script=FILE\n",
@@ -65,6 +67,14 @@ bool parse_matching(const std::string& v, MatchingScheme& out) {
   else if (v == "hem") out = MatchingScheme::kHeavyEdge;
   else if (v == "lem") out = MatchingScheme::kLightEdge;
   else if (v == "hcm") out = MatchingScheme::kHeavyClique;
+  else return false;
+  return true;
+}
+
+bool parse_coarsen(const std::string& v, CoarsenStrategy& out) {
+  if (v == "match") out = CoarsenStrategy::kMatching;
+  else if (v == "ad") out = CoarsenStrategy::kAlgebraicDistance;
+  else if (v == "nlevel") out = CoarsenStrategy::kNLevel;
   else return false;
   return true;
 }
@@ -105,6 +115,8 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg.rfind("--matching=", 0) == 0) {
       if (!parse_matching(arg.substr(11), cfg.matching)) return usage(argv[0]);
+    } else if (arg.rfind("--coarsen=", 0) == 0) {
+      if (!parse_coarsen(arg.substr(10), cfg.coarsen.strategy)) return usage(argv[0]);
     } else if (arg.rfind("--init=", 0) == 0) {
       if (!parse_init(arg.substr(7), cfg.initpart)) return usage(argv[0]);
     } else if (arg.rfind("--refine=", 0) == 0) {

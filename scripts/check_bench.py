@@ -7,9 +7,10 @@ auto-detected:
   * google-benchmark JSON (micro_kernels --benchmark_out): entries under
     "benchmarks", keyed by "name", with optional "counters";
   * the repo's own row JSON (bench_parallel, figK_kway_direct,
-    figL_incremental): entries under "rows", keyed by "threads" (thread
-    sweeps), "churn_pct" (churn sweeps) or "k" (k sweeps), plus an
-    optional "sequential" baseline object.
+    figL_incremental, figM_coarsening): entries under "rows", keyed by
+    "threads" (thread sweeps), "churn_pct" (churn sweeps), "strategy"
+    (coarsening-engine sweeps) or "k" (k sweeps), plus an optional
+    "sequential" baseline object.
 
 What is gated (machine-independent by design, so a laptop-generated
 baseline holds on CI runners):
@@ -79,11 +80,14 @@ def load_entries(path):
     if "rows" in data:
         for row in data["rows"]:
             # bench_parallel sweeps thread counts, figL_incremental sweeps
-            # churn levels, figK_kway_direct sweeps k.
+            # churn levels, figM_coarsening sweeps coarsening strategies,
+            # figK_kway_direct sweeps k.
             if "threads" in row:
                 axis = "threads"
             elif "churn_pct" in row:
                 axis = "churn_pct"
+            elif "strategy" in row:
+                axis = "strategy"
             else:
                 axis = "k"
             key = f"{axis}={row[axis]}"

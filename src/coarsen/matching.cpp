@@ -1,6 +1,7 @@
 #include "coarsen/matching.hpp"
 
 #include <cassert>
+#include <stdexcept>
 
 #include "obs/trace.hpp"
 
@@ -41,6 +42,13 @@ void compute_matching(const Graph& g, MatchingScheme scheme,
                       std::span<const ewt_t> cewgt, Rng& rng, Matching& result,
                       std::vector<vid_t>& order) {
   const vid_t n = g.num_vertices();
+  // An empty span means "level 0: all zeros"; a non-empty span must cover
+  // every vertex, or HCM would silently read stale densities (or out of
+  // bounds) for the tail.
+  if (!cewgt.empty() && cewgt.size() != static_cast<std::size_t>(n)) {
+    throw std::invalid_argument(
+        "compute_matching: cewgt must be empty or have one entry per vertex");
+  }
   obs::Span span("match");
   span.arg("n", n);
   result.match.assign(static_cast<std::size_t>(n), kInvalidVid);

@@ -33,8 +33,12 @@ MultilevelConfig MultilevelConfig::chaco_ml() {
 
 std::string describe(const MultilevelConfig& cfg) {
   std::ostringstream os;
-  os << to_string(cfg.matching) << '+' << to_string(cfg.initpart) << '+'
-     << to_string(cfg.refine);
+  if (cfg.coarsen.strategy == CoarsenStrategy::kMatching) {
+    os << to_string(cfg.matching);
+  } else {
+    os << to_string(cfg.coarsen.strategy);
+  }
+  os << '+' << to_string(cfg.initpart) << '+' << to_string(cfg.refine);
   if (cfg.refine_period != 1) os << "(every " << cfg.refine_period << ")";
   return os.str();
 }

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "coarsen/matching.hpp"
+#include "coarsen/strategy.hpp"
 #include "refine/refine.hpp"
 #include "spectral/fiedler.hpp"
 
@@ -24,6 +25,11 @@ std::string to_string(InitPartScheme s);
 struct MultilevelConfig {
   // Phase 1: coarsening.
   MatchingScheme matching = MatchingScheme::kHeavyEdge;
+  /// How levels are built (coarsen/strategy.hpp): the default matching +
+  /// contraction pipeline, algebraic-distance HEM, or n-level tiny-batch
+  /// contraction, plus the advanced strategies' knobs.  `matching` above
+  /// only applies under CoarsenStrategy::kMatching.
+  CoarsenOptions coarsen;
   /// Coarsen until the graph has at most this many vertices ("a few
   /// hundred" / "|V_m| < 100" in the paper).
   vid_t coarsen_to = 100;

@@ -4,7 +4,7 @@
 #include <vector>
 
 #include "coarsen/contract.hpp"
-#include "coarsen/parallel_matching.hpp"
+#include "coarsen/strategy.hpp"
 #include "core/cancel.hpp"
 #include "initpart/graph_grow.hpp"
 #include "initpart/spectral_init.hpp"
@@ -97,6 +97,11 @@ BisectStats multilevel_bisect_into(const Graph& g, vwt_t target0,
   std::size_t num_levels = 0;
   {
     ScopedPhase phase(pt, PhaseTimers::kCoarsen);
+    const CoarseningStrategy& strategy = coarsening_strategy(cfg.coarsen.strategy);
+    if (ob) {
+      ob->metrics.record_max(ob->pipeline.coarsen_strategy,
+                             static_cast<std::int64_t>(cfg.coarsen.strategy));
+    }
     const Graph* cur = &g;
     std::span<const ewt_t> cewgt;  // empty at level 0
     while (cur->num_vertices() > cfg.coarsen_to) {
@@ -108,26 +113,25 @@ BisectStats multilevel_bisect_into(const Graph& g, vwt_t target0,
         ws.levels.push_back(std::make_unique<Contraction>());
       }
       Contraction& c = *ws.levels[num_levels];
-      // With a pool, HEM switches to the proposal-based parallel matcher
-      // (deterministic for every pool size; draws no RNG).  The other
-      // schemes have no parallel variant and stay sequential — still
-      // byte-identical across pool sizes, since they draw the same RNG
-      // stream regardless and contraction is thread-count-invariant.
-      if (pool && cfg.matching == MatchingScheme::kHeavyEdge) {
-        compute_matching_parallel_hem(*cur, *pool, ws.match, ws.propose);
-      } else {
-        compute_matching(*cur, cfg.matching, cewgt, rng, ws.match, ws.match_order);
+      // The strategy owns match→contract→stop for its level: a false return
+      // means the ladder is done (matching stagnated / nothing left to
+      // contract) and the just-computed level is discarded.
+      CoarsenLevelStats ls;
+      if (!strategy.coarsen_level(*cur, cewgt, cfg.matching, cfg.coarsen,
+                                  cfg.min_shrink_factor, rng, pool, ws, c, ls)) {
+        break;
       }
-      contract_into(*cur, ws.match, cewgt, pool, ws.contract, ws.arena, c);
       const vid_t fine_n = cur->num_vertices();
       const vid_t coarse_n = c.coarse.num_vertices();
-      if (static_cast<double>(coarse_n) >
-          cfg.min_shrink_factor * static_cast<double>(fine_n)) {
-        break;  // matching stagnated; further levels would not help
-      }
       if (ob) {
         ob->metrics.add(ob->pipeline.coarsen_levels);
-        ob->metrics.add(ob->pipeline.matched_pairs, ws.match.pairs);
+        ob->metrics.add(ob->pipeline.matched_pairs, ls.matched_pairs);
+        if (ls.ad_sweeps > 0) {
+          ob->metrics.add(ob->pipeline.coarsen_ad_iters, ls.ad_sweeps);
+        }
+        if (ls.pq_updates > 0) {
+          ob->metrics.add(ob->pipeline.coarsen_nlevel_pq_updates, ls.pq_updates);
+        }
         ob->metrics.observe(ob->pipeline.shrink_pct,
                             fine_n > 0 ? 100 * static_cast<std::int64_t>(coarse_n) /
                                              fine_n
@@ -136,7 +140,7 @@ BisectStats multilevel_bisect_into(const Graph& g, vwt_t target0,
       if (report) {
         // The matching that built the next level belongs to the *fine* side.
         rep.levels.back().matched_fraction =
-            fine_n > 0 ? 2.0 * static_cast<double>(ws.match.pairs) /
+            fine_n > 0 ? 2.0 * static_cast<double>(ls.matched_pairs) /
                              static_cast<double>(fine_n)
                        : 0.0;
         obs::LevelReport lr;

@@ -216,6 +216,9 @@ Obs::PipelineMetrics::PipelineMetrics(MetricsRegistry& reg)
       kway_conflict_rejects(reg.counter("refine.kway_conflict_rejects")),
       shrink_pct(reg.histogram("coarsen.shrink_pct",
                                {50, 55, 60, 65, 70, 75, 80, 85, 90, 95})),
+      coarsen_strategy(reg.max_gauge("coarsen.strategy")),
+      coarsen_ad_iters(reg.counter("coarsen.ad_iters")),
+      coarsen_nlevel_pq_updates(reg.counter("coarsen.nlevel_pq_updates")),
       arena_bytes_peak(reg.max_gauge("arena.bytes_peak")),
       arena_reuse_hits(reg.counter("arena.reuse_hits")),
       arena_workspaces(reg.counter("arena.workspaces")),

@@ -150,6 +150,9 @@ struct Obs {
     MetricsRegistry::Id kway_rounds;              ///< counter: k-way refine rounds
     MetricsRegistry::Id kway_conflict_rejects;    ///< counter: k-way stale rejects
     MetricsRegistry::Id shrink_pct;        ///< histogram: coarse/fine * 100 per level
+    MetricsRegistry::Id coarsen_strategy;  ///< max gauge: CoarsenStrategy last used
+    MetricsRegistry::Id coarsen_ad_iters;  ///< counter: AD Jacobi sweeps performed
+    MetricsRegistry::Id coarsen_nlevel_pq_updates;  ///< counter: lazy-heap pushes
     MetricsRegistry::Id arena_bytes_peak;  ///< max gauge: workspace footprint peak
     MetricsRegistry::Id arena_reuse_hits;  ///< counter: warm workspace checkouts
     MetricsRegistry::Id arena_workspaces;  ///< counter: workspaces constructed

@@ -103,8 +103,8 @@ Status decode_request_head(std::span<const std::uint8_t> payload, RequestHead& o
     err = "k out of range";
     return Status::kBadRequest;
   }
-  if (out.matching > static_cast<std::uint8_t>(MatchingScheme::kHeavyClique)) {
-    err = "unknown matching scheme";
+  if (out.matching > kSchemeByteMax) {
+    err = "unknown coarsening scheme";
     return Status::kBadRequest;
   }
   if (out.initpart > static_cast<std::uint8_t>(InitPartScheme::kSpectral)) {
@@ -229,7 +229,10 @@ Status decode_pin_graph(std::span<const std::uint8_t> payload,
 
 MultilevelConfig config_from_head(const RequestHead& head) {
   MultilevelConfig cfg;
-  cfg.matching = static_cast<MatchingScheme>(head.matching);
+  // The scheme byte selects both the strategy and (for the default
+  // strategy) the matching heuristic; the head was validated, so the
+  // decode cannot fail here.
+  scheme_from_byte(head.matching, cfg.coarsen.strategy, cfg.matching);
   cfg.initpart = static_cast<InitPartScheme>(head.initpart);
   cfg.refine = static_cast<RefinePolicy>(head.refine);
   cfg.coarsen_to = static_cast<vid_t>(head.coarsen_to);
@@ -245,7 +248,7 @@ void encode_partition_request(const Graph& g, const RequestOptions& opts,
   out.reserve(kRequestHeadBytes + 8 * (n + 1) + 4 * arcs + 8 * n + 8 * arcs);
   put_u32(out, static_cast<std::uint32_t>(opts.k));
   put_u64(out, opts.seed);
-  out.push_back(static_cast<std::uint8_t>(opts.matching));
+  out.push_back(scheme_byte(opts.coarsen_strategy, opts.matching));
   out.push_back(static_cast<std::uint8_t>(opts.initpart));
   out.push_back(static_cast<std::uint8_t>(opts.refine));
   out.push_back(static_cast<std::uint8_t>(opts.kway_mode));
@@ -429,8 +432,8 @@ Status decode_delta_head(std::span<const std::uint8_t> payload, DeltaHead& out,
     err = "k out of range";
     return Status::kBadRequest;
   }
-  if (out.matching > static_cast<std::uint8_t>(MatchingScheme::kHeavyClique)) {
-    err = "unknown matching scheme";
+  if (out.matching > kSchemeByteMax) {
+    err = "unknown coarsening scheme";
     return Status::kBadRequest;
   }
   if (out.initpart > static_cast<std::uint8_t>(InitPartScheme::kSpectral)) {
@@ -543,7 +546,7 @@ void encode_delta_request(std::uint64_t fingerprint,
               4 * batch.vertex_rem.size() + 12 * batch.weight_upd.size());
   put_u32(out, static_cast<std::uint32_t>(opts.k));
   put_u64(out, opts.seed);
-  out.push_back(static_cast<std::uint8_t>(opts.matching));
+  out.push_back(scheme_byte(opts.coarsen_strategy, opts.matching));
   out.push_back(static_cast<std::uint8_t>(opts.initpart));
   out.push_back(static_cast<std::uint8_t>(opts.refine));
   out.push_back(static_cast<std::uint8_t>(opts.kway_mode));
@@ -574,7 +577,10 @@ void encode_delta_request(std::uint64_t fingerprint,
 
 MultilevelConfig config_from_head(const DeltaHead& head) {
   MultilevelConfig cfg;
-  cfg.matching = static_cast<MatchingScheme>(head.matching);
+  // The scheme byte selects both the strategy and (for the default
+  // strategy) the matching heuristic; the head was validated, so the
+  // decode cannot fail here.
+  scheme_from_byte(head.matching, cfg.coarsen.strategy, cfg.matching);
   cfg.initpart = static_cast<InitPartScheme>(head.initpart);
   cfg.refine = static_cast<RefinePolicy>(head.refine);
   cfg.coarsen_to = static_cast<vid_t>(head.coarsen_to);

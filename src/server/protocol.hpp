@@ -17,7 +17,11 @@
 //   offset  size      field
 //        0     4      k            number of parts (u32)
 //        4     8      seed         RNG seed (u64)
-//       12     1      matching     MatchingScheme as u8
+//       12     1      matching     coarsening scheme byte: 0..3 =
+//                                  MatchingScheme under the default
+//                                  strategy, 4 = algebraic-distance HEM,
+//                                  5 = n-level (coarsen/strategy.hpp);
+//                                  anything above is BAD_REQUEST
 //       13     1      initpart     InitPartScheme as u8
 //       14     1      refine       RefinePolicy as u8
 //       15     1      kway_mode    KwayMode as u8 (0 auto / 1 rb / 2 direct;
@@ -162,6 +166,10 @@ MultilevelConfig config_from_head(const RequestHead& head);
 struct RequestOptions {
   part_t k = 2;
   std::uint64_t seed = 1995;  ///< the CLI's default seed (examples/)
+  /// Coarsening: `coarsen_strategy` picks the engine; `matching` only
+  /// applies under CoarsenStrategy::kMatching.  The pair is encoded as the
+  /// single wire scheme byte (scheme_byte / scheme_from_byte).
+  CoarsenStrategy coarsen_strategy = CoarsenStrategy::kMatching;
   MatchingScheme matching = MatchingScheme::kHeavyEdge;
   InitPartScheme initpart = InitPartScheme::kGGGP;
   RefinePolicy refine = RefinePolicy::kBKLGR;

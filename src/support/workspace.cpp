@@ -10,6 +10,7 @@ std::size_t BisectWorkspace::bytes_reserved() const {
   total += match_order.capacity() * sizeof(vid_t);
   total += propose.capacity() * sizeof(vid_t);
   total += contract.memory_bytes();
+  total += coarsen.bytes_reserved();
   total += levels.capacity() * sizeof(std::unique_ptr<Contraction>);
   for (const auto& level : levels) {
     if (level) total += level->memory_bytes();

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "coarsen/contract.hpp"
+#include "coarsen/strategy.hpp"
 #include "initpart/graph_grow.hpp"
 #include "refine/kl.hpp"
 #include "support/arena.hpp"
@@ -47,6 +48,7 @@ struct BisectWorkspace {
   std::vector<vid_t> match_order;  ///< sequential matchers' random visit order
   std::vector<vid_t> propose;      ///< parallel HEM's proposal table
   ContractScratch contract;
+  CoarsenWorkspace coarsen;        ///< AD relaxation / n-level PQ scratch
   /// One slot per coarsening level.  unique_ptr keeps each Contraction's
   /// address stable while the vector grows, because the coarsening loop
   /// holds a pointer into the previous level's coarse graph.

@@ -211,5 +211,22 @@ TEST(MatchingTest, IsMaximalMatchingRejectsNonMaximal) {
   EXPECT_FALSE(is_maximal_matching(g, m));
 }
 
+TEST(MatchingTest, RejectsWrongSizedCewgt) {
+  // A non-empty cewgt span must cover every vertex: HCM reads cewgt[v] for
+  // both endpoints, so a short span would index out of bounds (and any
+  // wrong-sized span means the caller paired the wrong level's buffers).
+  Graph g = path_graph(6);
+  Rng rng(5);
+  std::vector<ewt_t> short_cewgt(5, 0);
+  EXPECT_THROW(compute_matching(g, MatchingScheme::kHeavyClique, short_cewgt, rng),
+               std::invalid_argument);
+  std::vector<ewt_t> long_cewgt(7, 0);
+  EXPECT_THROW(compute_matching(g, MatchingScheme::kHeavyEdge, long_cewgt, rng),
+               std::invalid_argument);
+  // Empty keeps its documented "level 0: all zeros" meaning.
+  Matching m = compute_matching(g, MatchingScheme::kHeavyClique, {}, rng);
+  EXPECT_TRUE(is_maximal_matching(g, m));
+}
+
 }  // namespace
 }  // namespace mgp

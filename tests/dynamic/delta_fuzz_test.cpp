@@ -1,0 +1,253 @@
+// Seed-sweep fuzz for the delta patcher (DESIGN.md §11).
+//
+// Two oracles, 64 seeds each:
+//
+//   1. Model mirror: random DeltaBatch sequences (edge churn, vertex adds,
+//      tombstones, weight updates) are applied through apply_delta while a
+//      plain edge-map model replays the same mutations; after every batch
+//      the patched CSR's fingerprint must equal a from-scratch GraphBuilder
+//      rebuild of the model.  The patcher's row-surgery fast path and the
+//      naive rebuild must never diverge, whatever op mix the seed draws.
+//
+//   2. Churn round-trip: synth_churn_batch forward then invert_churn_batch
+//      back must land exactly on the origin fingerprint — the ping-pong
+//      contract the alloc tests and figL bench rely on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "dynamic/churn.hpp"
+#include "dynamic/delta.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "support/rng.hpp"
+
+namespace mgp::dynamic {
+namespace {
+
+constexpr std::uint64_t kNumSeeds = 64;
+
+Graph base_graph(std::uint64_t seed) {
+  switch (seed % 4) {
+    case 0: return grid2d(9, 11);
+    case 1: return fem2d_tri(10, 10, 6);
+    case 2: return cycle_graph(120);
+    default: return random_geometric(140, 5.0, static_cast<int>(seed));
+  }
+}
+
+// Reference model: undirected edge map keyed (u, v) with u < v, explicit
+// vertex weights, and an alive flag per id (tombstoned ids stay allocated
+// with weight 0 and no incident edges — exactly the patcher's semantics).
+struct ModelGraph {
+  std::map<std::pair<vid_t, vid_t>, ewt_t> edges;
+  std::vector<vwt_t> vwgt;
+  std::vector<char> alive;
+
+  explicit ModelGraph(const Graph& g) {
+    const vid_t n = g.num_vertices();
+    vwgt.resize(static_cast<std::size_t>(n));
+    alive.assign(static_cast<std::size_t>(n), 1);
+    for (vid_t u = 0; u < n; ++u) {
+      vwgt[static_cast<std::size_t>(u)] = g.vertex_weight(u);
+      const auto nbrs = g.neighbors(u);
+      const auto wgts = g.edge_weights(u);
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        if (u < nbrs[i]) edges[{u, nbrs[i]}] = wgts[i];
+      }
+    }
+  }
+
+  vid_t num_vertices() const { return static_cast<vid_t>(vwgt.size()); }
+
+  static std::pair<vid_t, vid_t> key(vid_t u, vid_t v) {
+    return u < v ? std::make_pair(u, v) : std::make_pair(v, u);
+  }
+
+  // Replays `batch` in the documented op order: adds, weight updates,
+  // removals, deletions, insertions.
+  void apply(const DeltaBatch& batch) {
+    for (vwt_t w : batch.vertex_add) {
+      vwgt.push_back(w);
+      alive.push_back(1);
+    }
+    for (const WeightUpd& wu : batch.weight_upd) {
+      vwgt[static_cast<std::size_t>(wu.v)] = wu.w;
+    }
+    for (vid_t v : batch.vertex_rem) {
+      alive[static_cast<std::size_t>(v)] = 0;
+      vwgt[static_cast<std::size_t>(v)] = 0;
+      for (auto it = edges.begin(); it != edges.end();) {
+        if (it->first.first == v || it->first.second == v) {
+          it = edges.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+    for (const EdgeDel& e : batch.edge_del) edges.erase(key(e.u, e.v));
+    for (const EdgeIns& e : batch.edge_ins) {
+      const bool fresh = edges.emplace(key(e.u, e.v), e.w).second;
+      ASSERT_TRUE(fresh) << "fuzz generator inserted a duplicate edge";
+    }
+  }
+
+  Graph rebuild() const {
+    GraphBuilder b(num_vertices());
+    for (vid_t v = 0; v < num_vertices(); ++v) {
+      b.set_vertex_weight(v, vwgt[static_cast<std::size_t>(v)]);
+    }
+    for (const auto& [uv, w] : edges) b.add_edge(uv.first, uv.second, w);
+    return std::move(b).build();
+  }
+};
+
+// Draws a random batch that is valid by construction: ops never touch a
+// tombstoned id, a vertex removed by this batch, or collide with each other
+// (the rejection paths have their own tests in delta_test.cpp).
+void synth_fuzz_batch(const ModelGraph& model, Rng& rng, DeltaBatch& out) {
+  out.clear();
+  const vid_t old_n = model.num_vertices();
+  std::vector<vid_t> live;
+  for (vid_t v = 0; v < old_n; ++v) {
+    if (model.alive[static_cast<std::size_t>(v)] != 0) live.push_back(v);
+  }
+
+  // Tombstones first, so every later draw can exclude them.
+  std::vector<char> gone(static_cast<std::size_t>(old_n), 0);
+  if (live.size() > 8 && rng.next_below(3) == 0) {
+    const vid_t victim = live[static_cast<std::size_t>(
+        rng.next_below(static_cast<std::uint64_t>(live.size())))];
+    out.vertex_rem.push_back(victim);
+    gone[static_cast<std::size_t>(victim)] = 1;
+  }
+  std::vector<vid_t> usable;
+  for (vid_t v : live) {
+    if (gone[static_cast<std::size_t>(v)] == 0) usable.push_back(v);
+  }
+
+  // Fresh vertices (ids old_n, old_n+1, ...) join the usable pool — edge
+  // insertions below may connect them, covering the add-then-connect path.
+  const std::uint64_t adds = rng.next_below(3);
+  for (std::uint64_t i = 0; i < adds; ++i) {
+    out.vertex_add.push_back(static_cast<vwt_t>(1 + rng.next_below(9)));
+    usable.push_back(old_n + static_cast<vid_t>(i));
+  }
+
+  // Weight updates on a few surviving old vertices.
+  const std::uint64_t upds = rng.next_below(4);
+  std::vector<char> upd_seen(static_cast<std::size_t>(old_n), 0);
+  for (std::uint64_t i = 0; i < upds && !live.empty(); ++i) {
+    const vid_t v = live[static_cast<std::size_t>(
+        rng.next_below(static_cast<std::uint64_t>(live.size())))];
+    if (gone[static_cast<std::size_t>(v)] != 0 ||
+        upd_seen[static_cast<std::size_t>(v)] != 0) {
+      continue;
+    }
+    upd_seen[static_cast<std::size_t>(v)] = 1;
+    out.weight_upd.push_back({v, static_cast<vwt_t>(1 + rng.next_below(12))});
+  }
+
+  // Deletions: sample distinct existing edges whose endpoints survive.
+  std::vector<std::pair<vid_t, vid_t>> keys;
+  for (const auto& [uv, w] : model.edges) {
+    (void)w;
+    if (gone[static_cast<std::size_t>(uv.first)] == 0 &&
+        gone[static_cast<std::size_t>(uv.second)] == 0) {
+      keys.push_back(uv);
+    }
+  }
+  std::vector<char> deleted(keys.size(), 0);
+  const std::uint64_t dels =
+      keys.empty() ? 0 : rng.next_below(1 + keys.size() / 8);
+  for (std::uint64_t i = 0; i < dels; ++i) {
+    const std::size_t pick = static_cast<std::size_t>(
+        rng.next_below(static_cast<std::uint64_t>(keys.size())));
+    if (deleted[pick] != 0) continue;
+    deleted[pick] = 1;
+    out.edge_del.push_back({keys[pick].first, keys[pick].second});
+  }
+
+  // Insertions: rejection-sample non-edges among usable ids; a pair deleted
+  // by this batch is also skipped, keeping the op sets disjoint.
+  const std::uint64_t want_ins = rng.next_below(6);
+  std::vector<std::pair<vid_t, vid_t>> fresh;
+  for (int tries = 0; fresh.size() < want_ins && tries < 200; ++tries) {
+    if (usable.size() < 2) break;
+    const vid_t u = usable[static_cast<std::size_t>(
+        rng.next_below(static_cast<std::uint64_t>(usable.size())))];
+    const vid_t v = usable[static_cast<std::size_t>(
+        rng.next_below(static_cast<std::uint64_t>(usable.size())))];
+    if (u == v) continue;
+    const auto k = ModelGraph::key(u, v);
+    if (model.edges.count(k) != 0) continue;
+    if (std::find(fresh.begin(), fresh.end(), k) != fresh.end()) continue;
+    fresh.push_back(k);
+  }
+  for (const auto& [u, v] : fresh) {
+    out.edge_ins.push_back({u, v, static_cast<ewt_t>(1 + rng.next_below(9))});
+  }
+}
+
+TEST(DeltaFuzz, RandomBatchChainsMatchFromScratchRebuilds) {
+  constexpr int kBatchesPerSeed = 5;
+  for (std::uint64_t seed = 0; seed < kNumSeeds; ++seed) {
+    Rng rng(seed * 7919 + 17);
+    Graph cur = base_graph(seed);
+    ModelGraph model(cur);
+
+    // Persistent scratch + ping-pong destination, as the GraphStore runs it.
+    DeltaScratch scratch;
+    Graph other;
+    DeltaBatch batch;
+    for (int step = 0; step < kBatchesPerSeed; ++step) {
+      synth_fuzz_batch(model, rng, batch);
+      if (batch.empty()) continue;
+
+      DeltaApplyResult res;
+      const std::string err = apply_delta(cur, batch, scratch, other, res);
+      ASSERT_EQ(err, "") << "seed " << seed << " step " << step;
+      ASSERT_EQ(other.validate(), "") << "seed " << seed << " step " << step;
+
+      model.apply(batch);
+      const Graph expected = model.rebuild();
+      ASSERT_EQ(res.fingerprint, graph_fingerprint(expected))
+          << "seed " << seed << " step " << step;
+      ASSERT_EQ(graph_fingerprint(other), res.fingerprint)
+          << "seed " << seed << " step " << step;
+      std::swap(cur, other);
+    }
+  }
+}
+
+TEST(DeltaFuzz, ChurnForwardThenInverseReturnsOriginFingerprint) {
+  for (std::uint64_t seed = 0; seed < kNumSeeds; ++seed) {
+    Rng rng(seed);
+    const Graph origin = base_graph(seed);
+    const std::uint64_t origin_fp = graph_fingerprint(origin);
+
+    DeltaBatch fwd, inv;
+    synth_churn_batch(origin, 0.15, rng, fwd);
+    invert_churn_batch(origin, fwd, inv);
+
+    DeltaScratch scratch;
+    Graph churned, back;
+    DeltaApplyResult res;
+    ASSERT_EQ(apply_delta(origin, fwd, scratch, churned, res), "")
+        << "seed " << seed;
+    // A 15% churn must actually move the fingerprint, or the round trip
+    // below proves nothing.
+    ASSERT_NE(res.fingerprint, origin_fp) << "seed " << seed;
+
+    ASSERT_EQ(apply_delta(churned, inv, scratch, back, res), "")
+        << "seed " << seed;
+    EXPECT_EQ(res.fingerprint, origin_fp) << "seed " << seed;
+    EXPECT_EQ(graph_fingerprint(back), origin_fp) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace mgp::dynamic

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "coarsen/strategy.hpp"
 #include "core/kway.hpp"
 #include "core/kway_direct.hpp"
 #include "dynamic/churn.hpp"
@@ -34,6 +35,9 @@ struct GoldenEntry {
   // incremental repartitioner and pin the final labelling + cut.
   int churn_batches = 0;
   double churn_fraction = 0.0;
+  /// Coarsening engine (DESIGN.md §12); non-default rows pin the algebraic-
+  /// distance and n-level strategies so their output can't drift silently.
+  CoarsenStrategy strategy = CoarsenStrategy::kMatching;
 };
 
 inline std::vector<GoldenEntry> corpus() {
@@ -60,6 +64,17 @@ inline std::vector<GoldenEntry> corpus() {
        true, 4, 0.01},
       {"random_geo_1500_churn_k16", 16, 4242,
        [] { return random_geometric(1500, 6.0, 9); }, true, 4, 0.01},
+      // Alternative coarsening engines, one recursive-bisection row and one
+      // direct k-way row each (k spanning the server's auto threshold).
+      {"fem2d_tri_40x40_ad_k4", 4, 4242, [] { return fem2d_tri(40, 40, 7); },
+       false, 0, 0.0, CoarsenStrategy::kAlgebraicDistance},
+      {"random_geo_1500_ad_k16", 16, 4242,
+       [] { return random_geometric(1500, 6.0, 9); }, true, 0, 0.0,
+       CoarsenStrategy::kAlgebraicDistance},
+      {"circuit_1500_nlevel_k4", 4, 4242, [] { return circuit(1500, 11); },
+       false, 0, 0.0, CoarsenStrategy::kNLevel},
+      {"finan_24x24_nlevel_k16", 16, 4242, [] { return finan(24, 24, 5); },
+       true, 0, 0.0, CoarsenStrategy::kNLevel},
   };
 }
 
@@ -109,11 +124,13 @@ inline GoldenResult run_entry(const GoldenEntry& e) {
   const Graph g = e.build();
   Rng rng(e.seed);
   if (e.direct) {
-    const KwayDirectConfig cfg;  // defaults on top of the paper pipeline
+    KwayDirectConfig cfg;  // defaults on top of the paper pipeline
+    cfg.base.coarsen.strategy = e.strategy;
     const KwayResult r = kway_partition_direct(g, e.k, cfg, rng);
     return {r.edge_cut, fnv1a64(r.part)};
   }
-  const MultilevelConfig cfg;  // paper defaults: HEM + GGGP + BKLGR, 1 thread
+  MultilevelConfig cfg;  // paper defaults: HEM + GGGP + BKLGR, 1 thread
+  cfg.coarsen.strategy = e.strategy;
   const KwayResult r = kway_partition(g, e.k, cfg, rng);
   return {r.edge_cut, fnv1a64(r.part)};
 }

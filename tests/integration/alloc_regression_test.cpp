@@ -190,6 +190,62 @@ TEST(AllocRegressionTest, KwayDirectIntoSteadyStateIsAllocationFree) {
   EXPECT_EQ(part.size(), static_cast<std::size_t>(g.num_vertices()));
 }
 
+TEST(AllocRegressionTest, KwayDirectAlgebraicDistanceSteadyStateIsAllocationFree) {
+  // Same contract as the default ladder, under the algebraic-distance
+  // strategy: the relaxation double-buffers and the AD-HEM visit scratch
+  // live in BisectWorkspace::coarsen, so a warm rerun never allocates.
+  const Graph g = fem2d_tri(40, 40, 3);
+  const part_t k = 8;
+  KwayDirectConfig cfg;
+  cfg.base.coarsen.strategy = CoarsenStrategy::kAlgebraicDistance;
+  KwayDirectWorkspace dws;
+  BisectWorkspace bws;
+  std::vector<part_t> part;
+
+  auto run = [&]() {
+    Rng rng(2024);
+    return kway_partition_direct_into(g, k, cfg, rng, dws, &bws, part);
+  };
+
+  run();
+  run();
+
+  AllocGuard guard;
+  const ewt_t cut = run();
+  EXPECT_EQ(guard.allocations(), 0u)
+      << "AD coarsening allocated in steady state (" << guard.bytes() << " bytes)";
+  EXPECT_GT(cut, 0);
+}
+
+TEST(AllocRegressionTest, KwayDirectNLevelSteadyStateIsAllocationFree) {
+  // N-level builds a per-level dynamic adjacency plus a lazy heap; rows are
+  // cleared (never shrunk) and the coarse CSR recycles the level slot's
+  // storage, so the whole ladder — O(log n) levels deep — must be heap-free
+  // once the second run has pushed every buffer to its high-water mark.
+  const Graph g = fem2d_tri(28, 28, 3);
+  const part_t k = 8;
+  KwayDirectConfig cfg;
+  cfg.base.coarsen.strategy = CoarsenStrategy::kNLevel;
+  KwayDirectWorkspace dws;
+  BisectWorkspace bws;
+  std::vector<part_t> part;
+
+  auto run = [&]() {
+    Rng rng(2024);
+    return kway_partition_direct_into(g, k, cfg, rng, dws, &bws, part);
+  };
+
+  run();
+  run();
+
+  AllocGuard guard;
+  const ewt_t cut = run();
+  EXPECT_EQ(guard.allocations(), 0u)
+      << "n-level coarsening allocated in steady state (" << guard.bytes()
+      << " bytes)";
+  EXPECT_GT(cut, 0);
+}
+
 TEST(AllocRegressionTest, MultilevelBisectSteadyStateIsBounded) {
   // The full bisection is documented to allocate O(1) per call once warm
   // (the returned labelling plus one trial-buffer regrowth) — not zero, but

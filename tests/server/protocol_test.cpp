@@ -191,6 +191,40 @@ TEST(RequestCodecTest, RejectsBadSchemeEnums) {
   }
 }
 
+TEST(RequestCodecTest, CoarsenStrategyBytesRoundTripThroughConfig) {
+  // Scheme bytes 4 (algebraic distance) and 5 (n-level) share the matching
+  // byte's slot; decoding must recover the strategy and fall back to the
+  // default HEM matcher (the strategies ignore MatchingScheme anyway).
+  Graph g = grid2d(4, 4);
+  for (const CoarsenStrategy strategy :
+       {CoarsenStrategy::kAlgebraicDistance, CoarsenStrategy::kNLevel}) {
+    RequestOptions opts;
+    opts.coarsen_strategy = strategy;
+    opts.matching = MatchingScheme::kRandom;  // must be ignored on the wire
+    std::vector<std::uint8_t> payload = encode_request(g, opts);
+    EXPECT_EQ(payload[12], scheme_byte(strategy, opts.matching));
+
+    RequestHead head;
+    std::string err;
+    ASSERT_EQ(decode_request_head(payload, head, err), Status::kOk) << err;
+    const MultilevelConfig cfg = config_from_head(head);
+    EXPECT_EQ(cfg.coarsen.strategy, strategy);
+    EXPECT_EQ(cfg.matching, MatchingScheme::kHeavyEdge);
+  }
+}
+
+TEST(RequestCodecTest, RejectsSchemeByteJustPastNLevel) {
+  // 5 (n-level) is the last assigned scheme byte; 6 must already fail, not
+  // only the 0xEE far-out value RejectsBadSchemeEnums probes.
+  Graph g = grid2d(4, 4);
+  std::vector<std::uint8_t> payload = encode_request(g, RequestOptions{});
+  payload[12] = kSchemeByteMax + 1;
+  RequestHead head;
+  std::string err;
+  EXPECT_EQ(decode_request_head(payload, head, err), Status::kBadRequest);
+  EXPECT_NE(err.find("coarsening"), std::string::npos) << err;
+}
+
 TEST(RequestCodecTest, RejectsNonMonotoneXadj) {
   Graph g = grid2d(4, 4);
   std::vector<std::uint8_t> payload = encode_request(g, RequestOptions{});

@@ -299,6 +299,53 @@ TEST(ServerLoopbackTest, RepeatRequestIsServedFromCache) {
   EXPECT_EQ(server.cache().stats().hits, 2u);
 }
 
+TEST(ServerLoopbackTest, CoarsenStrategiesServeEndToEndWithSeparateCacheKeys) {
+  // The scheme byte sits in the digested config region, so the same
+  // (graph, k, seed) under different coarsening strategies must be three
+  // distinct cache entries — and each served partition must equal the
+  // offline pipeline run with the same strategy.
+  ServerConfig cfg;
+  cfg.unix_path = socket_path("strategy_cache");
+  Server server(cfg);
+  std::string err;
+  ASSERT_TRUE(server.start(err)) << err;
+  ServerGuard guard(server);
+
+  const Graph g = fem2d_tri(20, 20, 4);
+  std::string cerr_msg;
+  Client client = Client::connect_unix(cfg.unix_path, cerr_msg);
+  ASSERT_TRUE(client.connected()) << cerr_msg;
+
+  RequestOptions opts;
+  opts.k = 4;
+  opts.kway_mode = KwayMode::kRecursiveBisection;
+  for (const CoarsenStrategy strategy :
+       {CoarsenStrategy::kMatching, CoarsenStrategy::kAlgebraicDistance,
+        CoarsenStrategy::kNLevel}) {
+    opts.coarsen_strategy = strategy;
+    PartitionOutcome first = client.partition(g, opts);
+    ASSERT_TRUE(first.ok()) << first.error;
+    EXPECT_FALSE(first.cache_hit)
+        << "strategy " << static_cast<int>(strategy) << " collided";
+
+    MultilevelConfig offline;
+    offline.coarsen.strategy = strategy;
+    Rng rng(opts.seed);
+    const KwayResult want = kway_partition(g, opts.k, offline, rng);
+    EXPECT_EQ(first.part, want.part)
+        << "strategy " << static_cast<int>(strategy);
+    EXPECT_EQ(first.edge_cut, want.edge_cut);
+
+    // Repeats under the same strategy do hit.
+    PartitionOutcome again = client.partition(g, opts);
+    ASSERT_TRUE(again.ok()) << again.error;
+    EXPECT_TRUE(again.cache_hit);
+    EXPECT_EQ(again.part, first.part);
+  }
+  EXPECT_EQ(server.cache().stats().hits, 3u);
+  EXPECT_EQ(server.cache().stats().misses, 3u);
+}
+
 TEST(ServerLoopbackTest, FullQueueAnswersOverloadedWithoutHanging) {
   std::counting_semaphore<8> entered(0);  // worker reached the dequeue hook
   std::counting_semaphore<8> hold(0);     // permits for the hook to proceed
